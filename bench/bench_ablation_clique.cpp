@@ -1,0 +1,54 @@
+/**
+ * Ablation: exact vs greedy maximum-weight clique in datapath
+ * merging (Sec. 3.3).  The merge quality (area saved) depends on the
+ * clique solver; this bench merges the top domain subgraphs with the
+ * exact branch-and-bound and with the greedy heuristic only (node
+ * budget 1 keeps just the greedy seed), reporting saved area and the
+ * merged datapath's functional area.
+ */
+#include "bench/common.hpp"
+#include "merging/merge.hpp"
+
+int
+main()
+{
+    using namespace apex;
+    const auto &tech = model::defaultTech();
+    core::Explorer ex;
+
+    bench::header("Ablation: clique solver in datapath merging");
+    std::printf("  %-10s %-8s %14s %16s %10s\n", "app", "solver",
+                "saved(um2)", "merged area", "optimal");
+
+    for (const auto &app :
+         {apps::cameraPipeline(), apps::harrisCorner(),
+          apps::resnetLayer()}) {
+        auto patterns = ex.analyze(app.graph);
+        std::vector<ir::Graph> graphs;
+        for (std::size_t i = 0;
+             i < std::min<std::size_t>(4, patterns.size()); ++i)
+            graphs.push_back(patterns[i].pattern);
+        if (graphs.size() < 2)
+            continue;
+
+        merging::MergeOptions exact;
+        merging::MergeOptions greedy;
+        greedy.clique_budget = 1; // keep only the greedy seed
+
+        const auto r_exact =
+            merging::mergePatterns(graphs, tech, exact);
+        const auto r_greedy =
+            merging::mergePatterns(graphs, tech, greedy);
+
+        std::printf("  %-10s %-8s %14.1f %16.1f %10s\n",
+                    app.name.c_str(), "exact", r_exact.saved_area,
+                    r_exact.merged.functionalArea(tech), "yes");
+        std::printf("  %-10s %-8s %14.1f %16.1f %10s\n",
+                    app.name.c_str(), "greedy", r_greedy.saved_area,
+                    r_greedy.merged.functionalArea(tech), "no");
+    }
+    bench::note("exact clique never saves less than greedy; the gap "
+                "is the price of a heuristic merge (Moreano et al. "
+                "report the same effect for HLS datapath merging)");
+    return 0;
+}

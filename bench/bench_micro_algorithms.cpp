@@ -1,0 +1,157 @@
+/**
+ * Micro-benchmarks (google-benchmark) for the algorithmic cores of
+ * the framework: frequent-subgraph mining, maximum-weight clique,
+ * datapath merging, rewrite-rule synthesis, instruction selection,
+ * placement and routing.  The paper's headline process claim is that
+ * the whole APEX flow runs "in minutes" vs hours for prior work —
+ * these benches document where the time goes in this implementation.
+ */
+#include <benchmark/benchmark.h>
+
+#include "apps/apps.hpp"
+#include "cgra/place.hpp"
+#include "cgra/route.hpp"
+#include "core/evaluate.hpp"
+#include "mapper/rewrite.hpp"
+#include "mapper/select.hpp"
+#include "merging/clique.hpp"
+#include "merging/merge.hpp"
+#include "mining/miner.hpp"
+#include "model/tech.hpp"
+#include "pe/baseline.hpp"
+
+namespace {
+
+using namespace apex;
+
+void
+BM_MineGaussian(benchmark::State &state)
+{
+    const auto app = apps::gaussianBlur(
+        static_cast<int>(state.range(0)));
+    mining::FrequentSubgraphMiner miner(
+        {.min_support = 3, .max_pattern_nodes = 4});
+    for (auto _ : state) {
+        auto patterns = miner.mine(app.graph);
+        benchmark::DoNotOptimize(patterns);
+    }
+    state.SetLabel(std::to_string(app.graph.size()) + " nodes");
+}
+BENCHMARK(BM_MineGaussian)->Arg(1)->Arg(2)->Arg(4);
+
+void
+BM_MineCamera(benchmark::State &state)
+{
+    const auto app = apps::cameraPipeline(1);
+    mining::FrequentSubgraphMiner miner(
+        {.min_support = 3, .max_pattern_nodes = 4});
+    for (auto _ : state) {
+        auto patterns = miner.mine(app.graph);
+        benchmark::DoNotOptimize(patterns);
+    }
+}
+BENCHMARK(BM_MineCamera);
+
+void
+BM_MaxWeightClique(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    merging::CliqueProblem pb;
+    pb.n = n;
+    pb.adj.assign(n, std::vector<bool>(n, false));
+    std::uint32_t lcg = 12345;
+    for (int i = 0; i < n; ++i) {
+        pb.weight.push_back(1.0 + (i % 7));
+        for (int j = i + 1; j < n; ++j) {
+            lcg = lcg * 1664525u + 1013904223u;
+            if ((lcg >> 16) % 100 < 55)
+                pb.adj[i][j] = pb.adj[j][i] = true;
+        }
+    }
+    for (auto _ : state) {
+        auto result = merging::maxWeightClique(pb, 500000);
+        benchmark::DoNotOptimize(result);
+    }
+}
+BENCHMARK(BM_MaxWeightClique)->Arg(40)->Arg(80)->Arg(160);
+
+void
+BM_MergeDatapaths(benchmark::State &state)
+{
+    core::Explorer ex;
+    const auto app = apps::harrisCorner(1);
+    const auto patterns = ex.analyze(app.graph);
+    std::vector<ir::Graph> graphs;
+    for (std::size_t i = 0;
+         i < std::min<std::size_t>(4, patterns.size()); ++i)
+        graphs.push_back(patterns[i].pattern);
+    const auto &tech = model::defaultTech();
+    for (auto _ : state) {
+        auto merged = merging::mergePatterns(graphs, tech);
+        benchmark::DoNotOptimize(merged);
+    }
+}
+BENCHMARK(BM_MergeDatapaths);
+
+void
+BM_RewriteRuleLibrary(benchmark::State &state)
+{
+    const pe::PeSpec spec = pe::baselinePe();
+    mapper::RewriteRuleSynthesizer synth(spec);
+    for (auto _ : state) {
+        auto rules = synth.synthesizeLibrary({});
+        benchmark::DoNotOptimize(rules);
+    }
+}
+BENCHMARK(BM_RewriteRuleLibrary);
+
+void
+BM_InstructionSelectCamera(benchmark::State &state)
+{
+    const auto app = apps::cameraPipeline(1);
+    const pe::PeSpec spec = pe::baselinePe();
+    mapper::RewriteRuleSynthesizer synth(spec);
+    mapper::InstructionSelector selector(synth.synthesizeLibrary({}));
+    for (auto _ : state) {
+        auto result = selector.map(app.graph);
+        benchmark::DoNotOptimize(result);
+    }
+}
+BENCHMARK(BM_InstructionSelectCamera);
+
+void
+BM_PlaceAndRouteCamera(benchmark::State &state)
+{
+    const auto app = apps::cameraPipeline(2);
+    const pe::PeSpec spec = pe::baselinePe();
+    mapper::RewriteRuleSynthesizer synth(spec);
+    mapper::InstructionSelector selector(synth.synthesizeLibrary({}));
+    const auto sel = selector.map(app.graph);
+    const cgra::Fabric fabric(32, 16);
+    for (auto _ : state) {
+        auto placement = cgra::place(fabric, sel.mapped);
+        auto routing = cgra::route(fabric, placement);
+        benchmark::DoNotOptimize(routing);
+    }
+}
+BENCHMARK(BM_PlaceAndRouteCamera);
+
+void
+BM_FullFlowGaussian(benchmark::State &state)
+{
+    core::Explorer ex;
+    const auto app = apps::gaussianBlur(4);
+    const auto variant = ex.specVariant(app);
+    const auto &tech = model::defaultTech();
+    for (auto _ : state) {
+        auto r = core::evaluate(app, variant,
+                                core::EvalLevel::kPostPipelining,
+                                tech);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_FullFlowGaussian);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,326 @@
+/**
+ * apexc — command-line driver for the APEX flow.
+ *
+ * Usage:
+ *   apexc apps
+ *       List the built-in applications.
+ *   apexc analyze <app|file.apexir> [--support N] [--max-nodes N]
+ *       Mine + MIS-rank frequent subgraphs of an application.
+ *   apexc explore <app> [--variant base|pe1|spec|ip|ml]
+ *                       [--level map|pnr|pipe]
+ *       Run the full flow and print the evaluation record.
+ *   apexc rtl <app> [--variant ...] [-o DIR]
+ *       Emit the PE's Verilog and a self-checking testbench.
+ *   apexc dump <app> [-o FILE]
+ *       Serialize an application graph to the apexir text format.
+ *
+ * Built-in application names: camera harris gaussian unsharp resnet
+ * mobilenet laplacian stereo fast.
+ */
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+#include "core/evaluate.hpp"
+#include "core/hetero.hpp"
+#include "ir/serialize.hpp"
+#include "pe/verilog.hpp"
+#include "pe/verilog_tb.hpp"
+#include "pipeline/pe_pipeline.hpp"
+
+namespace {
+
+using namespace apex;
+
+std::optional<apps::AppInfo>
+findApp(const std::string &name)
+{
+    for (apps::AppInfo &app : apps::allApps())
+        if (app.name == name)
+            return std::move(app);
+    return std::nullopt;
+}
+
+/** Load either a built-in app or an .apexir file. */
+std::optional<apps::AppInfo>
+loadApp(const std::string &source)
+{
+    if (auto app = findApp(source))
+        return app;
+    std::ifstream is(source);
+    if (!is)
+        return std::nullopt;
+    std::stringstream buffer;
+    buffer << is.rdbuf();
+    std::string error;
+    auto graph = ir::deserialize(buffer.str(), &error);
+    if (!graph) {
+        std::fprintf(stderr, "apexc: %s: %s\n", source.c_str(),
+                     error.c_str());
+        return std::nullopt;
+    }
+    apps::AppInfo app;
+    app.name = source;
+    app.description = "user graph";
+    app.domain = apps::Domain::kImageProcessing;
+    app.graph = std::move(*graph);
+    app.work_items_per_frame = 1 << 20;
+    app.items_per_cycle = 1;
+    return app;
+}
+
+const char *
+flagValue(int argc, char **argv, const char *flag)
+{
+    for (int i = 0; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], flag) == 0)
+            return argv[i + 1];
+    return nullptr;
+}
+
+core::PeVariant
+buildVariant(const std::string &kind, const apps::AppInfo &app,
+             const core::Explorer &ex)
+{
+    if (kind == "pe1")
+        return ex.subsetVariant(app);
+    if (kind == "spec")
+        return core::bestSpecializedVariant(app, ex,
+                                            model::defaultTech());
+    if (kind == "ip")
+        return ex.domainVariant(apps::ipApps(), 1, "pe_ip");
+    if (kind == "ml")
+        return ex.domainVariant(apps::mlApps(), 1, "pe_ml");
+    return ex.baselineVariant();
+}
+
+int
+cmdApps()
+{
+    for (const apps::AppInfo &app : apps::allApps()) {
+        std::printf("%-10s %-3s %4zu compute ops  %s%s\n",
+                    app.name.c_str(),
+                    app.domain == apps::Domain::kImageProcessing
+                        ? "IP"
+                        : "ML",
+                    app.graph.computeNodes().size(),
+                    app.description.c_str(),
+                    app.unseen ? " (held out)" : "");
+    }
+    return 0;
+}
+
+int
+cmdAnalyze(int argc, char **argv, const std::string &source)
+{
+    auto app = loadApp(source);
+    if (!app) {
+        std::fprintf(stderr, "apexc: unknown app or file '%s'\n",
+                     source.c_str());
+        return 1;
+    }
+    core::ExplorerOptions options;
+    if (const char *s = flagValue(argc, argv, "--support"))
+        options.miner.min_support = std::atoi(s);
+    if (const char *s = flagValue(argc, argv, "--max-nodes"))
+        options.miner.max_pattern_nodes = std::atoi(s);
+    core::Explorer ex(model::defaultTech(), options);
+
+    const auto patterns = ex.analyze(app->graph);
+    std::printf("%zu mergeable frequent subgraphs in %s "
+                "(support >= %d, <= %d nodes):\n",
+                patterns.size(), app->name.c_str(),
+                options.miner.min_support,
+                options.miner.max_pattern_nodes);
+    int rank = 0;
+    for (const auto &p : patterns) {
+        std::printf("#%-3d nodes=%d freq=%d mni=%d mis=%d  ops:",
+                    rank++, p.core_size, p.frequency, p.mni_support,
+                    p.mis_size);
+        for (const auto &[op, count] : p.pattern.opHistogram()) {
+            if (ir::opIsCompute(op))
+                std::printf(" %dx%s", count,
+                            std::string(ir::opName(op)).c_str());
+        }
+        std::printf("\n");
+        if (rank >= 12) {
+            std::printf("... (%zu more)\n", patterns.size() - rank);
+            break;
+        }
+    }
+    return 0;
+}
+
+int
+cmdExplore(int argc, char **argv, const std::string &source)
+{
+    auto app = loadApp(source);
+    if (!app) {
+        std::fprintf(stderr, "apexc: unknown app or file '%s'\n",
+                     source.c_str());
+        return 1;
+    }
+    const char *variant_flag = flagValue(argc, argv, "--variant");
+    const char *level_flag = flagValue(argc, argv, "--level");
+    const std::string kind = variant_flag ? variant_flag : "base";
+    const std::string level_name = level_flag ? level_flag : "pipe";
+
+    core::EvalLevel level = core::EvalLevel::kPostPipelining;
+    if (level_name == "map")
+        level = core::EvalLevel::kPostMapping;
+    else if (level_name == "pnr")
+        level = core::EvalLevel::kPostPnr;
+
+    core::Explorer ex;
+
+    // Heterogeneous fabric: the big.LITTLE extension pairs the
+    // domain PE for the app's domain with a minimal scalar PE.
+    if (kind == "biglittle") {
+        const bool is_ip =
+            app->domain == apps::Domain::kImageProcessing;
+        const auto domain =
+            is_ip ? ex.domainVariant(apps::ipApps(), 1, "pe_ip")
+                  : ex.domainVariant(apps::mlApps(), 1, "pe_ml");
+        const auto r = core::evaluateHetero(
+            *app, core::makeBigLittleCgra(domain, "biglittle"),
+            level == core::EvalLevel::kPostMapping
+                ? core::EvalLevel::kPostMapping
+                : core::EvalLevel::kPostPnr,
+            model::defaultTech());
+        if (!r.success) {
+            std::fprintf(stderr, "apexc: %s\n", r.error.c_str());
+            return 1;
+        }
+        std::printf("app            %s\n", app->name.c_str());
+        std::printf("variant        biglittle (%s + little)\n",
+                    domain.name.c_str());
+        std::printf("pe_count       %d (big %d + little %d)\n",
+                    r.pe_count, r.pe_count_by_type[0],
+                    r.pe_count_by_type[1]);
+        std::printf("pe_area_um2    %.1f\n", r.pe_area);
+        std::printf("pe_energy_pj   %.3f\n", r.pe_energy);
+        if (r.fabric_width > 0) {
+            std::printf("fabric         %dx%d\n", r.fabric_width,
+                        r.fabric_height);
+            std::printf("cgra_area_um2  %.1f\n", r.cgra_area);
+            std::printf("cgra_energy_pj %.3f\n", r.cgra_energy);
+        }
+        return 0;
+    }
+
+    const auto variant = buildVariant(kind, *app, ex);
+    const auto r = core::evaluate(*app, variant, level,
+                                  model::defaultTech());
+    if (!r.success) {
+        std::fprintf(stderr, "apexc: %s\n", r.error.c_str());
+        return 1;
+    }
+    std::printf("app            %s\n", app->name.c_str());
+    std::printf("variant        %s\n", variant.name.c_str());
+    std::printf("level          %s\n", level_name.c_str());
+    std::printf("pe_count       %d\n", r.pe_count);
+    std::printf("pe_area_um2    %.1f\n", r.pe_area);
+    std::printf("pe_energy_pj   %.3f\n", r.pe_energy);
+    if (level != core::EvalLevel::kPostMapping) {
+        std::printf("fabric         %dx%d\n", r.fabric_width,
+                    r.fabric_height);
+        std::printf("cgra_area_um2  %.1f\n", r.cgra_area);
+        std::printf("cgra_energy_pj %.3f\n", r.cgra_energy);
+        std::printf("period_ns      %.3f\n", r.period_ns);
+        std::printf("util           pe=%d mem=%d rf=%d io=%d reg=%d "
+                    "routing=%d\n",
+                    r.util.pes, r.util.mems, r.util.rf_entries,
+                    r.util.ios, r.util.regs, r.util.routing_tiles);
+    }
+    if (level == core::EvalLevel::kPostPipelining) {
+        std::printf("pipe_stages    %d\n", r.pipeline_stages);
+        std::printf("runtime_ms     %.4f\n", r.runtime_ms);
+        std::printf("frames_ms_mm2  %.4f\n", r.frames_per_ms_mm2);
+        std::printf("frame_uj       %.3f\n", r.total_energy_uj);
+    }
+    return 0;
+}
+
+int
+cmdRtl(int argc, char **argv, const std::string &source)
+{
+    auto app = loadApp(source);
+    if (!app) {
+        std::fprintf(stderr, "apexc: unknown app or file '%s'\n",
+                     source.c_str());
+        return 1;
+    }
+    const char *variant_flag = flagValue(argc, argv, "--variant");
+    const char *out_flag = flagValue(argc, argv, "-o");
+    const std::string out = out_flag ? out_flag : ".";
+
+    core::Explorer ex;
+    core::PeVariant variant = buildVariant(
+        variant_flag ? variant_flag : "spec", *app, ex);
+    pipeline::pipelinePe(variant.spec, model::defaultTech());
+
+    const std::string v_path = out + "/" + variant.name + ".v";
+    const std::string tb_path = out + "/" + variant.name + "_tb.v";
+    std::ofstream(v_path) << pe::emitVerilog(variant.spec);
+    std::ofstream(tb_path) << pe::emitTestbench(
+        variant.spec, pe::defaultConfig(variant.spec));
+    std::printf("wrote %s and %s (%d pipeline stages)\n",
+                v_path.c_str(), tb_path.c_str(),
+                variant.spec.pipeline_stages);
+    return 0;
+}
+
+int
+cmdDump(int argc, char **argv, const std::string &source)
+{
+    auto app = loadApp(source);
+    if (!app) {
+        std::fprintf(stderr, "apexc: unknown app or file '%s'\n",
+                     source.c_str());
+        return 1;
+    }
+    const char *out_flag = flagValue(argc, argv, "-o");
+    const std::string text = ir::serialize(app->graph);
+    if (out_flag) {
+        std::ofstream(out_flag) << text;
+        std::printf("wrote %s (%zu bytes)\n", out_flag, text.size());
+    } else {
+        std::fputs(text.c_str(), stdout);
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: apexc <apps|analyze|explore|rtl|dump> "
+                     "[args]\n");
+        return 2;
+    }
+    const std::string cmd = argv[1];
+    if (cmd == "apps")
+        return cmdApps();
+    if (argc < 3) {
+        std::fprintf(stderr, "apexc %s: missing application\n",
+                     cmd.c_str());
+        return 2;
+    }
+    const std::string source = argv[2];
+    if (cmd == "analyze")
+        return cmdAnalyze(argc, argv, source);
+    if (cmd == "explore")
+        return cmdExplore(argc, argv, source);
+    if (cmd == "rtl")
+        return cmdRtl(argc, argv, source);
+    if (cmd == "dump")
+        return cmdDump(argc, argv, source);
+    std::fprintf(stderr, "apexc: unknown command '%s'\n",
+                 cmd.c_str());
+    return 2;
+}

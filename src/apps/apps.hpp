@@ -1,0 +1,95 @@
+#ifndef APEX_APPS_APPS_H_
+#define APEX_APPS_APPS_H_
+
+#include <string>
+#include <vector>
+
+#include "ir/graph.hpp"
+
+/**
+ * @file
+ * Application benchmark suite (Table 1 of the paper).
+ *
+ * Each function lowers one application kernel to a dataflow graph — the
+ * Halide-frontend substitute (see DESIGN.md).  The graphs reproduce the
+ * op mix and structure the paper's applications exhibit after Halide ->
+ * CoreIR lowering: unrolled convolutions as multiply-accumulate chains
+ * with constant weights, line-buffer memory nodes, clamping with
+ * min/max, shifts for normalization, and compare/select logic.
+ *
+ * The "analyzed" set (camera, Harris, Gaussian, unsharp, ResNet layer,
+ * MobileNet layer) drives PE generation; the "unseen" set (Laplacian
+ * pyramid, stereo, FAST corner) evaluates domain generalization
+ * (Fig. 13).
+ */
+
+namespace apex::apps {
+
+/** Application domain (Table 1). */
+enum class Domain { kImageProcessing, kMachineLearning };
+
+/** One benchmark application. */
+struct AppInfo {
+    std::string name;        ///< Short identifier, e.g. "camera".
+    std::string description; ///< Table 1 description.
+    Domain domain;           ///< IP or ML.
+    ir::Graph graph;         ///< Lowered dataflow graph.
+    /** Output items (pixels / activations) produced per frame. */
+    double work_items_per_frame;
+    /** Output items produced per CGRA cycle (unroll factor). */
+    int items_per_cycle;
+    /** True when the app was held out of PE generation (Fig. 13). */
+    bool unseen = false;
+};
+
+/**
+ * Camera pipeline: denoise, demosaic, color-correct and color-curve
+ * raw sensor data into RGB (Sec. 5.1; ~90 primitive ops per output
+ * pixel before unrolling).
+ *
+ * @param unroll  Output pixels computed in parallel (paper uses 4).
+ */
+AppInfo cameraPipeline(int unroll = 4);
+
+/** Harris corner detection (gradients, structure tensor, response). */
+AppInfo harrisCorner(int unroll = 2);
+
+/** 3x3 Gaussian blur with power-of-two normalization. */
+AppInfo gaussianBlur(int unroll = 4);
+
+/** Unsharp masking (blur, high-pass, amplify, clamp). */
+AppInfo unsharp(int unroll = 2);
+
+/** One residual network layer: 3x3 conv + bias + ReLU + residual add. */
+AppInfo resnetLayer(int channels = 4);
+
+/** One MobileNet layer: depthwise 3x3 + pointwise 1x1 + ReLU6. */
+AppInfo mobilenetLayer(int channels = 4);
+
+/** Laplacian pyramid level (unseen; Fig. 13). */
+AppInfo laplacianPyramid(int unroll = 2);
+
+/** Stereo block matching via SAD minimization (unseen; Fig. 13). */
+AppInfo stereo(int disparities = 4);
+
+/** FAST corner detection (unseen; Fig. 13). */
+AppInfo fastCorner();
+
+/** The six applications analyzed for PE generation. */
+std::vector<AppInfo> analyzedApps();
+
+/** The four image-processing applications among the analyzed set. */
+std::vector<AppInfo> ipApps();
+
+/** The two machine-learning applications among the analyzed set. */
+std::vector<AppInfo> mlApps();
+
+/** The three held-out applications (Fig. 13). */
+std::vector<AppInfo> unseenApps();
+
+/** All nine applications. */
+std::vector<AppInfo> allApps();
+
+} // namespace apex::apps
+
+#endif // APEX_APPS_APPS_H_

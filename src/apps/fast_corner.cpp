@@ -1,0 +1,77 @@
+#include <string>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "apps/window.hpp"
+
+/**
+ * @file
+ * FAST corner detection (held-out application, Fig. 13): compares the
+ * 16 pixels on a Bresenham circle around the candidate against
+ * center +/- threshold and counts how many are consistently brighter
+ * or darker; a corner needs a long contiguous arc — approximated here
+ * (as in the fast lowered pipelines) by a count threshold, built from
+ * compare / select / add chains.
+ */
+
+namespace apex::apps {
+
+using ir::GraphBuilder;
+using ir::Value;
+
+AppInfo
+fastCorner()
+{
+    GraphBuilder b;
+
+    Value in = b.input("px");
+    const std::vector<Value> taps = windowTaps(b, in, 7, 7, "fast");
+    auto tap = [&](int r, int c) { return taps[r * 7 + c]; };
+    Value center = tap(3, 3);
+
+    // The 16-pixel Bresenham circle of radius 3.
+    const int ring[16][2] = {
+        {0, 3}, {0, 4}, {1, 5}, {2, 6}, {3, 6}, {4, 6}, {5, 5},
+        {6, 4}, {6, 3}, {6, 2}, {5, 1}, {4, 0}, {3, 0}, {2, 0},
+        {1, 1}, {0, 2}};
+
+    Value thresh = b.constant(20);
+    Value hi = b.add(center, thresh);
+    Value lo = b.sub(center, thresh);
+
+    Value brighter_count = b.constant(0);
+    Value darker_count = b.constant(0);
+    Value one = b.constant(1);
+    Value zero = b.constant(0);
+    for (const auto &rc : ring) {
+        Value p = tap(rc[0], rc[1]);
+        Value is_brighter = b.sgt(p, hi);
+        Value is_darker = b.slt(p, lo);
+        brighter_count = b.add(brighter_count,
+                               b.select(is_brighter, one, zero));
+        darker_count = b.add(darker_count,
+                             b.select(is_darker, one, zero));
+    }
+
+    Value need = b.constant(12);
+    Value is_corner = b.bitOr(b.sge(brighter_count, need),
+                              b.sge(darker_count, need));
+    b.outputBit(is_corner, "corner");
+
+    // Corner score: max deviation sum (used for non-max suppression
+    // downstream).
+    Value score = b.max(brighter_count, darker_count);
+    b.output(b.mul(score, b.abs(b.sub(center, tap(0, 3)))), "score");
+
+    AppInfo info;
+    info.name = "fast";
+    info.description = "FAST corner detection";
+    info.domain = Domain::kImageProcessing;
+    info.graph = b.take();
+    info.work_items_per_frame = 1920.0 * 1080.0;
+    info.items_per_cycle = 1;
+    info.unseen = true;
+    return info;
+}
+
+} // namespace apex::apps

@@ -1,0 +1,50 @@
+#include <string>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "apps/window.hpp"
+
+/**
+ * @file
+ * 3x3 Gaussian blur: binomial kernel [1 2 1; 2 4 2; 1 2 1] / 16,
+ * lowered to an unrolled multiply-accumulate chain with a logical
+ * right shift for the normalization — the Fig. 3 convolution shape.
+ */
+
+namespace apex::apps {
+
+using ir::GraphBuilder;
+using ir::Value;
+
+AppInfo
+gaussianBlur(int unroll)
+{
+    GraphBuilder b;
+    const std::vector<int> kernel = {1, 2, 1, 2, 4, 2, 1, 2, 1};
+
+    for (int lane = 0; lane < unroll; ++lane) {
+        Value in = b.input("px" + std::to_string(lane));
+        const std::vector<Value> taps =
+            windowTaps(b, in, 3, 3, "gauss" + std::to_string(lane));
+
+        std::vector<Value> ws;
+        ws.reserve(kernel.size());
+        for (int w : kernel)
+            ws.push_back(b.constant(static_cast<std::uint64_t>(w)));
+
+        Value acc = b.macTree(taps, ws);
+        Value out = b.lshr(acc, b.constant(4));
+        b.output(out, "blurred_px" + std::to_string(lane));
+    }
+
+    AppInfo info;
+    info.name = "gaussian";
+    info.description = "Blurs an image";
+    info.domain = Domain::kImageProcessing;
+    info.graph = b.take();
+    info.work_items_per_frame = 1920.0 * 1080.0;
+    info.items_per_cycle = unroll;
+    return info;
+}
+
+} // namespace apex::apps

@@ -1,0 +1,117 @@
+#include <string>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "apps/window.hpp"
+
+/**
+ * @file
+ * Harris corner detection: Sobel gradients, structure-tensor products,
+ * 3x3 window accumulation, corner response det - k*trace^2 (k applied
+ * as a shift), and a threshold compare.
+ */
+
+namespace apex::apps {
+
+using ir::GraphBuilder;
+using ir::Value;
+
+namespace {
+
+Value
+convWeighted(GraphBuilder &b, const std::vector<Value> &taps,
+             const std::vector<int> &weights)
+{
+    // Skip zero weights: Halide lowering removes multiplies by zero.
+    std::vector<Value> ins, ws;
+    for (std::size_t i = 0; i < taps.size(); ++i) {
+        if (weights[i] == 0)
+            continue;
+        ins.push_back(taps[i]);
+        ws.push_back(b.constant(static_cast<std::uint64_t>(weights[i])));
+    }
+    return b.macTree(ins, ws);
+}
+
+/** Sum of a 3x3 window of values (add reduction tree). */
+Value
+sum9(GraphBuilder &b, const std::vector<Value> &v)
+{
+    Value s01 = b.add(v[0], v[1]);
+    Value s23 = b.add(v[2], v[3]);
+    Value s45 = b.add(v[4], v[5]);
+    Value s67 = b.add(v[6], v[7]);
+    Value s = b.add(b.add(s01, s23), b.add(s45, s67));
+    return b.add(s, v[8]);
+}
+
+void
+harrisPixel(GraphBuilder &b, const std::vector<Value> &taps5,
+            int lane)
+{
+    const std::string suffix = "_px" + std::to_string(lane);
+
+    // 3x3 sub-windows of the 5x5 tap array: index (r, c) with
+    // r, c in [0, 5).
+    auto tap = [&](int r, int c) { return taps5[r * 5 + c]; };
+
+    // Gradients at the 9 positions of the central 3x3 region.
+    std::vector<Value> ixx, iyy, ixy;
+    for (int r = 1; r <= 3; ++r) {
+        for (int c = 1; c <= 3; ++c) {
+            std::vector<Value> w = {
+                tap(r - 1, c - 1), tap(r - 1, c), tap(r - 1, c + 1),
+                tap(r, c - 1),     tap(r, c),     tap(r, c + 1),
+                tap(r + 1, c - 1), tap(r + 1, c), tap(r + 1, c + 1)};
+            Value gx = convWeighted(b, w,
+                                    {-1, 0, 1, -2, 0, 2, -1, 0, 1});
+            Value gy = convWeighted(b, w,
+                                    {1, 2, 1, 0, 0, 0, -1, -2, -1});
+            Value gxs = b.ashr(gx, b.constant(2));
+            Value gys = b.ashr(gy, b.constant(2));
+            ixx.push_back(b.mul(gxs, gxs));
+            iyy.push_back(b.mul(gys, gys));
+            ixy.push_back(b.mul(gxs, gys));
+        }
+    }
+
+    // Structure tensor: windowed sums.
+    Value sxx = b.ashr(sum9(b, ixx), b.constant(4));
+    Value syy = b.ashr(sum9(b, iyy), b.constant(4));
+    Value sxy = b.ashr(sum9(b, ixy), b.constant(4));
+
+    // Response: det - (trace^2 >> 4)   (k = 1/16).
+    Value det = b.sub(b.mul(sxx, syy), b.mul(sxy, sxy));
+    Value trace = b.add(sxx, syy);
+    Value k_term = b.ashr(b.mul(trace, trace), b.constant(4));
+    Value response = b.sub(det, k_term);
+
+    b.output(response, "response" + suffix);
+    Value is_corner = b.sgt(response, b.constant(128));
+    b.outputBit(is_corner, "corner" + suffix);
+}
+
+} // namespace
+
+AppInfo
+harrisCorner(int unroll)
+{
+    GraphBuilder b;
+    for (int lane = 0; lane < unroll; ++lane) {
+        Value in = b.input("gray_px" + std::to_string(lane));
+        const std::vector<Value> taps =
+            windowTaps(b, in, 5, 5, "harris" + std::to_string(lane));
+        harrisPixel(b, taps, lane);
+    }
+
+    AppInfo info;
+    info.name = "harris";
+    info.description = "Identifies corners within an image";
+    info.domain = Domain::kImageProcessing;
+    info.graph = b.take();
+    info.work_items_per_frame = 1920.0 * 1080.0;
+    info.items_per_cycle = unroll;
+    return info;
+}
+
+} // namespace apex::apps

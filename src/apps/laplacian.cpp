@@ -1,0 +1,60 @@
+#include <string>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "apps/window.hpp"
+
+/**
+ * @file
+ * Laplacian pyramid level (held-out application, Fig. 13): a Gaussian
+ * low-pass of the input followed by the band-pass difference
+ * L = in - expand(blur(in)), with a reconstruction clamp.
+ */
+
+namespace apex::apps {
+
+using ir::GraphBuilder;
+using ir::Value;
+
+AppInfo
+laplacianPyramid(int unroll)
+{
+    GraphBuilder b;
+    const std::vector<int> kernel = {1, 2, 1, 2, 4, 2, 1, 2, 1};
+
+    for (int lane = 0; lane < unroll; ++lane) {
+        Value in = b.input("px" + std::to_string(lane));
+        const std::vector<Value> taps =
+            windowTaps(b, in, 3, 3, "lap" + std::to_string(lane));
+        Value center = taps[4];
+
+        std::vector<Value> ws;
+        for (int w : kernel)
+            ws.push_back(b.constant(static_cast<std::uint64_t>(w)));
+        Value low = b.lshr(b.macTree(taps, ws), b.constant(4));
+
+        // Expand approximation: average the low-pass with its
+        // register-delayed neighbour (upsampling interpolation).
+        Value low_d = b.reg(low);
+        Value expanded =
+            b.lshr(b.add(low, low_d), b.constant(1));
+
+        Value band = b.sub(center, expanded);
+        Value biased = b.add(band, b.constant(128));
+        Value out = b.clamp(biased, b.constant(0), b.constant(255));
+        b.output(out, "lap_px" + std::to_string(lane));
+        b.output(low, "low_px" + std::to_string(lane));
+    }
+
+    AppInfo info;
+    info.name = "laplacian";
+    info.description = "Laplacian pyramid image representation";
+    info.domain = Domain::kImageProcessing;
+    info.graph = b.take();
+    info.work_items_per_frame = 1920.0 * 1080.0;
+    info.items_per_cycle = unroll;
+    info.unseen = true;
+    return info;
+}
+
+} // namespace apex::apps

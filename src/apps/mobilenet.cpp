@@ -1,0 +1,65 @@
+#include <string>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "apps/window.hpp"
+
+/**
+ * @file
+ * One MobileNet layer: depthwise-separable convolution — a per-channel
+ * 3x3 depthwise convolution followed by a cross-channel 1x1 pointwise
+ * convolution, each with bias and ReLU6 (clamped ReLU).
+ */
+
+namespace apex::apps {
+
+using ir::GraphBuilder;
+using ir::Value;
+
+AppInfo
+mobilenetLayer(int channels)
+{
+    GraphBuilder b;
+
+    // Depthwise stage: 3x3 conv per channel.
+    std::vector<Value> dw_out;
+    for (int c = 0; c < channels; ++c) {
+        Value in = b.input("act_c" + std::to_string(c));
+        const std::vector<Value> taps =
+            windowTaps(b, in, 3, 3, "mbn_c" + std::to_string(c));
+        std::vector<Value> ws;
+        for (int t = 0; t < 9; ++t) {
+            const int w = ((c * 11 + t * 5) % 9) - 4;
+            ws.push_back(b.constant(static_cast<std::uint64_t>(w)));
+        }
+        Value acc = b.macTree(taps, ws, b.constant(3 + c));
+        Value scaled = b.ashr(acc, b.constant(3));
+        // ReLU6: clamp(x, 0, 6<<4) in fixed point.
+        Value act = b.clamp(scaled, b.constant(0), b.constant(96));
+        dw_out.push_back(act);
+    }
+
+    // Pointwise stage: 1x1 conv across channels per output channel.
+    for (int oc = 0; oc < channels; ++oc) {
+        std::vector<Value> ws;
+        for (int c = 0; c < channels; ++c) {
+            const int w = ((oc * 13 + c * 3) % 11) - 5;
+            ws.push_back(b.constant(static_cast<std::uint64_t>(w)));
+        }
+        Value acc = b.macTree(dw_out, ws, b.constant(2 + oc));
+        Value scaled = b.ashr(acc, b.constant(3));
+        Value act = b.clamp(scaled, b.constant(0), b.constant(96));
+        b.output(act, "out_c" + std::to_string(oc));
+    }
+
+    AppInfo info;
+    info.name = "mobilenet";
+    info.description = "Neural network layer for low-power devices";
+    info.domain = Domain::kMachineLearning;
+    info.graph = b.take();
+    info.work_items_per_frame = 112.0 * 112.0 * channels;
+    info.items_per_cycle = channels;
+    return info;
+}
+
+} // namespace apex::apps

@@ -1,0 +1,53 @@
+#include "apps/apps.hpp"
+
+namespace apex::apps {
+
+std::vector<AppInfo>
+ipApps()
+{
+    std::vector<AppInfo> v;
+    v.push_back(cameraPipeline());
+    v.push_back(harrisCorner());
+    v.push_back(gaussianBlur());
+    v.push_back(unsharp());
+    return v;
+}
+
+std::vector<AppInfo>
+mlApps()
+{
+    std::vector<AppInfo> v;
+    v.push_back(resnetLayer());
+    v.push_back(mobilenetLayer());
+    return v;
+}
+
+std::vector<AppInfo>
+analyzedApps()
+{
+    std::vector<AppInfo> v = ipApps();
+    for (AppInfo &a : mlApps())
+        v.push_back(std::move(a));
+    return v;
+}
+
+std::vector<AppInfo>
+unseenApps()
+{
+    std::vector<AppInfo> v;
+    v.push_back(laplacianPyramid());
+    v.push_back(stereo());
+    v.push_back(fastCorner());
+    return v;
+}
+
+std::vector<AppInfo>
+allApps()
+{
+    std::vector<AppInfo> v = analyzedApps();
+    for (AppInfo &a : unseenApps())
+        v.push_back(std::move(a));
+    return v;
+}
+
+} // namespace apex::apps

@@ -1,0 +1,66 @@
+#include <string>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "apps/window.hpp"
+
+/**
+ * @file
+ * One residual-network layer: a 3x3 convolution over several input
+ * channels, bias add, ReLU, and the residual shortcut add.  Lowered
+ * (as in the paper's Halide ML flow) to unrolled multiply-accumulate
+ * trees with constant weights per (input-channel, tap) pair.
+ */
+
+namespace apex::apps {
+
+using ir::GraphBuilder;
+using ir::Value;
+
+AppInfo
+resnetLayer(int channels)
+{
+    GraphBuilder b;
+
+    // Input channel streams, each with a 3x3 line-buffered window.
+    std::vector<std::vector<Value>> windows;
+    std::vector<Value> residual_in;
+    for (int c = 0; c < channels; ++c) {
+        Value in = b.input("act_c" + std::to_string(c));
+        windows.push_back(
+            windowTaps(b, in, 3, 3, "resnet_c" + std::to_string(c)));
+        residual_in.push_back(in);
+    }
+
+    // Output channels: full cross-channel 3x3 MAC reduction.
+    for (int oc = 0; oc < channels; ++oc) {
+        std::vector<Value> ins, ws;
+        for (int c = 0; c < channels; ++c) {
+            for (int t = 0; t < 9; ++t) {
+                ins.push_back(windows[c][t]);
+                // Deterministic pseudo-weights; the values are
+                // irrelevant to mining (constants share one label).
+                const int w = ((oc * 31 + c * 7 + t * 3) % 13) - 6;
+                ws.push_back(
+                    b.constant(static_cast<std::uint64_t>(w)));
+            }
+        }
+        Value acc = b.macTree(ins, ws,
+                              b.constant(5 + oc)); // bias
+        Value scaled = b.ashr(acc, b.constant(4));
+        Value activated = b.relu(scaled);
+        Value out = b.add(activated, residual_in[oc]);
+        b.output(out, "out_c" + std::to_string(oc));
+    }
+
+    AppInfo info;
+    info.name = "resnet";
+    info.description = "Residual neural network layer";
+    info.domain = Domain::kMachineLearning;
+    info.graph = b.take();
+    info.work_items_per_frame = 56.0 * 56.0 * channels;
+    info.items_per_cycle = channels;
+    return info;
+}
+
+} // namespace apex::apps

@@ -1,0 +1,92 @@
+#include <string>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "apps/window.hpp"
+
+/**
+ * @file
+ * Stereo depth estimation (held-out application, Fig. 13): block
+ * matching — for each candidate disparity, the sum of absolute
+ * differences (SAD) over a 3x3 window between the left and a shifted
+ * right image; the disparity with minimal SAD wins (argmin via
+ * compare + select chains).
+ */
+
+namespace apex::apps {
+
+using ir::GraphBuilder;
+using ir::Value;
+
+namespace {
+
+/** SAD over two 9-tap windows. */
+Value
+sad9(GraphBuilder &b, const std::vector<Value> &l,
+     const std::vector<Value> &r, int offset)
+{
+    std::vector<Value> diffs;
+    for (int i = 0; i < 9; ++i) {
+        // Column-shifted right window tap: offset along the row.
+        const int rr = i / 3, rc = i % 3;
+        int sc = rc + offset;
+        if (sc > 2)
+            sc = 2; // clamp at the window border
+        diffs.push_back(b.abs(b.sub(l[i], r[rr * 3 + sc])));
+    }
+    Value s01 = b.add(diffs[0], diffs[1]);
+    Value s23 = b.add(diffs[2], diffs[3]);
+    Value s45 = b.add(diffs[4], diffs[5]);
+    Value s67 = b.add(diffs[6], diffs[7]);
+    Value s = b.add(b.add(s01, s23), b.add(s45, s67));
+    return b.add(s, diffs[8]);
+}
+
+} // namespace
+
+AppInfo
+stereo(int disparities)
+{
+    GraphBuilder b;
+
+    Value left = b.input("left_px");
+    Value right = b.input("right_px");
+    const std::vector<Value> lw = windowTaps(b, left, 3, 3, "st_l");
+    const std::vector<Value> rw = windowTaps(b, right, 3, 3, "st_r");
+
+    // Delayed right-image streams realize larger disparities: each
+    // extra register shifts the candidate window one pixel.
+    Value best_sad;
+    Value best_disp;
+    for (int d = 0; d < disparities; ++d) {
+        Value sad = sad9(b, lw, rw, d % 3);
+        if (d > 0) {
+            // Deeper disparities examine an older (registered) window.
+            sad = b.reg(sad);
+        }
+        Value disp = b.constant(static_cast<std::uint64_t>(d));
+        if (d == 0) {
+            best_sad = sad;
+            best_disp = disp;
+        } else {
+            Value better = b.ult(sad, best_sad);
+            best_sad = b.select(better, sad, best_sad);
+            best_disp = b.select(better, disp, best_disp);
+        }
+    }
+
+    b.output(best_disp, "disparity");
+    b.output(best_sad, "confidence");
+
+    AppInfo info;
+    info.name = "stereo";
+    info.description = "Transforms stereo pairs into a depth map";
+    info.domain = Domain::kImageProcessing;
+    info.graph = b.take();
+    info.work_items_per_frame = 1280.0 * 720.0;
+    info.items_per_cycle = 1;
+    info.unseen = true;
+    return info;
+}
+
+} // namespace apex::apps

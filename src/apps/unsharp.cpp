@@ -1,0 +1,75 @@
+#include <string>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "apps/window.hpp"
+
+/**
+ * @file
+ * Unsharp masking: out = clamp(in + gain * (in - blur(in))), with the
+ * Gaussian blur from the 3x3 binomial kernel and a fixed-point gain.
+ * The paper's unsharp run uses register files for its long delay
+ * chains (Table 3, #RF = 180); the wide 7x7 support below produces
+ * the long tap-delay chains responsible for that.
+ */
+
+namespace apex::apps {
+
+using ir::GraphBuilder;
+using ir::Value;
+
+namespace {
+
+Value
+blur7(GraphBuilder &b, const std::vector<Value> &taps)
+{
+    // Separable 7-tap binomial approximation applied over the 7x7
+    // window's central row and column (cheap large-support blur).
+    const std::vector<int> k = {1, 6, 15, 20, 15, 6, 1};
+    std::vector<Value> ins, ws;
+    for (int i = 0; i < 7; ++i) {
+        ins.push_back(taps[3 * 7 + i]); // central row
+        ws.push_back(b.constant(static_cast<std::uint64_t>(k[i])));
+    }
+    for (int i = 0; i < 7; ++i) {
+        if (i == 3)
+            continue; // centre already counted
+        ins.push_back(taps[i * 7 + 3]); // central column
+        ws.push_back(b.constant(static_cast<std::uint64_t>(k[i])));
+    }
+    Value acc = b.macTree(ins, ws);
+    return b.lshr(acc, b.constant(7));
+}
+
+} // namespace
+
+AppInfo
+unsharp(int unroll)
+{
+    GraphBuilder b;
+    for (int lane = 0; lane < unroll; ++lane) {
+        Value in = b.input("px" + std::to_string(lane));
+        const std::vector<Value> taps =
+            windowTaps(b, in, 7, 7, "unsharp" + std::to_string(lane));
+        Value center = taps[3 * 7 + 3];
+
+        Value blurred = blur7(b, taps);
+        Value high_pass = b.sub(center, blurred);
+        Value amplified = b.ashr(b.mul(high_pass, b.constant(96)),
+                                 b.constant(6));
+        Value sharp = b.add(center, amplified);
+        Value out = b.clamp(sharp, b.constant(0), b.constant(255));
+        b.output(out, "sharp_px" + std::to_string(lane));
+    }
+
+    AppInfo info;
+    info.name = "unsharp";
+    info.description = "Sharpens an image";
+    info.domain = Domain::kImageProcessing;
+    info.graph = b.take();
+    info.work_items_per_frame = 1920.0 * 1080.0;
+    info.items_per_cycle = unroll;
+    return info;
+}
+
+} // namespace apex::apps

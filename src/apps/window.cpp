@@ -1,0 +1,38 @@
+#include "apps/window.hpp"
+
+#include <cassert>
+
+namespace apex::apps {
+
+using ir::Value;
+
+std::vector<Value>
+windowTaps(ir::GraphBuilder &b, Value stream, int rows, int cols,
+           const std::string &name)
+{
+    assert(rows >= 1 && cols >= 1);
+
+    // Row streams: row 0 is the live stream; row r is delayed by r
+    // image lines through a chain of line-buffer memory nodes.
+    std::vector<Value> row_stream(rows);
+    row_stream[0] = stream;
+    for (int r = 1; r < rows; ++r) {
+        row_stream[r] = b.mem(row_stream[r - 1],
+                              name + "_lb" + std::to_string(r));
+    }
+
+    // Column taps: shift registers along each row.
+    std::vector<Value> taps(rows * cols);
+    for (int r = 0; r < rows; ++r) {
+        Value v = row_stream[r];
+        // The most recent pixel is the rightmost column.
+        taps[r * cols + (cols - 1)] = v;
+        for (int c = cols - 2; c >= 0; --c) {
+            v = b.reg(v);
+            taps[r * cols + c] = v;
+        }
+    }
+    return taps;
+}
+
+} // namespace apex::apps

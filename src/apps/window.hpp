@@ -1,0 +1,38 @@
+#ifndef APEX_APPS_WINDOW_H_
+#define APEX_APPS_WINDOW_H_
+
+#include <string>
+#include <vector>
+
+#include "ir/builder.hpp"
+
+/**
+ * @file
+ * Line-buffer window helper shared by the stencil applications.
+ *
+ * A rows x cols stencil over a streaming image is realized the way the
+ * AHA memory tiles realize it: (rows - 1) line-buffer memory nodes
+ * delay the input stream by full image rows, and shift registers
+ * provide the column taps.  The helper returns the rows*cols tap
+ * values (row-major) for a given input stream.
+ */
+
+namespace apex::apps {
+
+/**
+ * Build the taps of a rows x cols sliding window over @p stream.
+ *
+ * @param b       Builder owning the graph.
+ * @param stream  Streaming word input (pixel stream).
+ * @param rows    Window height (>= 1); rows-1 memory nodes are created.
+ * @param cols    Window width (>= 1); (cols-1) registers per row.
+ * @param name    Debug name prefix for the memory nodes.
+ * @return taps in row-major order, taps[r * cols + c].
+ */
+std::vector<ir::Value> windowTaps(ir::GraphBuilder &b, ir::Value stream,
+                                  int rows, int cols,
+                                  const std::string &name);
+
+} // namespace apex::apps
+
+#endif // APEX_APPS_WINDOW_H_

@@ -1,0 +1,210 @@
+#include "cgra/bitstream.hpp"
+
+namespace apex::cgra {
+
+namespace {
+
+/** Little bit-packing writer. */
+class BitWriter {
+  public:
+    void
+    write(std::uint64_t value, int bits)
+    {
+        for (int b = 0; b < bits; ++b) {
+            const int word = total_ / 64;
+            const int off = total_ % 64;
+            if (word >= static_cast<int>(words_.size()))
+                words_.push_back(0);
+            words_[word] |= ((value >> b) & 1) << off;
+            ++total_;
+        }
+    }
+
+    Bitstream
+    finish()
+    {
+        Bitstream bs;
+        bs.words = std::move(words_);
+        bs.bits = total_;
+        return bs;
+    }
+
+  private:
+    std::vector<std::uint64_t> words_;
+    int total_ = 0;
+};
+
+/** Bit-unpacking reader matching BitWriter's layout. */
+class BitReader {
+  public:
+    explicit BitReader(const Bitstream &bs) : bs_(bs) {}
+
+    bool
+    read(int bits, std::uint64_t *value)
+    {
+        if (pos_ + bits > bs_.bits)
+            return false;
+        std::uint64_t v = 0;
+        for (int b = 0; b < bits; ++b) {
+            const int word = pos_ / 64;
+            const int off = pos_ % 64;
+            v |= ((bs_.words[word] >> off) & 1) << b;
+            ++pos_;
+        }
+        *value = v;
+        return true;
+    }
+
+    int remaining() const { return bs_.bits - pos_; }
+
+  private:
+    const Bitstream &bs_;
+    int pos_ = 0;
+};
+
+} // namespace
+
+std::uint64_t
+Bitstream::digest() const
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (std::uint64_t w : words) {
+        for (int b = 0; b < 8; ++b) {
+            h ^= (w >> (8 * b)) & 0xFF;
+            h *= 0x100000001b3ull;
+        }
+    }
+    return h;
+}
+
+Bitstream
+generateBitstream(const Fabric &fabric,
+                  const mapper::MappedGraph &mapped,
+                  const std::vector<mapper::RewriteRule> &rules,
+                  const pe::PeSpec &spec,
+                  const PlacementResult &placement,
+                  const RouteResult &routing)
+{
+    BitWriter writer;
+
+    // Header: fabric geometry.
+    writer.write(static_cast<std::uint64_t>(fabric.width()), 8);
+    writer.write(static_cast<std::uint64_t>(fabric.height()), 8);
+
+    // PE tile configurations, in tile order for determinism.
+    for (std::size_t id = 0; id < mapped.nodes.size(); ++id) {
+        const mapper::MappedNode &n = mapped.nodes[id];
+        if (n.kind != mapper::MappedKind::kPe)
+            continue;
+        const Coord loc = placement.loc[id];
+        writer.write(static_cast<std::uint64_t>(
+                         fabric.indexOf(loc)),
+                     16);
+        const mapper::RewriteRule &rule = rules[n.rule];
+        pe::PeConfig cfg = rule.config;
+        for (std::size_t c = 0; c < rule.const_bindings.size(); ++c)
+            cfg.const_val[rule.const_bindings[c].second] =
+                n.const_vals[c];
+
+        for (int sel : cfg.mux_sel)
+            writer.write(static_cast<std::uint64_t>(sel), 4);
+        for (int b : spec.multi_op_blocks) {
+            writer.write(
+                static_cast<std::uint64_t>(cfg.block_op[b]), 6);
+        }
+        for (std::uint64_t v : cfg.const_val)
+            writer.write(v, 16);
+        for (std::uint64_t t : cfg.lut_table)
+            writer.write(t, 8);
+        writer.write(static_cast<std::uint64_t>(cfg.word_out_sel),
+                     4);
+        writer.write(static_cast<std::uint64_t>(cfg.bit_out_sel), 4);
+    }
+
+    // Register-file FIFO depths.
+    for (const mapper::MappedNode &n : mapped.nodes) {
+        if (n.kind == mapper::MappedKind::kRegFile)
+            writer.write(static_cast<std::uint64_t>(n.depth), 8);
+    }
+
+    // Switch-box configuration: per used link, its usage count and
+    // the register count absorbed (tracks are interchangeable in the
+    // per-link abstraction, so usage suffices).
+    for (std::size_t l = 0; l < routing.link_usage.size(); ++l) {
+        if (routing.link_usage[l] == 0)
+            continue;
+        writer.write(static_cast<std::uint64_t>(l), 16);
+        writer.write(
+            static_cast<std::uint64_t>(routing.link_usage[l]), 4);
+    }
+
+    return writer.finish();
+}
+
+std::optional<DecodedBitstream>
+decodeBitstream(const Bitstream &bitstream, const pe::PeSpec &spec,
+                int pe_count, int rf_count)
+{
+    BitReader reader(bitstream);
+    DecodedBitstream out;
+    std::uint64_t v;
+
+    if (!reader.read(8, &v))
+        return std::nullopt;
+    out.width = static_cast<int>(v);
+    if (!reader.read(8, &v))
+        return std::nullopt;
+    out.height = static_cast<int>(v);
+
+    for (int p = 0; p < pe_count; ++p) {
+        DecodedPeTile tile;
+        tile.config = pe::defaultConfig(spec);
+        if (!reader.read(16, &v))
+            return std::nullopt;
+        tile.tile_index = static_cast<int>(v);
+        for (std::size_t m = 0; m < spec.muxes.size(); ++m) {
+            if (!reader.read(4, &v))
+                return std::nullopt;
+            tile.config.mux_sel[m] = static_cast<int>(v);
+        }
+        for (int b : spec.multi_op_blocks) {
+            if (!reader.read(6, &v))
+                return std::nullopt;
+            tile.config.block_op[b] = static_cast<ir::Op>(v);
+        }
+        for (std::size_t c = 0; c < spec.const_regs.size(); ++c) {
+            if (!reader.read(16, &v))
+                return std::nullopt;
+            tile.config.const_val[c] = v;
+        }
+        for (std::size_t l = 0; l < spec.lut_blocks.size(); ++l) {
+            if (!reader.read(8, &v))
+                return std::nullopt;
+            tile.config.lut_table[l] = v;
+        }
+        if (!reader.read(4, &v))
+            return std::nullopt;
+        tile.config.word_out_sel = static_cast<int>(v);
+        if (!reader.read(4, &v))
+            return std::nullopt;
+        tile.config.bit_out_sel = static_cast<int>(v);
+        out.pes.push_back(std::move(tile));
+    }
+
+    for (int r = 0; r < rf_count; ++r) {
+        if (!reader.read(8, &v))
+            return std::nullopt;
+        out.rf_depths.push_back(static_cast<int>(v));
+    }
+
+    while (reader.remaining() >= 20) {
+        std::uint64_t link, wires;
+        if (!reader.read(16, &link) || !reader.read(4, &wires))
+            return std::nullopt;
+        out.links.emplace_back(static_cast<int>(link),
+                               static_cast<int>(wires));
+    }
+    return out;
+}
+
+} // namespace apex::cgra

@@ -1,0 +1,71 @@
+#ifndef APEX_CGRA_BITSTREAM_H_
+#define APEX_CGRA_BITSTREAM_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cgra/route.hpp"
+#include "mapper/rewrite.hpp"
+
+/**
+ * @file
+ * Configuration bitstream generation: serialize the PE configurations
+ * (opcodes, mux selects, constants, output selects), the switch-box
+ * link usage and the connection-box bindings into a deterministic
+ * word stream — the artifact that would program the fabric.
+ */
+
+namespace apex::cgra {
+
+/** A generated bitstream. */
+struct Bitstream {
+    std::vector<std::uint64_t> words; ///< Packed config words.
+    int bits = 0;                     ///< Total payload bits.
+
+    /** FNV-1a digest (deterministic identity for tests/logs). */
+    std::uint64_t digest() const;
+};
+
+/** Serialize the full CGRA configuration. */
+Bitstream generateBitstream(const Fabric &fabric,
+                            const mapper::MappedGraph &mapped,
+                            const std::vector<mapper::RewriteRule>
+                                &rules,
+                            const pe::PeSpec &spec,
+                            const PlacementResult &placement,
+                            const RouteResult &routing);
+
+/** One decoded PE tile configuration. */
+struct DecodedPeTile {
+    int tile_index = -1;  ///< Fabric::indexOf of the PE tile.
+    pe::PeConfig config;  ///< Reconstructed configuration.
+};
+
+/** A decoded bitstream (see decodeBitstream). */
+struct DecodedBitstream {
+    int width = 0;
+    int height = 0;
+    std::vector<DecodedPeTile> pes;
+    std::vector<int> rf_depths;
+    /** (link index, wires) pairs for every used link. */
+    std::vector<std::pair<int, int>> links;
+};
+
+/**
+ * Decode a bitstream produced by generateBitstream() — the loader
+ * side of the configuration path, enabling true round-trip checks.
+ *
+ * The layout is self-describing given the PE specification and the
+ * PE / register-file tile counts (which a loader knows from the
+ * accompanying design database).
+ *
+ * @return the decoded records, or nullopt on a truncated stream.
+ */
+std::optional<DecodedBitstream>
+decodeBitstream(const Bitstream &bitstream, const pe::PeSpec &spec,
+                int pe_count, int rf_count);
+
+} // namespace apex::cgra
+
+#endif // APEX_CGRA_BITSTREAM_H_

@@ -1,0 +1,138 @@
+#include "cgra/fabric.hpp"
+
+#include <cassert>
+
+namespace apex::cgra {
+
+Fabric::Fabric(int width, int height, int mem_period)
+    : width_(width), height_(height), mem_period_(mem_period)
+{
+    assert(width > 0 && height > 0 && mem_period > 1);
+}
+
+TileKind
+Fabric::kindAt(Coord c) const
+{
+    assert(inBounds(c));
+    if (c.y == -1 || c.y == height_)
+        return TileKind::kIo;
+    return (c.x % mem_period_ == mem_period_ - 1) ? TileKind::kMem
+                                                  : TileKind::kPe;
+}
+
+bool
+Fabric::inBounds(Coord c) const
+{
+    return c.x >= 0 && c.x < width_ && c.y >= -1 && c.y <= height_;
+}
+
+std::vector<Coord>
+Fabric::peTiles() const
+{
+    std::vector<Coord> result;
+    for (int y = 0; y < height_; ++y)
+        for (int x = 0; x < width_; ++x)
+            if (kindAt({x, y}) == TileKind::kPe)
+                result.push_back({x, y});
+    return result;
+}
+
+std::vector<Coord>
+Fabric::memTiles() const
+{
+    std::vector<Coord> result;
+    for (int y = 0; y < height_; ++y)
+        for (int x = 0; x < width_; ++x)
+            if (kindAt({x, y}) == TileKind::kMem)
+                result.push_back({x, y});
+    return result;
+}
+
+std::vector<Coord>
+Fabric::ioTiles() const
+{
+    std::vector<Coord> result;
+    for (int x = 0; x < width_; ++x)
+        result.push_back({x, -1});
+    for (int x = 0; x < width_; ++x)
+        result.push_back({x, height_});
+    return result;
+}
+
+int
+Fabric::indexOf(Coord c) const
+{
+    assert(inBounds(c));
+    return (c.y + 1) * width_ + c.x;
+}
+
+Coord
+Fabric::coordAt(int index) const
+{
+    return Coord{index % width_, index / width_ - 1};
+}
+
+int
+Fabric::tileCount() const
+{
+    return width_ * (height_ + 2);
+}
+
+std::vector<Coord>
+Fabric::neighbours(Coord c) const
+{
+    std::vector<Coord> result;
+    const Coord candidates[4] = {{c.x - 1, c.y},
+                                 {c.x + 1, c.y},
+                                 {c.x, c.y - 1},
+                                 {c.x, c.y + 1}};
+    for (const Coord &n : candidates) {
+        if (!inBounds(n))
+            continue;
+        // IO rows only connect vertically into the array, not along
+        // the boundary.
+        if ((c.y == -1 || c.y == height_) && n.y == c.y)
+            continue;
+        result.push_back(n);
+    }
+    return result;
+}
+
+int
+Fabric::linkIndex(Coord c, Coord n) const
+{
+    // Four directions per source tile: 0=W, 1=E, 2=N, 3=S.
+    int dir;
+    if (n.x == c.x - 1)
+        dir = 0;
+    else if (n.x == c.x + 1)
+        dir = 1;
+    else if (n.y == c.y - 1)
+        dir = 2;
+    else
+        dir = 3;
+    return indexOf(c) * 4 + dir;
+}
+
+int
+Fabric::linkCount() const
+{
+    return tileCount() * 4;
+}
+
+std::pair<Coord, Coord>
+Fabric::linkEnds(int link) const
+{
+    const Coord src = coordAt(link / 4);
+    const int dir = link % 4;
+    Coord dst = src;
+    switch (dir) {
+      case 0: dst.x -= 1; break;
+      case 1: dst.x += 1; break;
+      case 2: dst.y -= 1; break;
+      default: dst.y += 1; break;
+    }
+    return {src, dst};
+}
+
+} // namespace apex::cgra

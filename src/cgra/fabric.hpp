@@ -1,0 +1,88 @@
+#ifndef APEX_CGRA_FABRIC_H_
+#define APEX_CGRA_FABRIC_H_
+
+#include <string>
+#include <vector>
+
+#include "model/tech.hpp"
+
+/**
+ * @file
+ * CGRA fabric model (Fig. 1): a grid of PE and MEM tiles connected by
+ * a statically-configured interconnect of switch boxes (SBs) with
+ * five 16-bit tracks per side per direction and connection boxes
+ * (CBs) on every tile input.  IO pads sit on the top and bottom
+ * boundary rows.
+ *
+ * Following the AHA Amber layout the paper builds on, every fourth
+ * column holds memory tiles; the rest are PE tiles.  The routing
+ * abstraction is per-link: each directed link between adjacent tiles
+ * carries `TechModel::sb_tracks` wires, each with a configurable
+ * pipeline register (Sec. 4.3: "our switch boxes have configurable
+ * pipelining registers on every track").
+ */
+
+namespace apex::cgra {
+
+/** Kind of fabric tile. */
+enum class TileKind : std::uint8_t { kPe, kMem, kIo };
+
+/** Tile coordinate; IO rows are y == -1 (top) and y == height. */
+struct Coord {
+    int x = 0;
+    int y = 0;
+    auto operator<=>(const Coord &) const = default;
+};
+
+/** The CGRA fabric. */
+class Fabric {
+  public:
+    /**
+     * @param width       Tiles per row (paper: 32).
+     * @param height      Tiles per column (paper: 16).
+     * @param mem_period  Every mem_period-th column is a MEM column.
+     */
+    Fabric(int width, int height, int mem_period = 4);
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+
+    /** @return tile kind at (x, y); IO on the boundary rows. */
+    TileKind kindAt(Coord c) const;
+
+    /** @return true for in-fabric coordinates incl. the IO rows. */
+    bool inBounds(Coord c) const;
+
+    /** @return all PE-tile coordinates. */
+    std::vector<Coord> peTiles() const;
+    /** @return all MEM-tile coordinates. */
+    std::vector<Coord> memTiles() const;
+    /** @return all IO slots (top and bottom rows). */
+    std::vector<Coord> ioTiles() const;
+
+    /** Dense index of a coordinate (for per-tile arrays). */
+    int indexOf(Coord c) const;
+    /** Inverse of indexOf(). */
+    Coord coordAt(int index) const;
+    /** Number of dense indices (tiles + IO slots). */
+    int tileCount() const;
+
+    /** 4-neighbourhood of @p c restricted to the fabric. */
+    std::vector<Coord> neighbours(Coord c) const;
+
+    /** Dense index of the directed link c -> n (adjacent tiles). */
+    int linkIndex(Coord c, Coord n) const;
+    /** Number of directed links. */
+    int linkCount() const;
+    /** Endpoints of a link index (src, dst). */
+    std::pair<Coord, Coord> linkEnds(int link) const;
+
+  private:
+    int width_;
+    int height_;
+    int mem_period_;
+};
+
+} // namespace apex::cgra
+
+#endif // APEX_CGRA_FABRIC_H_

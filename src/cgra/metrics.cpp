@@ -1,0 +1,51 @@
+#include "cgra/metrics.hpp"
+
+#include <set>
+
+namespace apex::cgra {
+
+using mapper::MappedKind;
+
+Utilization
+utilizationOf(const Fabric &fabric,
+              const mapper::MappedGraph &mapped,
+              const PlacementResult &placement,
+              const RouteResult &routing)
+{
+    Utilization u;
+    std::set<int> occupied;
+    for (std::size_t id = 0; id < mapped.nodes.size(); ++id) {
+        const mapper::MappedNode &n = mapped.nodes[id];
+        switch (n.kind) {
+          case MappedKind::kPe:
+            ++u.pes;
+            break;
+          case MappedKind::kMem:
+            ++u.mems;
+            break;
+          case MappedKind::kRegFile:
+            u.rf_entries += n.depth;
+            break;
+          case MappedKind::kInput:
+          case MappedKind::kInputBit:
+          case MappedKind::kOutput:
+          case MappedKind::kOutputBit:
+            ++u.ios;
+            break;
+          case MappedKind::kReg:
+            ++u.regs;
+            break;
+        }
+        if (isPlaceable(n.kind) && placement.loc[id].x >= 0)
+            occupied.insert(fabric.indexOf(placement.loc[id]));
+    }
+
+    u.sb_hops = routing.total_hops;
+    for (int tile : routing.tilesTouched(fabric)) {
+        if (!occupied.count(tile))
+            ++u.routing_tiles;
+    }
+    return u;
+}
+
+} // namespace apex::cgra

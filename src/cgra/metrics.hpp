@@ -1,0 +1,35 @@
+#ifndef APEX_CGRA_METRICS_H_
+#define APEX_CGRA_METRICS_H_
+
+#include "cgra/route.hpp"
+#include "mapper/rewrite.hpp"
+
+/**
+ * @file
+ * Resource utilization accounting for a placed-and-routed
+ * application — the inputs to Table 3 and the interconnect terms of
+ * the post-PnR evaluation (Fig. 15).
+ */
+
+namespace apex::cgra {
+
+/** Table 3-style utilization of one placed & routed application. */
+struct Utilization {
+    int pes = 0;        ///< PE tiles executing compute.
+    int mems = 0;       ///< Memory tiles.
+    int rf_entries = 0; ///< Register-file FIFO slots in PE tiles.
+    int ios = 0;        ///< IO pads.
+    int regs = 0;       ///< Interconnect pipeline registers.
+    int routing_tiles = 0; ///< Tiles used only for routing.
+    int sb_hops = 0;    ///< Total switch-box crossings.
+};
+
+/** Compute utilization from mapping + placement + routing. */
+Utilization utilizationOf(const Fabric &fabric,
+                          const mapper::MappedGraph &mapped,
+                          const PlacementResult &placement,
+                          const RouteResult &routing);
+
+} // namespace apex::cgra
+
+#endif // APEX_CGRA_METRICS_H_

@@ -1,0 +1,206 @@
+#include "cgra/route.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <queue>
+#include <set>
+#include <sstream>
+
+namespace apex::cgra {
+
+namespace {
+
+struct QueueEntry {
+    double cost;
+    double heuristic;
+    int tile; ///< Dense tile index.
+    bool operator>(const QueueEntry &o) const {
+        return cost + heuristic > o.cost + o.heuristic;
+    }
+};
+
+int
+manhattan(Coord a, Coord b)
+{
+    return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+/** Signal identity: edges with the same source share tracks.  This
+ * includes register-delayed variants of the same stream — every SB
+ * track has a configurable register (Sec. 4.3), so a differently-
+ * delayed consumer taps the shared wire after a register further
+ * along the route instead of occupying its own track.  (Without this,
+ * the k column taps of a stencil window would demand k tracks through
+ * the input pad's single fabric boundary.) */
+std::int64_t
+signalKey(const PlacedEdge &e)
+{
+    return static_cast<std::int64_t>(e.src);
+}
+
+} // namespace
+
+std::vector<int>
+RouteResult::tilesTouched(const Fabric &fabric) const
+{
+    std::set<int> tiles;
+    for (const auto &path : paths) {
+        for (int link : path) {
+            const auto [src, dst] = fabric.linkEnds(link);
+            tiles.insert(fabric.indexOf(src));
+            tiles.insert(fabric.indexOf(dst));
+        }
+    }
+    return {tiles.begin(), tiles.end()};
+}
+
+RouteResult
+route(const Fabric &fabric, const PlacementResult &placement,
+      const RouterOptions &options)
+{
+    RouteResult result;
+    const int links = fabric.linkCount();
+    std::vector<double> history(links, 0.0);
+    // Distinct signals per link (net-aware capacity).
+    std::vector<std::set<std::int64_t>> link_signals(links);
+    result.paths.assign(placement.edges.size(), {});
+
+    // A* for one net under the current congestion costs.  Links
+    // already carrying this signal cost almost nothing (multicast
+    // branches share the wire).
+    auto route_net = [&](Coord from, Coord to, std::int64_t key,
+                         double present_pen) -> std::vector<int> {
+        const int n = fabric.tileCount();
+        std::vector<double> best(n, 1e18);
+        std::vector<int> via_link(n, -1);
+        std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                            std::greater<QueueEntry>>
+            frontier;
+        const int start = fabric.indexOf(from);
+        const int goal = fabric.indexOf(to);
+        best[start] = 0.0;
+        frontier.push({0.0, 1.0 * manhattan(from, to), start});
+
+        while (!frontier.empty()) {
+            const QueueEntry top = frontier.top();
+            frontier.pop();
+            if (top.tile == goal)
+                break;
+            if (top.cost > best[top.tile] + 1e-12)
+                continue;
+            const Coord c = fabric.coordAt(top.tile);
+            for (const Coord &nb : fabric.neighbours(c)) {
+                const int link = fabric.linkIndex(c, nb);
+                double cost;
+                if (link_signals[link].count(key)) {
+                    cost = 0.05; // free ride on our own net
+                } else {
+                    cost = 1.0 + history[link];
+                    const int used = static_cast<int>(
+                        link_signals[link].size());
+                    if (used >= options.tracks)
+                        cost += present_pen *
+                                (used - options.tracks + 1);
+                }
+                const int nb_idx = fabric.indexOf(nb);
+                const double total = top.cost + cost;
+                if (total + 1e-12 < best[nb_idx]) {
+                    best[nb_idx] = total;
+                    via_link[nb_idx] = link;
+                    frontier.push(
+                        {total, 1.0 * manhattan(nb, to), nb_idx});
+                }
+            }
+        }
+        if (via_link[goal] < 0 && goal != start)
+            return {};
+        std::vector<int> path;
+        int cursor = goal;
+        while (cursor != start) {
+            const int link = via_link[cursor];
+            path.push_back(link);
+            cursor = fabric.indexOf(fabric.linkEnds(link).first);
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+    };
+
+    double present_pen = options.present_factor;
+    for (int iter = 0; iter < options.max_iterations; ++iter) {
+        result.iterations = iter + 1;
+        // Rip up everything and reroute under current penalties.
+        for (auto &s : link_signals)
+            s.clear();
+        bool failed = false;
+        for (std::size_t e = 0; e < placement.edges.size(); ++e) {
+            const PlacedEdge &edge = placement.edges[e];
+            const Coord from = placement.loc[edge.src];
+            const Coord to = placement.loc[edge.dst];
+            const std::int64_t key = signalKey(edge);
+            auto path = route_net(from, to, key, present_pen);
+            if (path.empty() && from != to) {
+                failed = true;
+                result.error = "net unroutable";
+                break;
+            }
+            for (int link : path)
+                link_signals[link].insert(key);
+            result.paths[e] = std::move(path);
+        }
+        if (failed)
+            return result;
+
+        // Congestion check on distinct signals per link.
+        int overused = 0;
+        for (int l = 0; l < links; ++l) {
+            const int used =
+                static_cast<int>(link_signals[l].size());
+            if (used > options.tracks) {
+                ++overused;
+                history[l] += options.history_increment *
+                              (used - options.tracks);
+            }
+        }
+        if (overused == 0) {
+            result.success = true;
+            break;
+        }
+        present_pen *= 1.8;
+    }
+
+    result.link_usage.assign(links, 0);
+    for (int l = 0; l < links; ++l)
+        result.link_usage[l] =
+            static_cast<int>(link_signals[l].size());
+
+    if (!result.success) {
+        if (result.error.empty()) {
+            int overused = 0, worst = 0;
+            for (int l = 0; l < links; ++l) {
+                if (result.link_usage[l] > options.tracks) {
+                    ++overused;
+                    worst = std::max(worst, result.link_usage[l]);
+                }
+            }
+            std::ostringstream os;
+            os << "congestion not resolved: " << overused
+               << " links over capacity (worst " << worst << "/"
+               << options.tracks << ")";
+            result.error = os.str();
+        }
+        return result;
+    }
+    result.total_hops = 0;
+    for (const auto &path : result.paths)
+        result.total_hops += static_cast<int>(path.size());
+    for (std::size_t e = 0; e < placement.edges.size(); ++e) {
+        const int hops = static_cast<int>(result.paths[e].size());
+        if (placement.edges[e].regs > hops)
+            result.register_overflow +=
+                placement.edges[e].regs - hops;
+    }
+    return result;
+}
+
+} // namespace apex::cgra

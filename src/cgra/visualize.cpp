@@ -1,0 +1,72 @@
+#include "cgra/visualize.hpp"
+
+#include <set>
+#include <sstream>
+
+namespace apex::cgra {
+
+std::string
+visualize(const Fabric &fabric, const mapper::MappedGraph &mapped,
+          const PlacementResult &placement,
+          const RouteResult &routing)
+{
+    // Per-tile glyph, defaulting to the idle pattern.
+    std::vector<char> glyph(fabric.tileCount(), ' ');
+    for (int y = -1; y <= fabric.height(); ++y) {
+        for (int x = 0; x < fabric.width(); ++x) {
+            const Coord c{x, y};
+            switch (fabric.kindAt(c)) {
+              case TileKind::kPe:
+                glyph[fabric.indexOf(c)] = '.';
+                break;
+              case TileKind::kMem:
+                glyph[fabric.indexOf(c)] = ',';
+                break;
+              case TileKind::kIo:
+                glyph[fabric.indexOf(c)] = ' ';
+                break;
+            }
+        }
+    }
+
+    // Routing-only tiles first so occupants overwrite them.
+    for (int tile : routing.tilesTouched(fabric)) {
+        if (glyph[tile] == '.' || glyph[tile] == ',')
+            glyph[tile] = '+';
+    }
+
+    for (std::size_t id = 0; id < mapped.nodes.size(); ++id) {
+        if (!isPlaceable(mapped.nodes[id].kind))
+            continue;
+        const Coord c = placement.loc[id];
+        if (c.x < 0)
+            continue;
+        char g = '?';
+        switch (mapped.nodes[id].kind) {
+          case mapper::MappedKind::kPe:      g = 'P'; break;
+          case mapper::MappedKind::kMem:     g = 'M'; break;
+          case mapper::MappedKind::kRegFile: g = 'R'; break;
+          case mapper::MappedKind::kInput:
+          case mapper::MappedKind::kInputBit:
+            g = 'I';
+            break;
+          default:
+            g = 'O';
+            break;
+        }
+        glyph[fabric.indexOf(c)] = g;
+    }
+
+    std::ostringstream os;
+    os << "floorplan " << fabric.width() << 'x' << fabric.height()
+       << " (P=pe M=mem R=regfile I/O=pads +=routing .=idle)\n";
+    for (int y = -1; y <= fabric.height(); ++y) {
+        os << "  ";
+        for (int x = 0; x < fabric.width(); ++x)
+            os << glyph[fabric.indexOf({x, y})];
+        os << '\n';
+    }
+    return os.str();
+}
+
+} // namespace apex::cgra

@@ -1,0 +1,30 @@
+#ifndef APEX_CGRA_VISUALIZE_H_
+#define APEX_CGRA_VISUALIZE_H_
+
+#include <string>
+
+#include "cgra/route.hpp"
+
+/**
+ * @file
+ * ASCII floorplan visualization of a placed-and-routed application —
+ * the quick look a physical designer takes before trusting numbers.
+ *
+ * One character per tile:
+ *   'P' PE executing compute        'M' memory tile in use
+ *   'R' register-file FIFO tile     'I'/'O' IO pads
+ *   '+' routing-only tile (wires through, tile unused)
+ *   '.' idle PE tile                ',' idle MEM tile
+ */
+
+namespace apex::cgra {
+
+/** Render the floorplan of a placed & routed application. */
+std::string visualize(const Fabric &fabric,
+                      const mapper::MappedGraph &mapped,
+                      const PlacementResult &placement,
+                      const RouteResult &routing);
+
+} // namespace apex::cgra
+
+#endif // APEX_CGRA_VISUALIZE_H_

@@ -1,0 +1,283 @@
+#include "core/evaluate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "cgra/bitstream.hpp"
+#include "cgra/place.hpp"
+#include "cgra/route.hpp"
+#include "mapper/select.hpp"
+#include "pipeline/app_pipeline.hpp"
+#include "pipeline/pe_pipeline.hpp"
+#include "pipeline/timing.hpp"
+
+namespace apex::core {
+
+using mapper::MappedKind;
+
+double
+peInstanceEnergy(const mapper::RewriteRule &rule,
+                 const pe::PeSpec &spec,
+                 const model::TechModel &tech)
+{
+    double energy = spec.overheadEnergyPerCycle(tech);
+
+    // Active datapath blocks of this rule.
+    std::set<int> active;
+    double active_energy = 0.0;
+    for (ir::NodeId id = 0; id < rule.pattern.size(); ++id) {
+        const ir::Op op = rule.pattern.op(id);
+        if (!ir::opIsCompute(op))
+            continue;
+        const int dp_node = rule.node_to_dp[id];
+        if (active.insert(dp_node).second) {
+            active_energy +=
+                model::blockCost(tech,
+                                 spec.dp.nodes[dp_node].cls)
+                    .energy;
+        }
+    }
+    energy += active_energy;
+
+    // Idle blocks still toggle.
+    for (int b : spec.dp.blockIds()) {
+        if (!active.count(b)) {
+            energy += tech.idle_toggle_factor *
+                      model::blockCost(tech, spec.dp.nodes[b].cls)
+                          .energy;
+        }
+    }
+
+    energy += tech.mux_energy *
+              static_cast<double>(rule.placeholders.size());
+    energy += 0.005 * static_cast<double>(rule.const_bindings.size());
+    return energy;
+}
+
+EvalResult
+evaluate(const apps::AppInfo &app, const PeVariant &variant,
+         EvalLevel level, const model::TechModel &tech,
+         const EvalOptions &options)
+{
+    EvalResult r;
+
+    // --- Compile: rewrite rules + instruction selection -----------
+    pe::PeSpec spec = variant.spec; // mutable copy (pipelining)
+    mapper::RewriteRuleSynthesizer synth(spec);
+    const auto rules = synth.synthesizeLibrary(variant.patterns);
+    mapper::InstructionSelector selector(rules);
+    mapper::SelectionResult sel = selector.map(app.graph);
+    if (!sel.success) {
+        r.error = "mapping failed: " + sel.error;
+        return r;
+    }
+
+    // --- Post-mapping metrics --------------------------------------
+    r.pe_count = sel.peCount();
+    r.pe_area = spec.area(tech) * r.pe_count;
+
+    const double invocations_per_item = 1.0 / app.items_per_cycle;
+    double pe_energy_per_cycle = 0.0;
+    for (const mapper::MappedNode &n : sel.mapped.nodes) {
+        if (n.kind == MappedKind::kPe)
+            pe_energy_per_cycle +=
+                peInstanceEnergy(rules[n.rule], spec, tech);
+    }
+    r.pe_energy = pe_energy_per_cycle * invocations_per_item;
+
+    // ASIC floor + FPGA comparator inputs.
+    double raw_per_cycle = 0.0;
+    int compute_nodes = 0;
+    for (ir::NodeId id = 0; id < app.graph.size(); ++id) {
+        const ir::Op op = app.graph.op(id);
+        if (!ir::opIsCompute(op))
+            continue;
+        ++compute_nodes;
+        raw_per_cycle +=
+            model::blockCost(tech, model::blockClassOf(op)).energy;
+    }
+    const double frames_invocations =
+        app.work_items_per_frame / app.items_per_cycle;
+    r.raw_compute_energy_uj = raw_per_cycle * frames_invocations *
+                              1e-6;
+    r.op_events = static_cast<double>(compute_nodes) *
+                  frames_invocations;
+
+    // Timing of the unpipelined PE (informative at every level).
+    const double unpipelined_period =
+        pipeline::analyzeTiming(spec, tech).critical_path;
+    r.period_ns = unpipelined_period;
+
+    if (level == EvalLevel::kPostMapping) {
+        r.success = true;
+        return r;
+    }
+
+    // --- Optional pipelining (before PnR: registers must route) ----
+    if (level == EvalLevel::kPostPipelining) {
+        const auto pe_pipe = pipeline::pipelinePe(spec, tech);
+        r.pipeline_stages = spec.pipeline_stages;
+        r.period_ns = pe_pipe.period;
+        const auto app_pipe = pipeline::pipelineApplication(
+            &sel.mapped, spec.pipeline_stages, {});
+        r.latency_cycles = app_pipe.max_latency;
+    }
+
+    // --- Place and route --------------------------------------------
+    int width = options.fabric_width;
+    int height = options.fabric_height;
+    cgra::PlacementResult placement;
+    cgra::RouteResult routing;
+    for (int attempt = 0; attempt < 5; ++attempt) {
+        const cgra::Fabric fabric(width, height);
+        cgra::PlacerOptions popt;
+        popt.seed = options.placer_seed;
+        placement = cgra::place(fabric, sel.mapped, popt);
+        if (placement.success) {
+            routing = cgra::route(fabric, placement);
+            if (routing.success)
+                break;
+        }
+        if (!options.auto_grow_fabric) {
+            r.error = placement.success ? routing.error
+                                        : placement.error;
+            return r;
+        }
+        if (attempt % 2 == 0)
+            height *= 2;
+        else
+            width *= 2;
+    }
+    if (!placement.success || !routing.success) {
+        r.error = "place-and-route failed: " +
+                  (placement.success ? routing.error
+                                     : placement.error);
+        return r;
+    }
+    r.fabric_width = width;
+    r.fabric_height = height;
+
+    // Application-level static timing.  Pre-pipelining, unpipelined
+    // PEs chain combinationally through unregistered interconnect —
+    // only explicit registers (window regs, memories, RF FIFOs, IO)
+    // break the path; this is what the paper's 6.9x-12.5x
+    // post-pipelining speedups are measured against.  Post-
+    // pipelining, PEs are staged and every SB track is registered.
+    if (level == EvalLevel::kPostPipelining) {
+        r.period_ns = std::max(
+            r.period_ns, tech.sb_hop_delay + tech.reg_setup_delay);
+    } else {
+        const double pe_delay =
+            unpipelined_period - tech.reg_setup_delay;
+        std::vector<std::vector<int>> in_edges(
+            sel.mapped.nodes.size());
+        for (std::size_t e = 0; e < placement.edges.size(); ++e)
+            in_edges[placement.edges[e].dst].push_back(
+                static_cast<int>(e));
+        std::vector<double> arrival(sel.mapped.nodes.size(), 0.0);
+        double worst = unpipelined_period;
+        for (int id : sel.mapped.topoOrder()) {
+            if (!cgra::isPlaceable(sel.mapped.nodes[id].kind))
+                continue;
+            double in_arrival = 0.0;
+            for (int e : in_edges[id]) {
+                const auto &edge = placement.edges[e];
+                const double wire =
+                    routing.paths[e].size() * tech.sb_hop_delay;
+                // A registered edge launches from its last register.
+                const double from =
+                    edge.regs > 0
+                        ? wire * 0.5
+                        : arrival[edge.src] + wire;
+                in_arrival = std::max(in_arrival, from);
+            }
+            const bool is_pe =
+                sel.mapped.nodes[id].kind == MappedKind::kPe;
+            arrival[id] = is_pe ? in_arrival + pe_delay : 0.0;
+            worst = std::max(worst,
+                             in_arrival + (is_pe ? pe_delay : 0.0) +
+                                 tech.reg_setup_delay);
+        }
+        r.period_ns = worst;
+    }
+
+    const cgra::Fabric fabric(width, height);
+    r.util = cgra::utilizationOf(fabric, sel.mapped, placement,
+                                 routing);
+
+    // --- Post-PnR area ----------------------------------------------
+    const int rf_tiles =
+        sel.mapped.count(MappedKind::kRegFile);
+    const int sb_tiles = r.util.pes + r.util.mems + rf_tiles +
+                         r.util.routing_tiles;
+    r.sb_area = sb_tiles * tech.sb_area;
+    r.cb_area =
+        r.pe_count * (static_cast<double>(spec.word_inputs.size()) *
+                          tech.cb_area_per_input +
+                      static_cast<double>(spec.bit_inputs.size()) *
+                          tech.cb_area_per_input_bit) +
+        (r.util.mems + rf_tiles) * tech.cb_area_per_input;
+    r.mem_area = r.util.mems * tech.mem_tile_area;
+    const double rf_area = rf_tiles * tech.rf_area;
+    r.cgra_area =
+        r.pe_area + rf_area + r.sb_area + r.cb_area + r.mem_area;
+
+    // --- Post-PnR energy (per output item) ---------------------------
+    r.sb_energy = routing.total_hops * tech.sb_energy_per_hop *
+                  invocations_per_item;
+    r.cb_energy = static_cast<double>(placement.edges.size()) *
+                  tech.cb_energy * invocations_per_item;
+    r.mem_energy = r.util.mems * tech.mem_energy_access *
+                   invocations_per_item;
+    const double reg_energy =
+        (r.util.regs * tech.pipe_reg_energy +
+         r.util.rf_entries * tech.pipe_reg_energy * 0.4) *
+        invocations_per_item;
+    r.cgra_energy = r.pe_energy + r.sb_energy + r.cb_energy +
+                    r.mem_energy + reg_energy;
+
+    // --- Performance --------------------------------------------------
+    const double cycles = frames_invocations + r.latency_cycles;
+    r.runtime_ms = cycles * r.period_ns * 1e-6;
+    const double area_mm2 = r.cgra_area * 1e-6;
+    if (r.runtime_ms > 0.0 && area_mm2 > 0.0) {
+        r.frames_per_ms_mm2 = 1.0 / (r.runtime_ms * area_mm2);
+        r.perf_per_mm2 =
+            r.frames_per_ms_mm2 * app.work_items_per_frame;
+    }
+    r.total_energy_uj =
+        r.cgra_energy * app.work_items_per_frame * 1e-6;
+
+    r.success = true;
+    return r;
+}
+
+PeVariant
+bestSpecializedVariant(const apps::AppInfo &app,
+                       const Explorer &explorer,
+                       const model::TechModel &tech)
+{
+    PeVariant best = explorer.subsetVariant(app);
+    auto score = [&](const PeVariant &v) {
+        const EvalResult r =
+            evaluate(app, v, EvalLevel::kPostMapping, tech);
+        return r.success ? r.pe_area * r.pe_energy : 1e300;
+    };
+    double best_score = score(best);
+
+    const int max_k = explorer.options().max_merged_subgraphs;
+    for (int k = 1; k <= max_k; ++k) {
+        PeVariant candidate = explorer.specializedVariant(app, k);
+        const double s = score(candidate);
+        if (s >= best_score)
+            break; // merging more subgraphs stopped paying off
+        best_score = s;
+        best = std::move(candidate);
+    }
+    best.name = "pe_spec_" + app.name;
+    best.spec.name = best.name;
+    return best;
+}
+
+} // namespace apex::core

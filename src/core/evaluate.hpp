@@ -1,0 +1,111 @@
+#ifndef APEX_CORE_EVALUATE_H_
+#define APEX_CORE_EVALUATE_H_
+
+#include <string>
+
+#include "cgra/metrics.hpp"
+#include "core/explorer.hpp"
+
+/**
+ * @file
+ * Three-level evaluation of a (application, PE variant) pair,
+ * mirroring Sec. 5.3:
+ *
+ *  - post-mapping    : rewrite rules + instruction selection only —
+ *                      PE counts, PE-core area and energy (minutes-
+ *                      scale results in the paper; Fig. 11/14);
+ *  - post-PnR        : placement + routing on the fabric — adds the
+ *                      interconnect (SB/CB), memory tiles and
+ *                      routing-tile accounting (Fig. 15);
+ *  - post-pipelining : PE and application pipelining before PnR —
+ *                      adds timing, runtime and performance/mm^2
+ *                      (Fig. 16, Tables 2/3).
+ */
+
+namespace apex::core {
+
+/** Evaluation depth. */
+enum class EvalLevel {
+    kPostMapping,
+    kPostPnr,
+    kPostPipelining,
+};
+
+/** Everything the benchmarks report. */
+struct EvalResult {
+    bool success = false;
+    std::string error;
+
+    // --- Post-mapping --------------------------------------------
+    int pe_count = 0;          ///< PE instances used.
+    double pe_area = 0.0;      ///< PE core area x count (um^2).
+    double pe_energy = 0.0;    ///< PE-core energy per output item, pJ.
+
+    // --- Post-place-and-route -------------------------------------
+    int fabric_width = 0;
+    int fabric_height = 0;
+    double sb_area = 0.0;      ///< Switch boxes (um^2).
+    double cb_area = 0.0;      ///< Connection boxes (um^2).
+    double mem_area = 0.0;     ///< Memory tiles (um^2).
+    double cgra_area = 0.0;    ///< Total application footprint.
+    double sb_energy = 0.0;    ///< pJ per output item.
+    double cb_energy = 0.0;
+    double mem_energy = 0.0;
+    double cgra_energy = 0.0;  ///< Total pJ per output item.
+    cgra::Utilization util;
+
+    // --- Post-pipelining -------------------------------------------
+    int pipeline_stages = 0;   ///< PE pipeline depth chosen.
+    double period_ns = 0.0;    ///< Achieved clock period.
+    double latency_cycles = 0; ///< Input->output fill latency.
+    double runtime_ms = 0.0;   ///< One frame / layer.
+    double perf_per_mm2 = 0.0; ///< Items per ms per mm^2 (x1e-6 for
+                               ///< frames: see frames_per_ms_mm2).
+    double frames_per_ms_mm2 = 0.0; ///< Frames/ms/mm^2 (Table 2).
+    double total_energy_uj = 0.0;   ///< Energy for one frame, uJ.
+
+    /** Raw functional-unit energy of the app (ASIC floor), uJ. */
+    double raw_compute_energy_uj = 0.0;
+    /** Word-level op events per frame (FPGA comparator input). */
+    double op_events = 0.0;
+};
+
+/** Evaluation knobs. */
+struct EvalOptions {
+    int fabric_width = 32;
+    int fabric_height = 16;
+    /** Grow the fabric when the app does not fit (keeps the flow
+     * usable for large unrolls). */
+    bool auto_grow_fabric = true;
+    unsigned placer_seed = 0xCA11;
+};
+
+/** Run the flow for @p app on @p variant up to @p level. */
+EvalResult evaluate(const apps::AppInfo &app, const PeVariant &variant,
+                    EvalLevel level, const model::TechModel &tech,
+                    const EvalOptions &options = {});
+
+/**
+ * The paper's "PE Spec" stopping rule (Sec. 5): starting from PE 1,
+ * keep merging the next-ranked subgraph while the post-mapping
+ * area-energy product of the application improves; return the last
+ * improving variant ("the most specialized PE possible without
+ * increasing the area or energy of the application").
+ */
+PeVariant bestSpecializedVariant(const apps::AppInfo &app,
+                                 const Explorer &explorer,
+                                 const model::TechModel &tech);
+
+/**
+ * Energy one PE instance spends per cycle executing @p rule on
+ * @p spec: decode/clock overhead + active blocks + idle toggling of
+ * the unused blocks + input muxing (used by both the homogeneous and
+ * heterogeneous evaluators).
+ */
+double peInstanceEnergy(const mapper::RewriteRule &rule,
+                        const pe::PeSpec &spec,
+                        const model::TechModel &tech);
+
+} // namespace apex::core
+
+#endif // APEX_CORE_EVALUATE_H_

@@ -1,0 +1,155 @@
+#include "core/explorer.hpp"
+
+#include <set>
+
+#include "ir/signature.hpp"
+#include "merging/merge.hpp"
+#include "pe/baseline.hpp"
+
+namespace apex::core {
+
+using ir::Graph;
+using ir::NodeId;
+using ir::Op;
+
+namespace {
+
+/** Is this mined pattern a viable PE building block?  It must have a
+ * unique sink (one PE output), at least two compute nodes (otherwise
+ * the base ALU already covers it), and no structural ops. */
+bool
+mergeable(const mining::MinedPattern &p)
+{
+    int sinks = 0;
+    int compute = 0;
+    std::vector<bool> has_consumer(p.pattern.size(), false);
+    for (const ir::Edge &e : p.pattern.edges())
+        has_consumer[e.src] = true;
+    for (NodeId id = 0; id < p.pattern.size(); ++id) {
+        const Op op = p.pattern.op(id);
+        if (ir::opIsCompute(op)) {
+            ++compute;
+            if (!has_consumer[id])
+                ++sinks;
+        }
+    }
+    return sinks == 1 && compute >= 2;
+}
+
+} // namespace
+
+Explorer::Explorer(const model::TechModel &tech,
+                   ExplorerOptions options)
+    : tech_(tech), options_(options)
+{
+}
+
+std::vector<mining::MinedPattern>
+Explorer::analyze(const Graph &app) const
+{
+    mining::FrequentSubgraphMiner miner(options_.miner);
+    auto patterns = miner.mine(app);
+    mining::rankPatterns(patterns);
+    std::erase_if(patterns, [&](const mining::MinedPattern &p) {
+        return !mergeable(p) || p.mis_size < options_.min_mis;
+    });
+    return patterns;
+}
+
+std::vector<Graph>
+Explorer::topPatterns(const Graph &app, int k) const
+{
+    std::vector<Graph> result;
+    for (const auto &p : analyze(app)) {
+        if (static_cast<int>(result.size()) >= k)
+            break;
+        result.push_back(p.pattern);
+    }
+    return result;
+}
+
+PeVariant
+Explorer::baselineVariant() const
+{
+    PeVariant v;
+    v.name = "pe_base";
+    v.spec = pe::baselinePe();
+    return v;
+}
+
+PeVariant
+Explorer::subsetVariant(const apps::AppInfo &app) const
+{
+    PeVariant v;
+    v.name = "pe1_" + app.name;
+    v.spec = pe::baselineSubsetPe(pe::opsUsedBy(app.graph), v.name);
+    return v;
+}
+
+PeVariant
+Explorer::specializedVariant(const apps::AppInfo &app, int k) const
+{
+    PeVariant v;
+    v.name = "pe" + std::to_string(k + 1) + "_" + app.name;
+    const pe::PeSpec seed =
+        pe::baselineSubsetPe(pe::opsUsedBy(app.graph), v.name);
+    v.patterns = topPatterns(app.graph, k);
+    const auto mm = merging::mergeIntoDatapath(
+        seed.dp, v.patterns, tech_, nullptr);
+    v.spec = pe::makePeSpec(mm.merged, v.name,
+                            seed.has_register_file);
+    return v;
+}
+
+PeVariant
+Explorer::specVariant(const apps::AppInfo &app) const
+{
+    PeVariant v =
+        specializedVariant(app, options_.max_merged_subgraphs);
+    v.name = "pe_spec_" + app.name;
+    v.spec.name = v.name;
+    return v;
+}
+
+PeVariant
+Explorer::domainVariant(const std::vector<apps::AppInfo>
+                            &domain_apps,
+                        int per_app, const std::string &name) const
+{
+    PeVariant v;
+    v.name = name;
+
+    std::set<Op> ops;
+    for (const apps::AppInfo &app : domain_apps) {
+        const auto app_ops = pe::opsUsedBy(app.graph);
+        ops.insert(app_ops.begin(), app_ops.end());
+    }
+    const pe::PeSpec seed = pe::baselineSubsetPe(ops, name);
+
+    // Interleave the domain's top subgraphs app by app, deduplicated
+    // by canonical identity, so every application contributes its
+    // most valuable pattern before any contributes a second one.
+    std::vector<std::vector<Graph>> per_app_patterns;
+    for (const apps::AppInfo &app : domain_apps)
+        per_app_patterns.push_back(
+            topPatterns(app.graph, per_app));
+
+    std::set<std::string> seen;
+    for (int round = 0; round < per_app; ++round) {
+        for (const auto &list : per_app_patterns) {
+            if (round >= static_cast<int>(list.size()))
+                continue;
+            const std::string code =
+                ir::canonicalCode(list[round]);
+            if (seen.insert(code).second)
+                v.patterns.push_back(list[round]);
+        }
+    }
+
+    const auto mm = merging::mergeIntoDatapath(
+        seed.dp, v.patterns, tech_, nullptr);
+    v.spec = pe::makePeSpec(mm.merged, name);
+    return v;
+}
+
+} // namespace apex::core

@@ -1,0 +1,32 @@
+#include "ir/dot.hpp"
+
+#include <sstream>
+
+namespace apex::ir {
+
+std::string
+toDot(const Graph &g, const std::string &title)
+{
+    std::ostringstream os;
+    os << "digraph \"" << title << "\" {\n";
+    os << "  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n";
+    for (NodeId id = 0; id < g.size(); ++id) {
+        const Node &n = g.node(id);
+        os << "  n" << id << " [label=\"" << opName(n.op);
+        if (n.op == Op::kConst || n.op == Op::kConstBit ||
+            n.op == Op::kLut) {
+            os << " " << n.param;
+        }
+        if (!n.name.empty())
+            os << "\\n" << n.name;
+        os << "\"];\n";
+    }
+    for (const Edge &e : g.edges()) {
+        os << "  n" << e.src << " -> n" << e.dst << " [label=\""
+           << e.port << "\"];\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace apex::ir

@@ -1,0 +1,26 @@
+#ifndef APEX_IR_DOT_H_
+#define APEX_IR_DOT_H_
+
+#include <string>
+
+#include "ir/graph.hpp"
+
+/**
+ * @file
+ * Graphviz DOT export for dataflow graphs (debugging / documentation).
+ */
+
+namespace apex::ir {
+
+/**
+ * Render @p g as a Graphviz digraph.
+ *
+ * @param g      Graph to render.
+ * @param title  Graph name used in the DOT header.
+ * @return DOT source text.
+ */
+std::string toDot(const Graph &g, const std::string &title = "apex");
+
+} // namespace apex::ir
+
+#endif // APEX_IR_DOT_H_

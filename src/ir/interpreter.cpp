@@ -1,0 +1,84 @@
+#include "ir/interpreter.hpp"
+
+#include <cassert>
+
+namespace apex::ir {
+
+std::vector<std::uint64_t>
+Interpreter::evalAll(const Graph &g,
+                     const std::map<NodeId, std::uint64_t> &inputs) const
+{
+    const std::uint64_t mask = (width_ >= 64)
+        ? ~std::uint64_t{0}
+        : (std::uint64_t{1} << width_) - 1;
+
+    std::vector<std::uint64_t> value(g.size(), 0);
+    for (NodeId id : g.topoOrder()) {
+        const Node &n = g.node(id);
+        switch (n.op) {
+          case Op::kInput: {
+            auto it = inputs.find(id);
+            assert(it != inputs.end() && "missing input value");
+            value[id] = it->second & mask;
+            break;
+          }
+          case Op::kInputBit: {
+            auto it = inputs.find(id);
+            assert(it != inputs.end() && "missing input value");
+            value[id] = it->second & 1;
+            break;
+          }
+          case Op::kConst:
+            value[id] = n.param & mask;
+            break;
+          case Op::kConstBit:
+            value[id] = n.param & 1;
+            break;
+          case Op::kOutput:
+          case Op::kOutputBit:
+          case Op::kReg:
+          case Op::kRegFile:
+          case Op::kMem:
+            value[id] = value[n.operands[0]];
+            break;
+          default: {
+            assert(opIsCompute(n.op));
+            const std::uint64_t a =
+                !n.operands.empty() ? value[n.operands[0]] : 0;
+            const std::uint64_t b =
+                n.operands.size() > 1 ? value[n.operands[1]] : 0;
+            const std::uint64_t c =
+                n.operands.size() > 2 ? value[n.operands[2]] : 0;
+            value[id] = evalOp(n.op, a, b, c, n.param, width_);
+            break;
+          }
+        }
+    }
+    return value;
+}
+
+std::vector<std::uint64_t>
+Interpreter::evalByOrder(const Graph &g,
+                         const std::vector<std::uint64_t> &inputs) const
+{
+    std::map<NodeId, std::uint64_t> in_map;
+    std::size_t next = 0;
+    for (NodeId id = 0; id < g.size(); ++id) {
+        const Op op = g.op(id);
+        if (op == Op::kInput || op == Op::kInputBit) {
+            assert(next < inputs.size() && "too few input values");
+            in_map[id] = inputs[next++];
+        }
+    }
+    const std::vector<std::uint64_t> all = evalAll(g, in_map);
+
+    std::vector<std::uint64_t> outs;
+    for (NodeId id = 0; id < g.size(); ++id) {
+        const Op op = g.op(id);
+        if (op == Op::kOutput || op == Op::kOutputBit)
+            outs.push_back(all[id]);
+    }
+    return outs;
+}
+
+} // namespace apex::ir

@@ -1,0 +1,60 @@
+#ifndef APEX_IR_INTERPRETER_H_
+#define APEX_IR_INTERPRETER_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "ir/graph.hpp"
+
+/**
+ * @file
+ * Reference interpreter for dataflow graphs.
+ *
+ * Evaluates a graph combinationally: pipeline registers, register files
+ * and memory nodes forward their input unchanged (steady-state streaming
+ * semantics).  This is the golden model against which mapped and routed
+ * applications are checked — mapping and pipelining may only shift
+ * values in time, never change them.
+ */
+
+namespace apex::ir {
+
+/** Evaluates graphs on concrete values. */
+class Interpreter {
+  public:
+    /**
+     * @param width  Datapath width in bits (1..16); word values are
+     *               masked to this width.
+     */
+    explicit Interpreter(int width = kWordWidth) : width_(width) {}
+
+    /**
+     * Evaluate @p g given values for its input nodes.
+     *
+     * @param g       A validated graph.
+     * @param inputs  Value per kInput/kInputBit node id.
+     * @return value of every node, indexed by node id.
+     */
+    std::vector<std::uint64_t>
+    evalAll(const Graph &g,
+            const std::map<NodeId, std::uint64_t> &inputs) const;
+
+    /**
+     * Evaluate @p g with inputs bound positionally (order of input-node
+     * creation) and outputs returned positionally (order of output-node
+     * creation).
+     */
+    std::vector<std::uint64_t>
+    evalByOrder(const Graph &g,
+                const std::vector<std::uint64_t> &inputs) const;
+
+    int width() const { return width_; }
+
+  private:
+    int width_;
+};
+
+} // namespace apex::ir
+
+#endif // APEX_IR_INTERPRETER_H_

@@ -1,0 +1,206 @@
+#include "ir/serialize.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+namespace apex::ir {
+
+namespace {
+
+bool
+opHasParam(Op op)
+{
+    return op == Op::kConst || op == Op::kConstBit ||
+           op == Op::kLut || op == Op::kRegFile;
+}
+
+std::string
+quote(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+/** Tokenizer for one line: ids, mnemonics, integers, quoted strings. */
+struct LineLexer {
+    const std::string &line;
+    std::size_t pos = 0;
+
+    explicit LineLexer(const std::string &l) : line(l) {}
+
+    void
+    skipSpace()
+    {
+        while (pos < line.size() &&
+               (line[pos] == ' ' || line[pos] == '\t')) {
+            ++pos;
+        }
+    }
+
+    bool
+    atEnd()
+    {
+        skipSpace();
+        return pos >= line.size();
+    }
+
+    /** Next bare token (up to whitespace); empty at end. */
+    std::string
+    word()
+    {
+        skipSpace();
+        std::size_t start = pos;
+        while (pos < line.size() && line[pos] != ' ' &&
+               line[pos] != '\t') {
+            ++pos;
+        }
+        return line.substr(start, pos - start);
+    }
+
+    /** Quoted string if present. */
+    std::optional<std::string>
+    quoted()
+    {
+        skipSpace();
+        if (pos >= line.size() || line[pos] != '"')
+            return std::nullopt;
+        ++pos;
+        std::string out;
+        while (pos < line.size() && line[pos] != '"') {
+            if (line[pos] == '\\' && pos + 1 < line.size())
+                ++pos;
+            out += line[pos++];
+        }
+        if (pos < line.size())
+            ++pos; // closing quote
+        return out;
+    }
+};
+
+} // namespace
+
+std::string
+serialize(const Graph &g)
+{
+    std::ostringstream os;
+    os << "apexir 1\n";
+    for (NodeId id = 0; id < g.size(); ++id) {
+        const Node &n = g.node(id);
+        os << 'n' << id << " = " << opName(n.op);
+        if (opHasParam(n.op))
+            os << ' ' << n.param;
+        for (NodeId src : n.operands)
+            os << " n" << src;
+        if (!n.name.empty())
+            os << ' ' << quote(n.name);
+        os << '\n';
+    }
+    return os.str();
+}
+
+std::optional<Graph>
+deserialize(const std::string &text, std::string *error)
+{
+    auto fail = [&](int line_no, const std::string &msg)
+        -> std::optional<Graph> {
+        if (error) {
+            std::ostringstream os;
+            os << "line " << line_no << ": " << msg;
+            *error = os.str();
+        }
+        return std::nullopt;
+    };
+
+    std::istringstream is(text);
+    std::string line;
+    int line_no = 0;
+
+    // Header.
+    if (!std::getline(is, line))
+        return fail(0, "empty document");
+    ++line_no;
+    if (line.rfind("apexir", 0) != 0)
+        return fail(line_no, "missing 'apexir' header");
+
+    Graph g;
+    while (std::getline(is, line)) {
+        ++line_no;
+        if (line.empty() || line[0] == '#')
+            continue;
+
+        LineLexer lex(line);
+        const std::string lhs = lex.word();
+        if (lhs.empty())
+            continue;
+        if (lhs[0] != 'n')
+            return fail(line_no, "expected node id");
+        const NodeId id =
+            static_cast<NodeId>(std::strtoul(lhs.c_str() + 1,
+                                             nullptr, 10));
+        if (id != g.size())
+            return fail(line_no, "node ids must be dense/in order");
+        if (lex.word() != "=")
+            return fail(line_no, "expected '='");
+
+        const std::string mnemonic = lex.word();
+        if (mnemonic.empty())
+            return fail(line_no, "missing op mnemonic");
+        Op op;
+        {
+            bool found = false;
+            for (int i = 0; i < kNumOps; ++i) {
+                if (opName(static_cast<Op>(i)) == mnemonic) {
+                    op = static_cast<Op>(i);
+                    found = true;
+                    break;
+                }
+            }
+            if (!found)
+                return fail(line_no, "unknown op '" + mnemonic + "'");
+        }
+
+        std::uint64_t param = 0;
+        if (opHasParam(op)) {
+            const std::string p = lex.word();
+            if (p.empty() || (!isdigit(p[0]) && p[0] != '-'))
+                return fail(line_no, "missing parameter");
+            param = std::strtoull(p.c_str(), nullptr, 10);
+        }
+
+        std::vector<NodeId> operands;
+        std::string name;
+        while (!lex.atEnd()) {
+            if (auto q = lex.quoted()) {
+                name = *q;
+                break;
+            }
+            const std::string tok = lex.word();
+            if (tok.empty())
+                break;
+            if (tok[0] != 'n')
+                return fail(line_no, "expected operand id");
+            const NodeId src = static_cast<NodeId>(
+                std::strtoul(tok.c_str() + 1, nullptr, 10));
+            if (src >= g.size())
+                return fail(line_no, "forward operand reference");
+            operands.push_back(src);
+        }
+
+        g.addNode(op, std::move(operands), param, std::move(name));
+    }
+
+    std::string verr;
+    if (!g.validate(&verr))
+        return fail(line_no, "invalid graph: " + verr);
+    return g;
+}
+
+} // namespace apex::ir

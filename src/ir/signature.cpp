@@ -1,0 +1,159 @@
+#include "ir/signature.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace apex::ir {
+
+namespace {
+
+/** Node label used for canonicalization (op + LUT table). */
+std::string
+nodeLabel(const Node &n)
+{
+    std::string label(opName(n.op));
+    if (n.op == Op::kLut) {
+        label += '#';
+        label += std::to_string(n.param);
+    }
+    return label;
+}
+
+/**
+ * Weisfeiler-Lehman color refinement over the directed, port-labeled
+ * graph.  Returns a color id per node; isomorphic nodes get equal
+ * colors (the converse may not hold, hence the exact phase below).
+ */
+std::vector<int>
+wlColors(const Graph &g)
+{
+    const std::size_t n = g.size();
+    std::vector<std::string> color(n);
+    for (NodeId id = 0; id < n; ++id)
+        color[id] = nodeLabel(g.node(id));
+
+    const auto fanout = g.fanouts();
+    for (std::size_t iter = 0; iter < n; ++iter) {
+        std::vector<std::string> next(n);
+        for (NodeId id = 0; id < n; ++id) {
+            std::ostringstream os;
+            os << color[id] << '(';
+            const Node &nd = g.node(id);
+            for (std::size_t p = 0; p < nd.operands.size(); ++p)
+                os << p << ':' << color[nd.operands[p]] << ',';
+            os << ")[";
+            std::vector<std::string> outs;
+            for (const Edge &e : fanout[id]) {
+                std::ostringstream eo;
+                eo << color[e.dst] << '@' << e.port;
+                outs.push_back(eo.str());
+            }
+            std::sort(outs.begin(), outs.end());
+            for (const auto &s : outs)
+                os << s << ',';
+            os << ']';
+            next[id] = os.str();
+        }
+        if (next == color)
+            break;
+        color = std::move(next);
+    }
+
+    // Compress strings to dense ids, ordered lexicographically so the
+    // ids themselves are canonical.
+    std::map<std::string, int> ids;
+    for (const auto &c : color)
+        ids.emplace(c, 0);
+    int k = 0;
+    for (auto &[str, id] : ids)
+        id = k++;
+    std::vector<int> result(n);
+    for (NodeId id = 0; id < n; ++id)
+        result[id] = ids[color[id]];
+    return result;
+}
+
+/** Encode the graph under a permutation perm (perm[old] = new). */
+std::string
+encode(const Graph &g, const std::vector<int> &perm)
+{
+    const std::size_t n = g.size();
+    std::vector<NodeId> inv(n);
+    for (NodeId id = 0; id < n; ++id)
+        inv[perm[id]] = id;
+
+    std::ostringstream os;
+    for (std::size_t pos = 0; pos < n; ++pos) {
+        const Node &nd = g.node(inv[pos]);
+        os << nodeLabel(nd) << '<';
+        for (std::size_t p = 0; p < nd.operands.size(); ++p)
+            os << perm[nd.operands[p]] << ',';
+        os << '>';
+    }
+    return os.str();
+}
+
+} // namespace
+
+std::string
+canonicalCode(const Graph &g)
+{
+    const std::size_t n = g.size();
+    if (n == 0)
+        return "{}";
+
+    const std::vector<int> colors = wlColors(g);
+
+    // Candidate positions grouped by color: nodes must be placed in
+    // non-decreasing color order; within a color class all orders are
+    // tried and the lexicographically smallest code wins.
+    std::vector<NodeId> order(n);
+    for (NodeId id = 0; id < n; ++id)
+        order[id] = id;
+    std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+        return colors[a] < colors[b];
+    });
+
+    std::string best;
+    std::vector<int> perm(n, -1);
+
+    std::function<void(std::size_t)> rec = [&](std::size_t pos) {
+        if (pos == n) {
+            std::string code = encode(g, perm);
+            if (best.empty() || code < best)
+                best = std::move(code);
+            return;
+        }
+        // All nodes with the same color as order[pos] that are still
+        // unplaced are candidates for this position.
+        const int want = colors[order[pos]];
+        for (NodeId id = 0; id < n; ++id) {
+            if (perm[id] != -1 || colors[id] != want)
+                continue;
+            perm[id] = static_cast<int>(pos);
+            rec(pos + 1);
+            perm[id] = -1;
+        }
+    };
+    rec(0);
+    return best;
+}
+
+std::uint64_t
+structuralHash(const Graph &g)
+{
+    return std::hash<std::string>{}(canonicalCode(g));
+}
+
+bool
+isomorphic(const Graph &a, const Graph &b)
+{
+    if (a.size() != b.size())
+        return false;
+    return canonicalCode(a) == canonicalCode(b);
+}
+
+} // namespace apex::ir

@@ -1,0 +1,42 @@
+#ifndef APEX_IR_SIGNATURE_H_
+#define APEX_IR_SIGNATURE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "ir/graph.hpp"
+
+/**
+ * @file
+ * Canonical codes for small dataflow graphs.
+ *
+ * The subgraph miner grows patterns along many redundant paths; to
+ * deduplicate, every pattern is reduced to a canonical string that is
+ * identical for isomorphic patterns and different for non-isomorphic
+ * ones.  Canonicalization uses Weisfeiler-Lehman color refinement to
+ * restrict the search, followed by exact enumeration of color-respecting
+ * permutations (patterns are small, typically <= 8 nodes).
+ *
+ * Labels: the op mnemonic; kLut additionally carries its truth table.
+ * Constant *values* are deliberately excluded — a pattern multiplying by
+ * any weight is one pattern.  Edge port indices are part of the code so
+ * non-commutative operand order is preserved.
+ */
+
+namespace apex::ir {
+
+/**
+ * @return a canonical code: equal for isomorphic graphs (same labels and
+ * port-preserving edge structure), distinct otherwise.
+ */
+std::string canonicalCode(const Graph &g);
+
+/** @return a 64-bit hash of canonicalCode(g). */
+std::uint64_t structuralHash(const Graph &g);
+
+/** @return true when @p a and @p b are isomorphic as labeled DAGs. */
+bool isomorphic(const Graph &a, const Graph &b);
+
+} // namespace apex::ir
+
+#endif // APEX_IR_SIGNATURE_H_

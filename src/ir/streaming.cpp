@@ -1,0 +1,112 @@
+#include "ir/streaming.hpp"
+
+#include <cassert>
+#include <deque>
+
+namespace apex::ir {
+
+std::vector<std::vector<std::uint64_t>>
+StreamingInterpreter::run(
+    const Graph &g,
+    const std::vector<std::vector<std::uint64_t>> &input_streams,
+    int cycles) const
+{
+    const auto order = g.topoOrder();
+
+    // Delay state: one FIFO per stateful node.
+    std::vector<std::deque<std::uint64_t>> state(g.size());
+    std::vector<int> delay(g.size(), 0);
+    std::vector<int> input_index(g.size(), -1);
+    std::vector<NodeId> outputs;
+    int next_input = 0;
+    for (NodeId id = 0; id < g.size(); ++id) {
+        switch (g.op(id)) {
+          case Op::kReg:
+          case Op::kMem:
+            delay[id] = 1;
+            break;
+          case Op::kRegFile:
+            delay[id] = static_cast<int>(g.node(id).param);
+            break;
+          case Op::kInput:
+          case Op::kInputBit:
+            input_index[id] = next_input++;
+            break;
+          case Op::kOutput:
+          case Op::kOutputBit:
+            outputs.push_back(id);
+            break;
+          default:
+            break;
+        }
+        state[id].assign(delay[id], 0);
+    }
+
+    std::vector<std::vector<std::uint64_t>> result(outputs.size());
+    std::vector<std::uint64_t> value(g.size(), 0);
+
+    for (int t = 0; t < cycles; ++t) {
+        // Stateful nodes expose last cycle's head first.
+        for (NodeId id = 0; id < g.size(); ++id)
+            if (delay[id] > 0)
+                value[id] = state[id].front();
+
+        for (NodeId id : order) {
+            const Node &n = g.node(id);
+            if (delay[id] > 0)
+                continue; // exposed above
+            switch (n.op) {
+              case Op::kInput:
+              case Op::kInputBit: {
+                const int idx = input_index[id];
+                const auto *stream =
+                    idx < static_cast<int>(input_streams.size())
+                        ? &input_streams[idx]
+                        : nullptr;
+                value[id] =
+                    (stream &&
+                     t < static_cast<int>(stream->size()))
+                        ? (*stream)[t]
+                        : 0;
+                break;
+              }
+              case Op::kConst:
+              case Op::kConstBit:
+                value[id] = n.param;
+                break;
+              case Op::kOutput:
+              case Op::kOutputBit:
+                value[id] = value[n.operands[0]];
+                break;
+              default: {
+                assert(opIsCompute(n.op));
+                const std::uint64_t a =
+                    !n.operands.empty() ? value[n.operands[0]] : 0;
+                const std::uint64_t b = n.operands.size() > 1
+                                            ? value[n.operands[1]]
+                                            : 0;
+                const std::uint64_t c = n.operands.size() > 2
+                                            ? value[n.operands[2]]
+                                            : 0;
+                value[id] =
+                    evalOp(n.op, a, b, c, n.param, width_);
+                break;
+              }
+            }
+        }
+
+        // Stateful nodes consume this cycle's input.
+        for (NodeId id = 0; id < g.size(); ++id) {
+            if (delay[id] == 0)
+                continue;
+            state[id].pop_front();
+            state[id].push_back(value[g.node(id).operands[0]]);
+        }
+
+        for (std::size_t o = 0; o < outputs.size(); ++o)
+            result[o].push_back(value[outputs[o]]);
+    }
+    return result;
+}
+
+} // namespace apex::ir

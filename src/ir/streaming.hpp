@@ -1,0 +1,50 @@
+#ifndef APEX_IR_STREAMING_H_
+#define APEX_IR_STREAMING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/graph.hpp"
+
+/**
+ * @file
+ * Streaming reference interpreter.
+ *
+ * While ir::Interpreter treats registers and memories as transparent
+ * (steady-state semantics), this interpreter gives them their real
+ * cycle-accurate behaviour: kReg and kMem delay their input by one
+ * cycle, kRegFile by its depth.  It is the golden model for the
+ * CGRA's cycle-level simulation: a correctly mapped, pipelined,
+ * placed and routed application must produce exactly this
+ * interpreter's output streams, shifted by the pipeline fill latency.
+ */
+
+namespace apex::ir {
+
+/** Cycle-accurate streaming evaluation of a dataflow graph. */
+class StreamingInterpreter {
+  public:
+    explicit StreamingInterpreter(int width = kWordWidth)
+        : width_(width) {}
+
+    /**
+     * Stream @p cycles samples through @p g.
+     *
+     * @param g              Validated graph.
+     * @param input_streams  One stream per input node (application
+     *                       input order); shorter streams read as 0.
+     * @param cycles         Cycles to simulate.
+     * @return one stream per output node (application output order).
+     */
+    std::vector<std::vector<std::uint64_t>>
+    run(const Graph &g,
+        const std::vector<std::vector<std::uint64_t>> &input_streams,
+        int cycles) const;
+
+  private:
+    int width_;
+};
+
+} // namespace apex::ir
+
+#endif // APEX_IR_STREAMING_H_

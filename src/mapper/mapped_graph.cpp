@@ -1,0 +1,53 @@
+#include "mapper/mapped_graph.hpp"
+
+namespace apex::mapper {
+
+std::vector<int>
+MappedGraph::nodesOfKind(MappedKind kind) const
+{
+    std::vector<int> result;
+    for (int i = 0; i < static_cast<int>(nodes.size()); ++i)
+        if (nodes[i].kind == kind)
+            result.push_back(i);
+    return result;
+}
+
+std::vector<int>
+MappedGraph::topoOrder() const
+{
+    const int n = static_cast<int>(nodes.size());
+    std::vector<int> indeg(n, 0);
+    std::vector<std::vector<int>> consumers(n);
+    for (int i = 0; i < n; ++i) {
+        for (int src : nodes[i].inputs) {
+            if (src < 0)
+                continue;
+            ++indeg[i];
+            consumers[src].push_back(i);
+        }
+    }
+    std::vector<int> ready, order;
+    for (int i = 0; i < n; ++i)
+        if (indeg[i] == 0)
+            ready.push_back(i);
+    while (!ready.empty()) {
+        const int id = ready.back();
+        ready.pop_back();
+        order.push_back(id);
+        for (int c : consumers[id])
+            if (--indeg[c] == 0)
+                ready.push_back(c);
+    }
+    return order;
+}
+
+int
+MappedGraph::count(MappedKind kind) const
+{
+    int total = 0;
+    for (const MappedNode &n : nodes)
+        total += n.kind == kind;
+    return total;
+}
+
+} // namespace apex::mapper

@@ -1,0 +1,95 @@
+#include "mapper/report.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace apex::mapper {
+
+namespace {
+
+/** One-line summary of a rule pattern, e.g. "add(mul(x,c),x)". */
+std::string
+ruleSummary(const RewriteRule &rule)
+{
+    std::ostringstream os;
+    bool first = true;
+    os << '[';
+    for (const auto &[op, count] : rule.pattern.opHistogram()) {
+        if (!ir::opIsCompute(op) && op != ir::Op::kConst &&
+            op != ir::Op::kConstBit)
+            continue;
+        if (!first)
+            os << ' ';
+        first = false;
+        if (count > 1)
+            os << count << 'x';
+        os << ir::opName(op);
+    }
+    os << ']';
+    return os.str();
+}
+
+} // namespace
+
+MappingStats
+mappingStats(const SelectionResult &result,
+             const std::vector<RewriteRule> &rules)
+{
+    MappingStats stats;
+    for (const MappedNode &n : result.mapped.nodes) {
+        if (n.kind != MappedKind::kPe)
+            continue;
+        const RewriteRule &rule = rules[n.rule];
+        ++stats.pe_count;
+        stats.covered_ops += rule.size;
+        stats.consts_absorbed +=
+            static_cast<int>(rule.const_bindings.size());
+        stats.multi_op_pes += rule.size >= 2;
+        stats.max_rule_size = std::max(stats.max_rule_size,
+                                       rule.size);
+    }
+    for (int uses : result.rule_uses)
+        stats.distinct_rules += uses > 0;
+    stats.ops_per_pe =
+        stats.pe_count > 0
+            ? static_cast<double>(stats.covered_ops) /
+                  stats.pe_count
+            : 0.0;
+    return stats;
+}
+
+std::string
+mappingReport(const SelectionResult &result,
+              const std::vector<RewriteRule> &rules)
+{
+    const MappingStats stats = mappingStats(result, rules);
+    std::ostringstream os;
+    os << "mapping report\n";
+    os << "  PEs:            " << stats.pe_count << '\n';
+    os << "  ops covered:    " << stats.covered_ops << " ("
+       << stats.ops_per_pe << " ops/PE)\n";
+    os << "  merged PEs:     " << stats.multi_op_pes << '\n';
+    os << "  consts bound:   " << stats.consts_absorbed << '\n';
+    os << "  rules used:     " << stats.distinct_rules << " of "
+       << rules.size() << " (largest " << stats.max_rule_size
+       << " ops)\n";
+
+    std::vector<std::size_t> order(result.rule_uses.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return result.rule_uses[a] > result.rule_uses[b];
+              });
+    os << "  per-rule uses:\n";
+    for (std::size_t i : order) {
+        if (result.rule_uses[i] == 0)
+            break;
+        os << "    " << result.rule_uses[i] << "x size "
+           << rules[i].size << " pe_type " << rules[i].pe_type
+           << ' ' << ruleSummary(rules[i]) << '\n';
+    }
+    return os.str();
+}
+
+} // namespace apex::mapper

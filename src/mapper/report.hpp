@@ -1,0 +1,42 @@
+#ifndef APEX_MAPPER_REPORT_H_
+#define APEX_MAPPER_REPORT_H_
+
+#include <string>
+
+#include "mapper/select.hpp"
+
+/**
+ * @file
+ * Mapping reports: the human-readable summary a compiler prints after
+ * instruction selection — rule-use histogram, PE utilization (ops per
+ * PE, the paper's "maximize utilization of the PE's hardware
+ * resources" objective), constant-register absorption and IO counts.
+ */
+
+namespace apex::mapper {
+
+/** Aggregated mapping statistics. */
+struct MappingStats {
+    int pe_count = 0;
+    int covered_ops = 0;       ///< Compute ops executed on PEs.
+    double ops_per_pe = 0.0;   ///< covered_ops / pe_count.
+    int consts_absorbed = 0;   ///< Constants bound to PE const regs.
+    int multi_op_pes = 0;      ///< PEs executing >= 2 ops (merged).
+    int max_rule_size = 0;     ///< Largest rule actually used.
+    int distinct_rules = 0;    ///< Rules with at least one use.
+};
+
+/** Compute statistics for a mapping result. */
+MappingStats mappingStats(const SelectionResult &result,
+                          const std::vector<RewriteRule> &rules);
+
+/**
+ * Render a report: the stats plus a per-rule histogram (rule pattern
+ * summary, size, uses), ordered by use count.
+ */
+std::string mappingReport(const SelectionResult &result,
+                          const std::vector<RewriteRule> &rules);
+
+} // namespace apex::mapper
+
+#endif // APEX_MAPPER_REPORT_H_

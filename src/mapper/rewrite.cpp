@@ -1,0 +1,460 @@
+#include "mapper/rewrite.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <random>
+#include <set>
+
+#include "ir/interpreter.hpp"
+
+namespace apex::mapper {
+
+using ir::Graph;
+using ir::NodeId;
+using ir::Op;
+using merging::DpNodeKind;
+using pe::PeConfig;
+using pe::PeSpec;
+
+namespace {
+
+bool
+isPlaceholderNode(const Graph &g, NodeId id)
+{
+    const Op op = g.op(id);
+    return op == Op::kInput || op == Op::kInputBit;
+}
+
+bool
+isConstNode(const Graph &g, NodeId id)
+{
+    const Op op = g.op(id);
+    return op == Op::kConst || op == Op::kConstBit;
+}
+
+/** Find the unique sink (compute node without consumers); kNoNode if
+ * the pattern has zero or several sinks. */
+NodeId
+uniqueSink(const Graph &pattern)
+{
+    std::vector<bool> has_consumer(pattern.size(), false);
+    for (const ir::Edge &e : pattern.edges())
+        has_consumer[e.src] = true;
+    NodeId sink = ir::kNoNode;
+    for (NodeId id = 0; id < pattern.size(); ++id) {
+        if (!ir::opIsCompute(pattern.op(id)) || has_consumer[id])
+            continue;
+        if (sink != ir::kNoNode)
+            return ir::kNoNode;
+        sink = id;
+    }
+    return sink;
+}
+
+/** Backtracking structural embedding of a pattern into the datapath. */
+struct StructuralMatcher {
+    const Graph &pattern;
+    const PeSpec &spec;
+    std::vector<int> pat2dp;
+    std::vector<bool> dp_used;
+    std::vector<NodeId> order; ///< Pattern nodes in assignment order.
+    NodeId sink;
+
+    StructuralMatcher(const Graph &p, const PeSpec &s, NodeId snk)
+        : pattern(p), spec(s), pat2dp(p.size(), -1),
+          dp_used(s.dp.nodes.size(), false), sink(snk)
+    {
+        for (NodeId id : p.topoOrder())
+            order.push_back(id);
+    }
+
+    bool
+    edgeOk(NodeId psrc, NodeId pdst, int port) const
+    {
+        const merging::DpEdge want{pat2dp[psrc], pat2dp[pdst], port};
+        return std::find(spec.dp.edges.begin(), spec.dp.edges.end(),
+                         want) != spec.dp.edges.end();
+    }
+
+    /** Check edges of @p pid against already-assigned neighbours. */
+    bool
+    consistent(NodeId pid) const
+    {
+        const ir::Node &pn = pattern.node(pid);
+        for (int p = 0; p < static_cast<int>(pn.operands.size());
+             ++p) {
+            const NodeId src = pn.operands[p];
+            if (pat2dp[src] >= 0 && !edgeOk(src, pid, p))
+                return false;
+        }
+        // Fanout edges into assigned consumers.
+        for (NodeId other = 0; other < pattern.size(); ++other) {
+            if (pat2dp[other] < 0)
+                continue;
+            const ir::Node &on = pattern.node(other);
+            for (int p = 0; p < static_cast<int>(on.operands.size());
+                 ++p) {
+                if (on.operands[p] == pid && !edgeOk(pid, other, p))
+                    return false;
+            }
+        }
+        return true;
+    }
+
+    std::vector<int>
+    candidatesFor(NodeId pid) const
+    {
+        const ir::Node &pn = pattern.node(pid);
+        std::vector<int> result;
+        if (isPlaceholderNode(pattern, pid)) {
+            const auto &inputs = pn.op == Op::kInputBit
+                                     ? spec.bit_inputs
+                                     : spec.word_inputs;
+            for (int id : inputs)
+                result.push_back(id);
+        } else if (isConstNode(pattern, pid)) {
+            for (int id : spec.const_regs) {
+                const bool want_bit = pn.op == Op::kConstBit;
+                const bool is_bit = spec.dp.nodes[id].type ==
+                                    ir::ValueType::kBit;
+                if (want_bit == is_bit)
+                    result.push_back(id);
+            }
+        } else {
+            for (int id : spec.dp.blockIds()) {
+                if (!spec.dp.nodes[id].ops.count(pn.op))
+                    continue;
+                if (pid == sink && !spec.dp.nodes[id].is_output)
+                    continue;
+                result.push_back(id);
+            }
+        }
+        return result;
+    }
+
+    bool
+    search(std::size_t depth)
+    {
+        if (depth == order.size())
+            return true;
+        const NodeId pid = order[depth];
+        for (int cand : candidatesFor(pid)) {
+            if (dp_used[cand])
+                continue;
+            pat2dp[pid] = cand;
+            dp_used[cand] = true;
+            if (consistent(pid) && search(depth + 1))
+                return true;
+            dp_used[cand] = false;
+            pat2dp[pid] = -1;
+        }
+        return false;
+    }
+};
+
+/** Make a const-variant of a single-op seed: placeholders at the
+ * word ports selected by @p const_mask are replaced by constants. */
+Graph
+constVariant(Op op, unsigned const_mask)
+{
+    Graph g;
+    std::vector<NodeId> operands;
+    for (int p = 0; p < ir::opArity(op); ++p) {
+        const bool bit = ir::opOperandType(op, p) ==
+                         ir::ValueType::kBit;
+        if (const_mask >> p & 1)
+            operands.push_back(
+                g.addNode(bit ? Op::kConstBit : Op::kConst));
+        else
+            operands.push_back(
+                g.addNode(bit ? Op::kInputBit : Op::kInput));
+    }
+    g.addNode(op, std::move(operands));
+    return g;
+}
+
+Graph
+seedSingleOp(Op op)
+{
+    Graph g;
+    std::vector<NodeId> operands;
+    for (int p = 0; p < ir::opArity(op); ++p) {
+        const bool bit = ir::opOperandType(op, p) ==
+                         ir::ValueType::kBit;
+        operands.push_back(
+            g.addNode(bit ? Op::kInputBit : Op::kInput));
+    }
+    g.addNode(op, std::move(operands));
+    return g;
+}
+
+} // namespace
+
+RewriteRuleSynthesizer::RewriteRuleSynthesizer(const PeSpec &spec,
+                                               SynthesisOptions opt)
+    : spec_(spec), options_(opt)
+{
+}
+
+std::optional<RewriteRule>
+RewriteRuleSynthesizer::synthesize(const Graph &pattern) const
+{
+    const NodeId sink = uniqueSink(pattern);
+    if (sink == ir::kNoNode)
+        return std::nullopt;
+
+    StructuralMatcher matcher(pattern, spec_, sink);
+    if (!matcher.search(0))
+        return std::nullopt;
+
+    RewriteRule rule;
+    rule.pattern = pattern;
+    rule.node_to_dp = matcher.pat2dp;
+    rule.out_node = sink;
+    rule.word_output =
+        ir::opResultType(pattern.op(sink)) == ir::ValueType::kWord;
+    rule.config = pe::defaultConfig(spec_);
+
+    for (NodeId id = 0; id < pattern.size(); ++id) {
+        const int dp_id = matcher.pat2dp[id];
+        if (isPlaceholderNode(pattern, id)) {
+            rule.placeholders.push_back(id);
+            const auto &inputs =
+                pattern.op(id) == Op::kInputBit ? spec_.bit_inputs
+                                                : spec_.word_inputs;
+            const auto it = std::find(inputs.begin(), inputs.end(),
+                                      dp_id);
+            rule.input_ports.push_back(
+                static_cast<int>(it - inputs.begin()));
+        } else if (isConstNode(pattern, id)) {
+            const auto it = std::find(spec_.const_regs.begin(),
+                                      spec_.const_regs.end(), dp_id);
+            rule.const_bindings.emplace_back(
+                id,
+                static_cast<int>(it - spec_.const_regs.begin()));
+        } else {
+            rule.config.block_op[dp_id] = pattern.op(id);
+            ++rule.size;
+            // LUT truth table becomes configuration.
+            if (pattern.op(id) == Op::kLut) {
+                for (std::size_t l = 0; l < spec_.lut_blocks.size();
+                     ++l) {
+                    if (spec_.lut_blocks[l] == dp_id)
+                        rule.config.lut_table[l] =
+                            pattern.node(id).param;
+                }
+            }
+        }
+    }
+
+    // Mux selects from pattern edges.
+    for (const ir::Edge &e : pattern.edges()) {
+        const int dst_dp = matcher.pat2dp[e.dst];
+        const int src_dp = matcher.pat2dp[e.src];
+        if (dst_dp < 0 || src_dp < 0)
+            continue;
+        if (spec_.dp.nodes[dst_dp].kind != DpNodeKind::kBlock)
+            continue;
+        const int mux = spec_.muxIndexOf(dst_dp, e.port);
+        if (mux < 0)
+            continue;
+        const auto &sources = spec_.muxes[mux].sources;
+        const auto it = std::find(sources.begin(), sources.end(),
+                                  src_dp);
+        rule.config.mux_sel[mux] =
+            static_cast<int>(it - sources.begin());
+    }
+
+    // Output select.
+    const int sink_dp = matcher.pat2dp[sink];
+    const auto &outs = rule.word_output ? spec_.word_outputs
+                                        : spec_.bit_outputs;
+    const auto it = std::find(outs.begin(), outs.end(), sink_dp);
+    if (it == outs.end())
+        return std::nullopt;
+    if (rule.word_output)
+        rule.config.word_out_sel =
+            static_cast<int>(it - outs.begin());
+    else
+        rule.config.bit_out_sel = static_cast<int>(it - outs.begin());
+
+    if (!validateRule(spec_, rule, options_))
+        return std::nullopt;
+    return rule;
+}
+
+std::vector<RewriteRule>
+RewriteRuleSynthesizer::synthesizeLibrary(
+    const std::vector<Graph> &complex_patterns) const
+{
+    std::vector<RewriteRule> rules;
+
+    // Complex patterns first.
+    for (const Graph &p : complex_patterns) {
+        if (auto rule = synthesize(p))
+            rules.push_back(std::move(*rule));
+    }
+
+    // Single-op rules + const variants for every supported op.
+    std::set<Op> supported;
+    for (int b : spec_.dp.blockIds())
+        supported.insert(spec_.dp.nodes[b].ops.begin(),
+                         spec_.dp.nodes[b].ops.end());
+    for (Op op : supported) {
+        if (auto rule = synthesize(seedSingleOp(op)))
+            rules.push_back(std::move(*rule));
+        // Every non-empty subset of word operand ports may be bound
+        // to constant registers (Sec. 2.3's I/O reduction).
+        unsigned word_ports = 0;
+        for (int port = 0; port < ir::opArity(op); ++port)
+            if (ir::opOperandType(op, port) == ir::ValueType::kWord)
+                word_ports |= 1u << port;
+        for (unsigned mask = 1; mask < 8; ++mask) {
+            if ((mask & word_ports) != mask)
+                continue;
+            if (auto rule = synthesize(constVariant(op, mask)))
+                rules.push_back(std::move(*rule));
+        }
+    }
+
+    // Largest first; prefer const-absorbing variants on ties.
+    std::stable_sort(
+        rules.begin(), rules.end(),
+        [](const RewriteRule &a, const RewriteRule &b) {
+            if (a.size != b.size)
+                return a.size > b.size;
+            return a.const_bindings.size() > b.const_bindings.size();
+        });
+    return rules;
+}
+
+std::vector<RewriteRule>
+combineLibraries(std::vector<std::vector<RewriteRule>> libraries,
+                 const std::vector<double> &type_area_rank)
+{
+    std::vector<RewriteRule> combined;
+    for (std::size_t t = 0; t < libraries.size(); ++t) {
+        for (RewriteRule &rule : libraries[t]) {
+            rule.pe_type = static_cast<int>(t);
+            combined.push_back(std::move(rule));
+        }
+    }
+    auto rank = [&](int type) {
+        return type < static_cast<int>(type_area_rank.size())
+                   ? type_area_rank[type]
+                   : 0.0;
+    };
+    std::stable_sort(
+        combined.begin(), combined.end(),
+        [&](const RewriteRule &a, const RewriteRule &b) {
+            if (a.size != b.size)
+                return a.size > b.size;
+            if (a.const_bindings.size() != b.const_bindings.size())
+                return a.const_bindings.size() >
+                       b.const_bindings.size();
+            return rank(a.pe_type) < rank(b.pe_type);
+        });
+    return combined;
+}
+
+bool
+validateRule(const PeSpec &spec, const RewriteRule &rule,
+             const SynthesisOptions &options)
+{
+    // Free variables of the forall: placeholders and constants.
+    std::vector<NodeId> free_vars = rule.placeholders;
+    for (const auto &[const_node, reg] : rule.const_bindings)
+        free_vars.push_back(const_node);
+
+    auto check = [&](const std::vector<std::uint64_t> &values,
+                     int width) {
+        // Bind the pattern side: copy the pattern with const params
+        // overridden, interpret.
+        Graph bound = rule.pattern;
+        std::map<NodeId, std::uint64_t> inputs;
+        pe::PeInputs pe_in;
+        pe_in.word.assign(spec.word_inputs.size(), 0);
+        pe_in.bit.assign(spec.bit_inputs.size(), 0);
+        PeConfig cfg = rule.config;
+
+        for (std::size_t i = 0; i < free_vars.size(); ++i) {
+            const NodeId id = free_vars[i];
+            const std::uint64_t v = values[i];
+            if (isPlaceholderNode(rule.pattern, id)) {
+                inputs[id] = v;
+                // Locate this placeholder's rule input port.
+                for (std::size_t k = 0; k < rule.placeholders.size();
+                     ++k) {
+                    if (rule.placeholders[k] != id)
+                        continue;
+                    if (rule.pattern.op(id) == Op::kInputBit)
+                        pe_in.bit[rule.input_ports[k]] = v & 1;
+                    else
+                        pe_in.word[rule.input_ports[k]] = v;
+                }
+            } else {
+                bound.node(id).param = v;
+                for (const auto &[cnode, reg] : rule.const_bindings)
+                    if (cnode == id)
+                        cfg.const_val[reg] = v;
+            }
+        }
+
+        const ir::Interpreter interp(width);
+        const auto pattern_vals = interp.evalAll(bound, inputs);
+        const std::uint64_t want = pattern_vals[rule.out_node];
+
+        const pe::PeFunctionalModel model(spec, width);
+        pe::PeOutputs out;
+        if (!model.evaluate(cfg, pe_in, &out))
+            return false;
+        const std::uint64_t got = rule.word_output ? out.word
+                                                   : out.bit;
+        return got == want;
+    };
+
+    const int nvars = static_cast<int>(free_vars.size());
+    auto width_of = [&](NodeId id) {
+        return ir::opResultType(rule.pattern.op(id)) ==
+                       ir::ValueType::kBit
+                   ? 1
+                   : 0; // 0 = word (width set per phase)
+    };
+
+    // Phase 1: exhaustive at reduced width when tractable.
+    if (nvars <= options.exhaustive_max_inputs) {
+        const int w = options.exhaustive_width;
+        std::vector<std::uint64_t> values(nvars, 0);
+        std::function<bool(int)> sweep = [&](int i) -> bool {
+            if (i == nvars)
+                return check(values, w);
+            const std::uint64_t limit =
+                width_of(free_vars[i]) == 1 ? 2 : (1u << w);
+            for (std::uint64_t v = 0; v < limit; ++v) {
+                values[i] = v;
+                if (!sweep(i + 1))
+                    return false;
+            }
+            return true;
+        };
+        if (!sweep(0))
+            return false;
+    }
+
+    // Phase 2: randomized checking at full width.
+    std::mt19937 rng(options.seed);
+    std::uniform_int_distribution<std::uint32_t> dist(0, 0xFFFF);
+    for (int t = 0; t < options.random_checks; ++t) {
+        std::vector<std::uint64_t> values(nvars);
+        for (int i = 0; i < nvars; ++i) {
+            values[i] = width_of(free_vars[i]) == 1 ? (dist(rng) & 1)
+                                                    : dist(rng);
+        }
+        if (!check(values, ir::kWordWidth))
+            return false;
+    }
+    return true;
+}
+
+} // namespace apex::mapper

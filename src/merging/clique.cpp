@@ -1,0 +1,126 @@
+#include "merging/clique.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace apex::merging {
+
+namespace {
+
+/** Greedy clique: repeatedly add the heaviest compatible vertex. */
+CliqueResult
+greedyClique(const CliqueProblem &pb)
+{
+    std::vector<int> order(pb.n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+        return pb.weight[a] > pb.weight[b];
+    });
+
+    CliqueResult result;
+    for (int v : order) {
+        bool ok = true;
+        for (int u : result.vertices)
+            if (!pb.adj[v][u]) {
+                ok = false;
+                break;
+            }
+        if (ok) {
+            result.vertices.push_back(v);
+            result.weight += pb.weight[v];
+        }
+    }
+    std::sort(result.vertices.begin(), result.vertices.end());
+    return result;
+}
+
+struct Search {
+    const CliqueProblem &pb;
+    std::int64_t budget;
+    std::vector<int> best;
+    double best_weight = 0.0;
+    bool optimal = true;
+
+    explicit Search(const CliqueProblem &p, std::int64_t b)
+        : pb(p), budget(b) {}
+
+    void
+    expand(std::vector<int> &current, double current_weight,
+           std::vector<int> &candidates)
+    {
+        if (--budget <= 0) {
+            optimal = false;
+            return;
+        }
+        if (candidates.empty()) {
+            if (current_weight > best_weight) {
+                best_weight = current_weight;
+                best = current;
+            }
+            return;
+        }
+        double rest = 0.0;
+        for (int v : candidates)
+            rest += pb.weight[v];
+
+        // Candidates are kept sorted by descending weight.
+        for (std::size_t i = 0; i < candidates.size(); ++i) {
+            if (current_weight + rest <= best_weight)
+                return; // bound: even taking everything cannot win
+            const int v = candidates[i];
+            rest -= pb.weight[v];
+
+            std::vector<int> next;
+            next.reserve(candidates.size() - i);
+            for (std::size_t j = i + 1; j < candidates.size(); ++j)
+                if (pb.adj[v][candidates[j]])
+                    next.push_back(candidates[j]);
+
+            current.push_back(v);
+            const double w = current_weight + pb.weight[v];
+            if (next.empty()) {
+                if (w > best_weight) {
+                    best_weight = w;
+                    best = current;
+                }
+            } else {
+                expand(current, w, next);
+            }
+            current.pop_back();
+            if (budget <= 0)
+                return;
+        }
+    }
+};
+
+} // namespace
+
+CliqueResult
+maxWeightClique(const CliqueProblem &pb, std::int64_t node_budget)
+{
+    if (pb.n == 0)
+        return {};
+
+    CliqueResult seed = greedyClique(pb);
+
+    Search search(pb, node_budget);
+    search.best = seed.vertices;
+    search.best_weight = seed.weight;
+
+    std::vector<int> candidates(pb.n);
+    std::iota(candidates.begin(), candidates.end(), 0);
+    std::sort(candidates.begin(), candidates.end(), [&](int a, int b) {
+        return pb.weight[a] > pb.weight[b];
+    });
+    std::vector<int> current;
+    search.expand(current, 0.0, candidates);
+
+    CliqueResult result;
+    result.vertices = std::move(search.best);
+    std::sort(result.vertices.begin(), result.vertices.end());
+    result.weight = search.best_weight;
+    result.optimal = search.optimal;
+    return result;
+}
+
+} // namespace apex::merging

@@ -1,0 +1,46 @@
+#ifndef APEX_MERGING_CLIQUE_H_
+#define APEX_MERGING_CLIQUE_H_
+
+#include <cstdint>
+#include <vector>
+
+/**
+ * @file
+ * Maximum-weight clique solver used by datapath merging (Sec. 3.3):
+ * the compatible-merge selection is exactly a maximum-weight clique of
+ * the compatibility graph.
+ *
+ * The solver is an exact branch-and-bound (greedy-seeded, with the
+ * remaining-weight upper bound) under a node budget; if the budget is
+ * exhausted on a pathological instance it returns the best clique
+ * found so far, which is always at least as good as greedy.
+ */
+
+namespace apex::merging {
+
+/** Weighted undirected graph for the clique search. */
+struct CliqueProblem {
+    int n = 0;                           ///< Vertex count.
+    std::vector<double> weight;          ///< Vertex weights (>= 0).
+    std::vector<std::vector<bool>> adj;  ///< Symmetric adjacency.
+};
+
+/** Result of the clique search. */
+struct CliqueResult {
+    std::vector<int> vertices; ///< Chosen clique, ascending order.
+    double weight = 0.0;       ///< Sum of vertex weights.
+    bool optimal = true;       ///< False if the node budget ran out.
+};
+
+/**
+ * Find a maximum-weight clique.
+ *
+ * @param problem      The weighted graph.
+ * @param node_budget  Branch-and-bound node limit (default 2e6).
+ */
+CliqueResult maxWeightClique(const CliqueProblem &problem,
+                             std::int64_t node_budget = 2'000'000);
+
+} // namespace apex::merging
+
+#endif // APEX_MERGING_CLIQUE_H_

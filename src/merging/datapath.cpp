@@ -1,0 +1,195 @@
+#include "merging/datapath.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace apex::merging {
+
+using ir::Op;
+
+int
+DpNode::arity() const
+{
+    if (kind != DpNodeKind::kBlock || ops.empty())
+        return 0;
+    int max_arity = 0;
+    for (Op op : ops)
+        max_arity = std::max(max_arity, ir::opArity(op));
+    return max_arity;
+}
+
+std::vector<int>
+Datapath::inputIds() const
+{
+    std::vector<int> result;
+    for (int i = 0; i < static_cast<int>(nodes.size()); ++i)
+        if (nodes[i].kind == DpNodeKind::kInput)
+            result.push_back(i);
+    return result;
+}
+
+std::vector<int>
+Datapath::constIds() const
+{
+    std::vector<int> result;
+    for (int i = 0; i < static_cast<int>(nodes.size()); ++i)
+        if (nodes[i].kind == DpNodeKind::kConst)
+            result.push_back(i);
+    return result;
+}
+
+std::vector<int>
+Datapath::blockIds() const
+{
+    std::vector<int> result;
+    for (int i = 0; i < static_cast<int>(nodes.size()); ++i)
+        if (nodes[i].kind == DpNodeKind::kBlock)
+            result.push_back(i);
+    return result;
+}
+
+std::vector<int>
+Datapath::outputIds() const
+{
+    std::vector<int> result;
+    for (int i = 0; i < static_cast<int>(nodes.size()); ++i)
+        if (nodes[i].is_output)
+            result.push_back(i);
+    return result;
+}
+
+std::vector<int>
+Datapath::sourcesOf(int dst, int port) const
+{
+    std::vector<int> result;
+    for (const DpEdge &e : edges)
+        if (e.dst == dst && e.port == port)
+            result.push_back(e.src);
+    std::sort(result.begin(), result.end());
+    result.erase(std::unique(result.begin(), result.end()),
+                 result.end());
+    return result;
+}
+
+void
+Datapath::addEdgeUnique(const DpEdge &e)
+{
+    if (std::find(edges.begin(), edges.end(), e) == edges.end())
+        edges.push_back(e);
+}
+
+bool
+Datapath::validate(std::string *error) const
+{
+    auto fail = [&](const std::string &msg) {
+        if (error)
+            *error = msg;
+        return false;
+    };
+    const int n = static_cast<int>(nodes.size());
+    for (const DpEdge &e : edges) {
+        if (e.src < 0 || e.src >= n || e.dst < 0 || e.dst >= n)
+            return fail("edge endpoint out of range");
+        if (nodes[e.dst].kind != DpNodeKind::kBlock)
+            return fail("edge into a non-block node");
+        if (e.port < 0 || e.port >= nodes[e.dst].arity()) {
+            std::ostringstream os;
+            os << "edge port " << e.port << " out of range on node "
+               << e.dst;
+            return fail(os.str());
+        }
+    }
+    for (int i = 0; i < n; ++i) {
+        if (nodes[i].kind != DpNodeKind::kBlock)
+            continue;
+        if (nodes[i].ops.empty())
+            return fail("block without ops");
+        for (int p = 0; p < nodes[i].arity(); ++p)
+            if (sourcesOf(i, p).empty()) {
+                std::ostringstream os;
+                os << "block node " << i << " port " << p
+                   << " has no source";
+                return fail(os.str());
+            }
+    }
+    return true;
+}
+
+double
+Datapath::functionalArea(const model::TechModel &tech) const
+{
+    double area = 0.0;
+    for (int i = 0; i < static_cast<int>(nodes.size()); ++i) {
+        const DpNode &nd = nodes[i];
+        if (nd.kind == DpNodeKind::kInput)
+            continue;
+        area += model::blockCost(tech, nd.cls).area;
+        if (nd.kind != DpNodeKind::kBlock)
+            continue;
+        for (int p = 0; p < nd.arity(); ++p) {
+            const int fan_in =
+                static_cast<int>(sourcesOf(i, p).size());
+            if (fan_in > 1) {
+                const bool bit =
+                    ir::opOperandType(*nd.ops.begin(), p) ==
+                    ir::ValueType::kBit;
+                area += (fan_in - 1) * (bit ? tech.mux_input_area_bit
+                                            : tech.mux_input_area);
+            }
+        }
+    }
+    return area;
+}
+
+Datapath
+datapathFromPattern(const ir::Graph &pattern, std::vector<int> *node_map)
+{
+    Datapath dp;
+    std::vector<int> map(pattern.size(), -1);
+
+    // Sink detection: compute nodes with no compute/const consumers.
+    std::vector<bool> has_consumer(pattern.size(), false);
+    for (const ir::Edge &e : pattern.edges())
+        has_consumer[e.src] = true;
+
+    for (ir::NodeId id : pattern.topoOrder()) {
+        const ir::Node &n = pattern.node(id);
+        DpNode dn;
+        dn.name = n.name;
+        dn.type = ir::opResultType(n.op);
+        switch (n.op) {
+          case Op::kInput:
+          case Op::kInputBit:
+            dn.kind = DpNodeKind::kInput;
+            break;
+          case Op::kConst:
+            dn.kind = DpNodeKind::kConst;
+            dn.cls = model::HwBlockClass::kConstReg;
+            break;
+          case Op::kConstBit:
+            dn.kind = DpNodeKind::kConst;
+            dn.cls = model::HwBlockClass::kConstRegBit;
+            break;
+          default: {
+            dn.kind = DpNodeKind::kBlock;
+            dn.cls = model::blockClassOf(n.op);
+            dn.ops = {n.op};
+            dn.is_output = !has_consumer[id];
+            break;
+          }
+        }
+        map[id] = static_cast<int>(dp.nodes.size());
+        dp.nodes.push_back(std::move(dn));
+
+        for (int p = 0; p < static_cast<int>(n.operands.size()); ++p) {
+            dp.addEdgeUnique(
+                DpEdge{map[n.operands[p]], map[id], p});
+        }
+    }
+
+    if (node_map)
+        *node_map = std::move(map);
+    return dp;
+}
+
+} // namespace apex::merging

@@ -1,0 +1,101 @@
+#ifndef APEX_MERGING_DATAPATH_H_
+#define APEX_MERGING_DATAPATH_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ir/graph.hpp"
+#include "model/hw_block.hpp"
+#include "model/tech.hpp"
+
+/**
+ * @file
+ * PE datapath graphs — the structures that subgraph merging operates
+ * on (Sec. 3.3) and from which PE specifications are generated.
+ *
+ * A Datapath is a graph of hardware resources: external input ports,
+ * constant registers, and functional-unit blocks.  Each block has a
+ * hardware class (model::HwBlockClass) and the set of ops it must be
+ * able to execute (grown by merging).  An input port of a block may
+ * have several feasible sources — that is a multiplexer, inserted
+ * when merging maps different producers onto the same port.
+ */
+
+namespace apex::merging {
+
+/** Kind of datapath node. */
+enum class DpNodeKind { kInput, kConst, kBlock };
+
+/** One resource in a PE datapath. */
+struct DpNode {
+    DpNodeKind kind = DpNodeKind::kBlock;
+    /** Block class (kBlock/kConst nodes; kConstReg(Bit) for consts). */
+    model::HwBlockClass cls = model::HwBlockClass::kAddSub;
+    /** Ops this block must support (kBlock only). */
+    std::set<ir::Op> ops;
+    /** Result value type of the node. */
+    ir::ValueType type = ir::ValueType::kWord;
+    /** True when some source subgraph exposes this node as a result. */
+    bool is_output = false;
+    /** Debug name. */
+    std::string name;
+
+    /** @return number of data input ports (kBlock only, else 0). */
+    int arity() const;
+};
+
+/** One feasible connection src -> (dst, port). */
+struct DpEdge {
+    int src = -1;
+    int dst = -1;
+    int port = 0;
+
+    auto operator<=>(const DpEdge &) const = default;
+};
+
+/** A PE datapath graph. */
+struct Datapath {
+    std::vector<DpNode> nodes;
+    std::vector<DpEdge> edges;
+
+    /** @return ids of external input nodes (in creation order). */
+    std::vector<int> inputIds() const;
+    /** @return ids of constant-register nodes. */
+    std::vector<int> constIds() const;
+    /** @return ids of functional-block nodes. */
+    std::vector<int> blockIds() const;
+    /** @return ids of nodes flagged as outputs. */
+    std::vector<int> outputIds() const;
+
+    /** @return the sources feeding (dst, port), sorted. */
+    std::vector<int> sourcesOf(int dst, int port) const;
+
+    /** Add @p e unless an identical edge exists. */
+    void addEdgeUnique(const DpEdge &e);
+
+    /** @return true if node/edge indices and ports are in range and
+     * every block port has at least one source. */
+    bool validate(std::string *error = nullptr) const;
+
+    /** Total functional area of the datapath under @p tech: blocks +
+     * constant registers + multiplexer inputs (no config/decode —
+     * those are PE-level and added by pe::PeSpec). */
+    double functionalArea(const model::TechModel &tech) const;
+};
+
+/**
+ * Lower a mined pattern (ir::Graph with placeholder inputs) to a
+ * datapath: placeholders become input ports, constants become constant
+ * registers, compute nodes become single-op blocks.  Sink compute
+ * nodes are flagged as outputs.
+ *
+ * @param pattern      The pattern graph.
+ * @param node_map     Optional out: pattern node id -> datapath node id.
+ */
+Datapath datapathFromPattern(const ir::Graph &pattern,
+                             std::vector<int> *node_map = nullptr);
+
+} // namespace apex::merging
+
+#endif // APEX_MERGING_DATAPATH_H_

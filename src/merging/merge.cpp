@@ -1,0 +1,229 @@
+#include "merging/merge.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "merging/clique.hpp"
+
+namespace apex::merging {
+
+namespace {
+
+/** One merge opportunity: 1 node pair (node merge) or 2 (edge merge). */
+struct Opportunity {
+    std::vector<std::pair<int, int>> pairs; ///< (A node, B node).
+    double weight = 0.0;
+};
+
+/** Can nodes a (from A) and b (from B) share hardware? */
+bool
+nodesMergeable(const DpNode &a, const DpNode &b)
+{
+    if (a.kind != b.kind)
+        return false;
+    if (a.kind == DpNodeKind::kInput)
+        return a.type == b.type;
+    return a.cls == b.cls; // consts and blocks: same class
+}
+
+double
+nodeMergeWeight(const DpNode &a, const model::TechModel &tech,
+                const MergeOptions &opt)
+{
+    if (a.kind == DpNodeKind::kInput) {
+        return a.type == ir::ValueType::kBit
+                   ? opt.input_merge_weight_bit
+                   : opt.input_merge_weight;
+    }
+    return model::blockCost(tech, a.cls).area;
+}
+
+/** Are two opportunities' pairings mutually injective? */
+bool
+compatible(const Opportunity &u, const Opportunity &v)
+{
+    for (const auto &[a1, b1] : u.pairs)
+        for (const auto &[a2, b2] : v.pairs) {
+            if ((a1 == a2) != (b1 == b2))
+                return false;
+        }
+    return true;
+}
+
+} // namespace
+
+MergeResult
+mergeDatapaths(const Datapath &a, const Datapath &b,
+               const model::TechModel &tech, const MergeOptions &opt)
+{
+    // 1. Enumerate node merge opportunities.
+    std::vector<Opportunity> opportunities;
+    for (int i = 0; i < static_cast<int>(a.nodes.size()); ++i) {
+        for (int j = 0; j < static_cast<int>(b.nodes.size()); ++j) {
+            if (!nodesMergeable(a.nodes[i], b.nodes[j]))
+                continue;
+            Opportunity op;
+            op.pairs = {{i, j}};
+            op.weight = nodeMergeWeight(a.nodes[i], tech, opt);
+            opportunities.push_back(std::move(op));
+        }
+    }
+
+    // 2. Edge merge opportunities: mergeable endpoints, same dest port.
+    for (const DpEdge &ea : a.edges) {
+        for (const DpEdge &eb : b.edges) {
+            if (ea.port != eb.port)
+                continue;
+            if (!nodesMergeable(a.nodes[ea.src], b.nodes[eb.src]) ||
+                !nodesMergeable(a.nodes[ea.dst], b.nodes[eb.dst])) {
+                continue;
+            }
+            Opportunity op;
+            op.pairs = {{ea.src, eb.src}, {ea.dst, eb.dst}};
+            const bool bit =
+                a.nodes[ea.src].type == ir::ValueType::kBit;
+            op.weight = bit ? tech.mux_input_area_bit
+                            : tech.mux_input_area;
+            opportunities.push_back(std::move(op));
+        }
+    }
+
+    // 3. Compatibility graph + maximum-weight clique.
+    CliqueProblem pb;
+    pb.n = static_cast<int>(opportunities.size());
+    pb.weight.resize(pb.n);
+    pb.adj.assign(pb.n, std::vector<bool>(pb.n, false));
+    for (int i = 0; i < pb.n; ++i) {
+        pb.weight[i] = opportunities[i].weight;
+        for (int j = i + 1; j < pb.n; ++j) {
+            if (compatible(opportunities[i], opportunities[j])) {
+                pb.adj[i][j] = pb.adj[j][i] = true;
+            }
+        }
+    }
+    const CliqueResult clique = maxWeightClique(pb, opt.clique_budget);
+
+    // 4. Selected pairings.
+    std::vector<int> b_match(b.nodes.size(), -1); // B node -> A node
+    for (int v : clique.vertices) {
+        for (const auto &[ai, bj] : opportunities[v].pairs) {
+            assert(b_match[bj] == -1 || b_match[bj] == ai);
+            b_match[bj] = ai;
+        }
+    }
+
+    // 5. Reconstruction.
+    MergeResult result;
+    result.saved_area = clique.weight;
+    result.clique_optimal = clique.optimal;
+    result.a_to_merged.resize(a.nodes.size());
+    result.b_to_merged.assign(b.nodes.size(), -1);
+
+    for (int i = 0; i < static_cast<int>(a.nodes.size()); ++i) {
+        result.a_to_merged[i] =
+            static_cast<int>(result.merged.nodes.size());
+        result.merged.nodes.push_back(a.nodes[i]);
+    }
+    for (int j = 0; j < static_cast<int>(b.nodes.size()); ++j) {
+        if (b_match[j] >= 0) {
+            const int m = result.a_to_merged[b_match[j]];
+            result.b_to_merged[j] = m;
+            DpNode &merged_node = result.merged.nodes[m];
+            merged_node.ops.insert(b.nodes[j].ops.begin(),
+                                   b.nodes[j].ops.end());
+            merged_node.is_output |= b.nodes[j].is_output;
+            if (merged_node.name.empty())
+                merged_node.name = b.nodes[j].name;
+        } else {
+            result.b_to_merged[j] =
+                static_cast<int>(result.merged.nodes.size());
+            result.merged.nodes.push_back(b.nodes[j]);
+        }
+    }
+
+    for (const DpEdge &e : a.edges) {
+        result.merged.addEdgeUnique(DpEdge{result.a_to_merged[e.src],
+                                           result.a_to_merged[e.dst],
+                                           e.port});
+    }
+    for (const DpEdge &e : b.edges) {
+        result.merged.addEdgeUnique(DpEdge{result.b_to_merged[e.src],
+                                           result.b_to_merged[e.dst],
+                                           e.port});
+    }
+    return result;
+}
+
+MultiMergeResult
+mergePatterns(const std::vector<ir::Graph> &patterns,
+              const model::TechModel &tech, const MergeOptions &opt)
+{
+    MultiMergeResult result;
+    if (patterns.empty())
+        return result;
+
+    std::vector<int> map0;
+    result.merged = datapathFromPattern(patterns[0], &map0);
+    result.pattern_maps.push_back(std::move(map0));
+
+    for (std::size_t k = 1; k < patterns.size(); ++k) {
+        std::vector<int> mapk;
+        const Datapath next = datapathFromPattern(patterns[k], &mapk);
+        MergeResult mr =
+            mergeDatapaths(result.merged, next, tech, opt);
+        result.saved_area += mr.saved_area;
+
+        // Relocate previous pattern maps through a_to_merged.
+        for (auto &pm : result.pattern_maps)
+            for (int &id : pm)
+                if (id >= 0)
+                    id = mr.a_to_merged[id];
+        // New pattern map composes with b_to_merged.
+        for (int &id : mapk)
+            if (id >= 0)
+                id = mr.b_to_merged[id];
+        result.pattern_maps.push_back(std::move(mapk));
+        result.merged = std::move(mr.merged);
+    }
+    return result;
+}
+
+MultiMergeResult
+mergeIntoDatapath(const Datapath &seed,
+                  const std::vector<ir::Graph> &patterns,
+                  const model::TechModel &tech,
+                  std::vector<int> *seed_map, const MergeOptions &opt)
+{
+    MultiMergeResult result;
+    result.merged = seed;
+
+    std::vector<int> seed_relocation(seed.nodes.size());
+    for (std::size_t i = 0; i < seed.nodes.size(); ++i)
+        seed_relocation[i] = static_cast<int>(i);
+
+    for (const ir::Graph &pattern : patterns) {
+        std::vector<int> mapk;
+        const Datapath next = datapathFromPattern(pattern, &mapk);
+        MergeResult mr =
+            mergeDatapaths(result.merged, next, tech, opt);
+        result.saved_area += mr.saved_area;
+
+        for (int &id : seed_relocation)
+            id = mr.a_to_merged[id];
+        for (auto &pm : result.pattern_maps)
+            for (int &id : pm)
+                if (id >= 0)
+                    id = mr.a_to_merged[id];
+        for (int &id : mapk)
+            if (id >= 0)
+                id = mr.b_to_merged[id];
+        result.pattern_maps.push_back(std::move(mapk));
+        result.merged = std::move(mr.merged);
+    }
+    if (seed_map)
+        *seed_map = std::move(seed_relocation);
+    return result;
+}
+
+} // namespace apex::merging

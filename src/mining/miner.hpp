@@ -1,0 +1,93 @@
+#ifndef APEX_MINING_MINER_H_
+#define APEX_MINING_MINER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/graph.hpp"
+
+/**
+ * @file
+ * Frequent subgraph mining over a single large dataflow graph — the
+ * GRAMI substitute (Sec. 3.1 of the paper).
+ *
+ * Mining works on the application's *minable* nodes (compute ops and
+ * constants).  Patterns grow one edge at a time, guided by the
+ * occurrences of their parent pattern (only extensions that actually
+ * exist in the application are generated, as in pattern-growth
+ * miners).  Grown structures are deduplicated via canonical codes and
+ * their occurrences recomputed with the exact isomorphism matcher, so
+ * reported frequencies are exact.
+ *
+ * Frequency of a pattern = number of *distinct node sets* over which
+ * an embedding exists.  Overlap between those sets is the subject of
+ * the MIS analysis (mis.hpp), not of mining itself.
+ */
+
+namespace apex::mining {
+
+/** How pattern frequency is counted. */
+enum class SupportMetric {
+    /** Number of distinct occurrence node sets (intuitive count;
+     * the default used throughout the evaluation). */
+    kDistinctNodeSets,
+    /** GRAMI's minimum-node-image support: the minimum, over pattern
+     * nodes, of how many distinct target nodes that pattern node maps
+     * to.  Anti-monotone, hence a sound pruning bound. */
+    kMni,
+};
+
+/** Mining parameters. */
+struct MinerOptions {
+    int min_support = 2;       ///< Minimum frequency to keep growing.
+    int max_pattern_nodes = 5; ///< Maximum core (non-placeholder) size.
+    bool mine_constants = true; ///< Include kConst nodes in patterns.
+    /** Safety valve: cap on unique patterns explored per level. */
+    int max_patterns_per_level = 512;
+    SupportMetric metric = SupportMetric::kDistinctNodeSets;
+};
+
+/** One frequent pattern with its occurrences in the application. */
+struct MinedPattern {
+    ir::Graph pattern; ///< Materialized pattern (placeholder inputs).
+    std::string code;  ///< Canonical code (unique pattern identity).
+    int core_size = 0; ///< Non-placeholder node count.
+    /** Distinct occurrence node sets (sorted target node ids). */
+    std::vector<std::vector<ir::NodeId>> occurrences;
+    int frequency = 0; ///< Under the configured SupportMetric.
+    int mni_support = 0; ///< GRAMI minimum-node-image support.
+    int mis_size = 0;  ///< Non-overlapping occurrences (Sec. 3.2).
+};
+
+/** Frequent-subgraph miner for one application graph. */
+class FrequentSubgraphMiner {
+  public:
+    explicit FrequentSubgraphMiner(MinerOptions options = {})
+        : options_(options) {}
+
+    /**
+     * Mine all frequent patterns of @p app up to the configured size.
+     *
+     * @return patterns with exact frequencies; mis_size is left 0
+     * (use MisAnalysis / rankPatterns to fill and order it).
+     */
+    std::vector<MinedPattern> mine(const ir::Graph &app) const;
+
+    const MinerOptions &options() const { return options_; }
+
+  private:
+    MinerOptions options_;
+};
+
+/**
+ * Compute mis_size for every pattern (Sec. 3.2) and order the list the
+ * way the APEX flow consumes it: decreasing MIS size, then decreasing
+ * core size, then canonical code (deterministic tie-break).
+ * Single-constant patterns are dropped — they are not PEs.
+ */
+void rankPatterns(std::vector<MinedPattern> &patterns);
+
+} // namespace apex::mining
+
+#endif // APEX_MINING_MINER_H_

@@ -1,0 +1,56 @@
+#ifndef APEX_MINING_MIS_H_
+#define APEX_MINING_MIS_H_
+
+#include <vector>
+
+#include "ir/graph.hpp"
+
+/**
+ * @file
+ * Maximal independent set analysis of pattern occurrences (Sec. 3.2).
+ *
+ * Each occurrence of a pattern becomes a node of an *overlap graph*;
+ * two occurrences are connected when their node sets intersect.  An
+ * independent set of that graph is a family of occurrences that can
+ * all be accelerated by fully-utilized PEs simultaneously; its size is
+ * the paper's ranking signal for pattern interestingness.
+ *
+ * The solver is exact (branch and bound with a greedy bound) for
+ * overlap graphs up to a size threshold and falls back to the
+ * min-degree greedy heuristic above it — both return a *maximal*
+ * independent set, matching the paper's terminology.
+ */
+
+namespace apex::mining {
+
+/** Result of the independent-set computation. */
+struct MisResult {
+    /** Indices (into the occurrence list) of the chosen occurrences. */
+    std::vector<int> chosen;
+    /** Size of the set (== chosen.size()). */
+    int size = 0;
+};
+
+/**
+ * Compute a maximal independent set over occurrence overlap.
+ *
+ * @param occurrences    Sorted node-id sets, one per occurrence.
+ * @param exact_limit    Use the exact solver when the occurrence count
+ *                       is at most this (default 28).
+ */
+MisResult
+maximalIndependentSet(const std::vector<std::vector<ir::NodeId>>
+                          &occurrences,
+                      int exact_limit = 28);
+
+/**
+ * Build the overlap adjacency used by maximalIndependentSet().
+ * adjacency[i] lists the occurrence indices whose node sets intersect
+ * occurrence i's.
+ */
+std::vector<std::vector<int>>
+overlapGraph(const std::vector<std::vector<ir::NodeId>> &occurrences);
+
+} // namespace apex::mining
+
+#endif // APEX_MINING_MIS_H_

@@ -1,0 +1,52 @@
+#include "model/comparators.hpp"
+
+namespace apex::model {
+
+namespace {
+
+// Anchoring constants (see header).  Energy per word-level op event on
+// the FPGA fabric, in pJ: an op that costs ~0.1-1.0 pJ on the CGRA
+// costs tens of pJ in LUT fabric + generic routing.
+constexpr double kFpgaEnergyPerOpPj = 28.0;
+constexpr double kFpgaClockSlowdown = 3.0;
+
+// ASIC keeps the CGRA's pipelined throughput (paper Sec. 5.4.1).
+constexpr double kAsicRuntimeFactor = 1.0;
+
+// Simba vs CGRA-ML on ResNet (paper Sec. 5.4.2).
+constexpr double kSimbaEnergyRatio = 16.0;
+constexpr double kSimbaRuntimeFactor = 0.6;
+
+} // namespace
+
+PlatformResult
+fpgaEstimate(double op_events, double cgra_runtime_ms)
+{
+    PlatformResult r;
+    r.platform = "fpga";
+    r.energy_uj = op_events * kFpgaEnergyPerOpPj * 1e-6;
+    r.runtime_ms = cgra_runtime_ms * kFpgaClockSlowdown;
+    return r;
+}
+
+PlatformResult
+asicEstimate(double raw_compute_energy_uj, double cgra_runtime_ms)
+{
+    PlatformResult r;
+    r.platform = "asic";
+    r.energy_uj = raw_compute_energy_uj;
+    r.runtime_ms = cgra_runtime_ms * kAsicRuntimeFactor;
+    return r;
+}
+
+PlatformResult
+simbaEstimate(double cgra_ml_energy_uj, double cgra_ml_runtime_ms)
+{
+    PlatformResult r;
+    r.platform = "simba";
+    r.energy_uj = cgra_ml_energy_uj / kSimbaEnergyRatio;
+    r.runtime_ms = cgra_ml_runtime_ms * kSimbaRuntimeFactor;
+    return r;
+}
+
+} // namespace apex::model

@@ -1,0 +1,57 @@
+#ifndef APEX_MODEL_COMPARATORS_H_
+#define APEX_MODEL_COMPARATORS_H_
+
+#include <string>
+
+/**
+ * @file
+ * Analytical comparator platforms for Fig. 17 / Fig. 18.
+ *
+ * The paper compares its CGRAs against a Virtex Ultrascale+ VU9P FPGA
+ * (Clockwork-compiled), a Catapult-HLS ASIC, and the Simba ML
+ * accelerator.  None of those toolchains/hardware are available here,
+ * so each platform is modeled analytically, anchored to the *ratios*
+ * the paper reports (CGRA-IP 38x-159x more energy-efficient than the
+ * FPGA; ASIC below the CGRA; Simba ~16x more energy-efficient than
+ * CGRA-ML on a ResNet layer).  See DESIGN.md substitution table.
+ */
+
+namespace apex::model {
+
+/** Energy/runtime estimate of an application on one platform. */
+struct PlatformResult {
+    std::string platform; ///< "fpga", "asic", "simba".
+    double energy_uj;     ///< Total energy, micro-joules.
+    double runtime_ms;    ///< End-to-end runtime, milliseconds.
+};
+
+/**
+ * FPGA (Virtex US+ VU9P) estimate derived from a CGRA measurement.
+ *
+ * An FPGA implements the same word-level datapath in bit-level LUT
+ * fabric: roughly 40-130x the energy per op (lookup + long generic
+ * routing) and a ~3x slower clock.  @p op_events is the number of
+ * word-level compute events, @p cgra_runtime_ms the baseline CGRA
+ * runtime.
+ */
+PlatformResult fpgaEstimate(double op_events, double cgra_runtime_ms);
+
+/**
+ * ASIC (Catapult HLS + Design Compiler) estimate: fixed-function
+ * datapath, no configuration or interconnect overhead — energy is the
+ * raw functional-unit energy of the application's ops, runtime matches
+ * the CGRA (paper: "runtimes comparable to an ASIC").
+ */
+PlatformResult asicEstimate(double raw_compute_energy_uj,
+                            double cgra_runtime_ms);
+
+/**
+ * Simba estimate for an ML layer: a dedicated MAC-array accelerator,
+ * anchored at ~16x lower energy than CGRA-ML on ResNet (Sec. 5.4.2).
+ */
+PlatformResult simbaEstimate(double cgra_ml_energy_uj,
+                             double cgra_ml_runtime_ms);
+
+} // namespace apex::model
+
+#endif // APEX_MODEL_COMPARATORS_H_

@@ -1,0 +1,90 @@
+#ifndef APEX_MODEL_TECH_H_
+#define APEX_MODEL_TECH_H_
+
+#include <array>
+
+#include "model/hw_block.hpp"
+
+/**
+ * @file
+ * Technology cost model — the repository's EDA-synthesis substitute.
+ *
+ * Per-block area (um^2), active energy (pJ per executed op), and
+ * combinational delay (ns) in a 16nm-class standard-cell process, plus
+ * the structural overheads (muxes, configuration bits, register file)
+ * and the interconnect (switch-box / connection-box / memory-tile)
+ * costs needed for CGRA-level evaluation.
+ *
+ * The table is calibrated so that the baseline PE core of Fig. 1 /
+ * Table 2 of the APEX paper evaluates to ~989 um^2 and so that relative
+ * block costs follow standard-cell intuition (mul >> shift ~ minmax >
+ * addsub > cmp > logic).  The paper's conclusions concern *relative*
+ * area/energy between PE variants; this consistent cost model preserves
+ * those relations (see DESIGN.md, substitutions table).
+ */
+
+namespace apex::model {
+
+/** Cost record for one hardware block class. */
+struct BlockCost {
+    double area;   ///< um^2.
+    double energy; ///< pJ per executed operation.
+    double delay;  ///< ns through the block.
+};
+
+/** Full technology model. */
+struct TechModel {
+    /** Per block class costs, indexed by HwBlockClass. */
+    std::array<BlockCost, kNumHwBlockClasses> block;
+
+    // --- PE structural overheads -----------------------------------
+    double mux_input_area;     ///< um^2 per extra 16-bit mux input.
+    double mux_input_area_bit; ///< um^2 per extra 1-bit mux input.
+    double mux_energy;         ///< pJ per word passing through a mux.
+    double mux_delay;          ///< ns per 2:1 mux stage.
+    double config_bit_area;    ///< um^2 per configuration flop.
+    double decode_area_per_op; ///< um^2 of instruction decode per op.
+    double decode_energy;      ///< pJ per cycle: decode base cost.
+    /** pJ per configuration bit per cycle (config/clock network
+     * toggling scales with the instruction width). */
+    double config_bit_energy;
+    /** pJ per supported op per cycle (decode tree toggling). */
+    double decode_energy_per_op;
+    /** Fraction of a block's active energy it burns when idle but not
+     * operand-isolated (every unit of a monolithic ALU toggles every
+     * cycle — the dominant inefficiency of general-purpose PEs). */
+    double idle_toggle_factor;
+    double pipe_reg_area;      ///< um^2 per 16-bit pipeline register.
+    double pipe_reg_energy;    ///< pJ per clocked 16-bit register.
+    double reg_setup_delay;    ///< ns of register setup + clk->q.
+    double rf_area;            ///< um^2 of the PE register file.
+    double rf_energy;          ///< pJ per register-file access.
+
+    // --- Interconnect ------------------------------------------------
+    int sb_tracks;             ///< Routing tracks per side per direction.
+    double sb_area;            ///< um^2 per switch box (word tracks).
+    double sb_energy_per_hop;  ///< pJ per word crossing one SB.
+    double sb_hop_delay;       ///< ns through one (unregistered) SB.
+    double cb_area_per_input;  ///< um^2 per 16-bit PE/MEM input CB.
+    double cb_area_per_input_bit; ///< um^2 per 1-bit input CB.
+    double cb_energy;          ///< pJ per word through a CB.
+    double mem_tile_area;      ///< um^2 per memory tile (2x2KB SRAM).
+    double mem_energy_access;  ///< pJ per memory-tile word access.
+
+    // --- Timing targets ----------------------------------------------
+    double target_period;      ///< ns (paper: 1.1 ns, ~0.9 GHz).
+};
+
+/** @return the calibrated default technology model. */
+const TechModel &defaultTech();
+
+/** @return cost record for @p cls under @p tech. */
+inline const BlockCost &
+blockCost(const TechModel &tech, HwBlockClass cls)
+{
+    return tech.block[static_cast<int>(cls)];
+}
+
+} // namespace apex::model
+
+#endif // APEX_MODEL_TECH_H_

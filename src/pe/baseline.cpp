@@ -1,0 +1,202 @@
+#include "pe/baseline.hpp"
+
+#include <map>
+#include <vector>
+
+namespace apex::pe {
+
+using ir::Op;
+using merging::Datapath;
+using merging::DpEdge;
+using merging::DpNode;
+using merging::DpNodeKind;
+using model::HwBlockClass;
+
+namespace {
+
+/** Full op set of the baseline PE (Fig. 1). */
+std::set<Op>
+baselineOps()
+{
+    return {Op::kAdd,  Op::kSub,  Op::kMul,  Op::kAbs,  Op::kMin,
+            Op::kMax,  Op::kShl,  Op::kLshr, Op::kAshr, Op::kAnd,
+            Op::kOr,   Op::kXor,  Op::kNot,  Op::kEq,   Op::kNeq,
+            Op::kUlt,  Op::kUle,  Op::kUgt,  Op::kUge,  Op::kSlt,
+            Op::kSle,  Op::kSgt,  Op::kSge,  Op::kSel,  Op::kLut,
+            Op::kBitAnd, Op::kBitOr, Op::kBitXor, Op::kBitNot};
+}
+
+} // namespace
+
+std::set<Op>
+opsUsedBy(const ir::Graph &app)
+{
+    std::set<Op> ops;
+    for (ir::NodeId id = 0; id < app.size(); ++id)
+        if (ir::opIsCompute(app.op(id)))
+            ops.insert(app.op(id));
+    return ops;
+}
+
+PeSpec
+baselineSubsetPe(const std::set<Op> &ops, std::string name,
+                 bool with_register_file)
+{
+    Datapath dp;
+
+    auto add_node = [&](DpNode n) {
+        dp.nodes.push_back(std::move(n));
+        return static_cast<int>(dp.nodes.size()) - 1;
+    };
+
+    // Group requested ops by hardware class.  A block implements its
+    // whole class for free (the comparator hardware computes every
+    // predicate; the shifter shifts both ways) — only decode grows —
+    // so each instantiated class is completed to its full op set.
+    // This is what lets a domain PE execute ops its training apps
+    // never used (Fig. 13's unseen-application experiment).
+    std::map<HwBlockClass, std::set<Op>> by_class;
+    for (Op op : ops) {
+        const HwBlockClass cls = model::blockClassOf(op);
+        const auto class_ops = model::opsOfClass(cls);
+        by_class[cls].insert(class_ops.begin(), class_ops.end());
+    }
+
+    // The 1-bit datapath (LUT + bit IO) comes along with any block
+    // that produces or consumes bits, as in the Fig. 1 baseline.
+    if (by_class.count(HwBlockClass::kCompare) ||
+        by_class.count(HwBlockClass::kSelect)) {
+        const auto lut_ops =
+            model::opsOfClass(HwBlockClass::kLutBit);
+        by_class[HwBlockClass::kLutBit].insert(lut_ops.begin(),
+                                               lut_ops.end());
+    }
+    const bool needs_bits = by_class.count(HwBlockClass::kLutBit) ||
+                            by_class.count(HwBlockClass::kSelect);
+
+    // Data inputs.
+    DpNode in;
+    in.kind = DpNodeKind::kInput;
+    in.type = ir::ValueType::kWord;
+    in.name = "data0";
+    const int in0 = add_node(in);
+    in.name = "data1";
+    const int in1 = add_node(in);
+
+    std::vector<int> bit_ins;
+    if (needs_bits) {
+        for (int i = 0; i < 3; ++i) {
+            DpNode bi;
+            bi.kind = DpNodeKind::kInput;
+            bi.type = ir::ValueType::kBit;
+            bi.name = "bit" + std::to_string(i);
+            bit_ins.push_back(add_node(bi));
+        }
+    }
+
+    // Constant registers: two word, three bit (bit only if needed).
+    DpNode cst;
+    cst.kind = DpNodeKind::kConst;
+    cst.cls = HwBlockClass::kConstReg;
+    cst.type = ir::ValueType::kWord;
+    cst.name = "const0";
+    const int creg0 = add_node(cst);
+    cst.name = "const1";
+    const int creg1 = add_node(cst);
+
+    std::vector<int> bit_cregs;
+    if (needs_bits) {
+        DpNode bc;
+        bc.kind = DpNodeKind::kConst;
+        bc.cls = HwBlockClass::kConstRegBit;
+        bc.type = ir::ValueType::kBit;
+        for (int i = 0; i < 3; ++i) {
+            bc.name = "bconst" + std::to_string(i);
+            bit_cregs.push_back(add_node(bc));
+        }
+    }
+
+    // Word-operand wiring: operand lane 0 selects {data0, const0},
+    // lane 1 selects {data1, const1} — the Fig. 1 operand-mux shape.
+    auto wire_word_port = [&](int block, int port, int lane) {
+        dp.addEdgeUnique(DpEdge{lane == 0 ? in0 : in1, block, port});
+        dp.addEdgeUnique(
+            DpEdge{lane == 0 ? creg0 : creg1, block, port});
+    };
+
+    int cmp_block = -1, lut_block = -1;
+    std::vector<std::pair<int, HwBlockClass>> word_blocks;
+
+    for (const auto &[cls, class_ops] : by_class) {
+        DpNode blk;
+        blk.kind = DpNodeKind::kBlock;
+        blk.cls = cls;
+        blk.ops = class_ops;
+        blk.is_output = true;
+        blk.type = (cls == HwBlockClass::kCompare ||
+                    cls == HwBlockClass::kLutBit)
+                       ? ir::ValueType::kBit
+                       : ir::ValueType::kWord;
+        blk.name = std::string(model::blockClassName(cls));
+        const int id = add_node(blk);
+
+        switch (cls) {
+          case HwBlockClass::kSelect:
+            // Port 0 (bit selector) wired below; data ports here.
+            wire_word_port(id, 1, 0);
+            wire_word_port(id, 2, 1);
+            word_blocks.emplace_back(id, cls);
+            break;
+          case HwBlockClass::kLutBit:
+            lut_block = id;
+            break;
+          case HwBlockClass::kCompare:
+            cmp_block = id;
+            wire_word_port(id, 0, 0);
+            wire_word_port(id, 1, 1);
+            break;
+          default:
+            wire_word_port(id, 0, 0);
+            if (dp.nodes[id].arity() > 1)
+                wire_word_port(id, 1, 1);
+            word_blocks.emplace_back(id, cls);
+            break;
+        }
+    }
+
+    // Bit wiring: LUT ports from bit inputs / bit constants / the
+    // comparator; select's condition from the same bit sources.
+    if (lut_block >= 0) {
+        const int arity = dp.nodes[lut_block].arity();
+        for (int p = 0; p < arity; ++p) {
+            dp.addEdgeUnique(DpEdge{bit_ins[p], lut_block, p});
+            dp.addEdgeUnique(DpEdge{bit_cregs[p], lut_block, p});
+            if (cmp_block >= 0)
+                dp.addEdgeUnique(DpEdge{cmp_block, lut_block, p});
+        }
+    }
+    for (const auto &[id, cls] : word_blocks) {
+        if (cls != HwBlockClass::kSelect)
+            continue;
+        if (cmp_block >= 0)
+            dp.addEdgeUnique(DpEdge{cmp_block, id, 0});
+        if (lut_block >= 0)
+            dp.addEdgeUnique(DpEdge{lut_block, id, 0});
+        if (!bit_ins.empty())
+            dp.addEdgeUnique(DpEdge{bit_ins[0], id, 0});
+        if (!bit_cregs.empty())
+            dp.addEdgeUnique(DpEdge{bit_cregs[0], id, 0});
+    }
+
+    return makePeSpec(std::move(dp), std::move(name),
+                      with_register_file);
+}
+
+PeSpec
+baselinePe()
+{
+    return baselineSubsetPe(baselineOps(), "pe_base",
+                            /*with_register_file=*/true);
+}
+
+} // namespace apex::pe

@@ -1,0 +1,42 @@
+#ifndef APEX_PE_BASELINE_H_
+#define APEX_PE_BASELINE_H_
+
+#include <set>
+#include <string>
+
+#include "ir/graph.hpp"
+#include "pe/spec.hpp"
+
+/**
+ * @file
+ * The baseline CGRA PE of Fig. 1 (Bahr et al. DAC'20) and its
+ * application-restricted variant (the paper's "PE 1").
+ *
+ * Structure: two 16-bit data inputs and three 1-bit inputs; two
+ * 16-bit and three 1-bit constant registers; one functional block per
+ * hardware class (adder/subtractor, multiplier, shifter, word logic,
+ * comparator, min/max/abs, select) plus a 3-input LUT for bit
+ * operations; operand multiplexers choosing between the data input
+ * and a constant register per port; an output multiplexer; and a
+ * small register file (baseline only).
+ */
+
+namespace apex::pe {
+
+/** @return the full baseline PE (all ops, with register file). */
+PeSpec baselinePe();
+
+/**
+ * @return a baseline-shaped PE restricted to @p ops — the paper's
+ * "PE 1" (only the operations necessary for the application, no
+ * register file unless requested).
+ */
+PeSpec baselineSubsetPe(const std::set<ir::Op> &ops, std::string name,
+                        bool with_register_file = false);
+
+/** @return the compute ops appearing in @p app. */
+std::set<ir::Op> opsUsedBy(const ir::Graph &app);
+
+} // namespace apex::pe
+
+#endif // APEX_PE_BASELINE_H_

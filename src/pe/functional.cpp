@@ -1,0 +1,157 @@
+#include "pe/functional.hpp"
+
+#include <functional>
+
+#include "ir/op.hpp"
+
+namespace apex::pe {
+
+using merging::DpNodeKind;
+
+PeFunctionalModel::PeFunctionalModel(const PeSpec &spec, int width)
+    : spec_(spec), width_(width),
+      input_index_(spec.dp.nodes.size(), -1),
+      const_index_(spec.dp.nodes.size(), -1)
+{
+    for (std::size_t i = 0; i < spec.word_inputs.size(); ++i)
+        input_index_[spec.word_inputs[i]] = static_cast<int>(i);
+    for (std::size_t i = 0; i < spec.bit_inputs.size(); ++i)
+        input_index_[spec.bit_inputs[i]] = static_cast<int>(i);
+    for (std::size_t i = 0; i < spec.const_regs.size(); ++i)
+        const_index_[spec.const_regs[i]] = static_cast<int>(i);
+}
+
+namespace {
+
+/** DFS visit state. */
+enum class Visit : std::uint8_t { kWhite, kGray, kBlack };
+
+} // namespace
+
+bool
+PeFunctionalModel::evaluateNode(const PeConfig &config,
+                                const PeInputs &inputs, int node,
+                                std::uint64_t *value) const
+{
+    const auto &dp = spec_.dp;
+    const int n = static_cast<int>(dp.nodes.size());
+    if (node < 0 || node >= n)
+        return false;
+
+    std::vector<std::uint64_t> val(n, 0);
+    std::vector<Visit> state(n, Visit::kWhite);
+
+    // LUT table lookup per node.
+    auto lut_of = [&](int id) -> std::uint64_t {
+        for (std::size_t i = 0; i < spec_.lut_blocks.size(); ++i)
+            if (spec_.lut_blocks[i] == id)
+                return i < config.lut_table.size()
+                           ? config.lut_table[i]
+                           : 0;
+        return 0;
+    };
+
+    std::function<bool(int)> eval = [&](int id) -> bool {
+        if (state[id] == Visit::kBlack)
+            return true;
+        if (state[id] == Visit::kGray)
+            return false; // combinational cycle under this config
+        state[id] = Visit::kGray;
+
+        const merging::DpNode &nd = dp.nodes[id];
+        switch (nd.kind) {
+          case DpNodeKind::kInput: {
+            const int idx = input_index_[id];
+            const auto &vec = nd.type == ir::ValueType::kBit
+                                  ? inputs.bit
+                                  : inputs.word;
+            if (idx < 0 || idx >= static_cast<int>(vec.size()))
+                return false;
+            val[id] = vec[idx];
+            break;
+          }
+          case DpNodeKind::kConst: {
+            const int idx = const_index_[id];
+            if (idx < 0 ||
+                idx >= static_cast<int>(config.const_val.size())) {
+                return false;
+            }
+            val[id] = config.const_val[idx];
+            break;
+          }
+          case DpNodeKind::kBlock: {
+            const ir::Op op = config.block_op[id];
+            if (op >= ir::Op::kNumOps || !nd.ops.count(op))
+                return false;
+            const int arity = ir::opArity(op);
+            std::uint64_t operand[3] = {0, 0, 0};
+            for (int p = 0; p < arity; ++p) {
+                int src;
+                const int mux = spec_.muxIndexOf(id, p);
+                if (mux >= 0) {
+                    const int sel = config.mux_sel[mux];
+                    const auto &sources = spec_.muxes[mux].sources;
+                    if (sel < 0 ||
+                        sel >= static_cast<int>(sources.size())) {
+                        return false;
+                    }
+                    src = sources[sel];
+                } else {
+                    const auto sources = dp.sourcesOf(id, p);
+                    if (sources.empty())
+                        return false;
+                    src = sources[0];
+                }
+                if (!eval(src))
+                    return false;
+                operand[p] = val[src];
+            }
+            val[id] = ir::evalOp(op, operand[0], operand[1],
+                                 operand[2], lut_of(id), width_);
+            break;
+          }
+        }
+        state[id] = Visit::kBlack;
+        return true;
+    };
+
+    if (!eval(node))
+        return false;
+    *value = val[node];
+    return true;
+}
+
+bool
+PeFunctionalModel::evaluate(const PeConfig &config,
+                            const PeInputs &inputs,
+                            PeOutputs *out) const
+{
+    *out = PeOutputs{};
+    if (!spec_.word_outputs.empty()) {
+        const int sel = config.word_out_sel;
+        if (sel < 0 ||
+            sel >= static_cast<int>(spec_.word_outputs.size())) {
+            return false;
+        }
+        if (!evaluateNode(config, inputs, spec_.word_outputs[sel],
+                          &out->word)) {
+            return false;
+        }
+        out->has_word = true;
+    }
+    if (!spec_.bit_outputs.empty()) {
+        const int sel = config.bit_out_sel;
+        if (sel < 0 ||
+            sel >= static_cast<int>(spec_.bit_outputs.size())) {
+            return false;
+        }
+        if (!evaluateNode(config, inputs, spec_.bit_outputs[sel],
+                          &out->bit)) {
+            return false;
+        }
+        out->has_bit = true;
+    }
+    return true;
+}
+
+} // namespace apex::pe

@@ -1,0 +1,81 @@
+#ifndef APEX_PE_FUNCTIONAL_H_
+#define APEX_PE_FUNCTIONAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "pe/spec.hpp"
+
+/**
+ * @file
+ * PE functional model — executes a PeSpec on concrete values, the way
+ * a PEak program executes as Python.  Used as the golden model for
+ * rewrite-rule validation and for CGRA simulation.
+ *
+ * Evaluation is demand-driven from the selected output(s): only nodes
+ * reachable through the *configured* mux selections are computed, and
+ * a configuration whose selected edges form a combinational loop is
+ * rejected (merged datapaths may contain such loops across mutually
+ * exclusive configurations).
+ */
+
+namespace apex::pe {
+
+/** Input values for one evaluation. */
+struct PeInputs {
+    std::vector<std::uint64_t> word; ///< Per PeSpec::word_inputs.
+    std::vector<std::uint64_t> bit;  ///< Per PeSpec::bit_inputs.
+};
+
+/** Output values of one evaluation. */
+struct PeOutputs {
+    std::uint64_t word = 0;
+    std::uint64_t bit = 0;
+    bool has_word = false;
+    bool has_bit = false;
+};
+
+/** Demand-driven evaluator for a PE specification. */
+class PeFunctionalModel {
+  public:
+    /**
+     * @param spec   PE to model (must outlive the model).
+     * @param width  Datapath width in bits (reduced widths support the
+     *               exhaustive rewrite-rule validation sweep).
+     */
+    explicit PeFunctionalModel(const PeSpec &spec,
+                               int width = ir::kWordWidth);
+
+    /**
+     * Evaluate the PE.
+     *
+     * @param config  Configuration (mux selects, opcodes, constants).
+     * @param inputs  Input port values.
+     * @param out     Receives the output port values.
+     * @return false when the configuration selects a combinational
+     *         cycle or an invalid index; true otherwise.
+     */
+    bool evaluate(const PeConfig &config, const PeInputs &inputs,
+                  PeOutputs *out) const;
+
+    /**
+     * Evaluate and return the value of one specific datapath node
+     * (used by rewrite-rule validation for intermediate taps).
+     *
+     * @return false on cycle/invalid config.
+     */
+    bool evaluateNode(const PeConfig &config, const PeInputs &inputs,
+                      int node, std::uint64_t *value) const;
+
+    int width() const { return width_; }
+
+  private:
+    const PeSpec &spec_;
+    int width_;
+    std::vector<int> input_index_; ///< node id -> port position.
+    std::vector<int> const_index_; ///< node id -> const reg position.
+};
+
+} // namespace apex::pe
+
+#endif // APEX_PE_FUNCTIONAL_H_

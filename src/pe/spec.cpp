@@ -1,0 +1,192 @@
+#include "pe/spec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace apex::pe {
+
+using merging::Datapath;
+using merging::DpNode;
+using merging::DpNodeKind;
+
+namespace {
+
+int
+bitsFor(std::size_t choices)
+{
+    if (choices <= 1)
+        return 0;
+    int bits = 0;
+    std::size_t v = choices - 1;
+    while (v) {
+        ++bits;
+        v >>= 1;
+    }
+    return bits;
+}
+
+} // namespace
+
+int
+PeSpec::configBits() const
+{
+    int bits = 0;
+    for (const MuxSite &m : muxes)
+        bits += bitsFor(m.sources.size());
+    for (int b : multi_op_blocks)
+        bits += bitsFor(dp.nodes[b].ops.size());
+    for (int c : const_regs) {
+        bits += dp.nodes[c].type == ir::ValueType::kBit
+                    ? 1
+                    : ir::kWordWidth;
+    }
+    // LUT truth tables are configuration too.
+    bits += 8 * static_cast<int>(lut_blocks.size());
+    bits += bitsFor(word_outputs.size());
+    bits += bitsFor(bit_outputs.size());
+    return bits;
+}
+
+int
+PeSpec::totalOps() const
+{
+    int total = 0;
+    for (int b : dp.blockIds())
+        total += static_cast<int>(dp.nodes[b].ops.size());
+    return total;
+}
+
+double
+PeSpec::area(const model::TechModel &tech) const
+{
+    double area = dp.functionalArea(tech);
+    // Output muxes.
+    if (word_outputs.size() > 1) {
+        area += (word_outputs.size() - 1) * tech.mux_input_area;
+    }
+    if (bit_outputs.size() > 1) {
+        area += (bit_outputs.size() - 1) * tech.mux_input_area_bit;
+    }
+    area += configBits() * tech.config_bit_area;
+    area += totalOps() * tech.decode_area_per_op;
+    if (has_register_file)
+        area += tech.rf_area;
+    if (pipeline_stages > 0) {
+        // One word register per block output per cut, approximated by
+        // stages * (block count / stages + 1) registers.
+        const int regs =
+            pipeline_stages *
+            (static_cast<int>(dp.blockIds().size()) /
+                 std::max(pipeline_stages, 1) +
+             1);
+        area += regs * tech.pipe_reg_area;
+    }
+    return area;
+}
+
+double
+PeSpec::overheadEnergyPerCycle(const model::TechModel &tech) const
+{
+    double energy = tech.decode_energy +
+                    tech.config_bit_energy * configBits() +
+                    tech.decode_energy_per_op * totalOps();
+    if (has_register_file)
+        energy += tech.rf_energy * 0.25; // occasional access
+    if (pipeline_stages > 0)
+        energy += pipeline_stages * tech.pipe_reg_energy;
+    return energy;
+}
+
+int
+PeSpec::muxIndexOf(int node, int port) const
+{
+    for (std::size_t i = 0; i < muxes.size(); ++i)
+        if (muxes[i].node == node && muxes[i].port == port)
+            return static_cast<int>(i);
+    return -1;
+}
+
+PeSpec
+makePeSpec(Datapath dp, std::string name, bool has_register_file)
+{
+    PeSpec spec;
+    spec.name = std::move(name);
+    spec.dp = std::move(dp);
+    spec.has_register_file = has_register_file;
+
+    for (int id = 0; id < static_cast<int>(spec.dp.nodes.size());
+         ++id) {
+        const DpNode &n = spec.dp.nodes[id];
+        switch (n.kind) {
+          case DpNodeKind::kInput:
+            if (n.type == ir::ValueType::kBit)
+                spec.bit_inputs.push_back(id);
+            else
+                spec.word_inputs.push_back(id);
+            break;
+          case DpNodeKind::kConst:
+            spec.const_regs.push_back(id);
+            break;
+          case DpNodeKind::kBlock: {
+            if (n.ops.size() > 1)
+                spec.multi_op_blocks.push_back(id);
+            if (n.ops.count(ir::Op::kLut))
+                spec.lut_blocks.push_back(id);
+            for (int p = 0; p < n.arity(); ++p) {
+                auto sources = spec.dp.sourcesOf(id, p);
+                if (sources.size() > 1) {
+                    spec.muxes.push_back(
+                        MuxSite{id, p, std::move(sources)});
+                }
+            }
+            if (n.is_output) {
+                if (n.type == ir::ValueType::kBit)
+                    spec.bit_outputs.push_back(id);
+                else
+                    spec.word_outputs.push_back(id);
+            }
+            break;
+          }
+        }
+    }
+    return spec;
+}
+
+PeConfig
+defaultConfig(const PeSpec &spec)
+{
+    PeConfig cfg;
+    cfg.mux_sel.assign(spec.muxes.size(), 0);
+    cfg.block_op.assign(spec.dp.nodes.size(), ir::Op::kNumOps);
+    for (int b : spec.dp.blockIds())
+        cfg.block_op[b] = *spec.dp.nodes[b].ops.begin();
+    cfg.const_val.assign(spec.const_regs.size(), 0);
+    cfg.lut_table.assign(spec.lut_blocks.size(), 0);
+    return cfg;
+}
+
+std::string
+describe(const PeSpec &spec, const model::TechModel &tech)
+{
+    std::ostringstream os;
+    os << "PE '" << spec.name << "': "
+       << spec.dp.blockIds().size() << " blocks, "
+       << spec.word_inputs.size() << "w+" << spec.bit_inputs.size()
+       << "b inputs, " << spec.const_regs.size() << " const regs, "
+       << spec.muxes.size() << " muxes, " << spec.configBits()
+       << " config bits, " << spec.pipeline_stages << " pipe stages, "
+       << "area " << spec.area(tech) << " um^2\n";
+    for (int b : spec.dp.blockIds()) {
+        os << "  block " << b << " ["
+           << model::blockClassName(spec.dp.nodes[b].cls) << "]:";
+        for (ir::Op op : spec.dp.nodes[b].ops)
+            os << ' ' << ir::opName(op);
+        if (spec.dp.nodes[b].is_output)
+            os << " (output)";
+        os << '\n';
+    }
+    return os.str();
+}
+
+} // namespace apex::pe

@@ -1,0 +1,104 @@
+#ifndef APEX_PE_SPEC_H_
+#define APEX_PE_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "merging/datapath.hpp"
+#include "model/tech.hpp"
+
+/**
+ * @file
+ * PE specification — the PEak-DSL substitute.
+ *
+ * A PeSpec wraps a merged datapath with an explicit configuration
+ * space: one opcode field per multi-op block, one select field per
+ * multiplexer site (a block port with several feasible sources), the
+ * constant-register values, and the output selects (one word output
+ * port and, when bit-producing blocks exist, one bit output port).
+ *
+ * From a PeSpec the framework derives:
+ *  - a functional model (functional.hpp) — "executable PEak",
+ *  - RTL Verilog (verilog.hpp) — "PEak -> Magma -> Verilog",
+ *  - rewrite rules for the application mapper (mapper/),
+ *  - area / energy / timing figures under a TechModel.
+ */
+
+namespace apex::pe {
+
+/** A multiplexer site: a block input port with several sources. */
+struct MuxSite {
+    int node = -1;            ///< Block node id in the datapath.
+    int port = 0;             ///< Input port index.
+    std::vector<int> sources; ///< Feasible source node ids (sorted).
+};
+
+/** Complete PE specification. */
+struct PeSpec {
+    std::string name;        ///< e.g. "pe_base", "pe_camera_4".
+    merging::Datapath dp;    ///< Underlying datapath structure.
+
+    std::vector<MuxSite> muxes;      ///< All mux sites.
+    std::vector<int> multi_op_blocks; ///< Blocks needing an opcode.
+    std::vector<int> const_regs;      ///< Constant-register node ids.
+    std::vector<int> word_inputs;     ///< Input node ids (word).
+    std::vector<int> bit_inputs;      ///< Input node ids (bit).
+    std::vector<int> word_outputs;    ///< Output-capable word blocks.
+    std::vector<int> bit_outputs;     ///< Output-capable bit blocks.
+    std::vector<int> lut_blocks;      ///< Blocks with a LUT table.
+
+    bool has_register_file = false; ///< Baseline PE carries an RF.
+
+    /** Number of pipeline stages (0 = combinational); set by the
+     * automated PE pipeliner. */
+    int pipeline_stages = 0;
+
+    /** @return total configuration width in bits. */
+    int configBits() const;
+
+    /** @return number of distinct ops across all blocks (decode). */
+    int totalOps() const;
+
+    /** @return PE core area (um^2): functional + muxes + config +
+     * decode + register file + pipeline registers. */
+    double area(const model::TechModel &tech) const;
+
+    /** @return per-cycle overhead energy (decode + clocking), pJ. */
+    double overheadEnergyPerCycle(const model::TechModel &tech) const;
+
+    /** @return the mux site index for (node, port), or -1. */
+    int muxIndexOf(int node, int port) const;
+};
+
+/** One concrete configuration of a PE. */
+struct PeConfig {
+    /** Selected source index per mux site (into MuxSite::sources). */
+    std::vector<int> mux_sel;
+    /** Configured op per datapath node (only meaningful for blocks;
+     * kNumOps = block unused). */
+    std::vector<ir::Op> block_op;
+    /** Value per constant register (parallel to PeSpec::const_regs). */
+    std::vector<std::uint64_t> const_val;
+    /** Truth table per LUT block (parallel to PeSpec::lut_blocks). */
+    std::vector<std::uint64_t> lut_table;
+    /** Index into PeSpec::word_outputs for the word output port. */
+    int word_out_sel = 0;
+    /** Index into PeSpec::bit_outputs for the bit output port. */
+    int bit_out_sel = 0;
+};
+
+/** Build the specification for a merged datapath. */
+PeSpec makePeSpec(merging::Datapath dp, std::string name,
+                  bool has_register_file = false);
+
+/** @return a default (all-zero) configuration sized for @p spec. */
+PeConfig defaultConfig(const PeSpec &spec);
+
+/** Pretty, human-readable summary (for docs and debugging). */
+std::string describe(const PeSpec &spec,
+                     const model::TechModel &tech);
+
+} // namespace apex::pe
+
+#endif // APEX_PE_SPEC_H_

@@ -1,0 +1,25 @@
+#ifndef APEX_PE_VERILOG_H_
+#define APEX_PE_VERILOG_H_
+
+#include <string>
+
+#include "pe/spec.hpp"
+
+/**
+ * @file
+ * RTL Verilog generation from a PE specification — the PEak->Magma->
+ * Verilog substitute.  The emitted module is self-contained
+ * synthesizable Verilog-2001: one wire per datapath node, case-based
+ * operand multiplexers and opcode decode, configuration brought in as
+ * named ports, and (for pipelined PEs) an output register chain of
+ * PeSpec::pipeline_stages stages.
+ */
+
+namespace apex::pe {
+
+/** @return the Verilog source of the PE module. */
+std::string emitVerilog(const PeSpec &spec);
+
+} // namespace apex::pe
+
+#endif // APEX_PE_VERILOG_H_

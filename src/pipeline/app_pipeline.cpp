@@ -1,0 +1,244 @@
+#include "pipeline/app_pipeline.hpp"
+
+#include <algorithm>
+
+namespace apex::pipeline {
+
+using mapper::MappedGraph;
+using mapper::MappedKind;
+using mapper::MappedNode;
+
+int
+nodeLatency(const MappedNode &node, int pe_latency)
+{
+    switch (node.kind) {
+      case MappedKind::kPe:      return pe_latency;
+      case MappedKind::kMem:     return 1;
+      case MappedKind::kReg:     return 1;
+      case MappedKind::kRegFile: return node.depth;
+      default:                   return 0;
+    }
+}
+
+std::vector<int>
+arrivalCycles(const MappedGraph &mapped, int pe_latency)
+{
+    std::vector<int> arrival(mapped.nodes.size(), 0);
+    for (int id : mapped.topoOrder()) {
+        const MappedNode &n = mapped.nodes[id];
+        int in_arrival = 0;
+        for (int src : n.inputs)
+            in_arrival = std::max(in_arrival, arrival[src]);
+        arrival[id] = in_arrival + nodeLatency(n, pe_latency);
+    }
+    return arrival;
+}
+
+std::vector<int>
+pipelineSkew(const MappedGraph &mapped, int pe_latency)
+{
+    // Skew = extra delay introduced by PE pipelining (plus the
+    // compensation registers balancing it) relative to the
+    // functional schedule.  The application's own registers (window
+    // taps, FIFOs) are *functional* delays and contribute no skew —
+    // they define WHICH data elements combine, and branch delay
+    // matching must preserve those offsets.
+    std::vector<int> skew(mapped.nodes.size(), 0);
+    for (int id : mapped.topoOrder()) {
+        const MappedNode &n = mapped.nodes[id];
+        int in_skew = 0;
+        for (int src : n.inputs)
+            in_skew = std::max(in_skew, skew[src]);
+        int own = 0;
+        switch (n.kind) {
+          case MappedKind::kPe:
+            own = pe_latency;
+            break;
+          case MappedKind::kReg:
+            own = n.is_balancing ? 1 : 0;
+            break;
+          case MappedKind::kRegFile:
+            own = n.balancing_regs;
+            break;
+          default:
+            break;
+        }
+        skew[id] = in_skew + own;
+    }
+    return skew;
+}
+
+AppPipelineResult
+balanceBranchDelays(MappedGraph *mapped, int pe_latency)
+{
+    AppPipelineResult result;
+
+    // One topo pass, tracking the *post-insertion* skew: inserted
+    // registers compensate a source's skew deficit, so after
+    // insertion every input of a node carries the same skew and the
+    // node's output skew is that value plus its own PE latency.
+    const std::vector<int> order = mapped->topoOrder();
+    std::vector<int> skew(mapped->nodes.size(), 0);
+    for (int id : order) {
+        const MappedNode &n = mapped->nodes[id];
+        int latest = 0;
+        for (int src : n.inputs)
+            latest = std::max(latest, skew[src]);
+        if (n.inputs.size() >= 2) {
+            for (std::size_t k = 0; k < n.inputs.size(); ++k) {
+                int src = mapped->nodes[id].inputs[k];
+                int lag = latest - skew[src];
+                while (lag > 0) {
+                    MappedNode reg;
+                    reg.kind = MappedKind::kReg;
+                    reg.inputs = {src};
+                    reg.is_balancing = true;
+                    reg.name = "bdm_reg";
+                    src = static_cast<int>(mapped->nodes.size());
+                    mapped->nodes.push_back(std::move(reg));
+                    skew.push_back(latest - lag + 1);
+                    ++result.registers_added;
+                    --lag;
+                }
+                mapped->nodes[id].inputs[k] = src;
+            }
+        }
+        int own = 0;
+        switch (mapped->nodes[id].kind) {
+          case MappedKind::kPe:
+            own = pe_latency;
+            break;
+          case MappedKind::kReg:
+            own = mapped->nodes[id].is_balancing ? 1 : 0;
+            break;
+          case MappedKind::kRegFile:
+            own = mapped->nodes[id].balancing_regs;
+            break;
+          default:
+            break;
+        }
+        skew[id] = latest + own;
+    }
+
+    const auto final_arrival = arrivalCycles(*mapped, pe_latency);
+    for (std::size_t id = 0; id < mapped->nodes.size(); ++id) {
+        const MappedKind k = mapped->nodes[id].kind;
+        if (k == MappedKind::kOutput || k == MappedKind::kOutputBit)
+            result.max_latency =
+                std::max(result.max_latency, final_arrival[id]);
+    }
+    return result;
+}
+
+AppPipelineResult
+foldRegisterChains(MappedGraph *mapped,
+                   const AppPipelineOptions &options)
+{
+    AppPipelineResult result;
+    if (!options.use_register_files)
+        return result;
+
+    const int n = static_cast<int>(mapped->nodes.size());
+    std::vector<int> consumer_count(n, 0);
+    std::vector<int> sole_consumer(n, -1);
+    for (int id = 0; id < n; ++id) {
+        for (int src : mapped->nodes[id].inputs) {
+            ++consumer_count[src];
+            sole_consumer[src] = id;
+        }
+    }
+
+    // A reg is an interior chain link when its single consumer is
+    // another register; a chain *tail* is a reg that is not interior.
+    auto interior = [&](int id) {
+        return mapped->nodes[id].kind == MappedKind::kReg &&
+               consumer_count[id] == 1 &&
+               mapped->nodes[sole_consumer[id]].kind ==
+                   MappedKind::kReg;
+    };
+
+    std::vector<int> replacement(n, -1); // chain tail -> RF node id
+    std::vector<bool> dead(n, false);
+
+    for (int id = 0; id < n; ++id) {
+        const MappedNode &node = mapped->nodes[id];
+        if (node.kind != MappedKind::kReg || dead[id] ||
+            interior(id)) {
+            continue;
+        }
+        // `id` is a chain tail: walk upstream collecting links that
+        // are dedicated to this chain.
+        std::vector<int> chain = {id};
+        int cursor = node.inputs[0];
+        while (cursor >= 0 && !dead[cursor] && interior(cursor)) {
+            chain.push_back(cursor);
+            cursor = mapped->nodes[cursor].inputs[0];
+        }
+        const int length = static_cast<int>(chain.size());
+        if (length <= options.rf_cutoff)
+            continue;
+        MappedNode rf;
+        rf.kind = MappedKind::kRegFile;
+        rf.depth = length;
+        for (int link : chain)
+            rf.balancing_regs += mapped->nodes[link].is_balancing;
+        rf.inputs = {cursor};
+        rf.name = "rf_fifo";
+        const int rf_id = static_cast<int>(mapped->nodes.size());
+        mapped->nodes.push_back(std::move(rf));
+        replacement[id] = rf_id;
+        for (int link : chain)
+            dead[link] = true;
+        ++result.regfiles_created;
+        result.registers_folded += length;
+    }
+
+    // Rewire consumers of replaced tails, then compact dead nodes.
+    for (MappedNode &node : mapped->nodes) {
+        for (int &src : node.inputs)
+            if (src < n && replacement[src] >= 0)
+                src = replacement[src];
+    }
+    MappedGraph compacted;
+    std::vector<int> remap(mapped->nodes.size(), -1);
+    for (std::size_t id = 0; id < mapped->nodes.size(); ++id) {
+        if (id < static_cast<std::size_t>(n) && dead[id])
+            continue;
+        remap[id] = static_cast<int>(compacted.nodes.size());
+        compacted.nodes.push_back(mapped->nodes[id]);
+    }
+    for (MappedNode &node : compacted.nodes)
+        for (int &src : node.inputs)
+            src = remap[src];
+    *mapped = std::move(compacted);
+    return result;
+}
+
+AppPipelineResult
+pipelineApplication(MappedGraph *mapped, int pe_latency,
+                    const AppPipelineOptions &options)
+{
+    AppPipelineResult result = balanceBranchDelays(mapped, pe_latency);
+    const AppPipelineResult fold =
+        foldRegisterChains(mapped, options);
+    result.regfiles_created = fold.regfiles_created;
+    result.registers_folded = fold.registers_folded;
+    return result;
+}
+
+bool
+delaysBalanced(const MappedGraph &mapped, int pe_latency)
+{
+    const auto skew = pipelineSkew(mapped, pe_latency);
+    for (const MappedNode &n : mapped.nodes) {
+        if (n.inputs.size() < 2)
+            continue;
+        const int first = skew[n.inputs[0]];
+        for (int src : n.inputs)
+            if (skew[src] != first)
+                return false;
+    }
+    return true;
+}
+
+} // namespace apex::pipeline

@@ -1,0 +1,93 @@
+#ifndef APEX_PIPELINE_APP_PIPELINE_H_
+#define APEX_PIPELINE_APP_PIPELINE_H_
+
+#include <vector>
+
+#include "mapper/mapped_graph.hpp"
+
+/**
+ * @file
+ * Application pipelining (Sec. 4.3): when applications are mapped to
+ * pipelined PEs, every multi-input node must see its operands with
+ * equal latency.  Branch delay matching walks the mapped graph from
+ * inputs to outputs tracking data arrival cycles and inserts pipeline
+ * registers on the early paths.  Long register chains are then
+ * replaced by register files acting as FIFOs (Fig. 9), which
+ * dramatically reduces interconnect register pressure.
+ */
+
+namespace apex::pipeline {
+
+/** Statistics of the application pipelining pass. */
+struct AppPipelineResult {
+    int registers_added = 0;   ///< kReg nodes inserted for balancing.
+    int regfiles_created = 0;  ///< Register-file FIFOs substituted.
+    int registers_folded = 0;  ///< kReg nodes absorbed into RFs.
+    int max_latency = 0;       ///< Input->output latency in cycles.
+};
+
+/** Pipelining knobs. */
+struct AppPipelineOptions {
+    /** Register chains longer than this become register files
+     * (paper: "chains greater than length 2"; adjustable). */
+    int rf_cutoff = 2;
+    /** Skip the register-file substitution entirely. */
+    bool use_register_files = true;
+};
+
+/** @return the latency in cycles contributed by one mapped node. */
+int nodeLatency(const mapper::MappedNode &node, int pe_latency);
+
+/**
+ * Compute per-node output arrival cycles under @p pe_latency
+ * (PE pipeline depth; 0 for combinational PEs).
+ */
+std::vector<int> arrivalCycles(const mapper::MappedGraph &mapped,
+                               int pe_latency);
+
+/**
+ * Per-node *pipeline skew*: the delay added on top of the functional
+ * schedule by PE pipelining and by compensation registers.  The
+ * application's own registers/memories/FIFOs are functional delays
+ * (they select WHICH stream elements combine) and contribute zero;
+ * balancing registers and the balancing share of folded register
+ * files contribute their depth; PEs contribute pe_latency.
+ *
+ * After branch delay matching, every multi-input node sees equal
+ * skew on all inputs, and each output stream equals the functional
+ * reference (ir::StreamingInterpreter) delayed by its pad's skew.
+ */
+std::vector<int> pipelineSkew(const mapper::MappedGraph &mapped,
+                              int pe_latency);
+
+/**
+ * Branch delay matching: insert kReg nodes so all inputs of every
+ * node arrive in the same cycle.  @p mapped is modified in place.
+ */
+AppPipelineResult balanceBranchDelays(mapper::MappedGraph *mapped,
+                                      int pe_latency);
+
+/**
+ * Replace register chains longer than the cutoff with register-file
+ * FIFO nodes (Fig. 9).  Preserves per-path latency exactly.
+ */
+AppPipelineResult foldRegisterChains(mapper::MappedGraph *mapped,
+                                     const AppPipelineOptions
+                                         &options = {});
+
+/**
+ * Full application pipelining: balance, then fold chains.
+ */
+AppPipelineResult pipelineApplication(mapper::MappedGraph *mapped,
+                                      int pe_latency,
+                                      const AppPipelineOptions
+                                          &options = {});
+
+/** @return true when every multi-input node's operands arrive in the
+ * same cycle (the branch-delay-matching postcondition). */
+bool delaysBalanced(const mapper::MappedGraph &mapped,
+                    int pe_latency);
+
+} // namespace apex::pipeline
+
+#endif // APEX_PIPELINE_APP_PIPELINE_H_

@@ -1,0 +1,179 @@
+#include "pipeline/timing.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace apex::pipeline {
+
+using merging::DpNodeKind;
+using pe::PeSpec;
+
+namespace {
+
+/** Acyclic view of the feasible-edge graph: per-node predecessor
+ * list (src, through_mux), back edges dropped via DFS coloring. */
+struct AcyclicView {
+    std::vector<std::vector<std::pair<int, bool>>> preds;
+    std::vector<int> topo; ///< Topological order of the view.
+};
+
+AcyclicView
+acyclicView(const PeSpec &spec)
+{
+    const auto &dp = spec.dp;
+    const int n = static_cast<int>(dp.nodes.size());
+    AcyclicView view;
+    view.preds.resize(n);
+
+    // Successor lists from feasible edges.
+    std::vector<std::vector<std::pair<int, bool>>> succs(n);
+    for (int id : dp.blockIds()) {
+        const int arity = dp.nodes[id].arity();
+        for (int p = 0; p < arity; ++p) {
+            const bool mux = spec.muxIndexOf(id, p) >= 0;
+            for (int src : dp.sourcesOf(id, p))
+                succs[src].emplace_back(id, mux);
+        }
+    }
+
+    // DFS; skip gray->gray (back) edges.
+    std::vector<int> color(n, 0); // 0 white, 1 gray, 2 black
+    std::function<void(int)> dfs = [&](int u) {
+        color[u] = 1;
+        for (const auto &[v, mux] : succs[u]) {
+            if (color[v] == 1)
+                continue; // back edge: never active in a real config
+            view.preds[v].emplace_back(u, mux);
+            if (color[v] == 0)
+                dfs(v);
+        }
+        color[u] = 2;
+        view.topo.push_back(u);
+    };
+    for (int u = 0; u < n; ++u)
+        if (color[u] == 0)
+            dfs(u);
+    std::reverse(view.topo.begin(), view.topo.end());
+    return view;
+}
+
+double
+nodeDelay(const PeSpec &spec, const model::TechModel &tech, int id)
+{
+    const merging::DpNode &nd = spec.dp.nodes[id];
+    if (nd.kind != DpNodeKind::kBlock)
+        return 0.0;
+    // A multi-op block is as slow as its slowest op's class; classes
+    // are uniform per block, so this is the class delay.
+    return model::blockCost(tech, nd.cls).delay;
+}
+
+} // namespace
+
+TimingReport
+analyzeTiming(const PeSpec &spec, const model::TechModel &tech)
+{
+    const AcyclicView view = acyclicView(spec);
+    const int n = static_cast<int>(spec.dp.nodes.size());
+
+    TimingReport report;
+    report.arrival.assign(n, 0.0);
+    for (int id : view.topo) {
+        double in_arrival = 0.0;
+        for (const auto &[src, mux] : view.preds[id]) {
+            in_arrival = std::max(
+                in_arrival,
+                report.arrival[src] + (mux ? tech.mux_delay : 0.0));
+        }
+        report.arrival[id] = in_arrival + nodeDelay(spec, tech, id);
+        report.critical_path =
+            std::max(report.critical_path, report.arrival[id]);
+    }
+    report.critical_path += tech.reg_setup_delay;
+    return report;
+}
+
+double
+assignStages(const PeSpec &spec, const model::TechModel &tech,
+             int stages, std::vector<int> *stage_out)
+{
+    const AcyclicView view = acyclicView(spec);
+    const int n = static_cast<int>(spec.dp.nodes.size());
+
+    // Feasibility check at period T: ASAP levelization.  Returns the
+    // stage count used and fills per-node stages/arrivals.
+    auto levelize = [&](double period, std::vector<int> *stage)
+        -> int {
+        std::vector<double> local(n, 0.0);
+        stage->assign(n, 0);
+        int max_stage = 0;
+        for (int id : view.topo) {
+            const double d = nodeDelay(spec, tech, id);
+            if (d + tech.reg_setup_delay > period)
+                return -1; // a single block exceeds the period
+            int s = 0;
+            for (const auto &[src, mux] : view.preds[id]) {
+                (void)mux;
+                s = std::max(s, (*stage)[src]);
+            }
+            double arrive;
+            for (;;) {
+                arrive = 0.0;
+                for (const auto &[src, mux] : view.preds[id]) {
+                    if ((*stage)[src] == s) {
+                        arrive = std::max(
+                            arrive, local[src] +
+                                        (mux ? tech.mux_delay : 0.0));
+                    }
+                    // Values from earlier stages arrive registered at
+                    // time 0 of stage s.
+                }
+                if (arrive + d + tech.reg_setup_delay <= period)
+                    break;
+                ++s; // push this node into the next stage
+            }
+            (*stage)[id] = s;
+            local[id] = arrive + d;
+            max_stage = std::max(max_stage, s);
+        }
+        return max_stage + 1;
+    };
+
+    const double upper =
+        analyzeTiming(spec, tech).critical_path + 1e-6;
+    double lo = 0.0, hi = upper;
+    std::vector<int> best_stage(n, 0);
+    double best_period = upper;
+    levelize(upper, &best_stage);
+
+    if (stages <= 1) {
+        if (stage_out)
+            *stage_out = std::move(best_stage);
+        return upper;
+    }
+
+    for (int iter = 0; iter < 40; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        std::vector<int> stage;
+        const int used = levelize(mid, &stage);
+        if (used >= 1 && used <= stages) {
+            best_period = mid;
+            best_stage = std::move(stage);
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    if (stage_out)
+        *stage_out = std::move(best_stage);
+    return best_period;
+}
+
+double
+stagedCriticalPath(const PeSpec &spec, const model::TechModel &tech,
+                   int stages)
+{
+    return assignStages(spec, tech, stages, nullptr);
+}
+
+} // namespace apex::pipeline

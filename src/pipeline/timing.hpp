@@ -1,0 +1,61 @@
+#ifndef APEX_PIPELINE_TIMING_H_
+#define APEX_PIPELINE_TIMING_H_
+
+#include <vector>
+
+#include "pe/spec.hpp"
+
+/**
+ * @file
+ * Static timing analysis of PE datapaths (Sec. 4.2, after Hitchcock's
+ * timing-analysis formulation): longest combinational path through
+ * the datapath under the technology delay model, where each block
+ * contributes its class delay and each multiplexer site one mux
+ * delay.
+ *
+ * Because feasible-edge graphs of merged datapaths may contain cycles
+ * across mutually-exclusive configurations, the analysis treats the
+ * feasible-edge graph conservatively but breaks cycles by ignoring
+ * back edges discovered in DFS order (a cycle can never be active in
+ * a real configuration).
+ */
+
+namespace apex::pipeline {
+
+/** Per-node arrival times of the longest-path analysis. */
+struct TimingReport {
+    std::vector<double> arrival; ///< ns at each datapath node output.
+    double critical_path = 0.0;  ///< Longest input->output delay, ns.
+};
+
+/** Compute arrival times and the critical path of @p spec. */
+TimingReport analyzeTiming(const pe::PeSpec &spec,
+                           const model::TechModel &tech);
+
+/**
+ * Critical path after pipelining into @p stages balanced stages using
+ * the stage assignment of assignStages() (retimed register
+ * placement).  stages <= 1 returns the combinational critical path.
+ */
+double stagedCriticalPath(const pe::PeSpec &spec,
+                          const model::TechModel &tech, int stages);
+
+/**
+ * Assign each datapath node to a pipeline stage (0-based) such that
+ * no intra-stage path exceeds the returned period; greedy ASAP
+ * levelization with a binary search over the period — the DAG
+ * retiming of Calland et al. specialized to forward retiming.
+ *
+ * @param spec    PE specification.
+ * @param tech    Delay model.
+ * @param stages  Desired number of stages (>= 1).
+ * @param stage   Out: stage index per datapath node.
+ * @return the achieved per-stage critical path (ns).
+ */
+double assignStages(const pe::PeSpec &spec,
+                    const model::TechModel &tech, int stages,
+                    std::vector<int> *stage);
+
+} // namespace apex::pipeline
+
+#endif // APEX_PIPELINE_TIMING_H_

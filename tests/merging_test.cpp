@@ -1,0 +1,355 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ir/builder.hpp"
+#include "merging/clique.hpp"
+#include "merging/datapath.hpp"
+#include "merging/merge.hpp"
+#include "model/tech.hpp"
+
+namespace apex::merging {
+namespace {
+
+using ir::Graph;
+using ir::GraphBuilder;
+using ir::Op;
+using ir::Value;
+
+Graph
+macPattern()
+{
+    // add(mul(in, const), in).
+    GraphBuilder b;
+    b.add(b.mul(b.input(), b.constant(3)), b.input());
+    return b.take();
+}
+
+Graph
+addChainPattern()
+{
+    // add(add(in, in), const).
+    GraphBuilder b;
+    b.add(b.add(b.input(), b.input()), b.constant(1));
+    return b.take();
+}
+
+Graph
+subShiftPattern()
+{
+    // lshr(sub(in, in), const-free input).
+    GraphBuilder b;
+    b.lshr(b.sub(b.input(), b.input()), b.input());
+    return b.take();
+}
+
+TEST(DatapathTest, FromPatternStructure) {
+    std::vector<int> map;
+    const Datapath dp = datapathFromPattern(macPattern(), &map);
+    std::string error;
+    EXPECT_TRUE(dp.validate(&error)) << error;
+    EXPECT_EQ(dp.inputIds().size(), 2u);
+    EXPECT_EQ(dp.constIds().size(), 1u);
+    EXPECT_EQ(dp.blockIds().size(), 2u);
+    // Only the final add is an output.
+    EXPECT_EQ(dp.outputIds().size(), 1u);
+    const DpNode &out = dp.nodes[dp.outputIds()[0]];
+    EXPECT_TRUE(out.ops.count(Op::kAdd));
+}
+
+TEST(DatapathTest, FunctionalAreaCountsBlocksAndMuxes) {
+    const auto &tech = model::defaultTech();
+    Datapath dp = datapathFromPattern(macPattern());
+    const double base = dp.functionalArea(tech);
+    const double expected =
+        model::blockCost(tech, model::HwBlockClass::kMul).area +
+        model::blockCost(tech, model::HwBlockClass::kAddSub).area +
+        model::blockCost(tech, model::HwBlockClass::kConstReg).area;
+    EXPECT_DOUBLE_EQ(base, expected);
+
+    // Adding a second feasible source on a port costs one mux input.
+    const int add_id = dp.outputIds()[0];
+    dp.addEdgeUnique(DpEdge{dp.inputIds()[0], add_id, 0});
+    EXPECT_DOUBLE_EQ(dp.functionalArea(tech),
+                     expected + tech.mux_input_area);
+}
+
+TEST(CliqueTest, TriangleVsHeavyVertex) {
+    // Triangle {0,1,2} with weight 3 total vs isolated vertex 3 with
+    // weight 2.9: the triangle wins.
+    CliqueProblem pb;
+    pb.n = 4;
+    pb.weight = {1.0, 1.0, 1.0, 2.9};
+    pb.adj.assign(4, std::vector<bool>(4, false));
+    auto connect = [&](int a, int b) {
+        pb.adj[a][b] = pb.adj[b][a] = true;
+    };
+    connect(0, 1);
+    connect(1, 2);
+    connect(0, 2);
+    const auto result = maxWeightClique(pb);
+    EXPECT_DOUBLE_EQ(result.weight, 3.0);
+    EXPECT_EQ(result.vertices, (std::vector<int>{0, 1, 2}));
+    EXPECT_TRUE(result.optimal);
+}
+
+TEST(CliqueTest, EmptyGraph) {
+    EXPECT_TRUE(maxWeightClique(CliqueProblem{}).vertices.empty());
+}
+
+TEST(CliqueTest, MatchesBruteForceOnRandomGraphs) {
+    std::mt19937 rng(7);
+    for (int trial = 0; trial < 30; ++trial) {
+        CliqueProblem pb;
+        pb.n = 10;
+        pb.adj.assign(pb.n, std::vector<bool>(pb.n, false));
+        std::uniform_real_distribution<double> wdist(0.1, 5.0);
+        std::bernoulli_distribution edge(0.45);
+        for (int i = 0; i < pb.n; ++i)
+            pb.weight.push_back(wdist(rng));
+        for (int i = 0; i < pb.n; ++i)
+            for (int j = i + 1; j < pb.n; ++j)
+                if (edge(rng))
+                    pb.adj[i][j] = pb.adj[j][i] = true;
+
+        // Brute force over all subsets.
+        double best = 0.0;
+        for (int mask = 0; mask < (1 << pb.n); ++mask) {
+            double w = 0.0;
+            bool ok = true;
+            for (int i = 0; i < pb.n && ok; ++i) {
+                if (!(mask >> i & 1))
+                    continue;
+                w += pb.weight[i];
+                for (int j = i + 1; j < pb.n; ++j)
+                    if ((mask >> j & 1) && !pb.adj[i][j])
+                        ok = false;
+            }
+            if (ok)
+                best = std::max(best, w);
+        }
+        const auto result = maxWeightClique(pb);
+        EXPECT_NEAR(result.weight, best, 1e-9) << "trial " << trial;
+    }
+}
+
+TEST(MergeTest, SelfMergeIsFree) {
+    const auto &tech = model::defaultTech();
+    const Datapath dp = datapathFromPattern(macPattern());
+    const MergeResult mr = mergeDatapaths(dp, dp, tech);
+    EXPECT_TRUE(mr.merged.validate());
+    // Merging a pattern with itself must not grow the datapath.
+    EXPECT_DOUBLE_EQ(mr.merged.functionalArea(tech),
+                     dp.functionalArea(tech));
+    EXPECT_EQ(mr.merged.nodes.size(), dp.nodes.size());
+}
+
+TEST(MergeTest, MergedAreaNeverExceedsSum) {
+    const auto &tech = model::defaultTech();
+    const std::vector<Graph> patterns = {macPattern(),
+                                         addChainPattern(),
+                                         subShiftPattern()};
+    for (std::size_t i = 0; i < patterns.size(); ++i) {
+        for (std::size_t j = 0; j < patterns.size(); ++j) {
+            const Datapath a = datapathFromPattern(patterns[i]);
+            const Datapath b = datapathFromPattern(patterns[j]);
+            const MergeResult mr = mergeDatapaths(a, b, tech);
+            std::string error;
+            EXPECT_TRUE(mr.merged.validate(&error)) << error;
+            EXPECT_LE(mr.merged.functionalArea(tech),
+                      a.functionalArea(tech) +
+                          b.functionalArea(tech) + 1e-9)
+                << "merging " << i << " with " << j;
+        }
+    }
+}
+
+TEST(MergeTest, SharedAdderBetweenMacAndAddChain) {
+    const auto &tech = model::defaultTech();
+    const Datapath a = datapathFromPattern(macPattern());
+    const Datapath b = datapathFromPattern(addChainPattern());
+    const MergeResult mr = mergeDatapaths(a, b, tech);
+
+    // mac has 1 add; chain has 2 adds.  One add and the const must be
+    // shared: total adders == 2, consts == 1, muls == 1.
+    int adders = 0, consts = 0, muls = 0;
+    for (const DpNode &n : mr.merged.nodes) {
+        if (n.kind == DpNodeKind::kConst)
+            ++consts;
+        if (n.kind != DpNodeKind::kBlock)
+            continue;
+        adders += n.cls == model::HwBlockClass::kAddSub;
+        muls += n.cls == model::HwBlockClass::kMul;
+    }
+    EXPECT_EQ(adders, 2);
+    EXPECT_EQ(consts, 1);
+    EXPECT_EQ(muls, 1);
+    EXPECT_GT(mr.saved_area, 0.0);
+}
+
+/** Check that a source pattern is fully embedded in the merged
+ * datapath through its node map. */
+void
+expectEmbedded(const Graph &pattern, const std::vector<int> &map,
+               const Datapath &merged)
+{
+    for (ir::NodeId id = 0; id < pattern.size(); ++id) {
+        const ir::Node &n = pattern.node(id);
+        const int m = map[id];
+        ASSERT_GE(m, 0);
+        ASSERT_LT(m, static_cast<int>(merged.nodes.size()));
+        if (ir::opIsCompute(n.op)) {
+            EXPECT_TRUE(merged.nodes[m].ops.count(n.op))
+                << "merged node lost op " << ir::opName(n.op);
+            for (int p = 0; p < static_cast<int>(n.operands.size());
+                 ++p) {
+                const int src = map[n.operands[p]];
+                const auto sources = merged.sourcesOf(m, p);
+                EXPECT_TRUE(std::find(sources.begin(), sources.end(),
+                                      src) != sources.end())
+                    << "pattern edge lost in merge";
+            }
+        }
+    }
+}
+
+TEST(MergeTest, EverySourcePatternRemainsExecutable) {
+    const auto &tech = model::defaultTech();
+    const std::vector<Graph> patterns = {macPattern(),
+                                         addChainPattern(),
+                                         subShiftPattern()};
+    const MultiMergeResult mr = mergePatterns(patterns, tech);
+    ASSERT_TRUE(mr.merged.validate());
+    ASSERT_EQ(mr.pattern_maps.size(), patterns.size());
+    for (std::size_t k = 0; k < patterns.size(); ++k)
+        expectEmbedded(patterns[k], mr.pattern_maps[k], mr.merged);
+}
+
+TEST(MergeTest, MuxAppearsOnConflictingPorts) {
+    // Fig. 5 flavour: two patterns whose adds receive different
+    // sources on port 0 -> the merged add needs a mux there.
+    GraphBuilder b1; // add(mul(x, y), z)
+    b1.add(b1.mul(b1.input(), b1.input()), b1.input());
+    GraphBuilder b2; // add(sub(x, y), z)
+    b2.add(b2.sub(b2.input(), b2.input()), b2.input());
+
+    const auto &tech = model::defaultTech();
+    const MultiMergeResult mr =
+        mergePatterns({b1.take(), b2.take()}, tech);
+
+    bool found_mux = false;
+    for (int id = 0; id < static_cast<int>(mr.merged.nodes.size());
+         ++id) {
+        const DpNode &n = mr.merged.nodes[id];
+        if (n.kind != DpNodeKind::kBlock)
+            continue;
+        for (int p = 0; p < n.arity(); ++p)
+            found_mux |= mr.merged.sourcesOf(id, p).size() > 1;
+    }
+    EXPECT_TRUE(found_mux);
+}
+
+TEST(MergeTest, BitTypedSelectPatternsMerge) {
+    // Two compare-and-select patterns: cmp/sel blocks and the bit
+    // edge between them must merge into one of each.
+    GraphBuilder b1; // sel(slt(x, y), x, y)  == smin
+    {
+        Value x = b1.input(), y = b1.input();
+        b1.select(b1.slt(x, y), x, y);
+    }
+    GraphBuilder b2; // sel(ugt(x, y), x, y)  == umax
+    {
+        Value x = b2.input(), y = b2.input();
+        b2.select(b2.ugt(x, y), x, y);
+    }
+    const auto &tech = model::defaultTech();
+    const Graph g1 = b1.take(), g2 = b2.take();
+    const MultiMergeResult mr = mergePatterns({g1, g2}, tech);
+    ASSERT_TRUE(mr.merged.validate());
+
+    int cmps = 0, sels = 0;
+    for (const DpNode &n : mr.merged.nodes) {
+        if (n.kind != DpNodeKind::kBlock)
+            continue;
+        cmps += n.cls == model::HwBlockClass::kCompare;
+        sels += n.cls == model::HwBlockClass::kSelect;
+    }
+    EXPECT_EQ(cmps, 1) << "slt and ugt share the comparator";
+    EXPECT_EQ(sels, 1);
+    expectEmbedded(g1, mr.pattern_maps[0], mr.merged);
+    expectEmbedded(g2, mr.pattern_maps[1], mr.merged);
+}
+
+TEST(MergeTest, EmptyAndSingletonInputs) {
+    const auto &tech = model::defaultTech();
+    EXPECT_TRUE(mergePatterns({}, tech).merged.nodes.empty());
+
+    const Datapath dp = datapathFromPattern(macPattern());
+    const auto one = mergePatterns({macPattern()}, tech);
+    EXPECT_EQ(one.merged.nodes.size(), dp.nodes.size());
+    EXPECT_DOUBLE_EQ(one.saved_area, 0.0);
+}
+
+TEST(MergeTest, UnaryAndBinarySameClassMerge) {
+    // abs (arity 1) and min (arity 2) share the minmax unit; the
+    // merged block must keep both executable.
+    GraphBuilder b1;
+    b1.abs(b1.input());
+    GraphBuilder b2;
+    b2.min(b2.input(), b2.input());
+    const auto &tech = model::defaultTech();
+    const Graph g1 = b1.take(), g2 = b2.take();
+    const MultiMergeResult mr = mergePatterns({g1, g2}, tech);
+    ASSERT_TRUE(mr.merged.validate());
+    int minmax_blocks = 0;
+    for (const DpNode &n : mr.merged.nodes) {
+        if (n.kind == DpNodeKind::kBlock &&
+            n.cls == model::HwBlockClass::kMinMax) {
+            ++minmax_blocks;
+            EXPECT_TRUE(n.ops.count(Op::kAbs));
+            EXPECT_TRUE(n.ops.count(Op::kMin));
+            EXPECT_EQ(n.arity(), 2);
+        }
+    }
+    EXPECT_EQ(minmax_blocks, 1);
+}
+
+TEST(MergeTest, SeededMergeKeepsSeedStructure) {
+    const auto &tech = model::defaultTech();
+    const Datapath seed = datapathFromPattern(addChainPattern());
+    std::vector<int> seed_map;
+    const MultiMergeResult mr = mergeIntoDatapath(
+        seed, {macPattern()}, tech, &seed_map);
+    ASSERT_EQ(seed_map.size(), seed.nodes.size());
+    for (std::size_t i = 0; i < seed.nodes.size(); ++i) {
+        const DpNode &before = seed.nodes[i];
+        const DpNode &after = mr.merged.nodes[seed_map[i]];
+        EXPECT_EQ(before.kind, after.kind);
+        if (before.kind == DpNodeKind::kBlock) {
+            EXPECT_EQ(before.cls, after.cls);
+            for (Op op : before.ops)
+                EXPECT_TRUE(after.ops.count(op));
+        }
+    }
+}
+
+TEST(MergeTest, PortOrderPreservedForNonCommutative) {
+    // sub(x, y) and sub(y, x) shapes: the two subs can merge as nodes,
+    // but their edges at swapped ports must not merge into one wire.
+    GraphBuilder b1;
+    Value x1 = b1.input(), y1 = b1.input();
+    b1.lshr(b1.sub(x1, y1), y1);
+    GraphBuilder b2;
+    Value x2 = b2.input(), y2 = b2.input();
+    b2.lshr(b2.sub(y2, x2), y2);
+
+    const auto &tech = model::defaultTech();
+    const Graph g1 = b1.take(), g2 = b2.take();
+    const MultiMergeResult mr = mergePatterns({g1, g2}, tech);
+    EXPECT_TRUE(mr.merged.validate());
+    expectEmbedded(g1, mr.pattern_maps[0], mr.merged);
+    expectEmbedded(g2, mr.pattern_maps[1], mr.merged);
+}
+
+} // namespace
+} // namespace apex::merging

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "apps/apps.hpp"
+#include "ir/builder.hpp"
+#include "ir/interpreter.hpp"
+#include "ir/serialize.hpp"
+#include "ir/signature.hpp"
+
+namespace apex::ir {
+namespace {
+
+TEST(SerializeTest, RoundTripSimpleGraph) {
+    GraphBuilder b;
+    Value x = b.input("x");
+    Value w = b.constant(7, "w");
+    b.output(b.add(b.mul(x, w), b.constant(3)), "y");
+    const Graph g = b.take();
+
+    const std::string text = serialize(g);
+    EXPECT_NE(text.find("apexir 1"), std::string::npos);
+    EXPECT_NE(text.find("mul"), std::string::npos);
+    EXPECT_NE(text.find("\"x\""), std::string::npos);
+
+    std::string error;
+    const auto parsed = deserialize(text, &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_TRUE(isomorphic(g, *parsed));
+    EXPECT_EQ(parsed->node(1).param, 7u);
+    EXPECT_EQ(parsed->node(0).name, "x");
+}
+
+TEST(SerializeTest, RoundTripPreservesSemantics) {
+    const auto app = apps::gaussianBlur(1);
+    const std::string text = serialize(app.graph);
+    std::string error;
+    const auto parsed = deserialize(text, &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    ASSERT_EQ(parsed->size(), app.graph.size());
+
+    const Interpreter interp;
+    EXPECT_EQ(interp.evalByOrder(app.graph, {123}),
+              interp.evalByOrder(*parsed, {123}));
+}
+
+TEST(SerializeTest, RoundTripEveryApp) {
+    for (const auto &app : apps::allApps()) {
+        std::string error;
+        const auto parsed = deserialize(serialize(app.graph),
+                                        &error);
+        ASSERT_TRUE(parsed.has_value()) << app.name << ": " << error;
+        EXPECT_EQ(parsed->size(), app.graph.size()) << app.name;
+        EXPECT_TRUE(parsed->validate()) << app.name;
+    }
+}
+
+TEST(SerializeTest, EscapesQuotesInNames) {
+    Graph g;
+    g.addNode(Op::kInput, {}, 0, "a\"b\\c");
+    const auto parsed = deserialize(serialize(g));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->node(0).name, "a\"b\\c");
+}
+
+TEST(SerializeTest, CommentsAndBlankLinesIgnored) {
+    const std::string text =
+        "apexir 1\n"
+        "# a comment\n"
+        "n0 = input\n"
+        "\n"
+        "n1 = output n0\n";
+    const auto parsed = deserialize(text);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->size(), 2u);
+}
+
+TEST(SerializeTest, RejectsMissingHeader) {
+    std::string error;
+    EXPECT_FALSE(deserialize("n0 = input\n", &error).has_value());
+    EXPECT_NE(error.find("header"), std::string::npos);
+}
+
+TEST(SerializeTest, RejectsForwardReference) {
+    std::string error;
+    EXPECT_FALSE(deserialize("apexir 1\nn0 = reg n1\nn1 = input\n",
+                             &error)
+                     .has_value());
+    EXPECT_NE(error.find("forward"), std::string::npos);
+}
+
+TEST(SerializeTest, RejectsUnknownOp) {
+    std::string error;
+    EXPECT_FALSE(
+        deserialize("apexir 1\nn0 = frobnicate\n", &error)
+            .has_value());
+    EXPECT_NE(error.find("unknown op"), std::string::npos);
+}
+
+TEST(SerializeTest, RejectsNonDenseIds) {
+    std::string error;
+    EXPECT_FALSE(
+        deserialize("apexir 1\nn5 = input\n", &error).has_value());
+    EXPECT_NE(error.find("dense"), std::string::npos);
+}
+
+TEST(SerializeTest, RejectsInvalidGraph) {
+    // add with a single operand fails validation after parsing.
+    std::string error;
+    EXPECT_FALSE(deserialize("apexir 1\nn0 = input\nn1 = add n0\n",
+                             &error)
+                     .has_value());
+    EXPECT_NE(error.find("invalid graph"), std::string::npos);
+}
+
+} // namespace
+} // namespace apex::ir
