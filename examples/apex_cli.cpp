@@ -13,6 +13,15 @@
  *       Emit the PE's Verilog and a self-checking testbench.
  *   apexc dump <app> [-o FILE]
  *       Serialize an application graph to the apexir text format.
+ *   apexc sweep [--level map|pnr|pipe] [--diagnostics]
+ *       Fault-tolerant evaluation of every built-in application
+ *       across the variant recipe; failing pairs are reported and
+ *       skipped rather than aborting the sweep.
+ *
+ * Exit codes: 0 on success, otherwise the stage-specific code from
+ * exitCodeFor() (2 usage, 3 parse, 4 invalid IR, 7 mapping, 8
+ * placement, 9 routing, 10 capacity, ...).  Pass --diagnostics to
+ * explore/sweep to dump the structured per-stage diagnostic trail.
  *
  * Built-in application names: camera harris gaussian unsharp resnet
  * mobilenet laplacian stereo fast.
@@ -25,6 +34,8 @@
 
 #include "core/evaluate.hpp"
 #include "core/hetero.hpp"
+#include "core/status.hpp"
+#include "core/sweep.hpp"
 #include "ir/serialize.hpp"
 #include "pe/verilog.hpp"
 #include "pe/verilog_tb.hpp"
@@ -43,32 +54,55 @@ findApp(const std::string &name)
     return std::nullopt;
 }
 
-/** Load either a built-in app or an .apexir file. */
-std::optional<apps::AppInfo>
+/** Load either a built-in app or an .apexir file; on failure returns
+ * the typed reason (kInvalidArgument or the parse/validate status). */
+Result<apps::AppInfo>
 loadApp(const std::string &source)
 {
     if (auto app = findApp(source))
-        return app;
+        return std::move(*app);
     std::ifstream is(source);
     if (!is)
-        return std::nullopt;
+        return Status(ErrorCode::kInvalidArgument,
+                      "unknown app or file '" + source + "'");
     std::stringstream buffer;
     buffer << is.rdbuf();
-    std::string error;
-    auto graph = ir::deserialize(buffer.str(), &error);
-    if (!graph) {
-        std::fprintf(stderr, "apexc: %s: %s\n", source.c_str(),
-                     error.c_str());
-        return std::nullopt;
-    }
+    auto graph = ir::parseGraph(buffer.str());
+    if (!graph)
+        return graph.status().withContext("loading '" + source +
+                                          "'");
     apps::AppInfo app;
     app.name = source;
     app.description = "user graph";
     app.domain = apps::Domain::kImageProcessing;
-    app.graph = std::move(*graph);
+    app.graph = std::move(graph).value();
     app.work_items_per_frame = 1 << 20;
     app.items_per_cycle = 1;
     return app;
+}
+
+/** Report a load failure and return its process exit code. */
+int
+loadFailure(const Status &status)
+{
+    std::fprintf(stderr, "apexc: %s\n", status.toString().c_str());
+    return exitCodeFor(status.code());
+}
+
+/** Parse an evaluation level name; unknown names are a usage error,
+ * not a silent fallback. */
+Result<core::EvalLevel>
+parseLevel(const std::string &name)
+{
+    if (name == "map")
+        return core::EvalLevel::kPostMapping;
+    if (name == "pnr")
+        return core::EvalLevel::kPostPnr;
+    if (name == "pipe")
+        return core::EvalLevel::kPostPipelining;
+    return Status(ErrorCode::kInvalidArgument,
+                  "unknown --level '" + name +
+                      "' (expected map, pnr or pipe)");
 }
 
 const char *
@@ -78,6 +112,15 @@ flagValue(int argc, char **argv, const char *flag)
         if (std::strcmp(argv[i], flag) == 0)
             return argv[i + 1];
     return nullptr;
+}
+
+bool
+hasFlag(int argc, char **argv, const char *flag)
+{
+    for (int i = 0; i < argc; ++i)
+        if (std::strcmp(argv[i], flag) == 0)
+            return true;
+    return false;
 }
 
 core::PeVariant
@@ -116,11 +159,8 @@ int
 cmdAnalyze(int argc, char **argv, const std::string &source)
 {
     auto app = loadApp(source);
-    if (!app) {
-        std::fprintf(stderr, "apexc: unknown app or file '%s'\n",
-                     source.c_str());
-        return 1;
-    }
+    if (!app)
+        return loadFailure(app.status());
     core::ExplorerOptions options;
     if (const char *s = flagValue(argc, argv, "--support"))
         options.miner.min_support = std::atoi(s);
@@ -157,21 +197,16 @@ int
 cmdExplore(int argc, char **argv, const std::string &source)
 {
     auto app = loadApp(source);
-    if (!app) {
-        std::fprintf(stderr, "apexc: unknown app or file '%s'\n",
-                     source.c_str());
-        return 1;
-    }
+    if (!app)
+        return loadFailure(app.status());
     const char *variant_flag = flagValue(argc, argv, "--variant");
     const char *level_flag = flagValue(argc, argv, "--level");
     const std::string kind = variant_flag ? variant_flag : "base";
     const std::string level_name = level_flag ? level_flag : "pipe";
-
-    core::EvalLevel level = core::EvalLevel::kPostPipelining;
-    if (level_name == "map")
-        level = core::EvalLevel::kPostMapping;
-    else if (level_name == "pnr")
-        level = core::EvalLevel::kPostPnr;
+    const auto parsed_level = parseLevel(level_name);
+    if (!parsed_level)
+        return loadFailure(parsed_level.status());
+    const core::EvalLevel level = *parsed_level;
 
     core::Explorer ex;
 
@@ -190,8 +225,9 @@ cmdExplore(int argc, char **argv, const std::string &source)
                 : core::EvalLevel::kPostPnr,
             model::defaultTech());
         if (!r.success) {
-            std::fprintf(stderr, "apexc: %s\n", r.error.c_str());
-            return 1;
+            std::fprintf(stderr, "apexc: %s\n",
+                         r.status.toString().c_str());
+            return exitCodeFor(r.status.code());
         }
         std::printf("app            %s\n", app->name.c_str());
         std::printf("variant        biglittle (%s + little)\n",
@@ -213,9 +249,13 @@ cmdExplore(int argc, char **argv, const std::string &source)
     const auto variant = buildVariant(kind, *app, ex);
     const auto r = core::evaluate(*app, variant, level,
                                   model::defaultTech());
+    if (hasFlag(argc, argv, "--diagnostics") &&
+        !r.diagnostics.empty())
+        std::fputs(r.diagnostics.toString().c_str(), stderr);
     if (!r.success) {
-        std::fprintf(stderr, "apexc: %s\n", r.error.c_str());
-        return 1;
+        std::fprintf(stderr, "apexc: %s\n",
+                     r.status.toString().c_str());
+        return exitCodeFor(r.status.code());
     }
     std::printf("app            %s\n", app->name.c_str());
     std::printf("variant        %s\n", variant.name.c_str());
@@ -247,11 +287,8 @@ int
 cmdRtl(int argc, char **argv, const std::string &source)
 {
     auto app = loadApp(source);
-    if (!app) {
-        std::fprintf(stderr, "apexc: unknown app or file '%s'\n",
-                     source.c_str());
-        return 1;
-    }
+    if (!app)
+        return loadFailure(app.status());
     const char *variant_flag = flagValue(argc, argv, "--variant");
     const char *out_flag = flagValue(argc, argv, "-o");
     const std::string out = out_flag ? out_flag : ".";
@@ -276,11 +313,8 @@ int
 cmdDump(int argc, char **argv, const std::string &source)
 {
     auto app = loadApp(source);
-    if (!app) {
-        std::fprintf(stderr, "apexc: unknown app or file '%s'\n",
-                     source.c_str());
-        return 1;
-    }
+    if (!app)
+        return loadFailure(app.status());
     const char *out_flag = flagValue(argc, argv, "-o");
     const std::string text = ir::serialize(app->graph);
     if (out_flag) {
@@ -292,35 +326,88 @@ cmdDump(int argc, char **argv, const std::string &source)
     return 0;
 }
 
+int
+cmdSweep(int argc, char **argv)
+{
+    const char *level_flag = flagValue(argc, argv, "--level");
+    const auto parsed_level =
+        parseLevel(level_flag ? level_flag : "map");
+    if (!parsed_level)
+        return loadFailure(parsed_level.status());
+
+    core::SweepOptions options;
+    options.level = *parsed_level;
+
+    core::Explorer ex;
+    const auto apps_list = apps::allApps();
+    const auto outcome = core::runSweep(apps_list, ex,
+                                        model::defaultTech(),
+                                        options);
+
+    for (const core::SweepEntry &e : outcome.entries) {
+        std::printf("%-10s %-16s pe_count=%-3d pe_area_um2=%-10.1f "
+                    "pe_energy_pj=%.3f\n",
+                    e.app.c_str(), e.variant.c_str(),
+                    e.result.pe_count, e.result.pe_area,
+                    e.result.pe_energy);
+    }
+    std::printf("%s\n", outcome.report.summary().c_str());
+    if (hasFlag(argc, argv, "--diagnostics") &&
+        !outcome.report.diagnostics.empty())
+        std::fputs(outcome.report.diagnostics.toString().c_str(),
+                   stderr);
+
+    // The sweep itself succeeds as long as something was evaluated;
+    // a sweep where nothing ran reports its first failure's code.
+    if (outcome.report.evaluated == 0 &&
+        !outcome.report.failures.empty())
+        return exitCodeFor(
+            outcome.report.failures.front().status.code());
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    if (argc < 2) {
-        std::fprintf(stderr,
-                     "usage: apexc <apps|analyze|explore|rtl|dump> "
-                     "[args]\n");
-        return 2;
-    }
-    const std::string cmd = argv[1];
-    if (cmd == "apps")
-        return cmdApps();
-    if (argc < 3) {
-        std::fprintf(stderr, "apexc %s: missing application\n",
+    try {
+        if (argc < 2) {
+            std::fprintf(
+                stderr,
+                "usage: apexc <apps|analyze|explore|rtl|dump|sweep> "
+                "[args]\n");
+            return 2;
+        }
+        const std::string cmd = argv[1];
+        if (cmd == "apps")
+            return cmdApps();
+        if (cmd == "sweep")
+            return cmdSweep(argc, argv);
+        if (argc < 3) {
+            std::fprintf(stderr, "apexc %s: missing application\n",
+                         cmd.c_str());
+            return 2;
+        }
+        const std::string source = argv[2];
+        if (cmd == "analyze")
+            return cmdAnalyze(argc, argv, source);
+        if (cmd == "explore")
+            return cmdExplore(argc, argv, source);
+        if (cmd == "rtl")
+            return cmdRtl(argc, argv, source);
+        if (cmd == "dump")
+            return cmdDump(argc, argv, source);
+        std::fprintf(stderr, "apexc: unknown command '%s'\n",
                      cmd.c_str());
         return 2;
+    } catch (const ApexError &e) {
+        std::fprintf(stderr, "apexc: %s\n",
+                     e.status().toString().c_str());
+        return exitCodeFor(e.code());
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "apexc: unexpected error: %s\n",
+                     e.what());
+        return exitCodeFor(ErrorCode::kInternal);
     }
-    const std::string source = argv[2];
-    if (cmd == "analyze")
-        return cmdAnalyze(argc, argv, source);
-    if (cmd == "explore")
-        return cmdExplore(argc, argv, source);
-    if (cmd == "rtl")
-        return cmdRtl(argc, argv, source);
-    if (cmd == "dump")
-        return cmdDump(argc, argv, source);
-    std::fprintf(stderr, "apexc: unknown command '%s'\n",
-                 cmd.c_str());
-    return 2;
 }

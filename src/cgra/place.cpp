@@ -5,6 +5,8 @@
 #include <random>
 #include <sstream>
 
+#include "core/fault.hpp"
+
 namespace apex::cgra {
 
 using mapper::MappedGraph;
@@ -73,6 +75,11 @@ placeHetero(const Fabric &fabric, const MappedGraph &mapped,
             int num_pe_types, const PlacerOptions &options)
 {
     PlacementResult result;
+    if (Status fault = checkFault(FaultStage::kPlace); !fault.ok()) {
+        result.status = std::move(fault);
+        result.error = result.status.toString();
+        return result;
+    }
     result.loc.assign(mapped.nodes.size(), Coord{-1, -1});
     result.edges = contractRegisters(mapped);
 
@@ -124,6 +131,8 @@ placeHetero(const Fabric &fabric, const MappedGraph &mapped,
             os << "fabric too small: class " << c << " needs "
                << nodes_of_class[c].size() << " tiles, has "
                << slots_of_class[c].size();
+            result.status =
+                Status(ErrorCode::kResourceExhausted, os.str());
             result.error = os.str();
             return result;
         }

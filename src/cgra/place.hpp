@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "cgra/fabric.hpp"
+#include "core/status.hpp"
 #include "mapper/mapped_graph.hpp"
 
 /**
@@ -41,7 +42,11 @@ struct PlacerOptions {
 /** Result of placement. */
 struct PlacementResult {
     bool success = false;
-    std::string error;
+    std::string error; ///< Legacy mirror of status (when failed).
+    /** Typed outcome: kResourceExhausted when the fabric is too
+     * small (retrying another seed cannot help), kPlaceFailed
+     * otherwise. */
+    Status status;
     /** Location per mapped node; kReg (and const-only) nodes get
      * {-1, -1} — they do not occupy tiles. */
     std::vector<Coord> loc;

@@ -7,6 +7,8 @@
 #include <set>
 #include <sstream>
 
+#include "core/fault.hpp"
+
 namespace apex::cgra {
 
 namespace {
@@ -60,6 +62,11 @@ route(const Fabric &fabric, const PlacementResult &placement,
       const RouterOptions &options)
 {
     RouteResult result;
+    if (Status fault = checkFault(FaultStage::kRoute); !fault.ok()) {
+        result.status = std::move(fault);
+        result.error = result.status.toString();
+        return result;
+    }
     const int links = fabric.linkCount();
     std::vector<double> history(links, 0.0);
     // Distinct signals per link (net-aware capacity).
@@ -141,7 +148,13 @@ route(const Fabric &fabric, const PlacementResult &placement,
             auto path = route_net(from, to, key, present_pen);
             if (path.empty() && from != to) {
                 failed = true;
-                result.error = "net unroutable";
+                std::ostringstream os;
+                os << "net " << e << " unroutable ((" << from.x << ','
+                   << from.y << ") -> (" << to.x << ',' << to.y
+                   << "))";
+                result.status =
+                    Status(ErrorCode::kRouteFailed, os.str());
+                result.error = result.status.message();
                 break;
             }
             for (int link : path)
@@ -184,9 +197,11 @@ route(const Fabric &fabric, const PlacementResult &placement,
                 }
             }
             std::ostringstream os;
-            os << "congestion not resolved: " << overused
+            os << "congestion not resolved after "
+               << result.iterations << " iterations: " << overused
                << " links over capacity (worst " << worst << "/"
-               << options.tracks << ")";
+               << options.tracks << " tracks)";
+            result.status = Status(ErrorCode::kRouteFailed, os.str());
             result.error = os.str();
         }
         return result;

@@ -37,7 +37,9 @@ struct RouterOptions {
 /** Result of routing. */
 struct RouteResult {
     bool success = false;
-    std::string error;
+    std::string error; ///< Legacy mirror of status (when failed).
+    /** Typed outcome (kRouteFailed on congestion / unroutable nets). */
+    Status status;
     /** Per contracted edge: the links (Fabric::linkIndex) crossed. */
     std::vector<std::vector<int>> paths;
     std::vector<int> link_usage; ///< Final wires per link.

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <set>
+#include <sstream>
 
 #include "cgra/bitstream.hpp"
+#include "core/fault.hpp"
+#include "ir/validate.hpp"
 #include "cgra/place.hpp"
 #include "cgra/route.hpp"
 #include "mapper/select.hpp"
@@ -61,6 +64,24 @@ evaluate(const apps::AppInfo &app, const PeVariant &variant,
          const EvalOptions &options)
 {
     EvalResult r;
+    const std::string pair_context =
+        "evaluating '" + app.name + "' on '" + variant.name + "'";
+    if (Status fault = checkFault(FaultStage::kEvaluate);
+        !fault.ok()) {
+        r.status = std::move(fault).withContext(pair_context);
+        r.error = r.status.toString();
+        r.diagnostics.error("evaluate", r.status);
+        return r;
+    }
+
+    // Validate the application graph at the pipeline boundary: a
+    // corrupt graph must be rejected here, not crash the mapper.
+    if (Status s = ir::validate(app.graph); !s.ok()) {
+        r.status = std::move(s).withContext(pair_context);
+        r.error = r.status.toString();
+        r.diagnostics.error("validate", r.status);
+        return r;
+    }
 
     // --- Compile: rewrite rules + instruction selection -----------
     pe::PeSpec spec = variant.spec; // mutable copy (pipelining)
@@ -69,7 +90,12 @@ evaluate(const apps::AppInfo &app, const PeVariant &variant,
     mapper::InstructionSelector selector(rules);
     mapper::SelectionResult sel = selector.map(app.graph);
     if (!sel.success) {
+        r.status = (sel.status.ok()
+                        ? Status(ErrorCode::kMappingFailed, sel.error)
+                        : sel.status)
+                       .withContext(pair_context);
         r.error = "mapping failed: " + sel.error;
+        r.diagnostics.error("map", r.status);
         return r;
     }
 
@@ -125,34 +151,91 @@ evaluate(const apps::AppInfo &app, const PeVariant &variant,
     }
 
     // --- Place and route --------------------------------------------
+    // Resilience ladder, cheapest remedy first: retry placement with
+    // a derived seed, escalate routing tracks on congestion, then
+    // grow the fabric.  Every attempt lands in r.diagnostics.
     int width = options.fabric_width;
     int height = options.fabric_height;
     cgra::PlacementResult placement;
     cgra::RouteResult routing;
-    for (int attempt = 0; attempt < 5; ++attempt) {
+    Status last_failure;
+    bool pnr_ok = false;
+    const int growths = options.auto_grow_fabric ? 5 : 1;
+    const int seed_tries = std::max(1, options.place_retries);
+    const int escalations =
+        std::max(0, options.route_track_escalations);
+    const cgra::RouterOptions base_ropt;
+
+    for (int growth = 0; growth < growths && !pnr_ok; ++growth) {
+        if (growth > 0) {
+            if (growth % 2 == 1)
+                height *= 2;
+            else
+                width *= 2;
+            std::ostringstream os;
+            os << "growing fabric to " << width << 'x' << height;
+            r.diagnostics.info("place", os.str());
+        }
         const cgra::Fabric fabric(width, height);
-        cgra::PlacerOptions popt;
-        popt.seed = options.placer_seed;
-        placement = cgra::place(fabric, sel.mapped, popt);
-        if (placement.success) {
-            routing = cgra::route(fabric, placement);
-            if (routing.success)
-                break;
+        for (int retry = 0; retry < seed_tries && !pnr_ok;
+             ++retry) {
+            cgra::PlacerOptions popt;
+            popt.seed = options.placer_seed +
+                        0x9E3779B9u * static_cast<unsigned>(retry);
+            ++r.pnr_attempts;
+            placement = cgra::place(fabric, sel.mapped, popt);
+            if (!placement.success) {
+                last_failure =
+                    placement.status.ok()
+                        ? Status(ErrorCode::kPlaceFailed,
+                                 placement.error)
+                        : placement.status;
+                r.diagnostics.error("place", last_failure,
+                                    r.pnr_attempts);
+                // No seed conjures missing tiles: grow instead.
+                if (last_failure.code() ==
+                    ErrorCode::kResourceExhausted)
+                    break;
+                continue;
+            }
+            if (r.pnr_attempts > 1)
+                r.diagnostics.info("place", "placement succeeded",
+                                   r.pnr_attempts);
+            for (int esc = 0; esc <= escalations; ++esc) {
+                cgra::RouterOptions ropt = base_ropt;
+                ropt.tracks = base_ropt.tracks + 2 * esc;
+                routing = cgra::route(fabric, placement, ropt);
+                if (routing.success) {
+                    if (esc > 0) {
+                        std::ostringstream os;
+                        os << "routing succeeded with "
+                           << ropt.tracks
+                           << " tracks (escalation " << esc << ")";
+                        r.diagnostics.info("route", os.str(),
+                                           r.pnr_attempts);
+                    }
+                    pnr_ok = true;
+                    break;
+                }
+                last_failure =
+                    routing.status.ok()
+                        ? Status(ErrorCode::kRouteFailed,
+                                 routing.error)
+                        : routing.status;
+                r.diagnostics.error("route", last_failure,
+                                    r.pnr_attempts);
+            }
         }
-        if (!options.auto_grow_fabric) {
-            r.error = placement.success ? routing.error
-                                        : placement.error;
-            return r;
-        }
-        if (attempt % 2 == 0)
-            height *= 2;
-        else
-            width *= 2;
     }
-    if (!placement.success || !routing.success) {
-        r.error = "place-and-route failed: " +
-                  (placement.success ? routing.error
-                                     : placement.error);
+    if (!pnr_ok) {
+        std::ostringstream os;
+        os << "place-and-route (" << r.pnr_attempts
+           << " placement attempt(s), final fabric " << width << 'x'
+           << height << ")";
+        r.status = std::move(last_failure)
+                       .withContext(os.str())
+                       .withContext(pair_context);
+        r.error = "place-and-route failed: " + r.status.message();
         return r;
     }
     r.fabric_width = width;

@@ -5,6 +5,7 @@
 
 #include "cgra/metrics.hpp"
 #include "core/explorer.hpp"
+#include "core/status.hpp"
 
 /**
  * @file
@@ -34,7 +35,15 @@ enum class EvalLevel {
 /** Everything the benchmarks report. */
 struct EvalResult {
     bool success = false;
-    std::string error;
+    std::string error;   ///< Legacy mirror of status (when failed).
+    /** Typed outcome with context chain (which app/variant, after how
+     * many attempts). */
+    Status status;
+    /** Full trail of the run: every placement retry, routing-track
+     * escalation and fabric growth, as info/error records. */
+    Diagnostics diagnostics;
+    /** Placement attempts consumed (seed retries x fabric growths). */
+    int pnr_attempts = 0;
 
     // --- Post-mapping --------------------------------------------
     int pe_count = 0;          ///< PE instances used.
@@ -78,6 +87,12 @@ struct EvalOptions {
      * usable for large unrolls). */
     bool auto_grow_fabric = true;
     unsigned placer_seed = 0xCA11;
+    /** Placement attempts per fabric size, each with a derived seed;
+     * capacity failures skip straight to fabric growth. */
+    int place_retries = 3;
+    /** Routing-track escalations (+2 tracks each) tried on congestion
+     * before giving up on a placement. */
+    int route_track_escalations = 2;
 };
 
 /** Run the flow for @p app on @p variant up to @p level. */

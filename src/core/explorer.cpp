@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "core/fault.hpp"
 #include "ir/signature.hpp"
 #include "merging/merge.hpp"
 #include "pe/baseline.hpp"
@@ -44,28 +45,52 @@ Explorer::Explorer(const model::TechModel &tech,
 {
 }
 
+Result<std::vector<mining::MinedPattern>>
+Explorer::tryAnalyze(const Graph &app) const
+{
+    if (Status fault = checkFault(FaultStage::kMine); !fault.ok())
+        return std::move(fault).withContext("mining subgraphs");
+    try {
+        mining::FrequentSubgraphMiner miner(options_.miner);
+        auto patterns = miner.mine(app);
+        mining::rankPatterns(patterns);
+        std::erase_if(patterns, [&](const mining::MinedPattern &p) {
+            return !mergeable(p) || p.mis_size < options_.min_mis;
+        });
+        return patterns;
+    } catch (const ApexError &e) {
+        return e.status().withContext("mining subgraphs");
+    } catch (const std::exception &e) {
+        return Status(ErrorCode::kMiningFailed,
+                      std::string("mining threw: ") + e.what());
+    }
+}
+
 std::vector<mining::MinedPattern>
 Explorer::analyze(const Graph &app) const
 {
-    mining::FrequentSubgraphMiner miner(options_.miner);
-    auto patterns = miner.mine(app);
-    mining::rankPatterns(patterns);
-    std::erase_if(patterns, [&](const mining::MinedPattern &p) {
-        return !mergeable(p) || p.mis_size < options_.min_mis;
-    });
-    return patterns;
+    return tryAnalyze(app).valueOr({});
 }
 
-std::vector<Graph>
-Explorer::topPatterns(const Graph &app, int k) const
+Result<std::vector<Graph>>
+Explorer::tryTopPatterns(const Graph &app, int k) const
 {
+    auto mined = tryAnalyze(app);
+    if (!mined.ok())
+        return mined.status();
     std::vector<Graph> result;
-    for (const auto &p : analyze(app)) {
+    for (const auto &p : mined.value()) {
         if (static_cast<int>(result.size()) >= k)
             break;
         result.push_back(p.pattern);
     }
     return result;
+}
+
+std::vector<Graph>
+Explorer::topPatterns(const Graph &app, int k) const
+{
+    return tryTopPatterns(app, k).valueOr({});
 }
 
 PeVariant
@@ -86,18 +111,40 @@ Explorer::subsetVariant(const apps::AppInfo &app) const
     return v;
 }
 
-PeVariant
-Explorer::specializedVariant(const apps::AppInfo &app, int k) const
+Result<PeVariant>
+Explorer::trySpecializedVariant(const apps::AppInfo &app,
+                                int k) const
 {
     PeVariant v;
     v.name = "pe" + std::to_string(k + 1) + "_" + app.name;
     const pe::PeSpec seed =
         pe::baselineSubsetPe(pe::opsUsedBy(app.graph), v.name);
-    v.patterns = topPatterns(app.graph, k);
+    auto patterns = tryTopPatterns(app.graph, k);
+    if (!patterns.ok())
+        return patterns.status().withContext("building variant '" +
+                                             v.name + "'");
+    v.patterns = std::move(patterns).value();
     const auto mm = merging::mergeIntoDatapath(
         seed.dp, v.patterns, tech_, nullptr);
+    if (!mm.status.ok())
+        return mm.status.withContext("building variant '" + v.name +
+                                     "'");
     v.spec = pe::makePeSpec(mm.merged, v.name,
                             seed.has_register_file);
+    return v;
+}
+
+PeVariant
+Explorer::specializedVariant(const apps::AppInfo &app, int k) const
+{
+    auto result = trySpecializedVariant(app, k);
+    if (result.ok())
+        return std::move(result).value();
+    // Degrade to PE 1 under the requested name so exploration can
+    // continue with a functional (if unspecialized) variant.
+    PeVariant v = subsetVariant(app);
+    v.name = "pe" + std::to_string(k + 1) + "_" + app.name;
+    v.spec.name = v.name;
     return v;
 }
 
@@ -111,28 +158,45 @@ Explorer::specVariant(const apps::AppInfo &app) const
     return v;
 }
 
-PeVariant
-Explorer::domainVariant(const std::vector<apps::AppInfo>
-                            &domain_apps,
-                        int per_app, const std::string &name) const
-{
-    PeVariant v;
-    v.name = name;
+namespace {
 
+/** Op-union subset seed PE over a set of applications. */
+pe::PeSpec
+domainSeedPe(const std::vector<apps::AppInfo> &domain_apps,
+             const std::string &name)
+{
     std::set<Op> ops;
     for (const apps::AppInfo &app : domain_apps) {
         const auto app_ops = pe::opsUsedBy(app.graph);
         ops.insert(app_ops.begin(), app_ops.end());
     }
-    const pe::PeSpec seed = pe::baselineSubsetPe(ops, name);
+    return pe::baselineSubsetPe(ops, name);
+}
+
+} // namespace
+
+Result<PeVariant>
+Explorer::tryDomainVariant(const std::vector<apps::AppInfo>
+                               &domain_apps,
+                           int per_app,
+                           const std::string &name) const
+{
+    PeVariant v;
+    v.name = name;
+    const pe::PeSpec seed = domainSeedPe(domain_apps, name);
 
     // Interleave the domain's top subgraphs app by app, deduplicated
     // by canonical identity, so every application contributes its
     // most valuable pattern before any contributes a second one.
     std::vector<std::vector<Graph>> per_app_patterns;
-    for (const apps::AppInfo &app : domain_apps)
-        per_app_patterns.push_back(
-            topPatterns(app.graph, per_app));
+    for (const apps::AppInfo &app : domain_apps) {
+        auto patterns = tryTopPatterns(app.graph, per_app);
+        if (!patterns.ok())
+            return patterns.status().withContext(
+                "building domain variant '" + name + "' (app '" +
+                app.name + "')");
+        per_app_patterns.push_back(std::move(patterns).value());
+    }
 
     std::set<std::string> seen;
     for (int round = 0; round < per_app; ++round) {
@@ -148,7 +212,25 @@ Explorer::domainVariant(const std::vector<apps::AppInfo>
 
     const auto mm = merging::mergeIntoDatapath(
         seed.dp, v.patterns, tech_, nullptr);
+    if (!mm.status.ok())
+        return mm.status.withContext("building domain variant '" +
+                                     name + "'");
     v.spec = pe::makePeSpec(mm.merged, name);
+    return v;
+}
+
+PeVariant
+Explorer::domainVariant(const std::vector<apps::AppInfo>
+                            &domain_apps,
+                        int per_app, const std::string &name) const
+{
+    auto result = tryDomainVariant(domain_apps, per_app, name);
+    if (result.ok())
+        return std::move(result).value();
+    // Degrade to the op-union subset PE with no merged patterns.
+    PeVariant v;
+    v.name = name;
+    v.spec = domainSeedPe(domain_apps, name);
     return v;
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "apps/apps.hpp"
+#include "core/status.hpp"
 #include "mining/miner.hpp"
 #include "model/tech.hpp"
 #include "pe/spec.hpp"
@@ -63,6 +64,15 @@ class Explorer {
     std::vector<mining::MinedPattern>
     analyze(const ir::Graph &app) const;
 
+    /**
+     * Status-bearing analyze(): mining failures (including injected
+     * faults and unexpected exceptions) come back as kMiningFailed
+     * instead of propagating.  analyze() is the legacy wrapper that
+     * degrades to an empty pattern list.
+     */
+    Result<std::vector<mining::MinedPattern>>
+    tryAnalyze(const ir::Graph &app) const;
+
     /** PE Base. */
     PeVariant baselineVariant() const;
 
@@ -76,6 +86,14 @@ class Explorer {
     PeVariant specializedVariant(const apps::AppInfo &app,
                                  int k) const;
 
+    /**
+     * Status-bearing specializedVariant(): mining and merge failures
+     * come back typed (kMiningFailed / kMergeInfeasible).  The
+     * legacy API degrades to PE 1 when variant construction fails.
+     */
+    Result<PeVariant> trySpecializedVariant(const apps::AppInfo &app,
+                                            int k) const;
+
     /** The most specialized variant (k = max_merged_subgraphs). */
     PeVariant specVariant(const apps::AppInfo &app) const;
 
@@ -88,6 +106,12 @@ class Explorer {
                             int per_app, const std::string &name)
         const;
 
+    /** Status-bearing domainVariant(); the legacy API degrades to
+     * the op-union subset PE without merged patterns. */
+    Result<PeVariant>
+    tryDomainVariant(const std::vector<apps::AppInfo> &domain_apps,
+                     int per_app, const std::string &name) const;
+
     const model::TechModel &tech() const { return tech_; }
     const ExplorerOptions &options() const { return options_; }
 
@@ -95,6 +119,8 @@ class Explorer {
     /** Top-k mergeable pattern graphs of an app, in MIS order. */
     std::vector<ir::Graph> topPatterns(const ir::Graph &app,
                                        int k) const;
+    Result<std::vector<ir::Graph>>
+    tryTopPatterns(const ir::Graph &app, int k) const;
 
     const model::TechModel &tech_;
     ExplorerOptions options_;

@@ -1,0 +1,180 @@
+#include "core/fault.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace apex {
+
+namespace {
+
+constexpr std::array<std::string_view, kNumFaultStages> kStageNames = {
+    "deserialize", "validate", "mine",  "merge",
+    "map",         "place",    "route", "evaluate",
+};
+
+} // namespace
+
+std::string_view
+faultStageName(FaultStage stage)
+{
+    const int i = static_cast<int>(stage);
+    if (i < 0 || i >= kNumFaultStages)
+        return "unknown";
+    return kStageNames[i];
+}
+
+std::optional<FaultStage>
+faultStageFromName(std::string_view name)
+{
+    for (int i = 0; i < kNumFaultStages; ++i)
+        if (kStageNames[i] == name)
+            return static_cast<FaultStage>(i);
+    return std::nullopt;
+}
+
+ErrorCode
+faultErrorCode(FaultStage stage)
+{
+    switch (stage) {
+      case FaultStage::kDeserialize: return ErrorCode::kParseError;
+      case FaultStage::kValidate:    return ErrorCode::kInvalidIr;
+      case FaultStage::kMine:        return ErrorCode::kMiningFailed;
+      case FaultStage::kMerge:       return ErrorCode::kMergeInfeasible;
+      case FaultStage::kMap:         return ErrorCode::kMappingFailed;
+      case FaultStage::kPlace:       return ErrorCode::kPlaceFailed;
+      case FaultStage::kRoute:       return ErrorCode::kRouteFailed;
+      case FaultStage::kEvaluate:    return ErrorCode::kEvaluationFailed;
+      default:                       return ErrorCode::kInternal;
+    }
+}
+
+FaultInjector::FaultInjector()
+{
+    if (const char *spec = std::getenv("APEX_FAULT")) {
+        if (const Status s = configure(spec); !s.ok())
+            std::fprintf(stderr, "apex: ignoring APEX_FAULT: %s\n",
+                         s.toString().c_str());
+    }
+}
+
+FaultInjector &
+FaultInjector::instance()
+{
+    static FaultInjector injector;
+    return injector;
+}
+
+Status
+FaultInjector::configure(std::string_view spec)
+{
+    // Parse fully before arming so a bad spec leaves state untouched.
+    struct Arm { FaultStage stage; int from; int count; };
+    std::vector<Arm> arms;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t end = spec.find(',', pos);
+        if (end == std::string_view::npos)
+            end = spec.size();
+        const std::string_view entry = spec.substr(pos, end - pos);
+        pos = end + 1;
+        if (entry.empty())
+            continue;
+
+        const std::size_t colon = entry.find(':');
+        if (colon == std::string_view::npos)
+            return Status(ErrorCode::kInvalidArgument,
+                          "fault spec entry '" + std::string(entry) +
+                              "' is missing ':N'");
+        const auto stage = faultStageFromName(entry.substr(0, colon));
+        if (!stage)
+            return Status(ErrorCode::kInvalidArgument,
+                          "unknown fault stage '" +
+                              std::string(entry.substr(0, colon)) +
+                              "'");
+        int nth = 0, count = 1;
+        char sep = 0;
+        std::istringstream is{std::string(entry.substr(colon + 1))};
+        if (!(is >> nth) || nth < 1)
+            return Status(ErrorCode::kInvalidArgument,
+                          "bad call ordinal in '" + std::string(entry) +
+                              "'");
+        if (is >> sep) {
+            if (sep != ':' || !(is >> count) || count < 1)
+                return Status(ErrorCode::kInvalidArgument,
+                              "bad count in '" + std::string(entry) +
+                                  "'");
+        }
+        arms.push_back({*stage, nth, count});
+    }
+    for (const Arm &a : arms)
+        arm(a.stage, a.from, a.count);
+    return Status::okStatus();
+}
+
+void
+FaultInjector::arm(FaultStage stage, int nth_call, int count)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const int i = static_cast<int>(stage);
+    fail_from_[i] = nth_call;
+    fail_count_[i] = count;
+}
+
+void
+FaultInjector::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    calls_.fill(0);
+    fail_from_.fill(0);
+    fail_count_.fill(0);
+}
+
+Status
+FaultInjector::onCall(FaultStage stage)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const int i = static_cast<int>(stage);
+    const int n = ++calls_[i];
+    if (fail_from_[i] > 0 && n >= fail_from_[i] &&
+        n < fail_from_[i] + fail_count_[i]) {
+        std::ostringstream os;
+        os << "injected fault at stage '" << faultStageName(stage)
+           << "' (call " << n << ")";
+        return Status(faultErrorCode(stage), os.str());
+    }
+    return Status::okStatus();
+}
+
+int
+FaultInjector::callCount(FaultStage stage) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return calls_[static_cast<int>(stage)];
+}
+
+bool
+FaultInjector::armed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (int i = 0; i < kNumFaultStages; ++i)
+        if (fail_from_[i] > 0)
+            return true;
+    return false;
+}
+
+FaultScope::FaultScope(FaultStage stage, int nth_call, int count)
+{
+    FaultInjector &inj = FaultInjector::instance();
+    inj.reset();
+    inj.arm(stage, nth_call, count);
+}
+
+FaultScope::~FaultScope()
+{
+    FaultInjector::instance().reset();
+}
+
+} // namespace apex

@@ -1,0 +1,118 @@
+#ifndef APEX_CORE_FAULT_H_
+#define APEX_CORE_FAULT_H_
+
+#include <array>
+#include <mutex>
+#include <optional>
+#include <string_view>
+
+#include "core/status.hpp"
+
+/**
+ * @file
+ * Deterministic fault injection for pipeline robustness testing.
+ *
+ * Every pipeline stage calls checkFault(stage) on entry.  When the
+ * injector is armed for that stage — programmatically (tests) or via
+ * the APEX_FAULT environment variable (CLI, CI) — the Nth call to the
+ * stage returns a failure Status carrying the stage's natural error
+ * code (a route fault fails exactly like real congestion), which
+ * exercises the production retry/skip paths rather than a synthetic
+ * one.
+ *
+ * Spec grammar (comma-separated):
+ *
+ *     APEX_FAULT="route:2"        # fail the 2nd route() call
+ *     APEX_FAULT="place:1:3"      # fail place() calls 1,2,3
+ *     APEX_FAULT="mine:1,route:4" # several stages at once
+ *
+ * Counting is global per stage and deterministic (single-threaded
+ * pipelines; a mutex guards the counters for safety).
+ */
+
+namespace apex {
+
+/** Instrumented pipeline stages. */
+enum class FaultStage {
+    kDeserialize = 0,
+    kValidate,
+    kMine,
+    kMerge,
+    kMap,
+    kPlace,
+    kRoute,
+    kEvaluate,
+    kNumStages,
+};
+
+inline constexpr int kNumFaultStages =
+    static_cast<int>(FaultStage::kNumStages);
+
+/** "deserialize", "validate", ... (the APEX_FAULT spec names). */
+std::string_view faultStageName(FaultStage stage);
+
+/** Inverse of faultStageName(); nullopt for unknown names. */
+std::optional<FaultStage> faultStageFromName(std::string_view name);
+
+/** Error code an injected fault at @p stage reports. */
+ErrorCode faultErrorCode(FaultStage stage);
+
+/** Process-wide deterministic fault injector. */
+class FaultInjector {
+  public:
+    /** Singleton; arms itself from $APEX_FAULT on first use. */
+    static FaultInjector &instance();
+
+    /** Parse and arm a spec string (see file comment). */
+    Status configure(std::string_view spec);
+
+    /** Fail calls [nth, nth + count) of @p stage (1-based). */
+    void arm(FaultStage stage, int nth_call, int count = 1);
+
+    /** Disarm every stage and zero all call counters. */
+    void reset();
+
+    /**
+     * Stage entry hook: counts the call and returns the injected
+     * failure when this call is armed, ok otherwise.
+     */
+    Status onCall(FaultStage stage);
+
+    /** Calls observed for @p stage since the last reset(). */
+    int callCount(FaultStage stage) const;
+
+    /** True when any stage is armed. */
+    bool armed() const;
+
+  private:
+    FaultInjector();
+
+    mutable std::mutex mutex_;
+    std::array<int, kNumFaultStages> calls_{};
+    std::array<int, kNumFaultStages> fail_from_{}; ///< 0 = disarmed.
+    std::array<int, kNumFaultStages> fail_count_{};
+};
+
+/** Stage entry hook used by instrumented pipeline code. */
+inline Status
+checkFault(FaultStage stage)
+{
+    return FaultInjector::instance().onCall(stage);
+}
+
+/**
+ * RAII arming for tests: resets the injector (fresh counters), arms
+ * one fault, and disarms everything again on destruction.
+ */
+class FaultScope {
+  public:
+    FaultScope(FaultStage stage, int nth_call, int count = 1);
+    ~FaultScope();
+
+    FaultScope(const FaultScope &) = delete;
+    FaultScope &operator=(const FaultScope &) = delete;
+};
+
+} // namespace apex
+
+#endif // APEX_CORE_FAULT_H_

@@ -1,0 +1,112 @@
+#include "core/sweep.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "ir/validate.hpp"
+
+namespace apex::core {
+
+namespace {
+
+/** Record a failed (app, variant) pair — or a whole app when
+ * @p variant is empty — and keep sweeping. */
+void
+recordFailure(ExplorationReport &report, const std::string &app,
+              const std::string &variant, Status status, int attempts)
+{
+    StageFailure f;
+    f.app = app;
+    f.variant = variant;
+    f.stage = std::string(stageForCode(status.code()));
+    f.status = std::move(status);
+    f.attempts = std::max(1, attempts);
+
+    DiagnosticRecord record;
+    record.severity = Severity::kError;
+    record.stage = f.stage;
+    record.code = f.status.code();
+    record.message = f.status.toString();
+    record.attempt = f.attempts;
+    record.scope = variant.empty() ? app : app + "/" + variant;
+    report.diagnostics.report(std::move(record));
+
+    report.failures.push_back(std::move(f));
+    ++report.skipped;
+}
+
+} // namespace
+
+SweepOutcome
+runSweep(const std::vector<apps::AppInfo> &apps,
+         const Explorer &explorer, const model::TechModel &tech,
+         const SweepOptions &options)
+{
+    SweepOutcome out;
+
+    for (const apps::AppInfo &app : apps) {
+        // Boundary validation: a corrupt application skips only
+        // itself, never the sweep.
+        if (Status s = ir::validate(app.graph); !s.ok()) {
+            recordFailure(out.report, app.name, "",
+                          std::move(s).withContext(
+                              "validating application '" + app.name +
+                              "'"),
+                          1);
+            continue;
+        }
+
+        std::vector<PeVariant> variants;
+        if (options.include_baseline)
+            variants.push_back(explorer.baselineVariant());
+        if (options.include_subset)
+            variants.push_back(explorer.subsetVariant(app));
+        if (options.include_specialized) {
+            const int k = explorer.options().max_merged_subgraphs;
+            auto v = explorer.trySpecializedVariant(app, k);
+            if (v.ok()) {
+                variants.push_back(std::move(v).value());
+            } else {
+                recordFailure(out.report, app.name,
+                              "pe" + std::to_string(k + 1) + "_" +
+                                  app.name,
+                              v.status(), 1);
+            }
+        }
+
+        for (PeVariant &variant : variants) {
+            EvalResult r;
+            try {
+                r = evaluate(app, variant, options.level, tech,
+                             options.eval);
+            } catch (const ApexError &e) {
+                r.status = e.status().withContext(
+                    "evaluating '" + app.name + "' on '" +
+                    variant.name + "'");
+                r.error = r.status.toString();
+            } catch (const std::exception &e) {
+                r.status = Status(
+                    ErrorCode::kInternal,
+                    std::string("unexpected exception: ") + e.what());
+                r.error = r.status.toString();
+            }
+            out.report.diagnostics.merge(
+                r.diagnostics, app.name + "/" + variant.name);
+            if (r.success) {
+                ++out.report.evaluated;
+                out.entries.push_back(
+                    {app.name, variant.name, std::move(r)});
+            } else {
+                Status s = r.status.ok()
+                               ? Status(ErrorCode::kEvaluationFailed,
+                                        r.error)
+                               : r.status;
+                recordFailure(out.report, app.name, variant.name,
+                              std::move(s), r.pnr_attempts);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace apex::core

@@ -1,0 +1,57 @@
+#ifndef APEX_CORE_SWEEP_H_
+#define APEX_CORE_SWEEP_H_
+
+#include <string>
+#include <vector>
+
+#include "core/evaluate.hpp"
+#include "core/status.hpp"
+
+/**
+ * @file
+ * Fault-tolerant DSE sweep driver.
+ *
+ * runSweep() evaluates every (application, PE variant) pair of the
+ * paper's Sec. 5 recipe and never lets one failure abort the sweep:
+ * a failing stage — validation, mining, merging, mapping, placement,
+ * routing or evaluation — is recorded as a StageFailure in the
+ * ExplorationReport (stage name, error code, attempts consumed) and
+ * only the affected pair (or app, when its graph is invalid) is
+ * skipped.  The per-pair diagnostics trails are merged into the
+ * report under an "app/variant" scope so recovered retries stay
+ * observable after the sweep.
+ */
+
+namespace apex::core {
+
+/** Sweep configuration. */
+struct SweepOptions {
+    EvalLevel level = EvalLevel::kPostMapping;
+    EvalOptions eval;
+    bool include_baseline = true;    ///< PE Base.
+    bool include_subset = true;      ///< PE 1 per app.
+    bool include_specialized = true; ///< PE k (k = max merged).
+};
+
+/** One completed (application, variant) evaluation. */
+struct SweepEntry {
+    std::string app;
+    std::string variant;
+    EvalResult result;
+};
+
+/** Everything a sweep produced. */
+struct SweepOutcome {
+    std::vector<SweepEntry> entries; ///< Successful evaluations.
+    ExplorationReport report;        ///< Roll-up incl. failures.
+};
+
+/** Evaluate @p apps across the variant recipe, surviving failures. */
+SweepOutcome runSweep(const std::vector<apps::AppInfo> &apps,
+                      const Explorer &explorer,
+                      const model::TechModel &tech,
+                      const SweepOptions &options = {});
+
+} // namespace apex::core
+
+#endif // APEX_CORE_SWEEP_H_

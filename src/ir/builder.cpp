@@ -1,9 +1,27 @@
 #include "ir/builder.hpp"
 
-#include <cassert>
 #include <utility>
 
+#include "core/status.hpp"
+
 namespace apex::ir {
+
+namespace {
+
+/** Typed replacement for the former asserts: a default-constructed
+ * Value reaching a builder op is a caller bug that must not survive
+ * release builds. */
+void
+requireValid(const Value &v, const char *where)
+{
+    if (!v.valid())
+        throw IrError(ErrorCode::kInvalidIr,
+                      std::string("GraphBuilder::") + where +
+                          ": operand Value is invalid "
+                          "(default-constructed or moved-from)");
+}
+
+} // namespace
 
 Value
 GraphBuilder::input(std::string name)
@@ -34,7 +52,7 @@ GraphBuilder::constantBit(bool value, std::string name)
 Value
 GraphBuilder::output(Value v, std::string name)
 {
-    assert(v.valid());
+    requireValid(v, "output");
     return {this,
             graph_.addNode(Op::kOutput, {v.id()}, 0, std::move(name))};
 }
@@ -42,7 +60,7 @@ GraphBuilder::output(Value v, std::string name)
 Value
 GraphBuilder::outputBit(Value v, std::string name)
 {
-    assert(v.valid());
+    requireValid(v, "outputBit");
     return {this,
             graph_.addNode(Op::kOutputBit, {v.id()}, 0, std::move(name))};
 }
@@ -50,7 +68,7 @@ GraphBuilder::outputBit(Value v, std::string name)
 Value
 GraphBuilder::mem(Value v, std::string name)
 {
-    assert(v.valid());
+    requireValid(v, "mem");
     return {this,
             graph_.addNode(Op::kMem, {v.id()}, 0, std::move(name))};
 }
@@ -58,14 +76,16 @@ GraphBuilder::mem(Value v, std::string name)
 Value
 GraphBuilder::reg(Value v)
 {
-    assert(v.valid());
+    requireValid(v, "reg");
     return {this, graph_.addNode(Op::kReg, {v.id()})};
 }
 
 Value
 GraphBuilder::select(Value sel, Value a, Value b)
 {
-    assert(sel.valid() && a.valid() && b.valid());
+    requireValid(sel, "select");
+    requireValid(a, "select");
+    requireValid(b, "select");
     return {this,
             graph_.addNode(Op::kSel, {sel.id(), a.id(), b.id()})};
 }
@@ -73,7 +93,9 @@ GraphBuilder::select(Value sel, Value a, Value b)
 Value
 GraphBuilder::lut(std::uint64_t table, Value a, Value b, Value c)
 {
-    assert(a.valid() && b.valid() && c.valid());
+    requireValid(a, "lut");
+    requireValid(b, "lut");
+    requireValid(c, "lut");
     return {this,
             graph_.addNode(Op::kLut, {a.id(), b.id(), c.id()}, table)};
 }
@@ -82,7 +104,10 @@ Value
 GraphBuilder::macTree(const std::vector<Value> &ins,
                       const std::vector<Value> &ws, Value bias)
 {
-    assert(!ins.empty() && ins.size() == ws.size());
+    if (ins.empty() || ins.size() != ws.size())
+        throw IrError(ErrorCode::kInvalidArgument,
+                      "GraphBuilder::macTree: inputs and weights must "
+                      "be non-empty and the same length");
     // Balanced reduction tree over the products, the shape schedulers
     // emit for wide reductions: it keeps every operand path within
     // one add-level of the others, which is what keeps branch-delay-
@@ -128,14 +153,15 @@ GraphBuilder::take()
 Value
 GraphBuilder::unary(Op op, Value a)
 {
-    assert(a.valid());
+    requireValid(a, "unary");
     return {this, graph_.addNode(op, {a.id()})};
 }
 
 Value
 GraphBuilder::binary(Op op, Value a, Value b)
 {
-    assert(a.valid() && b.valid());
+    requireValid(a, "binary");
+    requireValid(b, "binary");
     return {this, graph_.addNode(op, {a.id(), b.id()})};
 }
 

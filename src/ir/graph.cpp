@@ -1,8 +1,9 @@
 #include "ir/graph.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <sstream>
+
+#include "core/status.hpp"
 
 namespace apex::ir {
 
@@ -22,7 +23,10 @@ Graph::addNode(Op op, std::vector<NodeId> operands, std::uint64_t param,
 void
 Graph::setOperand(NodeId node, int port, NodeId src)
 {
-    assert(node < nodes_.size());
+    if (node >= nodes_.size())
+        throw IrError(ErrorCode::kInvalidIr,
+                      "setOperand: node id " + std::to_string(node) +
+                          " is out of range");
     auto &ops = nodes_[node].operands;
     if (static_cast<int>(ops.size()) <= port)
         ops.resize(port + 1, kNoNode);

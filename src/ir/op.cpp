@@ -1,8 +1,9 @@
 #include "ir/op.hpp"
 
 #include <array>
-#include <cassert>
-#include <cstdlib>
+#include <sstream>
+
+#include "core/status.hpp"
 
 namespace apex::ir {
 
@@ -70,8 +71,12 @@ signExtend(std::uint64_t v, int width)
 const OpInfo &
 opInfo(Op op)
 {
-    assert(op < Op::kNumOps);
-    return kOpTable[static_cast<int>(op)];
+    const int i = static_cast<int>(op);
+    if (i < 0 || i >= kNumOps)
+        throw IrError(ErrorCode::kInvalidIr,
+                      "opInfo: op value " + std::to_string(i) +
+                          " is out of range");
+    return kOpTable[i];
 }
 
 std::string_view
@@ -87,8 +92,9 @@ opFromName(std::string_view name)
         if (kOpTable[i].name == name)
             return static_cast<Op>(i);
     }
-    assert(false && "unknown op name");
-    std::abort();
+    throw IrError(ErrorCode::kInvalidArgument,
+                  "opFromName: unknown op name '" + std::string(name) +
+                      "'");
 }
 
 int
@@ -137,7 +143,10 @@ std::uint64_t
 evalOp(Op op, std::uint64_t a, std::uint64_t b, std::uint64_t c,
        std::uint64_t param, int width)
 {
-    assert(width >= 1 && width <= 64);
+    if (width < 1 || width > 64)
+        throw IrError(ErrorCode::kInvalidArgument,
+                      "evalOp: width " + std::to_string(width) +
+                          " is outside [1, 64]");
     const std::uint64_t mask = (width == 64)
         ? ~std::uint64_t{0}
         : (std::uint64_t{1} << width) - 1;
@@ -184,9 +193,11 @@ evalOp(Op op, std::uint64_t a, std::uint64_t b, std::uint64_t c,
       case Op::kBitOr:  return (a | b) & 1;
       case Op::kBitXor: return (a ^ b) & 1;
       case Op::kBitNot: return (~a) & 1;
-      default:
-        assert(false && "evalOp on non-compute op");
-        std::abort();
+      default: {
+        std::ostringstream os;
+        os << "evalOp: op '" << opName(op) << "' is not a compute op";
+        throw IrError(ErrorCode::kInvalidIr, os.str());
+      }
     }
 }
 

@@ -1,9 +1,13 @@
 #include "ir/serialize.hpp"
 
 #include <cctype>
-#include <cstdlib>
+#include <cstdint>
+#include <limits>
 #include <sstream>
 #include <vector>
+
+#include "core/fault.hpp"
+#include "ir/validate.hpp"
 
 namespace apex::ir {
 
@@ -29,10 +33,34 @@ quote(const std::string &s)
     return out;
 }
 
+/**
+ * Overflow-checked decimal parse of an all-digit token.  Returns
+ * nullopt for empty tokens, non-digit characters (including signs)
+ * and values that do not fit 64 bits.
+ */
+std::optional<std::uint64_t>
+parseUint(std::string_view token)
+{
+    if (token.empty())
+        return std::nullopt;
+    std::uint64_t value = 0;
+    for (char c : token) {
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            return std::nullopt;
+        const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+        if (value >
+            (std::numeric_limits<std::uint64_t>::max() - digit) / 10)
+            return std::nullopt;
+        value = value * 10 + digit;
+    }
+    return value;
+}
+
 /** Tokenizer for one line: ids, mnemonics, integers, quoted strings. */
 struct LineLexer {
     const std::string &line;
     std::size_t pos = 0;
+    bool unterminated = false; ///< Set by quoted() on a missing '"'.
 
     explicit LineLexer(const std::string &l) : line(l) {}
 
@@ -65,7 +93,8 @@ struct LineLexer {
         return line.substr(start, pos - start);
     }
 
-    /** Quoted string if present. */
+    /** Quoted string if present; sets unterminated on a missing
+     * closing quote (including a trailing backslash escape). */
     std::optional<std::string>
     quoted()
     {
@@ -75,12 +104,20 @@ struct LineLexer {
         ++pos;
         std::string out;
         while (pos < line.size() && line[pos] != '"') {
-            if (line[pos] == '\\' && pos + 1 < line.size())
+            if (line[pos] == '\\') {
+                if (pos + 1 >= line.size()) {
+                    unterminated = true;
+                    return std::nullopt;
+                }
                 ++pos;
+            }
             out += line[pos++];
         }
-        if (pos < line.size())
-            ++pos; // closing quote
+        if (pos >= line.size()) {
+            unterminated = true;
+            return std::nullopt;
+        }
+        ++pos; // closing quote
         return out;
     }
 };
@@ -106,17 +143,15 @@ serialize(const Graph &g)
     return os.str();
 }
 
-std::optional<Graph>
-deserialize(const std::string &text, std::string *error)
+Result<Graph>
+parseGraph(const std::string &text)
 {
-    auto fail = [&](int line_no, const std::string &msg)
-        -> std::optional<Graph> {
-        if (error) {
-            std::ostringstream os;
-            os << "line " << line_no << ": " << msg;
-            *error = os.str();
-        }
-        return std::nullopt;
+    APEX_RETURN_IF_ERROR(checkFault(FaultStage::kDeserialize));
+
+    auto fail = [](int line_no, const std::string &msg) {
+        std::ostringstream os;
+        os << "line " << line_no << ": " << msg;
+        return Status(ErrorCode::kParseError, os.str());
     };
 
     std::istringstream is(text);
@@ -142,10 +177,11 @@ deserialize(const std::string &text, std::string *error)
             continue;
         if (lhs[0] != 'n')
             return fail(line_no, "expected node id");
-        const NodeId id =
-            static_cast<NodeId>(std::strtoul(lhs.c_str() + 1,
-                                             nullptr, 10));
-        if (id != g.size())
+        const auto id = parseUint(std::string_view(lhs).substr(1));
+        if (!id || *id >= kNoNode)
+            return fail(line_no,
+                        "malformed node id '" + lhs + "'");
+        if (*id != g.size())
             return fail(line_no, "node ids must be dense/in order");
         if (lex.word() != "=")
             return fail(line_no, "expected '='");
@@ -170,37 +206,62 @@ deserialize(const std::string &text, std::string *error)
         std::uint64_t param = 0;
         if (opHasParam(op)) {
             const std::string p = lex.word();
-            if (p.empty() || (!isdigit(p[0]) && p[0] != '-'))
+            if (p.empty())
                 return fail(line_no, "missing parameter");
-            param = std::strtoull(p.c_str(), nullptr, 10);
+            const auto value = parseUint(p);
+            if (!value)
+                return fail(line_no,
+                            "parameter '" + p +
+                                "' is not an unsigned 64-bit integer");
+            param = *value;
         }
 
         std::vector<NodeId> operands;
         std::string name;
+        bool have_name = false;
         while (!lex.atEnd()) {
             if (auto q = lex.quoted()) {
                 name = *q;
+                have_name = true;
                 break;
             }
+            if (lex.unterminated)
+                return fail(line_no, "unterminated quoted name");
             const std::string tok = lex.word();
             if (tok.empty())
                 break;
             if (tok[0] != 'n')
                 return fail(line_no, "expected operand id");
-            const NodeId src = static_cast<NodeId>(
-                std::strtoul(tok.c_str() + 1, nullptr, 10));
-            if (src >= g.size())
+            const auto src = parseUint(std::string_view(tok).substr(1));
+            if (!src || *src >= kNoNode)
+                return fail(line_no,
+                            "malformed operand id '" + tok + "'");
+            if (*src >= g.size())
                 return fail(line_no, "forward operand reference");
-            operands.push_back(src);
+            operands.push_back(static_cast<NodeId>(*src));
         }
+        if (have_name && !lex.atEnd())
+            return fail(line_no, "trailing tokens after name");
 
         g.addNode(op, std::move(operands), param, std::move(name));
     }
 
-    std::string verr;
-    if (!g.validate(&verr))
-        return fail(line_no, "invalid graph: " + verr);
+    ValidateOptions vopt;
+    vopt.require_def_order = true;
+    if (const Status s = validate(g, vopt); !s.ok())
+        return fail(line_no, "invalid graph: " + s.message());
     return g;
+}
+
+std::optional<Graph>
+deserialize(const std::string &text, std::string *error)
+{
+    Result<Graph> result = parseGraph(text);
+    if (result.ok())
+        return std::move(result).value();
+    if (error)
+        *error = result.status().message();
+    return std::nullopt;
 }
 
 } // namespace apex::ir

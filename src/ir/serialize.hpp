@@ -4,6 +4,7 @@
 #include <optional>
 #include <string>
 
+#include "core/status.hpp"
 #include "ir/graph.hpp"
 
 /**
@@ -33,7 +34,22 @@ namespace apex::ir {
 std::string serialize(const Graph &g);
 
 /**
- * Parse an apexir text document.
+ * Parse an apexir text document (primary, hostile-input-hardened
+ * API).
+ *
+ * Rejects, with line-tagged kParseError statuses: missing header,
+ * non-dense or duplicate node ids, malformed / integer-overflowing
+ * ids and parameters, forward operand references, unterminated quoted
+ * names, and trailing garbage.  The parsed graph is additionally
+ * checked with ir::validate() (definition order required).
+ *
+ * @param text  Document produced by serialize() (or hand-written).
+ * @return the graph, or a kParseError / kInvalidIr status.
+ */
+Result<Graph> parseGraph(const std::string &text);
+
+/**
+ * Legacy wrapper around parseGraph().
  *
  * @param text   Document produced by serialize() (or hand-written).
  * @param error  Optional out-parameter with a line-tagged message.

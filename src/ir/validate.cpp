@@ -1,0 +1,124 @@
+#include "ir/validate.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "core/fault.hpp"
+
+namespace apex::ir {
+
+namespace {
+
+Status
+invalid(NodeId id, Op op, const std::string &what)
+{
+    std::ostringstream os;
+    os << "node " << id << " (" << opName(op) << "): " << what;
+    return Status(ErrorCode::kInvalidIr, os.str());
+}
+
+/**
+ * Detect a cycle that never crosses a register.  Edges leaving a kReg
+ * node are dropped: a register breaks the combinational path, so a
+ * loop through one is sequential feedback, not an error.
+ */
+bool
+hasCombinationalCycle(const Graph &g, NodeId *offender)
+{
+    enum class Mark { kWhite, kGrey, kBlack };
+    std::vector<Mark> mark(g.size(), Mark::kWhite);
+    // Iterative DFS over consumer-side operand edges.
+    std::vector<std::pair<NodeId, std::size_t>> stack;
+    for (NodeId root = 0; root < g.size(); ++root) {
+        if (mark[root] != Mark::kWhite)
+            continue;
+        stack.emplace_back(root, 0);
+        mark[root] = Mark::kGrey;
+        while (!stack.empty()) {
+            const NodeId id = stack.back().first;
+            const auto &operands = g.node(id).operands;
+            bool descended = false;
+            while (stack.back().second < operands.size()) {
+                const NodeId src = operands[stack.back().second++];
+                if (src >= g.size())
+                    continue; // dangling: reported elsewhere
+                if (g.op(src) == Op::kReg)
+                    continue; // register breaks the path
+                if (mark[src] == Mark::kGrey) {
+                    if (offender)
+                        *offender = src;
+                    return true;
+                }
+                if (mark[src] == Mark::kWhite) {
+                    mark[src] = Mark::kGrey;
+                    stack.emplace_back(src, 0);
+                    descended = true;
+                    break;
+                }
+            }
+            if (!descended) {
+                mark[id] = Mark::kBlack;
+                stack.pop_back();
+            }
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+Status
+validate(const Graph &g, const ValidateOptions &options)
+{
+    APEX_RETURN_IF_ERROR(checkFault(FaultStage::kValidate));
+
+    for (NodeId id = 0; id < g.size(); ++id) {
+        const Node &n = g.node(id);
+        const int arity = opArity(n.op);
+        if (arity >= 0 &&
+            static_cast<int>(n.operands.size()) != arity) {
+            std::ostringstream os;
+            os << "has " << n.operands.size()
+               << " operands, expected " << arity;
+            return invalid(id, n.op, os.str());
+        }
+        for (int p = 0; p < static_cast<int>(n.operands.size()); ++p) {
+            const NodeId src = n.operands[p];
+            if (src == kNoNode || src >= g.size()) {
+                std::ostringstream os;
+                os << "dangling operand on port " << p;
+                return invalid(id, n.op, os.str());
+            }
+            if (options.require_def_order && src >= id) {
+                std::ostringstream os;
+                os << "operand n" << src << " on port " << p
+                   << " is not defined before use";
+                return invalid(id, n.op, os.str());
+            }
+            const ValueType want = opOperandType(n.op, p);
+            const ValueType got = opResultType(g.op(src));
+            if (want != got) {
+                std::ostringstream os;
+                os << "port " << p << " type mismatch from node "
+                   << src << " (" << opName(g.op(src)) << ")";
+                return invalid(id, n.op, os.str());
+            }
+        }
+        if (n.op == Op::kConstBit && n.param > 1)
+            return invalid(id, n.op, "const_bit parameter must be 0/1");
+        if (n.op == Op::kLut && n.param > 0xff)
+            return invalid(id, n.op,
+                           "3-LUT truth table exceeds 8 bits");
+    }
+
+    NodeId offender = kNoNode;
+    if (hasCombinationalCycle(g, &offender)) {
+        std::ostringstream os;
+        os << "combinational cycle through node " << offender << " ("
+           << opName(g.op(offender)) << ")";
+        return Status(ErrorCode::kInvalidIr, os.str());
+    }
+    return Status::okStatus();
+}
+
+} // namespace apex::ir

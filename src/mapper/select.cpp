@@ -4,6 +4,7 @@
 #include <map>
 #include <sstream>
 
+#include "core/fault.hpp"
 #include "pe/functional.hpp"
 
 namespace apex::mapper {
@@ -150,6 +151,11 @@ SelectionResult
 InstructionSelector::map(const Graph &app) const
 {
     SelectionResult result;
+    if (Status fault = checkFault(FaultStage::kMap); !fault.ok()) {
+        result.status = std::move(fault);
+        result.error = result.status.toString();
+        return result;
+    }
     result.rule_uses.assign(rules_.size(), 0);
 
     const auto app_fanout = app.fanouts();
@@ -162,6 +168,7 @@ InstructionSelector::map(const Graph &app) const
         os << "no rewrite rule covers node " << aid << " ("
            << ir::opName(app.op(aid)) << ")";
         result.error = os.str();
+        result.status = Status(ErrorCode::kMappingFailed, os.str());
     };
 
     if (policy_ == SelectionPolicy::kGreedyLargestFirst) {
@@ -340,6 +347,8 @@ InstructionSelector::map(const Graph &app) const
                 if (src < 0) {
                     result.error =
                         "placeholder bound to an unavailable value";
+                    result.status = Status(ErrorCode::kMappingFailed,
+                                           result.error);
                     return result;
                 }
                 mn.inputs.push_back(src);
@@ -354,6 +363,8 @@ InstructionSelector::map(const Graph &app) const
         for (int src : mn.inputs) {
             if (src < 0) {
                 result.error = "dangling mapped edge";
+                result.status = Status(ErrorCode::kMappingFailed,
+                                       result.error);
                 return result;
             }
         }

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "core/status.hpp"
 #include "ir/graph.hpp"
 #include "mapper/mapped_graph.hpp"
 #include "mapper/rewrite.hpp"
@@ -29,6 +30,7 @@ namespace apex::mapper {
 struct SelectionResult {
     bool success = false;
     std::string error;       ///< Set when success is false.
+    Status status;           ///< Typed outcome (kMappingFailed).
     MappedGraph mapped;      ///< Valid when success.
     std::vector<int> rule_uses; ///< Per-rule application counts.
 

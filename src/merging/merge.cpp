@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
 #include <utility>
 
+#include "core/fault.hpp"
+#include "ir/validate.hpp"
 #include "merging/clique.hpp"
 
 namespace apex::merging {
@@ -155,21 +158,52 @@ mergeDatapaths(const Datapath &a, const Datapath &b,
     return result;
 }
 
+namespace {
+
+/** Validate @p pattern; on failure record the skip in @p result
+ * (empty map entry keeps pattern_maps index-aligned) and remember the
+ * reason in @p last_invalid. */
+bool
+patternUsable(const ir::Graph &pattern, std::size_t k,
+              MultiMergeResult &result, Status &last_invalid)
+{
+    Status s = ir::validate(pattern);
+    if (s.ok())
+        return true;
+    result.skipped_patterns.push_back(static_cast<int>(k));
+    result.pattern_maps.emplace_back();
+    last_invalid = std::move(s).withContext("merging pattern " +
+                                            std::to_string(k));
+    return false;
+}
+
+} // namespace
+
 MultiMergeResult
 mergePatterns(const std::vector<ir::Graph> &patterns,
               const model::TechModel &tech, const MergeOptions &opt)
 {
     MultiMergeResult result;
+    if (Status fault = checkFault(FaultStage::kMerge); !fault.ok()) {
+        result.status = std::move(fault);
+        return result;
+    }
     if (patterns.empty())
         return result;
 
-    std::vector<int> map0;
-    result.merged = datapathFromPattern(patterns[0], &map0);
-    result.pattern_maps.push_back(std::move(map0));
-
-    for (std::size_t k = 1; k < patterns.size(); ++k) {
+    Status last_invalid = Status::okStatus();
+    bool have_seed = false;
+    for (std::size_t k = 0; k < patterns.size(); ++k) {
+        if (!patternUsable(patterns[k], k, result, last_invalid))
+            continue;
         std::vector<int> mapk;
-        const Datapath next = datapathFromPattern(patterns[k], &mapk);
+        Datapath next = datapathFromPattern(patterns[k], &mapk);
+        if (!have_seed) {
+            result.merged = std::move(next);
+            result.pattern_maps.push_back(std::move(mapk));
+            have_seed = true;
+            continue;
+        }
         MergeResult mr =
             mergeDatapaths(result.merged, next, tech, opt);
         result.saved_area += mr.saved_area;
@@ -186,6 +220,10 @@ mergePatterns(const std::vector<ir::Graph> &patterns,
         result.pattern_maps.push_back(std::move(mapk));
         result.merged = std::move(mr.merged);
     }
+    if (!have_seed)
+        result.status = Status(ErrorCode::kMergeInfeasible,
+                               "every pattern failed validation: " +
+                                   last_invalid.toString());
     return result;
 }
 
@@ -197,16 +235,32 @@ mergeIntoDatapath(const Datapath &seed,
 {
     MultiMergeResult result;
     result.merged = seed;
+    if (Status fault = checkFault(FaultStage::kMerge); !fault.ok()) {
+        // Seed datapath is returned unchanged so the caller can still
+        // fall back to the unmerged PE.
+        result.status = std::move(fault);
+        if (seed_map) {
+            seed_map->resize(seed.nodes.size());
+            for (std::size_t i = 0; i < seed.nodes.size(); ++i)
+                (*seed_map)[i] = static_cast<int>(i);
+        }
+        return result;
+    }
 
     std::vector<int> seed_relocation(seed.nodes.size());
     for (std::size_t i = 0; i < seed.nodes.size(); ++i)
         seed_relocation[i] = static_cast<int>(i);
 
-    for (const ir::Graph &pattern : patterns) {
+    Status last_invalid = Status::okStatus();
+    bool merged_any = false;
+    for (std::size_t k = 0; k < patterns.size(); ++k) {
+        if (!patternUsable(patterns[k], k, result, last_invalid))
+            continue;
         std::vector<int> mapk;
-        const Datapath next = datapathFromPattern(pattern, &mapk);
+        const Datapath next = datapathFromPattern(patterns[k], &mapk);
         MergeResult mr =
             mergeDatapaths(result.merged, next, tech, opt);
+        merged_any = true;
         result.saved_area += mr.saved_area;
 
         for (int &id : seed_relocation)
@@ -221,6 +275,10 @@ mergeIntoDatapath(const Datapath &seed,
         result.pattern_maps.push_back(std::move(mapk));
         result.merged = std::move(mr.merged);
     }
+    if (!patterns.empty() && !merged_any)
+        result.status = Status(ErrorCode::kMergeInfeasible,
+                               "every pattern failed validation: " +
+                                   last_invalid.toString());
     if (seed_map)
         *seed_map = std::move(seed_relocation);
     return result;

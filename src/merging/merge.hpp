@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/status.hpp"
 #include "merging/datapath.hpp"
 #include "model/tech.hpp"
 
@@ -56,9 +57,19 @@ MergeResult mergeDatapaths(const Datapath &a, const Datapath &b,
 /** Outcome of folding several patterns into one datapath. */
 struct MultiMergeResult {
     Datapath merged;
-    /** pattern_maps[i][pattern node id] == merged datapath node id. */
+    /** pattern_maps[i][pattern node id] == merged datapath node id.
+     * Skipped (invalid) patterns keep an empty entry so indices stay
+     * aligned with the input pattern list. */
     std::vector<std::vector<int>> pattern_maps;
     double saved_area = 0.0;
+    /** Indices of patterns rejected by ir::validate and left out of
+     * the merged datapath.  A partial merge is still usable; the
+     * skips are surfaced so callers can report them. */
+    std::vector<int> skipped_patterns;
+    /** kMergeInfeasible when nothing could be merged (every pattern
+     * invalid, or an injected fault); ok on success, including
+     * partial success with some patterns skipped. */
+    Status status;
 };
 
 /**

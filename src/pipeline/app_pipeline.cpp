@@ -80,12 +80,14 @@ balanceBranchDelays(MappedGraph *mapped, int pe_latency)
     const std::vector<int> order = mapped->topoOrder();
     std::vector<int> skew(mapped->nodes.size(), 0);
     for (int id : order) {
-        const MappedNode &n = mapped->nodes[id];
+        // No reference into `nodes` may live across the push_back
+        // below — it reallocates the vector.
+        const std::size_t arity = mapped->nodes[id].inputs.size();
         int latest = 0;
-        for (int src : n.inputs)
-            latest = std::max(latest, skew[src]);
-        if (n.inputs.size() >= 2) {
-            for (std::size_t k = 0; k < n.inputs.size(); ++k) {
+        for (std::size_t k = 0; k < arity; ++k)
+            latest = std::max(latest, skew[mapped->nodes[id].inputs[k]]);
+        if (arity >= 2) {
+            for (std::size_t k = 0; k < arity; ++k) {
                 int src = mapped->nodes[id].inputs[k];
                 int lag = latest - skew[src];
                 while (lag > 0) {

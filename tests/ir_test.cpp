@@ -10,6 +10,7 @@
 #include "ir/op.hpp"
 #include "ir/signature.hpp"
 #include "ir/streaming.hpp"
+#include "ir/validate.hpp"
 
 namespace apex::ir {
 namespace {
@@ -335,6 +336,96 @@ INSTANTIATE_TEST_SUITE_P(
     [](const auto &info) {
         return std::string(opName(info.param));
     });
+
+// --- ir::validate ------------------------------------------------------
+
+TEST(ValidateTest, AcceptsWellFormedGraphs) {
+    GraphBuilder b;
+    Value x = b.input("x");
+    b.output(b.add(b.mul(x, b.constant(7)), b.constant(3)), "y");
+    const Graph g = b.take();
+    EXPECT_TRUE(validate(g).ok());
+}
+
+TEST(ValidateTest, RejectsDanglingOperand) {
+    Graph g;
+    const NodeId in = g.addNode(Op::kInput);
+    const NodeId add = g.addNode(Op::kAdd, {in, in});
+    g.setOperand(add, 1, static_cast<NodeId>(500));
+    const Status s = validate(g);
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), ErrorCode::kInvalidIr);
+}
+
+TEST(ValidateTest, RejectsArityMismatch) {
+    Graph g;
+    const NodeId in = g.addNode(Op::kInput);
+    g.addNode(Op::kAdd, {in}); // add needs two operands
+    EXPECT_FALSE(validate(g).ok());
+}
+
+TEST(ValidateTest, AllowsRegisterBrokenFeedbackLoop) {
+    // Accumulator idiom: add feeds a register that feeds the add.
+    Graph g;
+    const NodeId in = g.addNode(Op::kInput);
+    const NodeId add = g.addNode(Op::kAdd, {in, in});
+    const NodeId reg = g.addNode(Op::kReg, {add});
+    g.setOperand(add, 1, reg);
+    EXPECT_TRUE(validate(g).ok());
+    // ...but the serialized (def-order) form must reject it.
+    EXPECT_FALSE(
+        validate(g, {.require_def_order = true}).ok());
+}
+
+TEST(ValidateTest, RejectsCombinationalCycle) {
+    Graph g;
+    const NodeId in = g.addNode(Op::kInput);
+    const NodeId a = g.addNode(Op::kAdd, {in, in});
+    const NodeId b = g.addNode(Op::kAdd, {a, in});
+    g.setOperand(a, 1, b); // combinational a <-> b loop
+    const Status s = validate(g);
+    ASSERT_FALSE(s.ok());
+    EXPECT_NE(s.message().find("cycle"), std::string::npos);
+}
+
+// --- Typed IR errors (former asserts) ----------------------------------
+
+TEST(IrErrorTest, BuilderRejectsInvalidValue) {
+    GraphBuilder b;
+    Value good = b.input("x");
+    Value bad; // default-constructed
+    EXPECT_THROW(b.add(good, bad), IrError);
+    EXPECT_THROW(b.output(bad), IrError);
+}
+
+TEST(IrErrorTest, MacTreeRejectsMismatchedInputs) {
+    GraphBuilder b;
+    std::vector<Value> ins = {b.input("a")};
+    std::vector<Value> weights = {b.constant(1), b.constant(2)};
+    EXPECT_THROW(b.macTree(ins, weights), IrError);
+}
+
+TEST(IrErrorTest, UnknownOpNameThrows) {
+    EXPECT_THROW(opFromName("frobnicate"), IrError);
+    try {
+        opFromName("frobnicate");
+    } catch (const IrError &e) {
+        EXPECT_EQ(e.code(), ErrorCode::kInvalidArgument);
+    }
+}
+
+TEST(IrErrorTest, EvalOpRejectsBadWidth) {
+    EXPECT_THROW(evalOp(Op::kAdd, 1, 2, 0, 0, 0), IrError);
+    EXPECT_THROW(evalOp(Op::kAdd, 1, 2, 0, 0, 65), IrError);
+    EXPECT_EQ(evalOp(Op::kAdd, 1, 2, 0, 0, 16), 3u);
+}
+
+TEST(IrErrorTest, SetOperandRejectsOutOfRangeNode) {
+    Graph g;
+    g.addNode(Op::kInput);
+    EXPECT_THROW(g.setOperand(static_cast<NodeId>(42), 0, 0),
+                 IrError);
+}
 
 } // namespace
 } // namespace apex::ir

@@ -111,5 +111,83 @@ TEST(SerializeTest, RejectsInvalidGraph) {
     EXPECT_NE(error.find("invalid graph"), std::string::npos);
 }
 
+// --- Hostile input: parseGraph must reject, never crash ---------------
+
+TEST(SerializeTest, ParseGraphReturnsTypedLineTaggedErrors) {
+    const auto r = parseGraph("apexir 1\nn0 = frobnicate\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::kParseError);
+    EXPECT_NE(r.status().message().find("line 2"),
+              std::string::npos);
+}
+
+TEST(SerializeTest, RejectsDuplicateNodeIds) {
+    std::string error;
+    EXPECT_FALSE(
+        deserialize("apexir 1\nn0 = input\nn0 = input\n", &error)
+            .has_value());
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(SerializeTest, RejectsOutOfRangeNodeIds) {
+    // An id too large for NodeId must not wrap around.
+    std::string error;
+    EXPECT_FALSE(
+        deserialize("apexir 1\nn99999999999999999999 = input\n",
+                    &error)
+            .has_value());
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(SerializeTest, RejectsUnterminatedQuotedName) {
+    std::string error;
+    EXPECT_FALSE(
+        deserialize("apexir 1\nn0 = input \"oops\n", &error)
+            .has_value());
+    EXPECT_NE(error.find("unterminated"), std::string::npos);
+
+    // A trailing backslash must not read past the end either.
+    EXPECT_FALSE(
+        deserialize("apexir 1\nn0 = input \"oops\\", &error)
+            .has_value());
+    EXPECT_NE(error.find("unterminated"), std::string::npos);
+}
+
+TEST(SerializeTest, RejectsOverflowingConstParam) {
+    // 2^64 overflows uint64; must be a parse error, not silent wrap.
+    std::string error;
+    EXPECT_FALSE(
+        deserialize("apexir 1\nn0 = const 18446744073709551616\n",
+                    &error)
+            .has_value());
+    EXPECT_FALSE(error.empty());
+
+    // The largest representable value still parses.
+    const auto ok =
+        parseGraph("apexir 1\nn0 = const 18446744073709551615\n");
+    ASSERT_TRUE(ok.ok()) << ok.status().toString();
+    EXPECT_EQ(ok->node(0).param, ~0ull);
+}
+
+TEST(SerializeTest, RejectsNegativeAndMalformedOperands) {
+    std::string error;
+    EXPECT_FALSE(
+        deserialize("apexir 1\nn0 = input\nn1 = reg n-1\n", &error)
+            .has_value());
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(
+        deserialize("apexir 1\nn0 = input\nn1 = reg nxyz\n", &error)
+            .has_value());
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(SerializeTest, RejectsTrailingTokensAfterName) {
+    std::string error;
+    EXPECT_FALSE(
+        deserialize("apexir 1\nn0 = input \"x\" garbage\n", &error)
+            .has_value());
+    EXPECT_NE(error.find("trailing"), std::string::npos);
+}
+
 } // namespace
 } // namespace apex::ir
