@@ -1,0 +1,102 @@
+/**
+ * Parallel DSE runtime scaling: the full variant sweep across the
+ * analyzed suite at jobs in {1, 2, 4, 8}, cold- vs warm-cache, with
+ * one machine-readable JSON line per configuration.
+ *
+ * On a single-core host the jobs > 1 rows measure scheduling overhead
+ * (time-slicing one core cannot speed anything up); the interesting
+ * invariants there are that overhead stays small and that every
+ * configuration reproduces the jobs=1 results exactly.  On multi-core
+ * hosts the same rows report the actual scaling curve.
+ */
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "bench/common.hpp"
+#include "core/sweep.hpp"
+#include "model/tech.hpp"
+#include "runtime/cache.hpp"
+
+namespace {
+
+using namespace apex;
+
+double
+msSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** Stable digest of a sweep outcome for cross-config comparison. */
+std::string
+resultDigest(const core::SweepOutcome &out)
+{
+    std::string s;
+    char buf[160];
+    for (const auto &e : out.entries) {
+        std::snprintf(buf, sizeof buf, "%s/%s:%a:%a;", e.app.c_str(),
+                      e.variant.c_str(), e.result.pe_area,
+                      e.result.frames_per_ms_mm2);
+        s += buf;
+    }
+    return s;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Parallel sweep scaling (runtime subsystem)");
+    const unsigned cores = std::thread::hardware_concurrency();
+    bench::note("host cores: " + std::to_string(cores));
+
+    const auto suite = apps::analyzedApps();
+    const model::TechModel &tech = model::defaultTech();
+    const core::Explorer explorer(tech);
+
+    std::string reference; // jobs=1 cold digest
+    for (const int jobs : {1, 2, 4, 8}) {
+        runtime::ArtifactCache cache;
+        for (const bool warm : {false, true}) {
+            core::SweepOptions options;
+            options.jobs = jobs;
+            options.cache = &cache;
+            const auto t0 = std::chrono::steady_clock::now();
+            const auto out =
+                core::runSweep(suite, explorer, tech, options);
+            const double wall_ms = msSince(t0);
+
+            const std::string digest = resultDigest(out);
+            if (reference.empty())
+                reference = digest;
+            const bool identical = digest == reference;
+
+            std::printf("{\"bench\":\"parallel_sweep\","
+                        "\"jobs\":%d,\"cache\":\"%s\","
+                        "\"wall_ms\":%.2f,\"entries\":%zu,"
+                        "\"failures\":%zu,\"cache_hits\":%ld,"
+                        "\"cache_misses\":%ld,\"tasks_stolen\":%ld,"
+                        "\"matches_jobs1\":%s}\n",
+                        jobs, warm ? "warm" : "cold", wall_ms,
+                        out.entries.size(),
+                        out.report.failures.size(),
+                        out.stats.cache_hits, out.stats.cache_misses,
+                        out.stats.tasks_stolen,
+                        identical ? "true" : "false");
+            if (!identical) {
+                bench::note("DETERMINISM VIOLATION at jobs=" +
+                            std::to_string(jobs));
+                return 1;
+            }
+        }
+    }
+    bench::note("all configurations byte-identical to jobs=1");
+    return 0;
+}

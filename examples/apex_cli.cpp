@@ -14,9 +14,19 @@
  *   apexc dump <app> [-o FILE]
  *       Serialize an application graph to the apexir text format.
  *   apexc sweep [--level map|pnr|pipe] [--diagnostics]
+ *               [--jobs N] [--cache-dir DIR]
  *       Fault-tolerant evaluation of every built-in application
  *       across the variant recipe; failing pairs are reported and
  *       skipped rather than aborting the sweep.
+ *
+ * Parallelism: --jobs N (or the APEX_JOBS environment variable) runs
+ * analyze/explore/sweep on a work-stealing pool with N lanes; N = 0
+ * asks for one lane per hardware thread.  The default (1) is the
+ * sequential schedule, and results are byte-identical for any N.
+ * --cache-dir DIR adds a content-addressed on-disk evaluation cache,
+ * so repeated sweeps become incremental.  Runtime counters (tasks
+ * run/stolen, cache hits/misses, per-stage time) are printed to
+ * stderr under --diagnostics.
  *
  * Exit codes: 0 on success, otherwise the stage-specific code from
  * exitCodeFor() (2 usage, 3 parse, 4 invalid IR, 7 mapping, 8
@@ -27,8 +37,10 @@
  * mobilenet laplacian stereo fast.
  */
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <sstream>
 
@@ -40,6 +52,8 @@
 #include "pe/verilog.hpp"
 #include "pe/verilog_tb.hpp"
 #include "pipeline/pe_pipeline.hpp"
+#include "runtime/cache.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace {
 
@@ -123,15 +137,54 @@ hasFlag(int argc, char **argv, const char *flag)
     return false;
 }
 
+/** --jobs N, else $APEX_JOBS, else 1 (sequential).  0 = one lane per
+ * hardware thread. */
+int
+requestedJobs(int argc, char **argv)
+{
+    if (const char *s = flagValue(argc, argv, "--jobs"))
+        return std::atoi(s);
+    if (const char *env = std::getenv("APEX_JOBS"))
+        return std::atoi(env);
+    return 1;
+}
+
+/** Pool for the requested job count; null = run sequentially. */
+std::unique_ptr<runtime::ThreadPool>
+makePool(int jobs)
+{
+    if (jobs == 1)
+        return nullptr;
+    const int n = jobs <= 0 ? runtime::ThreadPool::defaultParallelism()
+                            : jobs;
+    if (n <= 1)
+        return nullptr;
+    return std::make_unique<runtime::ThreadPool>(n);
+}
+
+/** --cache-dir DIR => a disk-backed artifact cache; else null. */
+std::unique_ptr<runtime::ArtifactCache>
+makeCache(int argc, char **argv)
+{
+    const char *dir = flagValue(argc, argv, "--cache-dir");
+    if (dir == nullptr)
+        return nullptr;
+    runtime::CacheOptions copt;
+    copt.disk_dir = dir;
+    return std::make_unique<runtime::ArtifactCache>(copt);
+}
+
 core::PeVariant
 buildVariant(const std::string &kind, const apps::AppInfo &app,
-             const core::Explorer &ex)
+             const core::Explorer &ex,
+             runtime::ThreadPool *pool = nullptr,
+             const core::EvalOptions &eval = {})
 {
     if (kind == "pe1")
         return ex.subsetVariant(app);
     if (kind == "spec")
-        return core::bestSpecializedVariant(app, ex,
-                                            model::defaultTech());
+        return core::bestSpecializedVariant(
+            app, ex, model::defaultTech(), pool, eval);
     if (kind == "ip")
         return ex.domainVariant(apps::ipApps(), 1, "pe_ip");
     if (kind == "ml")
@@ -166,6 +219,8 @@ cmdAnalyze(int argc, char **argv, const std::string &source)
         options.miner.min_support = std::atoi(s);
     if (const char *s = flagValue(argc, argv, "--max-nodes"))
         options.miner.max_pattern_nodes = std::atoi(s);
+    const auto pool = makePool(requestedJobs(argc, argv));
+    options.pool = pool.get();
     core::Explorer ex(model::defaultTech(), options);
 
     const auto patterns = ex.analyze(app->graph);
@@ -208,7 +263,13 @@ cmdExplore(int argc, char **argv, const std::string &source)
         return loadFailure(parsed_level.status());
     const core::EvalLevel level = *parsed_level;
 
-    core::Explorer ex;
+    const auto pool = makePool(requestedJobs(argc, argv));
+    const auto cache = makeCache(argc, argv);
+    core::ExplorerOptions ex_options;
+    ex_options.pool = pool.get();
+    core::Explorer ex(model::defaultTech(), ex_options);
+    core::EvalOptions eval_options;
+    eval_options.cache = cache.get();
 
     // Heterogeneous fabric: the big.LITTLE extension pairs the
     // domain PE for the app's domain with a minimal scalar PE.
@@ -246,12 +307,20 @@ cmdExplore(int argc, char **argv, const std::string &source)
         return 0;
     }
 
-    const auto variant = buildVariant(kind, *app, ex);
+    const auto variant =
+        buildVariant(kind, *app, ex, pool.get(), eval_options);
     const auto r = core::evaluate(*app, variant, level,
-                                  model::defaultTech());
-    if (hasFlag(argc, argv, "--diagnostics") &&
-        !r.diagnostics.empty())
-        std::fputs(r.diagnostics.toString().c_str(), stderr);
+                                  model::defaultTech(),
+                                  eval_options);
+    if (hasFlag(argc, argv, "--diagnostics")) {
+        if (!r.diagnostics.empty())
+            std::fputs(r.diagnostics.toString().c_str(), stderr);
+        if (cache != nullptr) {
+            const runtime::CacheStats cs = cache->stats();
+            std::fprintf(stderr, "cache: hits=%ld misses=%ld\n",
+                         cs.hits, cs.misses);
+        }
+    }
     if (!r.success) {
         std::fprintf(stderr, "apexc: %s\n",
                      r.status.toString().c_str());
@@ -338,7 +407,16 @@ cmdSweep(int argc, char **argv)
     core::SweepOptions options;
     options.level = *parsed_level;
 
-    core::Explorer ex;
+    // One pool serves both the sweep's task graph and the miner's
+    // candidate expansion, so nested parallelism shares the lanes.
+    const auto pool = makePool(requestedJobs(argc, argv));
+    const auto cache = makeCache(argc, argv);
+    options.pool = pool.get();
+    options.cache = cache.get();
+
+    core::ExplorerOptions ex_options;
+    ex_options.pool = pool.get();
+    core::Explorer ex(model::defaultTech(), ex_options);
     const auto apps_list = apps::allApps();
     const auto outcome = core::runSweep(apps_list, ex,
                                         model::defaultTech(),
@@ -352,10 +430,14 @@ cmdSweep(int argc, char **argv)
                     e.result.pe_energy);
     }
     std::printf("%s\n", outcome.report.summary().c_str());
-    if (hasFlag(argc, argv, "--diagnostics") &&
-        !outcome.report.diagnostics.empty())
-        std::fputs(outcome.report.diagnostics.toString().c_str(),
-                   stderr);
+    if (hasFlag(argc, argv, "--diagnostics")) {
+        if (!outcome.report.diagnostics.empty())
+            std::fputs(
+                outcome.report.diagnostics.toString().c_str(),
+                stderr);
+        std::fprintf(stderr, "runtime: %s\n",
+                     outcome.stats.toString().c_str());
+    }
 
     // The sweep itself succeeds as long as something was evaluated;
     // a sweep where nothing ran reports its first failure's code.

@@ -2,11 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
 #include <set>
 #include <sstream>
+#include <vector>
 
 #include "cgra/bitstream.hpp"
 #include "core/fault.hpp"
+#include "ir/signature.hpp"
 #include "ir/validate.hpp"
 #include "cgra/place.hpp"
 #include "cgra/route.hpp"
@@ -18,6 +23,253 @@
 namespace apex::core {
 
 using mapper::MappedKind;
+
+// ---------------------------------------------------------------------
+// Artifact-cache keys and EvalResult serialization
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Content fingerprint of a PE specification: everything evaluate()
+ * reads from it (datapath structure, config space, pipelining). */
+std::uint64_t
+specFingerprint(const pe::PeSpec &spec)
+{
+    ir::Fnv64 f;
+    f.mix(static_cast<std::uint64_t>(spec.dp.nodes.size()));
+    for (const merging::DpNode &n : spec.dp.nodes) {
+        f.mix(static_cast<std::uint64_t>(n.kind));
+        f.mix(static_cast<std::uint64_t>(n.cls));
+        f.mix(static_cast<std::uint64_t>(n.type));
+        f.mix(static_cast<std::uint64_t>(n.is_output));
+        f.mix(static_cast<std::uint64_t>(n.ops.size()));
+        for (const ir::Op op : n.ops) // std::set: sorted, stable
+            f.mix(static_cast<std::uint64_t>(op));
+    }
+    f.mix(static_cast<std::uint64_t>(spec.dp.edges.size()));
+    for (const merging::DpEdge &e : spec.dp.edges) {
+        f.mix(static_cast<std::uint64_t>(e.src));
+        f.mix(static_cast<std::uint64_t>(e.dst));
+        f.mix(static_cast<std::uint64_t>(e.port));
+    }
+    auto mix_ints = [&f](const std::vector<int> &v) {
+        f.mix(static_cast<std::uint64_t>(v.size()));
+        for (const int i : v)
+            f.mix(static_cast<std::uint64_t>(i));
+    };
+    f.mix(static_cast<std::uint64_t>(spec.muxes.size()));
+    for (const pe::MuxSite &m : spec.muxes) {
+        f.mix(static_cast<std::uint64_t>(m.node));
+        f.mix(static_cast<std::uint64_t>(m.port));
+        mix_ints(m.sources);
+    }
+    mix_ints(spec.multi_op_blocks);
+    mix_ints(spec.const_regs);
+    mix_ints(spec.word_inputs);
+    mix_ints(spec.bit_inputs);
+    mix_ints(spec.word_outputs);
+    mix_ints(spec.bit_outputs);
+    mix_ints(spec.lut_blocks);
+    f.mix(static_cast<std::uint64_t>(spec.has_register_file));
+    f.mix(static_cast<std::uint64_t>(spec.pipeline_stages));
+    return f.digest();
+}
+
+/** Fingerprint of every TechModel field evaluate() can read. */
+std::uint64_t
+techFingerprint(const model::TechModel &tech)
+{
+    ir::Fnv64 f;
+    for (const model::BlockCost &b : tech.block) {
+        f.mixDouble(b.area);
+        f.mixDouble(b.energy);
+        f.mixDouble(b.delay);
+    }
+    f.mixDouble(tech.mux_input_area);
+    f.mixDouble(tech.mux_input_area_bit);
+    f.mixDouble(tech.mux_energy);
+    f.mixDouble(tech.mux_delay);
+    f.mixDouble(tech.config_bit_area);
+    f.mixDouble(tech.decode_area_per_op);
+    f.mixDouble(tech.decode_energy);
+    f.mixDouble(tech.config_bit_energy);
+    f.mixDouble(tech.decode_energy_per_op);
+    f.mixDouble(tech.idle_toggle_factor);
+    f.mixDouble(tech.pipe_reg_area);
+    f.mixDouble(tech.pipe_reg_energy);
+    f.mixDouble(tech.reg_setup_delay);
+    f.mixDouble(tech.rf_area);
+    f.mixDouble(tech.rf_energy);
+    f.mix(static_cast<std::uint64_t>(tech.sb_tracks));
+    f.mixDouble(tech.sb_area);
+    f.mixDouble(tech.sb_energy_per_hop);
+    f.mixDouble(tech.sb_hop_delay);
+    f.mixDouble(tech.cb_area_per_input);
+    f.mixDouble(tech.cb_area_per_input_bit);
+    f.mixDouble(tech.cb_energy);
+    f.mixDouble(tech.mem_tile_area);
+    f.mixDouble(tech.mem_energy_access);
+    f.mixDouble(tech.target_period);
+    return f.digest();
+}
+
+} // namespace
+
+std::string
+evalCacheKey(const apps::AppInfo &app, const PeVariant &variant,
+             EvalLevel level, const model::TechModel &tech,
+             const EvalOptions &options)
+{
+    ir::Fnv64 f;
+    f.mix(ir::fingerprint(app.graph));
+    f.mixDouble(app.work_items_per_frame);
+    f.mix(static_cast<std::uint64_t>(app.items_per_cycle));
+    f.mix(specFingerprint(variant.spec));
+    f.mix(static_cast<std::uint64_t>(variant.patterns.size()));
+    for (const ir::Graph &p : variant.patterns)
+        f.mix(ir::fingerprint(p));
+    f.mix(static_cast<std::uint64_t>(level));
+    f.mix(techFingerprint(tech));
+    f.mix(static_cast<std::uint64_t>(options.fabric_width));
+    f.mix(static_cast<std::uint64_t>(options.fabric_height));
+    f.mix(static_cast<std::uint64_t>(options.auto_grow_fabric));
+    f.mix(static_cast<std::uint64_t>(options.placer_seed));
+    f.mix(static_cast<std::uint64_t>(options.place_retries));
+    f.mix(
+        static_cast<std::uint64_t>(options.route_track_escalations));
+
+    // Human-readable prefix for cache introspection; the hash is the
+    // actual content address.
+    std::ostringstream os;
+    os << "eval/v1/" << app.name << '/' << variant.name << '/'
+       << static_cast<int>(level) << '/' << std::hex << f.digest();
+    return os.str();
+}
+
+namespace {
+
+void
+appendDouble(std::ostringstream &os, const char *name, double v)
+{
+    // %a round-trips IEEE doubles exactly: cache hits are
+    // bit-identical to the run that populated the cache.
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%a", v);
+    os << name << ' ' << buf << '\n';
+}
+
+} // namespace
+
+std::string
+serializeEvalResult(const EvalResult &r)
+{
+    std::ostringstream os;
+    os << "apexeval 1\n";
+    os << "pnr_attempts " << r.pnr_attempts << '\n';
+    os << "pe_count " << r.pe_count << '\n';
+    appendDouble(os, "pe_area", r.pe_area);
+    appendDouble(os, "pe_energy", r.pe_energy);
+    os << "fabric_width " << r.fabric_width << '\n';
+    os << "fabric_height " << r.fabric_height << '\n';
+    appendDouble(os, "sb_area", r.sb_area);
+    appendDouble(os, "cb_area", r.cb_area);
+    appendDouble(os, "mem_area", r.mem_area);
+    appendDouble(os, "cgra_area", r.cgra_area);
+    appendDouble(os, "sb_energy", r.sb_energy);
+    appendDouble(os, "cb_energy", r.cb_energy);
+    appendDouble(os, "mem_energy", r.mem_energy);
+    appendDouble(os, "cgra_energy", r.cgra_energy);
+    os << "util_pes " << r.util.pes << '\n';
+    os << "util_mems " << r.util.mems << '\n';
+    os << "util_rf_entries " << r.util.rf_entries << '\n';
+    os << "util_ios " << r.util.ios << '\n';
+    os << "util_regs " << r.util.regs << '\n';
+    os << "util_routing_tiles " << r.util.routing_tiles << '\n';
+    os << "util_sb_hops " << r.util.sb_hops << '\n';
+    os << "pipeline_stages " << r.pipeline_stages << '\n';
+    appendDouble(os, "period_ns", r.period_ns);
+    appendDouble(os, "latency_cycles", r.latency_cycles);
+    appendDouble(os, "runtime_ms", r.runtime_ms);
+    appendDouble(os, "perf_per_mm2", r.perf_per_mm2);
+    appendDouble(os, "frames_per_ms_mm2", r.frames_per_ms_mm2);
+    appendDouble(os, "total_energy_uj", r.total_energy_uj);
+    appendDouble(os, "raw_compute_energy_uj",
+                 r.raw_compute_energy_uj);
+    appendDouble(os, "op_events", r.op_events);
+    return os.str();
+}
+
+Result<EvalResult>
+parseEvalResult(const std::string &text)
+{
+    std::istringstream is(text);
+    std::string magic;
+    int version = 0;
+    if (!(is >> magic >> version) || magic != "apexeval" ||
+        version != 1)
+        return Status(ErrorCode::kParseError,
+                      "bad apexeval header");
+
+    EvalResult r;
+    std::map<std::string, int *> ints{
+        {"pnr_attempts", &r.pnr_attempts},
+        {"pe_count", &r.pe_count},
+        {"fabric_width", &r.fabric_width},
+        {"fabric_height", &r.fabric_height},
+        {"util_pes", &r.util.pes},
+        {"util_mems", &r.util.mems},
+        {"util_rf_entries", &r.util.rf_entries},
+        {"util_ios", &r.util.ios},
+        {"util_regs", &r.util.regs},
+        {"util_routing_tiles", &r.util.routing_tiles},
+        {"util_sb_hops", &r.util.sb_hops},
+        {"pipeline_stages", &r.pipeline_stages},
+    };
+    std::map<std::string, double *> doubles{
+        {"pe_area", &r.pe_area},
+        {"pe_energy", &r.pe_energy},
+        {"sb_area", &r.sb_area},
+        {"cb_area", &r.cb_area},
+        {"mem_area", &r.mem_area},
+        {"cgra_area", &r.cgra_area},
+        {"sb_energy", &r.sb_energy},
+        {"cb_energy", &r.cb_energy},
+        {"mem_energy", &r.mem_energy},
+        {"cgra_energy", &r.cgra_energy},
+        {"period_ns", &r.period_ns},
+        {"latency_cycles", &r.latency_cycles},
+        {"runtime_ms", &r.runtime_ms},
+        {"perf_per_mm2", &r.perf_per_mm2},
+        {"frames_per_ms_mm2", &r.frames_per_ms_mm2},
+        {"total_energy_uj", &r.total_energy_uj},
+        {"raw_compute_energy_uj", &r.raw_compute_energy_uj},
+        {"op_events", &r.op_events},
+    };
+
+    std::size_t parsed = 0;
+    std::string name, value;
+    while (is >> name >> value) {
+        if (auto it = ints.find(name); it != ints.end()) {
+            *it->second = std::atoi(value.c_str());
+        } else if (auto dt = doubles.find(name);
+                   dt != doubles.end()) {
+            char *end = nullptr;
+            *dt->second = std::strtod(value.c_str(), &end);
+            if (end == value.c_str())
+                return Status(ErrorCode::kParseError,
+                              "bad double for '" + name + "'");
+        } else {
+            return Status(ErrorCode::kParseError,
+                          "unknown apexeval field '" + name + "'");
+        }
+        ++parsed;
+    }
+    if (parsed != ints.size() + doubles.size())
+        return Status(ErrorCode::kParseError,
+                      "truncated apexeval record");
+    r.success = true;
+    return r;
+}
 
 double
 peInstanceEnergy(const mapper::RewriteRule &rule,
@@ -83,6 +335,32 @@ evaluate(const apps::AppInfo &app, const PeVariant &variant,
         return r;
     }
 
+    // --- Artifact-cache lookup -------------------------------------
+    // After the fault hook and validation so injected faults keep
+    // their per-stage call ordinals and a corrupt graph is rejected
+    // even when a stale entry exists for its fingerprint.
+    std::string cache_key;
+    if (options.cache != nullptr) {
+        cache_key = evalCacheKey(app, variant, level, tech, options);
+        if (auto hit = options.cache->get(cache_key)) {
+            if (Result<EvalResult> cached = parseEvalResult(*hit);
+                cached.ok()) {
+                EvalResult out = std::move(cached).value();
+                out.diagnostics.info(
+                    "cache",
+                    "evaluation served from artifact cache");
+                return out;
+            }
+            // Format skew that slipped past the disk checksum:
+            // recompute and overwrite on success.
+        }
+    }
+    const auto memoize = [&](const EvalResult &ok_result) {
+        if (options.cache != nullptr)
+            options.cache->put(cache_key,
+                               serializeEvalResult(ok_result));
+    };
+
     // --- Compile: rewrite rules + instruction selection -----------
     pe::PeSpec spec = variant.spec; // mutable copy (pipelining)
     mapper::RewriteRuleSynthesizer synth(spec);
@@ -137,6 +415,7 @@ evaluate(const apps::AppInfo &app, const PeVariant &variant,
 
     if (level == EvalLevel::kPostMapping) {
         r.success = true;
+        memoize(r);
         return r;
     }
 
@@ -333,30 +612,63 @@ evaluate(const apps::AppInfo &app, const PeVariant &variant,
         r.cgra_energy * app.work_items_per_frame * 1e-6;
 
     r.success = true;
+    memoize(r);
     return r;
 }
 
 PeVariant
 bestSpecializedVariant(const apps::AppInfo &app,
                        const Explorer &explorer,
-                       const model::TechModel &tech)
+                       const model::TechModel &tech,
+                       runtime::ThreadPool *pool,
+                       const EvalOptions &options)
 {
-    PeVariant best = explorer.subsetVariant(app);
+    const int max_k = explorer.options().max_merged_subgraphs;
     auto score = [&](const PeVariant &v) {
         const EvalResult r =
-            evaluate(app, v, EvalLevel::kPostMapping, tech);
+            evaluate(app, v, EvalLevel::kPostMapping, tech,
+                     options);
         return r.success ? r.pe_area * r.pe_energy : 1e300;
     };
-    double best_score = score(best);
 
-    const int max_k = explorer.options().max_merged_subgraphs;
-    for (int k = 1; k <= max_k; ++k) {
-        PeVariant candidate = explorer.specializedVariant(app, k);
-        const double s = score(candidate);
-        if (s >= best_score)
-            break; // merging more subgraphs stopped paying off
-        best_score = s;
-        best = std::move(candidate);
+    PeVariant best;
+    if (pool != nullptr && pool->parallelism() > 1) {
+        // Speculative parallel scan: build and score every candidate
+        // k concurrently (k = 0 is the subset PE), then replay the
+        // sequential stopping rule over the score sequence.  Each
+        // score depends only on its own candidate, so the selected
+        // variant is identical to the sequential walk; work past the
+        // stopping point is wasted but off the critical path.
+        std::vector<PeVariant> candidates(
+            static_cast<std::size_t>(max_k) + 1);
+        std::vector<double> scores(candidates.size(), 1e300);
+        runtime::parallelFor(
+            pool, static_cast<int>(candidates.size()), [&](int k) {
+                candidates[k] = k == 0
+                                    ? explorer.subsetVariant(app)
+                                    : explorer.specializedVariant(
+                                          app, k);
+                scores[k] = score(candidates[k]);
+            });
+        std::size_t best_k = 0;
+        for (std::size_t k = 1; k < candidates.size(); ++k) {
+            if (scores[k] >= scores[best_k])
+                break; // merging more subgraphs stopped paying off
+            best_k = k;
+        }
+        best = std::move(candidates[best_k]);
+    } else {
+        best = explorer.subsetVariant(app);
+        double best_score = score(best);
+        for (int k = 1; k <= max_k; ++k) {
+            PeVariant candidate =
+                explorer.specializedVariant(app, k);
+            const double s = score(candidate);
+            if (s >= best_score)
+                break; // merging more subgraphs stopped paying off
+            best_score = s;
+            best = std::move(candidate);
+        }
     }
     best.name = "pe_spec_" + app.name;
     best.spec.name = best.name;

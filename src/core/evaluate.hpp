@@ -6,6 +6,8 @@
 #include "cgra/metrics.hpp"
 #include "core/explorer.hpp"
 #include "core/status.hpp"
+#include "runtime/cache.hpp"
+#include "runtime/thread_pool.hpp"
 
 /**
  * @file
@@ -93,6 +95,15 @@ struct EvalOptions {
     /** Routing-track escalations (+2 tracks each) tried on congestion
      * before giving up on a placement. */
     int route_track_escalations = 2;
+    /**
+     * Optional content-addressed memoization cache.  Successful
+     * evaluations are stored under a key fingerprinting the app
+     * graph, the variant (datapath, patterns, pipelining), the
+     * evaluation level, the tech model and every knob above, so a
+     * hit is guaranteed to reproduce the sequential result bit for
+     * bit.  Failures are never cached (they are retried).
+     */
+    runtime::ArtifactCache *cache = nullptr;
 };
 
 /** Run the flow for @p app on @p variant up to @p level. */
@@ -106,10 +117,38 @@ EvalResult evaluate(const apps::AppInfo &app, const PeVariant &variant,
  * area-energy product of the application improves; return the last
  * improving variant ("the most specialized PE possible without
  * increasing the area or energy of the application").
+ *
+ * With @p pool (parallelism > 1), every candidate k is built and
+ * scored concurrently and the stopping rule is applied to the score
+ * sequence afterwards — speculative work past the stopping point is
+ * wasted, but the chosen variant is identical to the sequential
+ * scan because each score depends only on its own candidate.
  */
 PeVariant bestSpecializedVariant(const apps::AppInfo &app,
                                  const Explorer &explorer,
-                                 const model::TechModel &tech);
+                                 const model::TechModel &tech,
+                                 runtime::ThreadPool *pool = nullptr,
+                                 const EvalOptions &options = {});
+
+/**
+ * Serialize a *successful* EvalResult for the artifact cache
+ * (diagnostics and failure state are deliberately excluded: failures
+ * are never cached).  Doubles round-trip exactly via hex floats, so
+ * a cache hit is bit-identical to the evaluation that produced it.
+ */
+std::string serializeEvalResult(const EvalResult &r);
+
+/** Inverse of serializeEvalResult(); kParseError on any corruption. */
+Result<EvalResult> parseEvalResult(const std::string &text);
+
+/**
+ * Cache key for evaluate(): a content fingerprint of every input
+ * that can influence the result (see EvalOptions::cache).
+ */
+std::string evalCacheKey(const apps::AppInfo &app,
+                         const PeVariant &variant, EvalLevel level,
+                         const model::TechModel &tech,
+                         const EvalOptions &options);
 
 /**
  * Energy one PE instance spends per cycle executing @p rule on

@@ -43,6 +43,10 @@ Explorer::Explorer(const model::TechModel &tech,
                    ExplorerOptions options)
     : tech_(tech), options_(options)
 {
+    // The miner inherits the explorer's pool unless the caller wired
+    // a dedicated one.
+    if (options_.miner.pool == nullptr)
+        options_.miner.pool = options_.pool;
 }
 
 Result<std::vector<mining::MinedPattern>>
@@ -188,14 +192,43 @@ Explorer::tryDomainVariant(const std::vector<apps::AppInfo>
     // Interleave the domain's top subgraphs app by app, deduplicated
     // by canonical identity, so every application contributes its
     // most valuable pattern before any contributes a second one.
-    std::vector<std::vector<Graph>> per_app_patterns;
-    for (const apps::AppInfo &app : domain_apps) {
-        auto patterns = tryTopPatterns(app.graph, per_app);
-        if (!patterns.ok())
-            return patterns.status().withContext(
-                "building domain variant '" + name + "' (app '" +
-                app.name + "')");
-        per_app_patterns.push_back(std::move(patterns).value());
+    std::vector<std::vector<Graph>> per_app_patterns(
+        domain_apps.size());
+    const bool parallel = options_.pool != nullptr &&
+                          options_.pool->parallelism() > 1;
+    if (parallel) {
+        // Fan the per-app mining out; each iteration writes only its
+        // own slot.  The first failure *in app order* is reported, as
+        // in the sequential walk (later apps' work is speculative).
+        std::vector<Status> statuses(domain_apps.size());
+        runtime::parallelFor(
+            options_.pool, static_cast<int>(domain_apps.size()),
+            [&](int i) {
+                auto patterns =
+                    tryTopPatterns(domain_apps[i].graph, per_app);
+                if (patterns.ok())
+                    per_app_patterns[i] =
+                        std::move(patterns).value();
+                else
+                    statuses[i] = patterns.status();
+            });
+        for (std::size_t i = 0; i < domain_apps.size(); ++i) {
+            if (!statuses[i].ok())
+                return std::move(statuses[i])
+                    .withContext("building domain variant '" + name +
+                                 "' (app '" + domain_apps[i].name +
+                                 "')");
+        }
+    } else {
+        for (std::size_t i = 0; i < domain_apps.size(); ++i) {
+            auto patterns =
+                tryTopPatterns(domain_apps[i].graph, per_app);
+            if (!patterns.ok())
+                return patterns.status().withContext(
+                    "building domain variant '" + name + "' (app '" +
+                    domain_apps[i].name + "')");
+            per_app_patterns[i] = std::move(patterns).value();
+        }
     }
 
     std::set<std::string> seen;

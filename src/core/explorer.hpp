@@ -9,6 +9,7 @@
 #include "mining/miner.hpp"
 #include "model/tech.hpp"
 #include "pe/spec.hpp"
+#include "runtime/thread_pool.hpp"
 
 /**
  * @file
@@ -46,6 +47,13 @@ struct ExplorerOptions {
     int min_mis = 2;
     /** Maximum subgraphs merged into the most specialized PE. */
     int max_merged_subgraphs = 3;
+    /**
+     * Worker pool shared by mining (per-level candidate expansion)
+     * and domain analysis (per-app mining fan-out).  Null, or
+     * parallelism <= 1, keeps every path on the original sequential
+     * schedule; results are identical either way.
+     */
+    runtime::ThreadPool *pool = nullptr;
 };
 
 /** APEX explorer: analysis + PE-variant generation. */

@@ -117,29 +117,34 @@ FaultInjector::configure(std::string_view spec)
 void
 FaultInjector::arm(FaultStage stage, int nth_call, int count)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
     const int i = static_cast<int>(stage);
-    fail_from_[i] = nth_call;
-    fail_count_[i] = count;
+    // Count before threshold: a concurrent onCall that sees the new
+    // fail_from_ must also see the matching fail_count_.
+    fail_count_[i].store(count, std::memory_order_relaxed);
+    fail_from_[i].store(nth_call, std::memory_order_release);
 }
 
 void
 FaultInjector::reset()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    calls_.fill(0);
-    fail_from_.fill(0);
-    fail_count_.fill(0);
+    for (int i = 0; i < kNumFaultStages; ++i) {
+        fail_from_[i].store(0, std::memory_order_release);
+        fail_count_[i].store(0, std::memory_order_relaxed);
+        calls_[i].store(0, std::memory_order_relaxed);
+    }
 }
 
 Status
 FaultInjector::onCall(FaultStage stage)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
     const int i = static_cast<int>(stage);
-    const int n = ++calls_[i];
-    if (fail_from_[i] > 0 && n >= fail_from_[i] &&
-        n < fail_from_[i] + fail_count_[i]) {
+    // fetch_add hands every concurrent caller a unique ordinal, so an
+    // armed window [from, from + count) fires on exactly `count`
+    // calls even when stages run on many threads.
+    const int n = calls_[i].fetch_add(1, std::memory_order_relaxed) + 1;
+    const int from = fail_from_[i].load(std::memory_order_acquire);
+    if (from > 0 && n >= from &&
+        n < from + fail_count_[i].load(std::memory_order_relaxed)) {
         std::ostringstream os;
         os << "injected fault at stage '" << faultStageName(stage)
            << "' (call " << n << ")";
@@ -151,16 +156,15 @@ FaultInjector::onCall(FaultStage stage)
 int
 FaultInjector::callCount(FaultStage stage) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return calls_[static_cast<int>(stage)];
+    return calls_[static_cast<int>(stage)].load(
+        std::memory_order_relaxed);
 }
 
 bool
 FaultInjector::armed() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
     for (int i = 0; i < kNumFaultStages; ++i)
-        if (fail_from_[i] > 0)
+        if (fail_from_[i].load(std::memory_order_acquire) > 0)
             return true;
     return false;
 }

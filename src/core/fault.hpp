@@ -2,7 +2,7 @@
 #define APEX_CORE_FAULT_H_
 
 #include <array>
-#include <mutex>
+#include <atomic>
 #include <optional>
 #include <string_view>
 
@@ -26,8 +26,13 @@
  *     APEX_FAULT="place:1:3"      # fail place() calls 1,2,3
  *     APEX_FAULT="mine:1,route:4" # several stages at once
  *
- * Counting is global per stage and deterministic (single-threaded
- * pipelines; a mutex guards the counters for safety).
+ * Counting is global per stage.  The per-stage counters are lock-free
+ * atomics so concurrent pipeline stages under the parallel DSE
+ * runtime stay data-race-free: every call still receives a unique
+ * ordinal, and a fault armed for ordinal N fires on exactly one call.
+ * (Which *task* observes ordinal N depends on the schedule once jobs
+ * > 1; deterministic fault tests therefore run with jobs = 1, where
+ * the sequential schedule makes ordinals reproducible.)
  */
 
 namespace apex {
@@ -87,10 +92,11 @@ class FaultInjector {
   private:
     FaultInjector();
 
-    mutable std::mutex mutex_;
-    std::array<int, kNumFaultStages> calls_{};
-    std::array<int, kNumFaultStages> fail_from_{}; ///< 0 = disarmed.
-    std::array<int, kNumFaultStages> fail_count_{};
+    std::array<std::atomic<int>, kNumFaultStages> calls_{};
+    /** 0 = disarmed.  Armed ranges are written before the counters
+     * are exercised (arm/reset are test-setup operations). */
+    std::array<std::atomic<int>, kNumFaultStages> fail_from_{};
+    std::array<std::atomic<int>, kNumFaultStages> fail_count_{};
 };
 
 /** Stage entry hook used by instrumented pipeline code. */

@@ -20,6 +20,7 @@ errorCodeName(ErrorCode code)
       case ErrorCode::kResourceExhausted: return "ResourceExhausted";
       case ErrorCode::kEvaluationFailed:  return "EvaluationFailed";
       case ErrorCode::kTimeout:           return "Timeout";
+      case ErrorCode::kCancelled:         return "Cancelled";
       case ErrorCode::kInternal:          return "Internal";
     }
     return "Unknown";
@@ -42,6 +43,7 @@ exitCodeFor(ErrorCode code)
       case ErrorCode::kEvaluationFailed:  return 11;
       case ErrorCode::kTimeout:           return 12;
       case ErrorCode::kInternal:          return 13;
+      case ErrorCode::kCancelled:         return 14;
     }
     return 1;
 }
@@ -59,6 +61,7 @@ stageForCode(ErrorCode code)
       case ErrorCode::kResourceExhausted: return "place";
       case ErrorCode::kRouteFailed:       return "route";
       case ErrorCode::kEvaluationFailed:  return "evaluate";
+      case ErrorCode::kCancelled:         return "runtime";
       default:                            return "unknown";
     }
 }

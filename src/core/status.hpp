@@ -47,6 +47,7 @@ enum class ErrorCode {
     kResourceExhausted, ///< Fabric too small / budget exhausted.
     kEvaluationFailed,  ///< Evaluation-level failure.
     kTimeout,           ///< Stage exceeded its budget.
+    kCancelled,         ///< Cooperatively cancelled before running.
     kInternal,          ///< Unexpected exception / logic error.
 };
 

@@ -1,9 +1,15 @@
 #include "core/sweep.hpp"
 
 #include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <optional>
 #include <utility>
 
 #include "ir/validate.hpp"
+#include "runtime/task_graph.hpp"
 
 namespace apex::core {
 
@@ -35,77 +41,266 @@ recordFailure(ExplorationReport &report, const std::string &app,
     ++report.skipped;
 }
 
+/** Fixed identity of the (up to) three recipe cells per app, so the
+ * task graph can be built before variant construction runs. */
+enum RecipeCell { kBaseline = 0, kSubset = 1, kSpecialized = 2 };
+
+/** One (app, variant) evaluation slot; written only by its task. */
+struct Cell {
+    std::optional<PeVariant> variant; ///< Set by the build task.
+    bool ran = false;                 ///< Evaluation task executed.
+    EvalResult result;
+};
+
+/** Per-application slots; written only by this app's tasks. */
+struct AppSlot {
+    bool build_ran = false;
+    Status validate_status; ///< Non-ok => whole app skipped.
+    bool spec_failed = false;
+    std::string spec_name;
+    Status spec_status;
+    std::array<Cell, 3> cells;
+};
+
+using Clock = std::chrono::steady_clock;
+
+long
+elapsedUs(Clock::time_point from)
+{
+    return static_cast<long>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            Clock::now() - from)
+            .count());
+}
+
 } // namespace
+
+std::string
+SweepRuntimeStats::toString() const
+{
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "jobs=%d tasks=%ld stolen=%ld cache=%ld/%ld "
+                  "build=%.2fms eval=%.2fms wall=%.2fms",
+                  jobs, tasks_run, tasks_stolen, cache_hits,
+                  cache_hits + cache_misses, build_ms, eval_ms,
+                  wall_ms);
+    return buf;
+}
 
 SweepOutcome
 runSweep(const std::vector<apps::AppInfo> &apps,
          const Explorer &explorer, const model::TechModel &tech,
          const SweepOptions &options)
 {
+    const Clock::time_point wall_start = Clock::now();
     SweepOutcome out;
 
-    for (const apps::AppInfo &app : apps) {
-        // Boundary validation: a corrupt application skips only
-        // itself, never the sweep.
-        if (Status s = ir::validate(app.graph); !s.ok()) {
-            recordFailure(out.report, app.name, "",
-                          std::move(s).withContext(
-                              "validating application '" + app.name +
-                              "'"),
-                          1);
+    // Resolve the execution resources.  jobs == 1 (the default) means
+    // no pool at all: the task graph runs inline in insertion order,
+    // which is exactly the sequential driver's schedule (including
+    // fault-injection call ordinals).
+    runtime::ThreadPool *pool = options.pool;
+    std::unique_ptr<runtime::ThreadPool> owned_pool;
+    if (pool == nullptr) {
+        int n = options.jobs;
+        if (n <= 0)
+            n = runtime::ThreadPool::defaultParallelism();
+        if (n > 1) {
+            owned_pool = std::make_unique<runtime::ThreadPool>(n);
+            pool = owned_pool.get();
+        }
+    }
+    out.stats.jobs = pool != nullptr ? pool->parallelism() : 1;
+
+    EvalOptions eval_opts = options.eval;
+    if (options.cache != nullptr)
+        eval_opts.cache = options.cache;
+    runtime::ArtifactCache *cache = eval_opts.cache;
+    const runtime::CacheStats cache_before =
+        cache != nullptr ? cache->stats() : runtime::CacheStats{};
+    const runtime::PoolStats pool_before =
+        pool != nullptr ? pool->stats() : runtime::PoolStats{};
+
+    const std::atomic<bool> *cancel = options.cancel;
+    std::vector<AppSlot> slots(apps.size());
+    std::atomic<long> tasks_run{0};
+    std::atomic<long> build_us{0};
+    std::atomic<long> eval_us{0};
+
+    // --- Fan out: one build task per app, one eval task per cell ---
+    // Every task writes only its own slot; all ordering-sensitive
+    // work (report assembly) happens sequentially afterwards.
+    runtime::TaskGraph graph(pool);
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const apps::AppInfo &app = apps[i];
+        AppSlot &slot = slots[i];
+
+        const runtime::TaskId build = graph.add(
+            "build:" + app.name,
+            [&options, &explorer, &graph, &app, &slot, cancel,
+             &tasks_run, &build_us]() -> Status {
+                if (cancel != nullptr && cancel->load()) {
+                    graph.cancel();
+                    return Status::okStatus();
+                }
+                const Clock::time_point t0 = Clock::now();
+                tasks_run.fetch_add(1, std::memory_order_relaxed);
+                slot.build_ran = true;
+
+                // Boundary validation: a corrupt application skips
+                // only itself, never the sweep.
+                if (Status s = ir::validate(app.graph); !s.ok()) {
+                    slot.validate_status =
+                        std::move(s).withContext(
+                            "validating application '" + app.name +
+                            "'");
+                    build_us.fetch_add(elapsedUs(t0),
+                                       std::memory_order_relaxed);
+                    return Status::okStatus();
+                }
+                if (options.include_baseline)
+                    slot.cells[kBaseline].variant =
+                        explorer.baselineVariant();
+                if (options.include_subset)
+                    slot.cells[kSubset].variant =
+                        explorer.subsetVariant(app);
+                if (options.include_specialized) {
+                    const int k =
+                        explorer.options().max_merged_subgraphs;
+                    auto v = explorer.trySpecializedVariant(app, k);
+                    if (v.ok()) {
+                        slot.cells[kSpecialized].variant =
+                            std::move(v).value();
+                    } else {
+                        slot.spec_failed = true;
+                        slot.spec_name = "pe" +
+                                         std::to_string(k + 1) +
+                                         "_" + app.name;
+                        slot.spec_status = v.status();
+                    }
+                }
+                build_us.fetch_add(elapsedUs(t0),
+                                   std::memory_order_relaxed);
+                return Status::okStatus();
+            });
+
+        for (int j = 0; j < 3; ++j) {
+            Cell &cell = slot.cells[j];
+            graph.add(
+                "eval:" + app.name + "#" + std::to_string(j),
+                [&options, &graph, &app, &cell, cancel, &eval_opts,
+                 &tech, &tasks_run, &eval_us]() -> Status {
+                    if (cancel != nullptr && cancel->load()) {
+                        graph.cancel();
+                        return Status::okStatus();
+                    }
+                    if (!cell.variant.has_value())
+                        return Status::okStatus();
+                    const Clock::time_point t0 = Clock::now();
+                    tasks_run.fetch_add(1,
+                                        std::memory_order_relaxed);
+                    cell.ran = true;
+                    EvalResult &r = cell.result;
+                    try {
+                        r = evaluate(app, *cell.variant,
+                                     options.level, tech,
+                                     eval_opts);
+                    } catch (const ApexError &e) {
+                        r.status = e.status().withContext(
+                            "evaluating '" + app.name + "' on '" +
+                            cell.variant->name + "'");
+                        r.error = r.status.toString();
+                    } catch (const std::exception &e) {
+                        r.status = Status(
+                            ErrorCode::kInternal,
+                            std::string("unexpected exception: ") +
+                                e.what());
+                        r.error = r.status.toString();
+                    }
+                    eval_us.fetch_add(elapsedUs(t0),
+                                      std::memory_order_relaxed);
+                    return Status::okStatus();
+                },
+                {build});
+        }
+    }
+    // Expected per-cell failures live in the slots, so a non-ok run()
+    // can only mean cancellation — which the assembly below reads off
+    // the ran/build_ran flags directly.
+    (void)graph.run();
+
+    // --- Deterministic assembly ------------------------------------
+    // One sequential pass in (app, recipe-cell) order reproduces the
+    // sequential driver's report byte for byte: same entry order,
+    // same failure order, same diagnostics scoping.
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const apps::AppInfo &app = apps[i];
+        AppSlot &slot = slots[i];
+        if (!slot.build_ran) {
+            recordFailure(
+                out.report, app.name, "",
+                Status(ErrorCode::kCancelled,
+                       "sweep cancelled before variant construction"),
+                1);
             continue;
         }
-
-        std::vector<PeVariant> variants;
-        if (options.include_baseline)
-            variants.push_back(explorer.baselineVariant());
-        if (options.include_subset)
-            variants.push_back(explorer.subsetVariant(app));
-        if (options.include_specialized) {
-            const int k = explorer.options().max_merged_subgraphs;
-            auto v = explorer.trySpecializedVariant(app, k);
-            if (v.ok()) {
-                variants.push_back(std::move(v).value());
-            } else {
-                recordFailure(out.report, app.name,
-                              "pe" + std::to_string(k + 1) + "_" +
-                                  app.name,
-                              v.status(), 1);
-            }
+        if (!slot.validate_status.ok()) {
+            recordFailure(out.report, app.name, "",
+                          std::move(slot.validate_status), 1);
+            continue;
         }
+        if (slot.spec_failed)
+            recordFailure(out.report, app.name, slot.spec_name,
+                          std::move(slot.spec_status), 1);
 
-        for (PeVariant &variant : variants) {
-            EvalResult r;
-            try {
-                r = evaluate(app, variant, options.level, tech,
-                             options.eval);
-            } catch (const ApexError &e) {
-                r.status = e.status().withContext(
-                    "evaluating '" + app.name + "' on '" +
-                    variant.name + "'");
-                r.error = r.status.toString();
-            } catch (const std::exception &e) {
-                r.status = Status(
-                    ErrorCode::kInternal,
-                    std::string("unexpected exception: ") + e.what());
-                r.error = r.status.toString();
+        for (int j = 0; j < 3; ++j) {
+            Cell &cell = slot.cells[j];
+            if (!cell.variant.has_value())
+                continue;
+            const std::string &vname = cell.variant->name;
+            if (!cell.ran) {
+                recordFailure(
+                    out.report, app.name, vname,
+                    Status(ErrorCode::kCancelled,
+                           "sweep cancelled before evaluation"),
+                    1);
+                continue;
             }
-            out.report.diagnostics.merge(
-                r.diagnostics, app.name + "/" + variant.name);
+            EvalResult &r = cell.result;
+            out.report.diagnostics.merge(r.diagnostics,
+                                         app.name + "/" + vname);
             if (r.success) {
                 ++out.report.evaluated;
                 out.entries.push_back(
-                    {app.name, variant.name, std::move(r)});
+                    {app.name, vname, std::move(r)});
             } else {
                 Status s = r.status.ok()
                                ? Status(ErrorCode::kEvaluationFailed,
                                         r.error)
                                : r.status;
-                recordFailure(out.report, app.name, variant.name,
+                recordFailure(out.report, app.name, vname,
                               std::move(s), r.pnr_attempts);
             }
         }
     }
+
+    // --- Runtime counters ------------------------------------------
+    out.stats.tasks_run = tasks_run.load();
+    if (pool != nullptr) {
+        const runtime::PoolStats after = pool->stats();
+        out.stats.tasks_stolen =
+            after.tasks_stolen - pool_before.tasks_stolen;
+    }
+    if (cache != nullptr) {
+        const runtime::CacheStats after = cache->stats();
+        out.stats.cache_hits = after.hits - cache_before.hits;
+        out.stats.cache_misses = after.misses - cache_before.misses;
+    }
+    out.stats.build_ms = static_cast<double>(build_us.load()) / 1e3;
+    out.stats.eval_ms = static_cast<double>(eval_us.load()) / 1e3;
+    out.stats.wall_ms =
+        static_cast<double>(elapsedUs(wall_start)) / 1e3;
     return out;
 }
 

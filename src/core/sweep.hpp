@@ -1,15 +1,19 @@
 #ifndef APEX_CORE_SWEEP_H_
 #define APEX_CORE_SWEEP_H_
 
+#include <atomic>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "core/evaluate.hpp"
 #include "core/status.hpp"
+#include "runtime/cache.hpp"
+#include "runtime/thread_pool.hpp"
 
 /**
  * @file
- * Fault-tolerant DSE sweep driver.
+ * Fault-tolerant, parallel DSE sweep driver.
  *
  * runSweep() evaluates every (application, PE variant) pair of the
  * paper's Sec. 5 recipe and never lets one failure abort the sweep:
@@ -20,6 +24,14 @@
  * skipped.  The per-pair diagnostics trails are merged into the
  * report under an "app/variant" scope so recovered retries stay
  * observable after the sweep.
+ *
+ * Parallel execution (jobs > 1) fans the sweep out as a task graph:
+ * one variant-construction task per application, one evaluation task
+ * per (app, variant) cell depending on it.  Every task writes only
+ * its own preallocated slot and the report is assembled in a single
+ * sequential pass afterwards in the same (app, variant) order the
+ * sequential driver uses, so the outcome — entries, failures,
+ * diagnostics, ordering — is byte-identical for any job count.
  */
 
 namespace apex::core {
@@ -31,6 +43,22 @@ struct SweepOptions {
     bool include_baseline = true;    ///< PE Base.
     bool include_subset = true;      ///< PE 1 per app.
     bool include_specialized = true; ///< PE k (k = max merged).
+
+    /**
+     * Worker lanes (threads + the participating caller).  1 runs the
+     * deterministic inline schedule; <= 0 asks the runtime for its
+     * default ($APEX_JOBS, else hardware concurrency).  Ignored when
+     * @ref pool is set.
+     */
+    int jobs = 1;
+    /** External pool to run on (shared across sweeps); null =>
+     * the sweep owns a pool sized by @ref jobs. */
+    runtime::ThreadPool *pool = nullptr;
+    /** Memoization cache for evaluate(); overrides eval.cache. */
+    runtime::ArtifactCache *cache = nullptr;
+    /** Cooperative cancellation: when it reads true, unstarted cells
+     * finish as kCancelled skips instead of evaluating. */
+    const std::atomic<bool> *cancel = nullptr;
 };
 
 /** One completed (application, variant) evaluation. */
@@ -40,10 +68,26 @@ struct SweepEntry {
     EvalResult result;
 };
 
+/** Runtime counters of one sweep (reported under --diagnostics). */
+struct SweepRuntimeStats {
+    int jobs = 1;                  ///< Lanes actually used.
+    long tasks_run = 0;            ///< Graph tasks executed.
+    long tasks_stolen = 0;         ///< Executed off a foreign lane.
+    long cache_hits = 0;           ///< evaluate() cache hits.
+    long cache_misses = 0;         ///< evaluate() cache misses.
+    double build_ms = 0.0;         ///< CPU ms in variant construction.
+    double eval_ms = 0.0;          ///< CPU ms in evaluations.
+    double wall_ms = 0.0;          ///< End-to-end sweep wall time.
+
+    /** "jobs=8 tasks=24 stolen=7 cache=12/12 ... wall=103.4ms". */
+    std::string toString() const;
+};
+
 /** Everything a sweep produced. */
 struct SweepOutcome {
     std::vector<SweepEntry> entries; ///< Successful evaluations.
     ExplorationReport report;        ///< Roll-up incl. failures.
+    SweepRuntimeStats stats;         ///< Parallel-runtime counters.
 };
 
 /** Evaluate @p apps across the variant recipe, surviving failures. */

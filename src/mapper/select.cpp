@@ -7,6 +7,16 @@
 #include "core/fault.hpp"
 #include "pe/functional.hpp"
 
+/*
+ * Determinism contract (parallel DSE runtime): this module is called
+ * from concurrently evaluated sweep cells, and its output feeds the
+ * content-addressed evaluation cache, so for identical inputs it must
+ * produce identical results on every lane and every run.  Concretely:
+ * only ordered containers (std::map / std::sort with total orders) —
+ * never unordered_* whose iteration order can vary —, no reads of
+ * global mutable state, and tie-breaks resolved by explicit keys
+ * (node id, rule index), never by pointer values or hashes.
+ */
 namespace apex::mapper {
 
 using ir::Graph;

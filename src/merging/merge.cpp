@@ -9,6 +9,16 @@
 #include "ir/validate.hpp"
 #include "merging/clique.hpp"
 
+/*
+ * Determinism contract (parallel DSE runtime): merging runs inside
+ * concurrently evaluated sweep cells and its merged datapaths are
+ * memoized by the content-addressed cache, so identical inputs must
+ * merge identically on every lane and every run.  Opportunity
+ * enumeration walks nodes in id order, clique search and weight
+ * tie-breaks use explicit indices, and only ordered containers are
+ * used — unordered_* iteration order, pointer comparisons and other
+ * address-dependent choices are banned here.
+ */
 namespace apex::merging {
 
 namespace {

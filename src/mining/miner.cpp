@@ -102,14 +102,19 @@ struct WorkPattern {
     std::vector<NodeId> core_ids; ///< Non-placeholder pattern ids.
 };
 
-/** Recompute embeddings/occurrences of a materialized pattern. */
+/**
+ * Recompute embeddings/occurrences of a materialized pattern.
+ * @p code must be the pattern's canonical code; every caller has
+ * already computed it for dedup, so recomputing it here would double
+ * the miner's hottest cost.
+ */
 bool
-evaluatePattern(const Graph &app, Graph pattern,
+evaluatePattern(const Graph &app, Graph pattern, std::string code,
                 const MinerOptions &opt, WorkPattern *out)
 {
     WorkPattern wp;
     wp.mined.pattern = std::move(pattern);
-    wp.mined.code = ir::canonicalCode(wp.mined.pattern);
+    wp.mined.code = std::move(code);
     for (NodeId id = 0; id < wp.mined.pattern.size(); ++id)
         if (!isPlaceholder(wp.mined.pattern, id))
             wp.core_ids.push_back(id);
@@ -276,7 +281,10 @@ FrequentSubgraphMiner::mine(const Graph &app) const
         if (count < options_.min_support)
             continue;
         WorkPattern wp;
-        if (evaluatePattern(app, seedPattern(label), options_, &wp)) {
+        Graph sp = seedPattern(label);
+        std::string sp_code = ir::canonicalCode(sp);
+        if (evaluatePattern(app, std::move(sp), std::move(sp_code),
+                            options_, &wp)) {
             seen.insert(wp.mined.code);
             results.push_back(wp.mined);
             frontier.push_back(std::move(wp));
@@ -284,39 +292,139 @@ FrequentSubgraphMiner::mine(const Graph &app) const
     }
 
     // Pattern growth.
+    runtime::ThreadPool *pool = options_.pool;
+    const bool parallel =
+        pool != nullptr && pool->parallelism() > 1;
     int level = 1;
     while (!frontier.empty() &&
            level < options_.max_pattern_nodes) {
         std::vector<WorkPattern> next;
-        for (const WorkPattern &wp : frontier) {
-            for (const Extension &ext :
-                 collectExtensions(app, wp, options_)) {
-                if (ext.kind != Extension::kClose &&
-                    wp.mined.core_size >=
-                        options_.max_pattern_nodes) {
-                    continue;
+
+        if (!parallel) {
+            // Incremental sequential walk: stops growing as soon as
+            // the per-level cap is reached.
+            for (const WorkPattern &wp : frontier) {
+                for (const Extension &ext :
+                     collectExtensions(app, wp, options_)) {
+                    if (ext.kind != Extension::kClose &&
+                        wp.mined.core_size >=
+                            options_.max_pattern_nodes) {
+                        continue;
+                    }
+                    Graph grown =
+                        applyExtension(wp.mined.pattern, ext);
+                    std::string code = ir::canonicalCode(grown);
+                    if (!seen.insert(code).second)
+                        continue;
+                    WorkPattern child;
+                    if (!evaluatePattern(app, std::move(grown),
+                                         std::move(code), options_,
+                                         &child)) {
+                        continue;
+                    }
+                    results.push_back(child.mined);
+                    next.push_back(std::move(child));
+                    if (static_cast<int>(next.size()) >=
+                        options_.max_patterns_per_level) {
+                        break;
+                    }
                 }
-                Graph grown = applyExtension(wp.mined.pattern, ext);
-                const std::string code = ir::canonicalCode(grown);
-                if (!seen.insert(code).second)
-                    continue;
-                WorkPattern child;
-                if (!evaluatePattern(app, std::move(grown), options_,
-                                     &child)) {
-                    continue;
-                }
-                results.push_back(child.mined);
-                next.push_back(std::move(child));
                 if (static_cast<int>(next.size()) >=
                     options_.max_patterns_per_level) {
                     break;
                 }
             }
-            if (static_cast<int>(next.size()) >=
-                options_.max_patterns_per_level) {
-                break;
+        } else {
+            // Speculative parallel expansion with a deterministic
+            // sequential merge.  Phase 1 grows and canonicalizes
+            // every candidate of every frontier pattern; phase 2
+            // picks the unique codes not yet seen (in the merge
+            // order below); phase 3 evaluates those concurrently;
+            // phase 4 replays the sequential frontier x extension
+            // order against `seen` and the per-level cap, so the
+            // result list is byte-identical to the sequential walk.
+            // Past-the-cap candidates are wasted work, never wrong
+            // answers.
+            std::vector<std::set<Extension>> ext_sets(
+                frontier.size());
+            runtime::parallelFor(
+                pool, static_cast<int>(frontier.size()),
+                [&](int i) {
+                    ext_sets[i] = collectExtensions(
+                        app, frontier[i], options_);
+                });
+
+            // Flatten to one work item per candidate: growth and
+            // canonicalization are the per-candidate hot spots, so
+            // per-frontier-pattern granularity would leave one big
+            // pattern's expansion on a single lane.
+            struct Seed {
+                int owner;
+                const Extension *ext;
+            };
+            std::vector<Seed> seeds;
+            for (std::size_t i = 0; i < frontier.size(); ++i) {
+                for (const Extension &ext : ext_sets[i]) {
+                    if (ext.kind != Extension::kClose &&
+                        frontier[i].mined.core_size >=
+                            options_.max_pattern_nodes) {
+                        continue;
+                    }
+                    seeds.push_back(
+                        {static_cast<int>(i), &ext});
+                }
+            }
+
+            struct Candidate {
+                Graph grown;
+                std::string code;
+            };
+            std::vector<Candidate> cands(seeds.size());
+            runtime::parallelFor(
+                pool, static_cast<int>(seeds.size()), [&](int k) {
+                    Graph grown = applyExtension(
+                        frontier[seeds[k].owner].mined.pattern,
+                        *seeds[k].ext);
+                    cands[k].code = ir::canonicalCode(grown);
+                    cands[k].grown = std::move(grown);
+                });
+
+            std::map<std::string, std::size_t> pending;
+            std::vector<const Candidate *> uniq;
+            for (const Candidate &c : cands) {
+                if (seen.count(c.code) != 0)
+                    continue;
+                if (pending.emplace(c.code, uniq.size()).second)
+                    uniq.push_back(&c);
+            }
+
+            std::vector<WorkPattern> evaluated(uniq.size());
+            std::vector<char> kept(uniq.size(), 0);
+            runtime::parallelFor(
+                pool, static_cast<int>(uniq.size()), [&](int k) {
+                    kept[k] = evaluatePattern(app, uniq[k]->grown,
+                                              uniq[k]->code,
+                                              options_,
+                                              &evaluated[k])
+                                  ? 1
+                                  : 0;
+                });
+
+            for (const Candidate &c : cands) {
+                if (!seen.insert(c.code).second)
+                    continue;
+                const std::size_t k = pending.find(c.code)->second;
+                if (kept[k] == 0)
+                    continue;
+                results.push_back(evaluated[k].mined);
+                next.push_back(std::move(evaluated[k]));
+                if (static_cast<int>(next.size()) >=
+                    options_.max_patterns_per_level) {
+                    break;
+                }
             }
         }
+
         frontier = std::move(next);
         ++level;
     }

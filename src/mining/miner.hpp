@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "ir/graph.hpp"
+#include "runtime/thread_pool.hpp"
 
 /**
  * @file
@@ -46,6 +47,15 @@ struct MinerOptions {
     /** Safety valve: cap on unique patterns explored per level. */
     int max_patterns_per_level = 512;
     SupportMetric metric = SupportMetric::kDistinctNodeSets;
+    /**
+     * Optional worker pool.  With parallelism > 1 each level's
+     * candidate expansion (growth, canonicalization, embedding
+     * search) is fanned out speculatively and merged in a sequential
+     * replay of the frontier x extension order, so the mined pattern
+     * list is byte-identical to the sequential walk.  Null (or
+     * parallelism <= 1) runs the original incremental loop.
+     */
+    runtime::ThreadPool *pool = nullptr;
 };
 
 /** One frequent pattern with its occurrences in the application. */

@@ -1,0 +1,214 @@
+#include "runtime/cache.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+namespace apex::runtime {
+
+namespace fs = std::filesystem;
+
+std::uint64_t
+fnv1a64(std::string_view data, std::uint64_t seed)
+{
+    std::uint64_t h = seed;
+    for (const char c : data) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+namespace {
+
+std::string
+hex64(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+} // namespace
+
+ArtifactCache::ArtifactCache(CacheOptions options)
+    : options_(std::move(options))
+{
+}
+
+std::string
+ArtifactCache::diskPathFor(const std::string &key) const
+{
+    return (fs::path(options_.disk_dir) /
+            (hex64(fnv1a64(key)) + ".apexcache"))
+        .string();
+}
+
+void
+ArtifactCache::insertMemory(const std::string &key, std::string value)
+{
+    // Caller holds mutex_.
+    if (options_.max_memory_entries == 0)
+        return;
+    if (auto it = index_.find(key); it != index_.end()) {
+        it->second->second = std::move(value);
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    lru_.emplace_front(key, std::move(value));
+    index_[key] = lru_.begin();
+    while (lru_.size() > options_.max_memory_entries) {
+        index_.erase(lru_.back().first);
+        lru_.pop_back();
+        ++stats_.evictions;
+    }
+}
+
+std::optional<std::string>
+ArtifactCache::get(const std::string &key)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (auto it = index_.find(key); it != index_.end()) {
+            lru_.splice(lru_.begin(), lru_, it->second);
+            ++stats_.hits;
+            ++stats_.memory_hits;
+            return it->second->second;
+        }
+    }
+    if (!options_.disk_dir.empty()) {
+        if (auto value = getFromDisk(key)) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            insertMemory(key, *value);
+            ++stats_.hits;
+            ++stats_.disk_hits;
+            return value;
+        }
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.misses;
+    return std::nullopt;
+}
+
+void
+ArtifactCache::put(const std::string &key, const std::string &value)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.insertions;
+        insertMemory(key, value);
+    }
+    if (!options_.disk_dir.empty())
+        putToDisk(key, value);
+}
+
+std::optional<std::string>
+ArtifactCache::getFromDisk(const std::string &key)
+{
+    const std::string path = diskPathFor(key);
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return std::nullopt;
+
+    auto corrupt = [&]() -> std::optional<std::string> {
+        is.close();
+        std::error_code ec;
+        fs::remove(path, ec);
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.corrupt_dropped;
+        return std::nullopt;
+    };
+
+    std::string magic;
+    int version = 0;
+    std::size_t key_len = 0, payload_len = 0;
+    std::uint64_t checksum = 0;
+    std::string field;
+    if (!(is >> magic >> version) || magic != "apexcache" ||
+        version != 1)
+        return corrupt();
+    if (!(is >> field >> key_len) || field != "key")
+        return corrupt();
+    is.get(); // newline after the header line
+    std::string stored_key(key_len, '\0');
+    if (!is.read(stored_key.data(),
+                 static_cast<std::streamsize>(key_len)) ||
+        stored_key != key)
+        return corrupt(); // includes file-name hash collisions
+    if (!(is >> field >> std::hex >> checksum >> std::dec) ||
+        field != "sum")
+        return corrupt();
+    if (!(is >> field >> payload_len) || field != "len")
+        return corrupt();
+    is.get();
+    std::string payload(payload_len, '\0');
+    if (!is.read(payload.data(),
+                 static_cast<std::streamsize>(payload_len)))
+        return corrupt(); // truncated
+    if (fnv1a64(payload) != checksum)
+        return corrupt(); // bit rot / partial overwrite
+    return payload;
+}
+
+void
+ArtifactCache::putToDisk(const std::string &key,
+                         const std::string &value)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!disk_dir_ready_) {
+            std::error_code ec;
+            fs::create_directories(options_.disk_dir, ec);
+            if (ec)
+                return; // disk tier degrades silently to memory-only
+            disk_dir_ready_ = true;
+        }
+    }
+    const std::string path = diskPathFor(key);
+    // Write-then-rename so readers never observe a partial entry; the
+    // tmp name is per-thread so concurrent writers cannot interleave.
+    std::ostringstream tid;
+    tid << std::this_thread::get_id();
+    const std::string tmp = path + ".tmp." + tid.str();
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os)
+            return;
+        os << "apexcache 1\n";
+        os << "key " << key.size() << '\n' << key;
+        os << "sum " << std::hex << fnv1a64(value) << std::dec
+           << '\n';
+        os << "len " << value.size() << '\n';
+        os.write(value.data(),
+                 static_cast<std::streamsize>(value.size()));
+        if (!os)
+            return;
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        fs::remove(tmp, ec);
+        return;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.disk_writes;
+}
+
+CacheStats
+ArtifactCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+std::size_t
+ArtifactCache::memoryEntries() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lru_.size();
+}
+
+} // namespace apex::runtime

@@ -1,0 +1,102 @@
+#ifndef APEX_RUNTIME_CACHE_H_
+#define APEX_RUNTIME_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+
+/**
+ * @file
+ * Content-addressed artifact cache for the DSE runtime.
+ *
+ * Stage results (mapping / place-and-route evaluations) are memoized
+ * under a key derived from the canonical content of their inputs — a
+ * fingerprint of the IR graph plus every stage parameter — so a key
+ * hit is a proof that recomputation would produce the same artifact.
+ *
+ * Two tiers:
+ *  - an in-memory LRU tier (bounded entry count, thread-safe);
+ *  - an optional write-through on-disk tier (--cache-dir) so repeated
+ *    sweeps across process runs become incremental.  Disk entries are
+ *    self-verifying: a header records the full key and an FNV-1a
+ *    checksum of the payload, and any mismatch (truncation, bit rot,
+ *    key collision on file name) deletes the file and counts as a
+ *    miss — a corrupt cache can cost time, never correctness.
+ *
+ * Values are opaque byte strings; serialization of the artifact is
+ * the caller's contract (see core/evaluate.cpp).
+ */
+
+namespace apex::runtime {
+
+/** Cache configuration. */
+struct CacheOptions {
+    /** In-memory LRU capacity in entries (0 disables the tier). */
+    std::size_t max_memory_entries = 4096;
+    /** On-disk tier directory; empty disables the tier.  Created on
+     * first use. */
+    std::string disk_dir;
+};
+
+/** Monotonic counters (snapshot via ArtifactCache::stats). */
+struct CacheStats {
+    long hits = 0;            ///< get() served from either tier.
+    long misses = 0;          ///< get() found nothing usable.
+    long memory_hits = 0;     ///< Served from the LRU tier.
+    long disk_hits = 0;       ///< Served from the disk tier.
+    long insertions = 0;      ///< put() calls.
+    long evictions = 0;       ///< LRU entries dropped at capacity.
+    long disk_writes = 0;     ///< Disk entries written.
+    long corrupt_dropped = 0; ///< Disk entries rejected + deleted.
+};
+
+/** Two-tier content-addressed memoization cache. */
+class ArtifactCache {
+  public:
+    explicit ArtifactCache(CacheOptions options = {});
+
+    ArtifactCache(const ArtifactCache &) = delete;
+    ArtifactCache &operator=(const ArtifactCache &) = delete;
+
+    /** Look up @p key; a disk hit is promoted into the LRU tier. */
+    std::optional<std::string> get(const std::string &key);
+
+    /** Insert (or refresh) @p key -> @p value in both tiers. */
+    void put(const std::string &key, const std::string &value);
+
+    CacheStats stats() const;
+
+    std::size_t memoryEntries() const;
+
+    /** Path the disk tier uses for @p key (exposed for tests). */
+    std::string diskPathFor(const std::string &key) const;
+
+    const CacheOptions &options() const { return options_; }
+
+  private:
+    std::optional<std::string> getFromDisk(const std::string &key);
+    void putToDisk(const std::string &key, const std::string &value);
+    void insertMemory(const std::string &key, std::string value);
+
+    CacheOptions options_;
+    mutable std::mutex mutex_;
+    /** Front = most recently used. */
+    std::list<std::pair<std::string, std::string>> lru_;
+    std::map<std::string,
+             std::list<std::pair<std::string, std::string>>::iterator>
+        index_;
+    CacheStats stats_;
+    bool disk_dir_ready_ = false;
+};
+
+/** FNV-1a 64-bit hash (shared by cache file naming and checksums). */
+std::uint64_t fnv1a64(std::string_view data,
+                      std::uint64_t seed = 14695981039346656037ull);
+
+} // namespace apex::runtime
+
+#endif // APEX_RUNTIME_CACHE_H_

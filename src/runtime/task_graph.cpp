@@ -1,0 +1,170 @@
+#include "runtime/task_graph.hpp"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace apex::runtime {
+
+TaskId
+TaskGraph::add(std::string label, std::function<Status()> fn,
+               const std::vector<TaskId> &deps)
+{
+    if (started_)
+        throw ApexError(Status(ErrorCode::kInvalidArgument,
+                               "TaskGraph::add after run()"));
+    const TaskId id = static_cast<TaskId>(tasks_.size());
+    Task t;
+    t.label = std::move(label);
+    t.fn = std::move(fn);
+    for (TaskId d : deps) {
+        if (d < 0 || d >= id)
+            throw ApexError(Status(
+                ErrorCode::kInvalidArgument,
+                "task dependency must refer to an earlier task"));
+        tasks_[d].dependents.push_back(id);
+        ++t.pending;
+    }
+    tasks_.push_back(std::move(t));
+    return id;
+}
+
+const Status &
+TaskGraph::taskStatus(TaskId id) const
+{
+    return tasks_[id].status;
+}
+
+void
+TaskGraph::runTask(TaskId id)
+{
+    // The final decrement of remaining_ below lets the run() caller
+    // return and destroy the graph, so nothing may touch `this` after
+    // it — the pool pointer is copied out up front, and completion is
+    // detected by the caller's polling help-loop rather than a
+    // condition-variable notify from here.
+    ThreadPool *const pool = pool_;
+    Task &t = tasks_[id];
+    bool dep_failed;
+    std::string failed_dep;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        dep_failed = t.dep_failed;
+        failed_dep = t.failed_dep;
+    }
+
+    Status s;
+    if (cancelled_.load(std::memory_order_relaxed)) {
+        s = Status(ErrorCode::kCancelled, "task graph cancelled");
+    } else if (dep_failed) {
+        s = Status(ErrorCode::kCancelled,
+                   "dependency '" + failed_dep + "' failed");
+    } else {
+        try {
+            s = t.fn();
+        } catch (const ApexError &e) {
+            s = e.status().withContext("task '" + t.label + "'");
+        } catch (const std::exception &e) {
+            s = Status(ErrorCode::kInternal,
+                       std::string("task '") + t.label +
+                           "' threw: " + e.what());
+        }
+    }
+
+    std::vector<TaskId> ready;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        t.status = std::move(s);
+        for (TaskId d : t.dependents) {
+            Task &dt = tasks_[d];
+            if (!t.status.ok() && !dt.dep_failed) {
+                dt.dep_failed = true;
+                dt.failed_dep = t.label;
+            }
+            if (--dt.pending == 0)
+                ready.push_back(d);
+        }
+        --remaining_;
+    }
+    // Inline mode visits every task in insertion order already; only
+    // the pooled schedule dispatches newly-ready dependents.  A
+    // non-empty ready list implies remaining_ > 0 (those dependents
+    // have not run), so `this` is guaranteed alive here.
+    if (pool != nullptr && pool->parallelism() > 1)
+        for (TaskId r : ready)
+            pool->submit([this, r] { runTask(r); });
+}
+
+void
+TaskGraph::runInline()
+{
+    // Insertion order is topological (deps precede dependents), so a
+    // single in-order pass is a valid sequential schedule.
+    for (TaskId id = 0; id < size(); ++id)
+        runTask(id);
+}
+
+void
+TaskGraph::runPooled()
+{
+    std::vector<TaskId> ready;
+    for (TaskId id = 0; id < size(); ++id)
+        if (tasks_[id].pending == 0)
+            ready.push_back(id);
+    for (TaskId r : ready)
+        pool_->submit([this, r] { runTask(r); });
+
+    // Help instead of blocking: a waiting caller that executes
+    // pending work cannot deadlock the pool.  Completion is detected
+    // by polling — workers never notify, so their last touch of the
+    // graph is the mutex unlock after the final decrement, and the
+    // caller (the only thread left) can destroy it safely.
+    for (;;) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (remaining_ == 0)
+                return;
+        }
+        if (!pool_->tryRunOne())
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+}
+
+Status
+TaskGraph::finish()
+{
+    Status first = Status::okStatus();
+    for (const Task &t : tasks_) {
+        if (t.status.ok())
+            continue;
+        DiagnosticRecord record;
+        record.severity = Severity::kError;
+        record.stage = "runtime";
+        record.code = t.status.code();
+        record.message = t.status.toString();
+        record.scope = t.label;
+        diagnostics_.report(std::move(record));
+        if (first.ok())
+            first = t.status.withContext("task '" + t.label + "'");
+    }
+    return first;
+}
+
+Status
+TaskGraph::run()
+{
+    if (started_)
+        throw ApexError(Status(ErrorCode::kInvalidArgument,
+                               "TaskGraph::run called twice"));
+    started_ = true;
+    remaining_ = size();
+    if (remaining_ == 0)
+        return Status::okStatus();
+    if (pool_ && pool_->parallelism() > 1)
+        runPooled();
+    else
+        runInline();
+    return finish();
+}
+
+} // namespace apex::runtime

@@ -1,0 +1,113 @@
+#ifndef APEX_RUNTIME_TASK_GRAPH_H_
+#define APEX_RUNTIME_TASK_GRAPH_H_
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/status.hpp"
+#include "runtime/thread_pool.hpp"
+
+/**
+ * @file
+ * Dependency-aware task graph on top of the work-stealing pool.
+ *
+ * Build the graph with add(label, fn, deps) — dependencies must refer
+ * to already-added tasks, so the graph is acyclic by construction and
+ * insertion order is a topological order.  run() executes every task
+ * respecting dependencies:
+ *
+ *  - with a pool of parallelism > 1, ready tasks are submitted to the
+ *    pool and the calling thread helps execute them (it never blocks
+ *    while work is pending, so nested graphs and parallelFor inside
+ *    tasks cannot deadlock);
+ *  - with no pool (or parallelism <= 1), tasks run inline in
+ *    insertion order — the deterministic sequential schedule.
+ *
+ * Each task returns a Status.  A failed dependency cancels its
+ * dependents (they report kCancelled without running), and cancel()
+ * cooperatively skips every task that has not started yet.  After
+ * run(), per-task statuses are available and every failure has been
+ * recorded into a Diagnostics trail (stage "runtime", scope = label)
+ * that callers merge into their reports.
+ */
+
+namespace apex::runtime {
+
+using TaskId = int;
+
+/** Dependency-aware task DAG with cooperative cancellation. */
+class TaskGraph {
+  public:
+    /** @param pool May be null: run() then executes inline. */
+    explicit TaskGraph(ThreadPool *pool = nullptr) : pool_(pool) {}
+
+    TaskGraph(const TaskGraph &) = delete;
+    TaskGraph &operator=(const TaskGraph &) = delete;
+
+    /**
+     * Add a task.  @p deps must all be ids returned by earlier add()
+     * calls; violating that throws ApexError(kInvalidArgument).
+     * Tasks may not be added after run() started.
+     */
+    TaskId add(std::string label, std::function<Status()> fn,
+               const std::vector<TaskId> &deps = {});
+
+    /** Number of tasks added. */
+    int size() const { return static_cast<int>(tasks_.size()); }
+
+    /**
+     * Cooperatively cancel: tasks that have not started yet complete
+     * with kCancelled instead of running.  Safe from any thread,
+     * including from inside a running task.
+     */
+    void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+    bool cancelled() const {
+        return cancelled_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Execute the graph to completion (including cancelled tasks,
+     * which complete as kCancelled).  @return ok when every task
+     * succeeded, else the first failure in task-id order — a
+     * deterministic choice independent of execution interleaving.
+     */
+    Status run();
+
+    /** Status of @p id; valid after run(). */
+    const Status &taskStatus(TaskId id) const;
+
+    /** One error record per failed/cancelled task, in id order. */
+    const Diagnostics &diagnostics() const { return diagnostics_; }
+
+  private:
+    struct Task {
+        std::string label;
+        std::function<Status()> fn;
+        std::vector<TaskId> dependents;
+        int pending = 0; ///< Unfinished dependencies.
+        bool dep_failed = false;
+        std::string failed_dep; ///< Label of the failed dependency.
+        Status status;
+    };
+
+    void runTask(TaskId id);
+    void runInline();
+    void runPooled();
+    Status finish(); ///< Aggregate statuses + diagnostics.
+
+    ThreadPool *pool_ = nullptr;
+    std::vector<Task> tasks_;
+    std::atomic<bool> cancelled_{false};
+    bool started_ = false;
+
+    std::mutex mutex_; ///< Guards pending counts + remaining_.
+    int remaining_ = 0;
+    Diagnostics diagnostics_;
+};
+
+} // namespace apex::runtime
+
+#endif // APEX_RUNTIME_TASK_GRAPH_H_

@@ -1,0 +1,391 @@
+/**
+ * Tests for the parallel DSE runtime: the work-stealing thread pool,
+ * the dependency-aware task graph, the content-addressed artifact
+ * cache, and the determinism contract of the parallel sweep driver
+ * (identical results for any job count).
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "core/evaluate.hpp"
+#include "core/explorer.hpp"
+#include "core/sweep.hpp"
+#include "model/tech.hpp"
+#include "runtime/cache.hpp"
+#include "runtime/task_graph.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace {
+
+using namespace apex;
+namespace fs = std::filesystem;
+
+/** Unique scratch dir per test, removed on scope exit. */
+class ScratchDir {
+  public:
+    explicit ScratchDir(const std::string &tag)
+        : path_(fs::temp_directory_path() /
+                ("apex_runtime_test_" + tag))
+    {
+        fs::remove_all(path_);
+    }
+    ~ScratchDir() { fs::remove_all(path_); }
+    std::string str() const { return path_.string(); }
+
+  private:
+    fs::path path_;
+};
+
+// --- ThreadPool --------------------------------------------------------
+
+TEST(ThreadPool, StressTenThousandTasks)
+{
+    runtime::ThreadPool pool(8);
+    constexpr int kTasks = 10000;
+    std::vector<int> hits(kTasks, 0);
+    runtime::parallelFor(&pool, kTasks, [&](int i) { hits[i] += 1; });
+    // Every index ran exactly once — no drops, no double-claims.
+    // (Pool counters are not asserted: helper drain tasks may still
+    // be queued when parallelFor returns.)
+    for (int i = 0; i < kTasks; ++i)
+        ASSERT_EQ(hits[i], 1) << "index " << i;
+}
+
+TEST(ThreadPool, SequentialPoolRunsInline)
+{
+    runtime::ThreadPool pool(1);
+    std::atomic<int> ran{0};
+    pool.submit([&] { ++ran; });
+    // parallelism <= 1: submit() executes before returning.
+    EXPECT_EQ(ran.load(), 1);
+    EXPECT_EQ(pool.parallelism(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesFirstException)
+{
+    runtime::ThreadPool pool(4);
+    try {
+        runtime::parallelFor(&pool, 64, [&](int i) {
+            if (i % 7 == 3)
+                throw std::runtime_error("boom " + std::to_string(i));
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &e) {
+        // Lowest failing index wins, independent of interleaving.
+        EXPECT_STREQ(e.what(), "boom 3");
+    }
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock)
+{
+    runtime::ThreadPool pool(4);
+    std::atomic<int> total{0};
+    runtime::parallelFor(&pool, 16, [&](int) {
+        runtime::parallelFor(&pool, 16, [&](int) { ++total; });
+    });
+    EXPECT_EQ(total.load(), 256);
+}
+
+// --- TaskGraph ---------------------------------------------------------
+
+TEST(TaskGraph, DiamondDependenciesRespectOrder)
+{
+    for (int lanes : {1, 8}) {
+        runtime::ThreadPool pool(lanes);
+        runtime::TaskGraph graph(&pool);
+        std::atomic<int> step{0};
+        int at_a = -1, at_b = -1, at_c = -1, at_d = -1;
+        const auto a = graph.add("a", [&] {
+            at_a = step++;
+            return Status::okStatus();
+        });
+        const auto b = graph.add(
+            "b",
+            [&] {
+                at_b = step++;
+                return Status::okStatus();
+            },
+            {a});
+        const auto c = graph.add(
+            "c",
+            [&] {
+                at_c = step++;
+                return Status::okStatus();
+            },
+            {a});
+        graph.add(
+            "d",
+            [&] {
+                at_d = step++;
+                return Status::okStatus();
+            },
+            {b, c});
+        EXPECT_TRUE(graph.run().ok()) << "lanes=" << lanes;
+        EXPECT_EQ(at_a, 0);
+        EXPECT_EQ(at_d, 3);
+        EXPECT_TRUE((at_b == 1 && at_c == 2) ||
+                    (at_b == 2 && at_c == 1));
+    }
+}
+
+TEST(TaskGraph, FanInWaitsForAllDependencies)
+{
+    runtime::ThreadPool pool(8);
+    runtime::TaskGraph graph(&pool);
+    constexpr int kProducers = 32;
+    std::atomic<int> produced{0};
+    std::vector<runtime::TaskId> deps;
+    for (int i = 0; i < kProducers; ++i)
+        deps.push_back(graph.add("p" + std::to_string(i), [&] {
+            ++produced;
+            return Status::okStatus();
+        }));
+    int seen_at_sink = -1;
+    graph.add(
+        "sink",
+        [&] {
+            seen_at_sink = produced.load();
+            return Status::okStatus();
+        },
+        deps);
+    EXPECT_TRUE(graph.run().ok());
+    EXPECT_EQ(seen_at_sink, kProducers);
+}
+
+TEST(TaskGraph, FailedDependencyCancelsDependents)
+{
+    runtime::TaskGraph graph; // inline mode
+    const auto a = graph.add("ok", [] { return Status::okStatus(); });
+    const auto b = graph.add(
+        "bad",
+        [] { return Status(ErrorCode::kPlaceFailed, "no seat"); },
+        {a});
+    bool c_ran = false;
+    const auto c = graph.add(
+        "downstream",
+        [&] {
+            c_ran = true;
+            return Status::okStatus();
+        },
+        {b});
+
+    const Status s = graph.run();
+    EXPECT_EQ(s.code(), ErrorCode::kPlaceFailed);
+    EXPECT_FALSE(c_ran);
+    EXPECT_TRUE(graph.taskStatus(a).ok());
+    EXPECT_EQ(graph.taskStatus(b).code(), ErrorCode::kPlaceFailed);
+    EXPECT_EQ(graph.taskStatus(c).code(), ErrorCode::kCancelled);
+    // Both failures end up in the diagnostics trail, in id order.
+    const auto &trail = graph.diagnostics().records();
+    ASSERT_EQ(trail.size(), 2u);
+    EXPECT_EQ(trail[0].scope, "bad");
+    EXPECT_EQ(trail[1].scope, "downstream");
+}
+
+TEST(TaskGraph, DependencyOnLaterTaskThrows)
+{
+    runtime::TaskGraph graph;
+    graph.add("a", [] { return Status::okStatus(); });
+    EXPECT_THROW(
+        graph.add(
+            "b", [] { return Status::okStatus(); }, {5}),
+        ApexError);
+}
+
+// --- ArtifactCache -----------------------------------------------------
+
+TEST(ArtifactCache, MemoryHitAndMiss)
+{
+    runtime::ArtifactCache cache;
+    EXPECT_FALSE(cache.get("k").has_value());
+    cache.put("k", "value");
+    const auto hit = cache.get("k");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, "value");
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.hits, 1);
+    EXPECT_EQ(stats.misses, 1);
+    EXPECT_EQ(stats.memory_hits, 1);
+}
+
+TEST(ArtifactCache, LruEvictsOldestFirst)
+{
+    runtime::ArtifactCache cache({.max_memory_entries = 2});
+    cache.put("a", "1");
+    cache.put("b", "2");
+    (void)cache.get("a"); // refresh a; b is now the LRU entry
+    cache.put("c", "3");  // evicts b
+    EXPECT_TRUE(cache.get("a").has_value());
+    EXPECT_FALSE(cache.get("b").has_value());
+    EXPECT_TRUE(cache.get("c").has_value());
+    EXPECT_EQ(cache.stats().evictions, 1);
+    EXPECT_EQ(cache.memoryEntries(), 2u);
+}
+
+TEST(ArtifactCache, DiskTierSurvivesNewProcessImage)
+{
+    ScratchDir dir("disk");
+    {
+        runtime::ArtifactCache writer({.disk_dir = dir.str()});
+        writer.put("key1", "payload one");
+    }
+    // A fresh cache instance stands in for a fresh process.
+    runtime::ArtifactCache reader({.disk_dir = dir.str()});
+    const auto hit = reader.get("key1");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, "payload one");
+    EXPECT_EQ(reader.stats().disk_hits, 1);
+    // The disk hit was promoted into memory.
+    (void)reader.get("key1");
+    EXPECT_EQ(reader.stats().memory_hits, 1);
+}
+
+TEST(ArtifactCache, CorruptDiskEntryIsDroppedNotServed)
+{
+    ScratchDir dir("corrupt");
+    runtime::ArtifactCache writer({.disk_dir = dir.str()});
+    writer.put("key1", "payload one");
+
+    const std::string path = writer.diskPathFor("key1");
+    {
+        std::ofstream os(path, std::ios::binary | std::ios::trunc);
+        os << "apexcache 1\nkey 4\nkey1sum deadbeef\nlen 11\nwrong bytes";
+    }
+    runtime::ArtifactCache reader({.disk_dir = dir.str()});
+    EXPECT_FALSE(reader.get("key1").has_value());
+    EXPECT_EQ(reader.stats().corrupt_dropped, 1);
+    EXPECT_EQ(reader.stats().misses, 1);
+    // The poisoned file was deleted, not left to fail forever.
+    EXPECT_FALSE(fs::exists(path));
+}
+
+TEST(ArtifactCache, WrongKeyInFileIsACollisionNotAHit)
+{
+    ScratchDir dir("collision");
+    runtime::ArtifactCache cache({.disk_dir = dir.str()});
+    cache.put("key1", "payload");
+    // Re-home key1's file under key2's name: a file-name collision.
+    runtime::ArtifactCache other({.disk_dir = dir.str()});
+    fs::rename(cache.diskPathFor("key1"), other.diskPathFor("key2"));
+    EXPECT_FALSE(other.get("key2").has_value());
+    EXPECT_EQ(other.stats().corrupt_dropped, 1);
+}
+
+// --- Parallel sweep: determinism + cancellation + caching --------------
+
+std::vector<apps::AppInfo>
+smallSuite()
+{
+    return {apps::gaussianBlur(2), apps::unsharp(1)};
+}
+
+/** Project a sweep outcome onto a comparable summary string. */
+std::string
+summarize(const core::SweepOutcome &out)
+{
+    std::string s;
+    char buf[256];
+    for (const auto &e : out.entries) {
+        std::snprintf(buf, sizeof buf, "%s/%s area=%a energy=%a\n",
+                      e.app.c_str(), e.variant.c_str(),
+                      e.result.pe_area, e.result.pe_energy);
+        s += buf;
+    }
+    for (const auto &f : out.report.failures)
+        s += f.app + "/" + f.variant + " " + f.stage + "\n";
+    return s;
+}
+
+TEST(ParallelSweep, JobCountDoesNotChangeResults)
+{
+    const auto suite = smallSuite();
+    const model::TechModel tech = model::defaultTech();
+    const core::Explorer explorer(tech);
+
+    core::SweepOptions seq;
+    seq.jobs = 1;
+    const auto sequential = core::runSweep(suite, explorer, tech, seq);
+    ASSERT_FALSE(sequential.entries.empty());
+
+    core::SweepOptions par;
+    par.jobs = 8;
+    const auto parallel = core::runSweep(suite, explorer, tech, par);
+
+    EXPECT_EQ(summarize(sequential), summarize(parallel));
+    EXPECT_EQ(parallel.stats.jobs, 8);
+    EXPECT_EQ(sequential.stats.tasks_run, parallel.stats.tasks_run);
+}
+
+TEST(ParallelSweep, CancellationSkipsCellsDeterministically)
+{
+    const auto suite = smallSuite();
+    const model::TechModel tech = model::defaultTech();
+    const core::Explorer explorer(tech);
+
+    std::atomic<bool> cancel{true}; // cancelled before it starts
+    core::SweepOptions options;
+    options.cancel = &cancel;
+    const auto out = core::runSweep(suite, explorer, tech, options);
+
+    EXPECT_TRUE(out.entries.empty());
+    ASSERT_EQ(out.report.failures.size(), suite.size());
+    for (const auto &f : out.report.failures)
+        EXPECT_EQ(f.status.code(), ErrorCode::kCancelled);
+}
+
+TEST(ParallelSweep, WarmCacheHitsEveryEvaluation)
+{
+    const auto suite = smallSuite();
+    const model::TechModel tech = model::defaultTech();
+    const core::Explorer explorer(tech);
+    runtime::ArtifactCache cache;
+
+    core::SweepOptions options;
+    options.cache = &cache;
+    const auto cold = core::runSweep(suite, explorer, tech, options);
+    EXPECT_EQ(cold.stats.cache_hits, 0);
+    EXPECT_GT(cold.stats.cache_misses, 0);
+
+    const auto warm = core::runSweep(suite, explorer, tech, options);
+    EXPECT_EQ(warm.stats.cache_misses, 0);
+    EXPECT_EQ(warm.stats.cache_hits, cold.stats.cache_misses);
+    EXPECT_EQ(summarize(cold), summarize(warm));
+}
+
+TEST(ParallelSweep, CachedResultsAreBitIdentical)
+{
+    const auto suite = smallSuite();
+    const model::TechModel tech = model::defaultTech();
+    const core::Explorer explorer(tech);
+    runtime::ArtifactCache cache;
+
+    core::SweepOptions plain;
+    const auto uncached = core::runSweep(suite, explorer, tech, plain);
+
+    core::SweepOptions cached;
+    cached.cache = &cache;
+    (void)core::runSweep(suite, explorer, tech, cached); // fill
+    const auto warm = core::runSweep(suite, explorer, tech, cached);
+
+    ASSERT_EQ(uncached.entries.size(), warm.entries.size());
+    for (std::size_t i = 0; i < uncached.entries.size(); ++i) {
+        const auto &a = uncached.entries[i].result;
+        const auto &b = warm.entries[i].result;
+        // Hex-float serialization must round-trip doubles exactly.
+        EXPECT_EQ(a.pe_area, b.pe_area);
+        EXPECT_EQ(a.pe_energy, b.pe_energy);
+        EXPECT_EQ(a.runtime_ms, b.runtime_ms);
+        EXPECT_EQ(a.perf_per_mm2, b.perf_per_mm2);
+        EXPECT_EQ(a.pe_count, b.pe_count);
+    }
+}
+
+} // namespace
