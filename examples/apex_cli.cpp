@@ -14,7 +14,8 @@
  *   apexc dump <app> [-o FILE]
  *       Serialize an application graph to the apexir text format.
  *   apexc sweep [--level map|pnr|pipe] [--diagnostics]
- *               [--jobs N] [--cache-dir DIR]
+ *               [--jobs N] [--cache-dir DIR] [--resume]
+ *               [--deadline MS] [--cell-deadline MS]
  *       Fault-tolerant evaluation of every built-in application
  *       across the variant recipe; failing pairs are reported and
  *       skipped rather than aborting the sweep.
@@ -28,14 +29,32 @@
  * run/stolen, cache hits/misses, per-stage time) are printed to
  * stderr under --diagnostics.
  *
+ * Durability: with --cache-dir, every completed sweep cell is also
+ * checkpointed to a crash-safe journal (DIR/sweep.journal), and
+ * --resume replays it so a crashed or killed sweep continues from
+ * where it stopped — the resumed report is byte-identical to an
+ * uninterrupted run.  SIGINT/SIGTERM cancel the sweep cooperatively:
+ * completed cells are reported (and journaled), unstarted cells are
+ * recorded as cancelled, and the process exits with the kCancelled
+ * exit code.
+ *
+ * Pressure: --deadline MS bounds the whole sweep (cells that cannot
+ * start in time are recorded as timeouts) and --cell-deadline MS
+ * bounds each evaluation; a cell whose budget expires is retried
+ * once with cheap fallback knobs and marked "degraded" in the report
+ * instead of failing the sweep.
+ *
  * Exit codes: 0 on success, otherwise the stage-specific code from
  * exitCodeFor() (2 usage, 3 parse, 4 invalid IR, 7 mapping, 8
- * placement, 9 routing, 10 capacity, ...).  Pass --diagnostics to
- * explore/sweep to dump the structured per-stage diagnostic trail.
+ * placement, 9 routing, 10 capacity, 12 timeout, 14 cancelled, ...).
+ * Pass --diagnostics to explore/sweep to dump the structured
+ * per-stage diagnostic trail.
  *
  * Built-in application names: camera harris gaussian unsharp resnet
  * mobilenet laplacian stereo fast.
  */
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -44,6 +63,7 @@
 #include <optional>
 #include <sstream>
 
+#include "core/deadline.hpp"
 #include "core/evaluate.hpp"
 #include "core/hetero.hpp"
 #include "core/status.hpp"
@@ -58,6 +78,18 @@
 namespace {
 
 using namespace apex;
+
+/** Set by the SIGINT/SIGTERM handler; polled by the sweep's tasks.
+ * A lock-free atomic store is async-signal-safe, and the sweep
+ * flushes its journal on every append, so an interrupted run loses
+ * nothing that had completed. */
+std::atomic<bool> g_interrupted{false};
+
+extern "C" void
+onInterrupt(int /*signum*/)
+{
+    g_interrupted.store(true, std::memory_order_relaxed);
+}
 
 std::optional<apps::AppInfo>
 findApp(const std::string &name)
@@ -414,13 +446,42 @@ cmdSweep(int argc, char **argv)
     options.pool = pool.get();
     options.cache = cache.get();
 
+    // Durability: the journal lives next to the artifact cache.
+    const char *cache_dir = flagValue(argc, argv, "--cache-dir");
+    if (cache_dir != nullptr)
+        options.journal_dir = cache_dir;
+    options.resume = hasFlag(argc, argv, "--resume");
+    if (options.resume && cache_dir == nullptr)
+        return loadFailure(
+            Status(ErrorCode::kInvalidArgument,
+                   "--resume requires --cache-dir (the journal "
+                   "lives in the cache directory)"));
+
+    // Pressure: wall-clock budgets for the sweep and for each cell.
+    if (const char *s = flagValue(argc, argv, "--deadline"))
+        options.deadline = Deadline::after(std::atof(s));
+    if (const char *s = flagValue(argc, argv, "--cell-deadline"))
+        options.cell_deadline_ms = std::atof(s);
+
+    // Cooperative shutdown: completed cells stay in the report (and
+    // journal); unstarted ones are recorded as cancelled.
+    options.cancel = &g_interrupted;
+    std::signal(SIGINT, onInterrupt);
+    std::signal(SIGTERM, onInterrupt);
+
     core::ExplorerOptions ex_options;
     ex_options.pool = pool.get();
+    // Variant construction (mining, merging) runs under the sweep
+    // deadline too — a sweep bound means the whole command.
+    ex_options.miner.deadline = options.deadline;
+    ex_options.merge.deadline = options.deadline;
     core::Explorer ex(model::defaultTech(), ex_options);
     const auto apps_list = apps::allApps();
     const auto outcome = core::runSweep(apps_list, ex,
                                         model::defaultTech(),
                                         options);
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
 
     for (const core::SweepEntry &e : outcome.entries) {
         std::printf("%-10s %-16s pe_count=%-3d pe_area_um2=%-10.1f "
@@ -439,6 +500,10 @@ cmdSweep(int argc, char **argv)
                      outcome.stats.toString().c_str());
     }
 
+    // An interrupted sweep reports what completed, then exits with
+    // the documented cancellation code.
+    if (g_interrupted.load())
+        return exitCodeFor(ErrorCode::kCancelled);
     // The sweep itself succeeds as long as something was evaluated;
     // a sweep where nothing ran reports its first failure's code.
     if (outcome.report.evaluated == 0 &&

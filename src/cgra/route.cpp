@@ -135,6 +135,15 @@ route(const Fabric &fabric, const PlacementResult &placement,
 
     double present_pen = options.present_factor;
     for (int iter = 0; iter < options.max_iterations; ++iter) {
+        // Each rip-up pass re-routes every net, so the iteration
+        // boundary is the natural (and sufficient) poll point.
+        if (Status s = options.deadline.check(
+                "rip-up iteration " + std::to_string(iter + 1));
+            !s.ok()) {
+            result.status = std::move(s);
+            result.error = result.status.message();
+            return result;
+        }
         result.iterations = iter + 1;
         // Rip up everything and reroute under current penalties.
         for (auto &s : link_signals)

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "cgra/place.hpp"
+#include "core/deadline.hpp"
 
 /**
  * @file
@@ -32,6 +33,11 @@ struct RouterOptions {
     double present_factor = 0.6;   ///< Growth of the present penalty.
     double history_increment = 0.4;
     int tracks = 5;                ///< Capacity per directed link.
+    /** Wall-clock bound, polled before each rip-up iteration.  Expiry
+     * returns a kTimeout RouteResult (not kRouteFailed: the fabric
+     * was never proven unroutable, the router just ran out of time
+     * negotiating congestion). */
+    Deadline deadline;
 };
 
 /** Result of routing. */

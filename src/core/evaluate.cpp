@@ -75,7 +75,8 @@ specFingerprint(const pe::PeSpec &spec)
     return f.digest();
 }
 
-/** Fingerprint of every TechModel field evaluate() can read. */
+} // namespace
+
 std::uint64_t
 techFingerprint(const model::TechModel &tech)
 {
@@ -113,8 +114,6 @@ techFingerprint(const model::TechModel &tech)
     return f.digest();
 }
 
-} // namespace
-
 std::string
 evalCacheKey(const apps::AppInfo &app, const PeVariant &variant,
              EvalLevel level, const model::TechModel &tech,
@@ -133,15 +132,18 @@ evalCacheKey(const apps::AppInfo &app, const PeVariant &variant,
     f.mix(static_cast<std::uint64_t>(options.fabric_width));
     f.mix(static_cast<std::uint64_t>(options.fabric_height));
     f.mix(static_cast<std::uint64_t>(options.auto_grow_fabric));
+    f.mix(static_cast<std::uint64_t>(options.max_fabric_growths));
     f.mix(static_cast<std::uint64_t>(options.placer_seed));
     f.mix(static_cast<std::uint64_t>(options.place_retries));
     f.mix(
         static_cast<std::uint64_t>(options.route_track_escalations));
+    // options.deadline is intentionally excluded: it never changes a
+    // computed result, only whether one is computed at all.
 
     // Human-readable prefix for cache introspection; the hash is the
     // actual content address.
     std::ostringstream os;
-    os << "eval/v1/" << app.name << '/' << variant.name << '/'
+    os << "eval/v2/" << app.name << '/' << variant.name << '/'
        << static_cast<int>(level) << '/' << std::hex << f.digest();
     return os.str();
 }
@@ -164,8 +166,9 @@ std::string
 serializeEvalResult(const EvalResult &r)
 {
     std::ostringstream os;
-    os << "apexeval 1\n";
+    os << "apexeval 2\n";
     os << "pnr_attempts " << r.pnr_attempts << '\n';
+    os << "degraded " << (r.degraded ? 1 : 0) << '\n';
     os << "pe_count " << r.pe_count << '\n';
     appendDouble(os, "pe_area", r.pe_area);
     appendDouble(os, "pe_energy", r.pe_energy);
@@ -206,13 +209,15 @@ parseEvalResult(const std::string &text)
     std::string magic;
     int version = 0;
     if (!(is >> magic >> version) || magic != "apexeval" ||
-        version != 1)
+        version != 2)
         return Status(ErrorCode::kParseError,
                       "bad apexeval header");
 
     EvalResult r;
+    int degraded = 0;
     std::map<std::string, int *> ints{
         {"pnr_attempts", &r.pnr_attempts},
+        {"degraded", &degraded},
         {"pe_count", &r.pe_count},
         {"fabric_width", &r.fabric_width},
         {"fabric_height", &r.fabric_height},
@@ -267,6 +272,7 @@ parseEvalResult(const std::string &text)
     if (parsed != ints.size() + doubles.size())
         return Status(ErrorCode::kParseError,
                       "truncated apexeval record");
+    r.degraded = degraded != 0;
     r.success = true;
     return r;
 }
@@ -362,6 +368,13 @@ evaluate(const apps::AppInfo &app, const PeVariant &variant,
     };
 
     // --- Compile: rewrite rules + instruction selection -----------
+    if (Status s = options.deadline.check("instruction selection");
+        !s.ok()) {
+        r.status = std::move(s).withContext(pair_context);
+        r.error = r.status.toString();
+        r.diagnostics.error("deadline", r.status);
+        return r;
+    }
     pe::PeSpec spec = variant.spec; // mutable copy (pipelining)
     mapper::RewriteRuleSynthesizer synth(spec);
     const auto rules = synth.synthesizeLibrary(variant.patterns);
@@ -439,13 +452,29 @@ evaluate(const apps::AppInfo &app, const PeVariant &variant,
     cgra::RouteResult routing;
     Status last_failure;
     bool pnr_ok = false;
-    const int growths = options.auto_grow_fabric ? 5 : 1;
+    bool out_of_time = false;
+    const int growths =
+        options.auto_grow_fabric
+            ? std::max(1, options.max_fabric_growths)
+            : 1;
     const int seed_tries = std::max(1, options.place_retries);
     const int escalations =
         std::max(0, options.route_track_escalations);
-    const cgra::RouterOptions base_ropt;
+    cgra::RouterOptions base_ropt;
+    // The router's rip-up loop is the longest uninterruptible stretch
+    // of the ladder, so it polls the deadline itself.
+    base_ropt.deadline = options.deadline;
 
     for (int growth = 0; growth < growths && !pnr_ok; ++growth) {
+        if (Status s = options.deadline.check(
+                "fabric growth " + std::to_string(growth + 1));
+            !s.ok()) {
+            last_failure = std::move(s);
+            r.diagnostics.error("deadline", last_failure,
+                                r.pnr_attempts);
+            out_of_time = true;
+            break;
+        }
         if (growth > 0) {
             if (growth % 2 == 1)
                 height *= 2;
@@ -458,6 +487,16 @@ evaluate(const apps::AppInfo &app, const PeVariant &variant,
         const cgra::Fabric fabric(width, height);
         for (int retry = 0; retry < seed_tries && !pnr_ok;
              ++retry) {
+            if (Status s = options.deadline.check(
+                    "placement attempt " +
+                    std::to_string(r.pnr_attempts + 1));
+                !s.ok()) {
+                last_failure = std::move(s);
+                r.diagnostics.error("deadline", last_failure,
+                                    r.pnr_attempts);
+                out_of_time = true;
+                break;
+            }
             cgra::PlacerOptions popt;
             popt.seed = options.placer_seed +
                         0x9E3779B9u * static_cast<unsigned>(retry);
@@ -503,8 +542,18 @@ evaluate(const apps::AppInfo &app, const PeVariant &variant,
                         : routing.status;
                 r.diagnostics.error("route", last_failure,
                                     r.pnr_attempts);
+                // A timed-out route will not improve with more
+                // tracks: stop the whole ladder.
+                if (last_failure.code() == ErrorCode::kTimeout) {
+                    out_of_time = true;
+                    break;
+                }
             }
+            if (out_of_time)
+                break;
         }
+        if (out_of_time)
+            break;
     }
     if (!pnr_ok) {
         std::ostringstream os;

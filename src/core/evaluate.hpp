@@ -4,6 +4,7 @@
 #include <string>
 
 #include "cgra/metrics.hpp"
+#include "core/deadline.hpp"
 #include "core/explorer.hpp"
 #include "core/status.hpp"
 #include "runtime/cache.hpp"
@@ -46,6 +47,10 @@ struct EvalResult {
     Diagnostics diagnostics;
     /** Placement attempts consumed (seed retries x fabric growths). */
     int pnr_attempts = 0;
+    /** The cell deadline expired and this result came from the cheap
+     * fallback knobs (see runSweep): valid, but possibly on a larger
+     * fabric / with fewer retries than the configured evaluation. */
+    bool degraded = false;
 
     // --- Post-mapping --------------------------------------------
     int pe_count = 0;          ///< PE instances used.
@@ -88,6 +93,9 @@ struct EvalOptions {
     /** Grow the fabric when the app does not fit (keeps the flow
      * usable for large unrolls). */
     bool auto_grow_fabric = true;
+    /** Fabric doublings tried when auto_grow_fabric is set (1 means
+     * the initial size only).  The degraded retry path lowers this. */
+    int max_fabric_growths = 5;
     unsigned placer_seed = 0xCA11;
     /** Placement attempts per fabric size, each with a derived seed;
      * capacity failures skip straight to fabric growth. */
@@ -104,6 +112,15 @@ struct EvalOptions {
      * bit.  Failures are never cached (they are retried).
      */
     runtime::ArtifactCache *cache = nullptr;
+    /**
+     * Wall-clock bound for this evaluation, enforced through the P&R
+     * ladder (growth/retry boundaries and the router's rip-up loop).
+     * Expiry yields a kTimeout result.  Deliberately NOT part of the
+     * cache key: a deadline only decides whether a result is computed,
+     * never its value, so cached artifacts stay reusable across runs
+     * with different budgets.
+     */
+    Deadline deadline;
 };
 
 /** Run the flow for @p app on @p variant up to @p level. */
@@ -159,6 +176,13 @@ std::string evalCacheKey(const apps::AppInfo &app,
 double peInstanceEnergy(const mapper::RewriteRule &rule,
                         const pe::PeSpec &spec,
                         const model::TechModel &tech);
+
+/**
+ * Fingerprint of every TechModel field evaluate() can read.  Shared
+ * by the eval cache key and the sweep journal header, so a resumed
+ * sweep can prove it is replaying cells of the same configuration.
+ */
+std::uint64_t techFingerprint(const model::TechModel &tech);
 
 } // namespace apex::core
 

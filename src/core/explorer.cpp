@@ -129,10 +129,12 @@ Explorer::trySpecializedVariant(const apps::AppInfo &app,
                                              v.name + "'");
     v.patterns = std::move(patterns).value();
     const auto mm = merging::mergeIntoDatapath(
-        seed.dp, v.patterns, tech_, nullptr);
+        seed.dp, v.patterns, tech_, nullptr, options_.merge);
     if (!mm.status.ok())
         return mm.status.withContext("building variant '" + v.name +
                                      "'");
+    v.non_optimal_merges = mm.non_optimal_cliques;
+    v.merge_timeouts = mm.clique_timeouts;
     v.spec = pe::makePeSpec(mm.merged, v.name,
                             seed.has_register_file);
     return v;
@@ -244,10 +246,12 @@ Explorer::tryDomainVariant(const std::vector<apps::AppInfo>
     }
 
     const auto mm = merging::mergeIntoDatapath(
-        seed.dp, v.patterns, tech_, nullptr);
+        seed.dp, v.patterns, tech_, nullptr, options_.merge);
     if (!mm.status.ok())
         return mm.status.withContext("building domain variant '" +
                                      name + "'");
+    v.non_optimal_merges = mm.non_optimal_cliques;
+    v.merge_timeouts = mm.clique_timeouts;
     v.spec = pe::makePeSpec(mm.merged, name);
     return v;
 }

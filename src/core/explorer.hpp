@@ -6,6 +6,7 @@
 
 #include "apps/apps.hpp"
 #include "core/status.hpp"
+#include "merging/merge.hpp"
 #include "mining/miner.hpp"
 #include "model/tech.hpp"
 #include "pe/spec.hpp"
@@ -35,6 +36,13 @@ struct PeVariant {
     /** The merged subgraphs — fed to rewrite-rule synthesis so the
      * compiler can exploit the specialized datapath. */
     std::vector<ir::Graph> patterns;
+    /** Clique searches during construction that stopped before
+     * optimality (node budget or deadline): the variant is correct
+     * but may waste area, so sweeps surface it as a warning instead
+     * of letting it pass silently. */
+    int non_optimal_merges = 0;
+    /** Of those, searches cut short by the merge deadline. */
+    int merge_timeouts = 0;
 };
 
 /** Exploration knobs. */
@@ -45,6 +53,9 @@ struct ExplorerOptions {
                                .max_patterns_per_level = 256};
     /** Patterns must re-occur at least this often without overlap. */
     int min_mis = 2;
+    /** Knobs (clique budget, deadline) for every datapath merge the
+     * explorer performs while building variants. */
+    merging::MergeOptions merge;
     /** Maximum subgraphs merged into the most specialized PE. */
     int max_merged_subgraphs = 3;
     /**

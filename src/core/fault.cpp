@@ -1,5 +1,6 @@
 #include "core/fault.hpp"
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -11,8 +12,8 @@ namespace apex {
 namespace {
 
 constexpr std::array<std::string_view, kNumFaultStages> kStageNames = {
-    "deserialize", "validate", "mine",  "merge",
-    "map",         "place",    "route", "evaluate",
+    "deserialize", "validate", "mine",  "merge", "map",
+    "place",       "route",    "evaluate", "crash", "clock",
 };
 
 } // namespace
@@ -47,6 +48,7 @@ faultErrorCode(FaultStage stage)
       case FaultStage::kPlace:       return ErrorCode::kPlaceFailed;
       case FaultStage::kRoute:       return ErrorCode::kRouteFailed;
       case FaultStage::kEvaluate:    return ErrorCode::kEvaluationFailed;
+      case FaultStage::kClockSkew:   return ErrorCode::kTimeout;
       default:                       return ErrorCode::kInternal;
     }
 }
@@ -167,6 +169,18 @@ FaultInjector::armed() const
         if (fail_from_[i].load(std::memory_order_acquire) > 0)
             return true;
     return false;
+}
+
+void
+crashPoint()
+{
+    if (checkFault(FaultStage::kCrash).ok())
+        return;
+    // Die the way kill -9 does: no atexit handlers, no destructors,
+    // no stream flushes.  raise(SIGKILL) is uncatchable; _Exit(137)
+    // (128 + SIGKILL) is the fallback if raising somehow returns.
+    std::raise(SIGKILL);
+    std::_Exit(137);
 }
 
 FaultScope::FaultScope(FaultStage stage, int nth_call, int count)

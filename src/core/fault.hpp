@@ -47,6 +47,13 @@ enum class FaultStage {
     kPlace,
     kRoute,
     kEvaluate,
+    /** Crash points ("crash"): the armed call hard-kills the process
+     * (SIGKILL, no cleanup) — instrumented at sweep-journal append
+     * boundaries so kill -9 durability is rehearsable. */
+    kCrash,
+    /** Clock skew ("clock"): the armed Deadline poll observes a clock
+     * far in the future, taking the kTimeout path deterministically. */
+    kClockSkew,
     kNumStages,
 };
 
@@ -105,6 +112,14 @@ checkFault(FaultStage stage)
 {
     return FaultInjector::instance().onCall(stage);
 }
+
+/**
+ * Crash-point hook: when the crash stage is armed for this call, the
+ * process dies as if kill -9'd — no destructors, no buffered-stream
+ * flushes.  Placed immediately after durable-state transitions (sweep
+ * journal appends) so crash-safety is testable under APEX_FAULT.
+ */
+void crashPoint();
 
 /**
  * RAII arming for tests: resets the injector (fresh counters), arms

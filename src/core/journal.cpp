@@ -1,0 +1,347 @@
+#include "core/journal.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/fault.hpp"
+
+namespace apex::core {
+
+namespace {
+
+constexpr std::string_view kJournalMagic = "apexsweep";
+constexpr int kJournalVersion = 1;
+
+std::string
+hex64(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+// --- payload primitives ----------------------------------------------
+// Length-prefixed strings make every other field safe to hold
+// newlines, spaces, or arbitrary bytes (error messages do).
+
+void
+putStr(std::ostream &os, std::string_view s)
+{
+    os << s.size() << '\n';
+    os.write(s.data(), static_cast<std::streamsize>(s.size()));
+    os << '\n';
+}
+
+bool
+getStr(std::istream &is, std::string *out)
+{
+    std::size_t n = 0;
+    if (!(is >> n))
+        return false;
+    if (is.get() != '\n')
+        return false;
+    out->resize(n);
+    if (n > 0 && !is.read(out->data(), static_cast<std::streamsize>(n)))
+        return false;
+    return is.get() == '\n';
+}
+
+void
+putStatus(std::ostream &os, const Status &s)
+{
+    os << static_cast<int>(s.code()) << '\n';
+    putStr(os, s.message());
+    os << s.context().size() << '\n';
+    for (const std::string &frame : s.context())
+        putStr(os, frame);
+}
+
+bool
+getStatus(std::istream &is, Status *out)
+{
+    int code = 0;
+    std::string message;
+    std::size_t nframes = 0;
+    if (!(is >> code))
+        return false;
+    is.get();
+    if (!getStr(is, &message))
+        return false;
+    if (!(is >> nframes))
+        return false;
+    is.get();
+    Status s = code == 0
+                   ? Status::okStatus()
+                   : Status(static_cast<ErrorCode>(code),
+                            std::move(message));
+    for (std::size_t i = 0; i < nframes; ++i) {
+        std::string frame;
+        if (!getStr(is, &frame))
+            return false;
+        // The rvalue overload appends to s in place and returns a
+        // reference to s itself; assigning that back would self-move.
+        (void)std::move(s).withContext(std::move(frame));
+    }
+    *out = std::move(s);
+    return true;
+}
+
+void
+putDiagnostics(std::ostream &os, const Diagnostics &d)
+{
+    os << d.records().size() << '\n';
+    for (const DiagnosticRecord &r : d.records()) {
+        os << static_cast<int>(r.severity) << ' '
+           << static_cast<int>(r.code) << ' ' << r.attempt << '\n';
+        putStr(os, r.stage);
+        putStr(os, r.message);
+        putStr(os, r.scope);
+    }
+}
+
+bool
+getDiagnostics(std::istream &is, Diagnostics *out)
+{
+    std::size_t n = 0;
+    if (!(is >> n))
+        return false;
+    is.get();
+    for (std::size_t i = 0; i < n; ++i) {
+        DiagnosticRecord r;
+        int severity = 0;
+        int code = 0;
+        if (!(is >> severity >> code >> r.attempt))
+            return false;
+        is.get();
+        r.severity = static_cast<Severity>(severity);
+        r.code = static_cast<ErrorCode>(code);
+        if (!getStr(is, &r.stage) || !getStr(is, &r.message) ||
+            !getStr(is, &r.scope))
+            return false;
+        out->report(std::move(r));
+    }
+    return true;
+}
+
+// --- record payloads -------------------------------------------------
+
+std::string
+encodeHeader(std::uint64_t fingerprint, std::size_t app_count)
+{
+    std::ostringstream os;
+    os << "fp " << hex64(fingerprint) << "\napps " << app_count
+       << '\n';
+    return os.str();
+}
+
+bool
+headerMatches(const runtime::FramedRecord &rec,
+              std::uint64_t fingerprint, std::size_t app_count)
+{
+    return rec.type == "sweep" &&
+           rec.payload == encodeHeader(fingerprint, app_count);
+}
+
+std::string
+encodeApp(const SweepJournal::AppRecord &rec)
+{
+    std::ostringstream os;
+    os << rec.app << '\n';
+    putStatus(os, rec.validate_status);
+    os << (rec.spec_failed ? 1 : 0) << '\n';
+    putStr(os, rec.spec_name);
+    putStatus(os, rec.spec_status);
+    for (const SweepJournal::CellInfo &c : rec.cells) {
+        os << (c.has_variant ? 1 : 0) << ' ' << c.non_optimal_merges
+           << ' ' << c.merge_timeouts << '\n';
+        putStr(os, c.variant);
+    }
+    return os.str();
+}
+
+bool
+decodeApp(const std::string &payload, SweepJournal::AppRecord *out)
+{
+    std::istringstream is(payload);
+    if (!(is >> out->app))
+        return false;
+    is.get();
+    if (!getStatus(is, &out->validate_status))
+        return false;
+    int spec_failed = 0;
+    if (!(is >> spec_failed))
+        return false;
+    is.get();
+    out->spec_failed = spec_failed != 0;
+    if (!getStr(is, &out->spec_name))
+        return false;
+    if (!getStatus(is, &out->spec_status))
+        return false;
+    for (SweepJournal::CellInfo &c : out->cells) {
+        int has = 0;
+        if (!(is >> has >> c.non_optimal_merges >> c.merge_timeouts))
+            return false;
+        is.get();
+        c.has_variant = has != 0;
+        if (!getStr(is, &c.variant))
+            return false;
+    }
+    return true;
+}
+
+std::string
+encodeCell(const SweepJournal::CellRecord &rec)
+{
+    const EvalResult &r = rec.result;
+    std::ostringstream os;
+    os << rec.app << ' ' << rec.cell << '\n';
+    putStr(os, rec.variant);
+    os << (r.success ? 1 : 0) << ' ' << r.pnr_attempts << ' '
+       << (r.degraded ? 1 : 0) << '\n';
+    putStatus(os, r.status);
+    putStr(os, r.error);
+    if (r.success)
+        putStr(os, serializeEvalResult(r));
+    putDiagnostics(os, r.diagnostics);
+    return os.str();
+}
+
+bool
+decodeCell(const std::string &payload, SweepJournal::CellRecord *out)
+{
+    std::istringstream is(payload);
+    if (!(is >> out->app >> out->cell))
+        return false;
+    is.get();
+    if (!getStr(is, &out->variant))
+        return false;
+    int success = 0;
+    int degraded = 0;
+    EvalResult r;
+    if (!(is >> success >> r.pnr_attempts >> degraded))
+        return false;
+    is.get();
+    r.degraded = degraded != 0;
+    if (!getStatus(is, &r.status))
+        return false;
+    if (!getStr(is, &r.error))
+        return false;
+    if (success != 0) {
+        std::string blob;
+        if (!getStr(is, &blob))
+            return false;
+        Result<EvalResult> parsed = parseEvalResult(blob);
+        if (!parsed.ok())
+            return false;
+        r = std::move(parsed).value();
+    }
+    if (!getDiagnostics(is, &r.diagnostics))
+        return false;
+    out->result = std::move(r);
+    return true;
+}
+
+} // namespace
+
+Status
+SweepJournal::open(const std::string &dir, std::uint64_t fingerprint,
+                   std::size_t app_count, bool resume)
+{
+    log_.reset();
+    apps_.assign(app_count, std::nullopt);
+    cells_.assign(app_count, {});
+    replayed_cells_ = 0;
+
+    const std::string path = dir + "/sweep.journal";
+    auto log = std::make_unique<runtime::RecordLog>();
+    APEX_RETURN_IF_ERROR(
+        log->open(path, kJournalMagic, kJournalVersion, resume));
+
+    bool need_header = true;
+    if (resume && !log->records().empty()) {
+        const auto &records = log->records();
+        if (headerMatches(records.front(), fingerprint, app_count)) {
+            need_header = false;
+            for (std::size_t i = 1; i < records.size(); ++i) {
+                const runtime::FramedRecord &rec = records[i];
+                if (rec.type == "app") {
+                    AppRecord app;
+                    if (decodeApp(rec.payload, &app) && app.app >= 0 &&
+                        static_cast<std::size_t>(app.app) < app_count)
+                        apps_[app.app] = std::move(app);
+                } else if (rec.type == "cell") {
+                    CellRecord cell;
+                    if (decodeCell(rec.payload, &cell) &&
+                        cell.app >= 0 &&
+                        static_cast<std::size_t>(cell.app) <
+                            app_count &&
+                        cell.cell >= 0 &&
+                        cell.cell < kJournalCellsPerApp) {
+                        auto &slot = cells_[cell.app][cell.cell];
+                        if (!slot.has_value())
+                            ++replayed_cells_;
+                        slot = std::move(cell);
+                    }
+                }
+            }
+        } else {
+            // A prior journal for a *different* sweep configuration:
+            // replaying its cells would poison the report.  Close the
+            // recovered handle and restart the log empty.
+            log.reset();
+            log = std::make_unique<runtime::RecordLog>();
+            APEX_RETURN_IF_ERROR(log->open(path, kJournalMagic,
+                                           kJournalVersion, false));
+        }
+    }
+    if (need_header)
+        APEX_RETURN_IF_ERROR(
+            log->append("sweep", encodeHeader(fingerprint, app_count)));
+    log_ = std::move(log);
+    return Status::okStatus();
+}
+
+bool
+SweepJournal::active() const
+{
+    return log_ != nullptr && log_->active();
+}
+
+const SweepJournal::AppRecord *
+SweepJournal::appRecord(std::size_t app) const
+{
+    if (app >= apps_.size() || !apps_[app].has_value())
+        return nullptr;
+    return &*apps_[app];
+}
+
+const SweepJournal::CellRecord *
+SweepJournal::cellRecord(std::size_t app, int cell) const
+{
+    if (app >= cells_.size() || cell < 0 ||
+        cell >= kJournalCellsPerApp ||
+        !cells_[app][cell].has_value())
+        return nullptr;
+    return &*cells_[app][cell];
+}
+
+void
+SweepJournal::appendApp(const AppRecord &rec)
+{
+    if (!active())
+        return;
+    (void)log_->append("app", encodeApp(rec));
+    crashPoint();
+}
+
+void
+SweepJournal::appendCell(const CellRecord &rec)
+{
+    if (!active())
+        return;
+    (void)log_->append("cell", encodeCell(rec));
+    crashPoint();
+}
+
+} // namespace apex::core

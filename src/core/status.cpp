@@ -61,6 +61,7 @@ stageForCode(ErrorCode code)
       case ErrorCode::kResourceExhausted: return "place";
       case ErrorCode::kRouteFailed:       return "route";
       case ErrorCode::kEvaluationFailed:  return "evaluate";
+      case ErrorCode::kTimeout:           return "deadline";
       case ErrorCode::kCancelled:         return "runtime";
       default:                            return "unknown";
     }
@@ -161,7 +162,10 @@ ExplorationReport::summary() const
 {
     std::ostringstream os;
     os << evaluated << " evaluated, " << skipped << " skipped, "
-       << diagnostics.count(Severity::kWarning) << " warnings\n";
+       << diagnostics.count(Severity::kWarning) << " warnings";
+    if (degraded > 0)
+        os << ", " << degraded << " degraded";
+    os << '\n';
     for (const StageFailure &f : failures) {
         os << "  FAILED " << f.app;
         if (!f.variant.empty())

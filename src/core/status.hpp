@@ -245,6 +245,9 @@ struct StageFailure {
 struct ExplorationReport {
     int evaluated = 0; ///< (app, variant) pairs that completed.
     int skipped = 0;   ///< Pairs (or whole apps) recorded and skipped.
+    /** Of the evaluated pairs, how many completed on the degraded
+     * path after their cell deadline expired. */
+    int degraded = 0;
     std::vector<StageFailure> failures;
     Diagnostics diagnostics;
 

@@ -8,6 +8,8 @@
 #include <optional>
 #include <utility>
 
+#include "core/journal.hpp"
+#include "ir/signature.hpp"
 #include "ir/validate.hpp"
 #include "runtime/task_graph.hpp"
 
@@ -45,16 +47,30 @@ recordFailure(ExplorationReport &report, const std::string &app,
  * task graph can be built before variant construction runs. */
 enum RecipeCell { kBaseline = 0, kSubset = 1, kSpecialized = 2 };
 
-/** One (app, variant) evaluation slot; written only by its task. */
+static_assert(kJournalCellsPerApp == 3,
+              "journal cell layout mirrors the recipe cells");
+
+/** One (app, variant) evaluation slot; written only by its task (or
+ * by the sequential journal-replay pass before the graph runs). */
 struct Cell {
     std::optional<PeVariant> variant; ///< Set by the build task.
-    bool ran = false;                 ///< Evaluation task executed.
+    bool present = false; ///< The recipe produced this cell (variant
+                          ///< built, or known from the journal).
+    std::string name;     ///< Variant name (valid when present).
+    int non_optimal_merges = 0; ///< Clique searches cut short.
+    int merge_timeouts = 0;     ///< ... of which by deadline.
+    bool ran = false;           ///< Evaluation outcome available.
+    bool replayed = false;      ///< ... restored from the journal.
+    bool deadline_skipped = false; ///< Sweep deadline beat the task.
     EvalResult result;
 };
 
 /** Per-application slots; written only by this app's tasks. */
 struct AppSlot {
     bool build_ran = false;
+    bool skip_build = false; ///< Fully replayed; build is redundant.
+    bool journaled = false;  ///< App record already on disk.
+    bool deadline_skipped = false;
     Status validate_status; ///< Non-ok => whole app skipped.
     bool spec_failed = false;
     std::string spec_name;
@@ -73,18 +89,118 @@ elapsedUs(Clock::time_point from)
             .count());
 }
 
+/**
+ * Fingerprint of every input that shapes the sweep's work: the app
+ * set, the recipe, the evaluation knobs, the tech model and the
+ * explorer configuration.  Deadlines and job counts are deliberately
+ * excluded — they decide how fast cells complete, never what they
+ * contain — so a resumed run may use different budgets.
+ */
+std::uint64_t
+sweepFingerprint(const std::vector<apps::AppInfo> &apps,
+                 const Explorer &explorer,
+                 const model::TechModel &tech,
+                 const SweepOptions &options)
+{
+    ir::Fnv64 f;
+    f.mix(static_cast<std::uint64_t>(options.level));
+    f.mix(static_cast<std::uint64_t>(
+        (options.include_baseline ? 1 : 0) |
+        (options.include_subset ? 2 : 0) |
+        (options.include_specialized ? 4 : 0)));
+    const EvalOptions &e = options.eval;
+    f.mix(static_cast<std::uint64_t>(e.fabric_width));
+    f.mix(static_cast<std::uint64_t>(e.fabric_height));
+    f.mix(static_cast<std::uint64_t>(e.auto_grow_fabric));
+    f.mix(static_cast<std::uint64_t>(e.max_fabric_growths));
+    f.mix(static_cast<std::uint64_t>(e.placer_seed));
+    f.mix(static_cast<std::uint64_t>(e.place_retries));
+    f.mix(static_cast<std::uint64_t>(e.route_track_escalations));
+    f.mix(techFingerprint(tech));
+    const ExplorerOptions &x = explorer.options();
+    f.mix(static_cast<std::uint64_t>(x.miner.min_support));
+    f.mix(static_cast<std::uint64_t>(x.miner.max_pattern_nodes));
+    f.mix(static_cast<std::uint64_t>(x.miner.mine_constants));
+    f.mix(static_cast<std::uint64_t>(x.miner.max_patterns_per_level));
+    f.mix(static_cast<std::uint64_t>(x.miner.metric));
+    f.mix(static_cast<std::uint64_t>(x.min_mis));
+    f.mix(static_cast<std::uint64_t>(x.max_merged_subgraphs));
+    f.mix(static_cast<std::uint64_t>(x.merge.clique_budget));
+    f.mixDouble(x.merge.input_merge_weight);
+    f.mixDouble(x.merge.input_merge_weight_bit);
+    f.mix(static_cast<std::uint64_t>(apps.size()));
+    for (const apps::AppInfo &app : apps) {
+        f.mix(app.name);
+        f.mix(ir::fingerprint(app.graph));
+        f.mixDouble(app.work_items_per_frame);
+        f.mix(static_cast<std::uint64_t>(app.items_per_cycle));
+    }
+    return f.digest();
+}
+
+/** Move @p v into @p cell, caching the fields the report needs even
+ * after the variant itself is gone (or was never rebuilt). */
+void
+setVariant(Cell &cell, PeVariant v)
+{
+    cell.present = true;
+    cell.name = v.name;
+    cell.non_optimal_merges = v.non_optimal_merges;
+    cell.merge_timeouts = v.merge_timeouts;
+    cell.variant = std::move(v);
+}
+
+/** Cheap fallback knobs for the degraded retry of a timed-out cell:
+ * one placement attempt, no track escalation, at most two fabric
+ * growths, bounded only by the sweep deadline. */
+EvalOptions
+degradedOptions(const EvalOptions &base, const Deadline &sweep)
+{
+    EvalOptions cheap = base;
+    cheap.deadline = sweep;
+    cheap.place_retries = 1;
+    cheap.route_track_escalations = 0;
+    cheap.max_fabric_growths = 2;
+    return cheap;
+}
+
+/** Append @p slot's build outcome to the journal (once). */
+void
+journalApp(SweepJournal &journal, int index, AppSlot &slot)
+{
+    if (slot.journaled || !journal.active())
+        return;
+    slot.journaled = true;
+    SweepJournal::AppRecord rec;
+    rec.app = index;
+    rec.validate_status = slot.validate_status;
+    rec.spec_failed = slot.spec_failed;
+    rec.spec_name = slot.spec_name;
+    rec.spec_status = slot.spec_status;
+    for (int j = 0; j < kJournalCellsPerApp; ++j) {
+        const Cell &cell = slot.cells[j];
+        rec.cells[j].has_variant = cell.present;
+        rec.cells[j].variant = cell.name;
+        rec.cells[j].non_optimal_merges = cell.non_optimal_merges;
+        rec.cells[j].merge_timeouts = cell.merge_timeouts;
+    }
+    journal.appendApp(rec);
+}
+
 } // namespace
 
 std::string
 SweepRuntimeStats::toString() const
 {
-    char buf[256];
+    char buf[320];
     std::snprintf(buf, sizeof buf,
                   "jobs=%d tasks=%ld stolen=%ld cache=%ld/%ld "
+                  "replayed=%ld degraded=%ld nonopt_cliques=%ld "
                   "build=%.2fms eval=%.2fms wall=%.2fms",
                   jobs, tasks_run, tasks_stolen, cache_hits,
-                  cache_hits + cache_misses, build_ms, eval_ms,
-                  wall_ms);
+                  cache_hits + cache_misses, cells_replayed,
+                  cells_degraded, non_optimal_cliques, build_ms,
+                  eval_ms, wall_ms);
     return buf;
 }
 
@@ -128,6 +244,58 @@ runSweep(const std::vector<apps::AppInfo> &apps,
     std::atomic<long> build_us{0};
     std::atomic<long> eval_us{0};
 
+    // --- Durability: open (and maybe replay) the sweep journal ------
+    // An open failure leaves the journal inactive: the sweep still
+    // runs, just without checkpoints.
+    SweepJournal journal;
+    if (!options.journal_dir.empty())
+        (void)journal.open(
+            options.journal_dir,
+            sweepFingerprint(apps, explorer, tech, options),
+            apps.size(), options.resume);
+
+    // Restore journaled outcomes sequentially, before any task runs.
+    // A fully-journaled app skips variant construction entirely; a
+    // partially-journaled one re-runs the (deterministic) build to
+    // reconstruct the variants its missing cells need, but keeps the
+    // replayed evaluations.
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const SweepJournal::AppRecord *rec = journal.appRecord(i);
+        if (rec == nullptr)
+            continue;
+        AppSlot &slot = slots[i];
+        slot.journaled = true;
+        slot.validate_status = rec->validate_status;
+        slot.spec_failed = rec->spec_failed;
+        slot.spec_name = rec->spec_name;
+        slot.spec_status = rec->spec_status;
+        bool missing_eval = false;
+        for (int j = 0; j < kJournalCellsPerApp; ++j) {
+            const SweepJournal::CellInfo &info = rec->cells[j];
+            Cell &cell = slot.cells[j];
+            cell.present = info.has_variant;
+            cell.name = info.variant;
+            cell.non_optimal_merges = info.non_optimal_merges;
+            cell.merge_timeouts = info.merge_timeouts;
+            if (!info.has_variant)
+                continue;
+            const SweepJournal::CellRecord *done =
+                journal.cellRecord(i, j);
+            if (done != nullptr) {
+                cell.ran = true;
+                cell.replayed = true;
+                cell.result = done->result;
+            } else {
+                missing_eval = true;
+            }
+        }
+        if (!missing_eval) {
+            slot.skip_build = true;
+            slot.build_ran = true;
+        }
+    }
+    out.stats.cells_replayed = journal.replayedCells();
+
     // --- Fan out: one build task per app, one eval task per cell ---
     // Every task writes only its own slot; all ordering-sensitive
     // work (report assembly) happens sequentially afterwards.
@@ -135,13 +303,21 @@ runSweep(const std::vector<apps::AppInfo> &apps,
     for (std::size_t i = 0; i < apps.size(); ++i) {
         const apps::AppInfo &app = apps[i];
         AppSlot &slot = slots[i];
+        const int app_index = static_cast<int>(i);
 
         const runtime::TaskId build = graph.add(
             "build:" + app.name,
             [&options, &explorer, &graph, &app, &slot, cancel,
-             &tasks_run, &build_us]() -> Status {
+             &tasks_run, &build_us, &journal,
+             app_index]() -> Status {
+                if (slot.skip_build)
+                    return Status::okStatus();
                 if (cancel != nullptr && cancel->load()) {
                     graph.cancel();
+                    return Status::okStatus();
+                }
+                if (options.deadline.expired()) {
+                    slot.deadline_skipped = true;
                     return Status::okStatus();
                 }
                 const Clock::time_point t0 = Clock::now();
@@ -155,23 +331,24 @@ runSweep(const std::vector<apps::AppInfo> &apps,
                         std::move(s).withContext(
                             "validating application '" + app.name +
                             "'");
+                    journalApp(journal, app_index, slot);
                     build_us.fetch_add(elapsedUs(t0),
                                        std::memory_order_relaxed);
                     return Status::okStatus();
                 }
                 if (options.include_baseline)
-                    slot.cells[kBaseline].variant =
-                        explorer.baselineVariant();
+                    setVariant(slot.cells[kBaseline],
+                               explorer.baselineVariant());
                 if (options.include_subset)
-                    slot.cells[kSubset].variant =
-                        explorer.subsetVariant(app);
+                    setVariant(slot.cells[kSubset],
+                               explorer.subsetVariant(app));
                 if (options.include_specialized) {
                     const int k =
                         explorer.options().max_merged_subgraphs;
                     auto v = explorer.trySpecializedVariant(app, k);
                     if (v.ok()) {
-                        slot.cells[kSpecialized].variant =
-                            std::move(v).value();
+                        setVariant(slot.cells[kSpecialized],
+                                   std::move(v).value());
                     } else {
                         slot.spec_failed = true;
                         slot.spec_name = "pe" +
@@ -180,6 +357,7 @@ runSweep(const std::vector<apps::AppInfo> &apps,
                         slot.spec_status = v.status();
                     }
                 }
+                journalApp(journal, app_index, slot);
                 build_us.fetch_add(elapsedUs(t0),
                                    std::memory_order_relaxed);
                 return Status::okStatus();
@@ -190,22 +368,38 @@ runSweep(const std::vector<apps::AppInfo> &apps,
             graph.add(
                 "eval:" + app.name + "#" + std::to_string(j),
                 [&options, &graph, &app, &cell, cancel, &eval_opts,
-                 &tech, &tasks_run, &eval_us]() -> Status {
+                 &tech, &tasks_run, &eval_us, &journal, app_index,
+                 j]() -> Status {
+                    if (cell.ran) // replayed from the journal
+                        return Status::okStatus();
                     if (cancel != nullptr && cancel->load()) {
                         graph.cancel();
                         return Status::okStatus();
                     }
                     if (!cell.variant.has_value())
                         return Status::okStatus();
+                    if (options.deadline.expired()) {
+                        cell.deadline_skipped = true;
+                        return Status::okStatus();
+                    }
                     const Clock::time_point t0 = Clock::now();
                     tasks_run.fetch_add(1,
                                         std::memory_order_relaxed);
                     cell.ran = true;
                     EvalResult &r = cell.result;
+                    const bool cell_bounded =
+                        options.cell_deadline_ms > 0;
+                    EvalOptions local = eval_opts;
+                    local.deadline =
+                        cell_bounded
+                            ? Deadline::earliest(
+                                  options.deadline,
+                                  Deadline::after(
+                                      options.cell_deadline_ms))
+                            : options.deadline;
                     try {
                         r = evaluate(app, *cell.variant,
-                                     options.level, tech,
-                                     eval_opts);
+                                     options.level, tech, local);
                     } catch (const ApexError &e) {
                         r.status = e.status().withContext(
                             "evaluating '" + app.name + "' on '" +
@@ -218,8 +412,57 @@ runSweep(const std::vector<apps::AppInfo> &apps,
                                 e.what());
                         r.error = r.status.toString();
                     }
+                    // Graceful degradation: the *cell* budget ran
+                    // out but the sweep still has time — salvage the
+                    // cell with the cheap knobs instead of failing.
+                    if (!r.success &&
+                        r.status.code() == ErrorCode::kTimeout &&
+                        cell_bounded &&
+                        !options.deadline.expired()) {
+                        EvalResult first = std::move(r);
+                        r = EvalResult{};
+                        try {
+                            r = evaluate(app, *cell.variant,
+                                         options.level, tech,
+                                         degradedOptions(
+                                             eval_opts,
+                                             options.deadline));
+                        } catch (const ApexError &e) {
+                            r.status = e.status().withContext(
+                                "evaluating '" + app.name +
+                                "' on '" + cell.variant->name +
+                                "'");
+                            r.error = r.status.toString();
+                        } catch (const std::exception &e) {
+                            r.status = Status(
+                                ErrorCode::kInternal,
+                                std::string(
+                                    "unexpected exception: ") +
+                                    e.what());
+                            r.error = r.status.toString();
+                        }
+                        if (r.success)
+                            r.degraded = true;
+                        r.pnr_attempts += first.pnr_attempts;
+                        Diagnostics trail;
+                        trail.merge(first.diagnostics);
+                        trail.warning(
+                            "deadline",
+                            "cell deadline expired; retrying with "
+                            "degraded knobs (1 placement attempt, "
+                            "no track escalation, <= 2 fabric "
+                            "growths)");
+                        trail.merge(r.diagnostics);
+                        r.diagnostics = std::move(trail);
+                    }
                     eval_us.fetch_add(elapsedUs(t0),
                                       std::memory_order_relaxed);
+                    SweepJournal::CellRecord rec;
+                    rec.app = app_index;
+                    rec.cell = j;
+                    rec.variant = cell.name;
+                    rec.result = r;
+                    journal.appendCell(rec);
                     return Status::okStatus();
                 },
                 {build});
@@ -233,15 +476,23 @@ runSweep(const std::vector<apps::AppInfo> &apps,
     // --- Deterministic assembly ------------------------------------
     // One sequential pass in (app, recipe-cell) order reproduces the
     // sequential driver's report byte for byte: same entry order,
-    // same failure order, same diagnostics scoping.
+    // same failure order, same diagnostics scoping.  Replayed cells
+    // take exactly the same path as freshly-evaluated ones, which is
+    // what makes a resumed report byte-identical.
     for (std::size_t i = 0; i < apps.size(); ++i) {
         const apps::AppInfo &app = apps[i];
         AppSlot &slot = slots[i];
         if (!slot.build_ran) {
             recordFailure(
                 out.report, app.name, "",
-                Status(ErrorCode::kCancelled,
-                       "sweep cancelled before variant construction"),
+                slot.deadline_skipped
+                    ? Status(ErrorCode::kTimeout,
+                             "sweep deadline expired before variant "
+                             "construction")
+                    : Status(
+                          ErrorCode::kCancelled,
+                          "sweep cancelled before variant "
+                          "construction"),
                 1);
             continue;
         }
@@ -256,14 +507,44 @@ runSweep(const std::vector<apps::AppInfo> &apps,
 
         for (int j = 0; j < 3; ++j) {
             Cell &cell = slot.cells[j];
-            if (!cell.variant.has_value())
+            if (!cell.present)
                 continue;
-            const std::string &vname = cell.variant->name;
+            const std::string &vname = cell.name;
+            if (cell.non_optimal_merges > 0) {
+                // Surface clique searches that stopped before
+                // optimality — previously a silent flag on the
+                // merge result.
+                DiagnosticRecord w;
+                w.severity = Severity::kWarning;
+                w.stage = "merge";
+                w.code = cell.merge_timeouts > 0
+                             ? ErrorCode::kTimeout
+                             : ErrorCode::kResourceExhausted;
+                w.message =
+                    std::to_string(cell.non_optimal_merges) +
+                    " datapath merge(s) used a non-optimal clique "
+                    "(budget exhausted" +
+                    (cell.merge_timeouts > 0
+                         ? ", " +
+                               std::to_string(cell.merge_timeouts) +
+                               " by deadline"
+                         : std::string()) +
+                    "); the PE may spend more area than necessary";
+                w.scope = app.name + "/" + vname;
+                out.report.diagnostics.report(std::move(w));
+                out.stats.non_optimal_cliques +=
+                    cell.non_optimal_merges;
+            }
             if (!cell.ran) {
                 recordFailure(
                     out.report, app.name, vname,
-                    Status(ErrorCode::kCancelled,
-                           "sweep cancelled before evaluation"),
+                    cell.deadline_skipped
+                        ? Status(ErrorCode::kTimeout,
+                                 "sweep deadline expired before "
+                                 "evaluation")
+                        : Status(ErrorCode::kCancelled,
+                                 "sweep cancelled before "
+                                 "evaluation"),
                     1);
                 continue;
             }
@@ -272,6 +553,10 @@ runSweep(const std::vector<apps::AppInfo> &apps,
                                          app.name + "/" + vname);
             if (r.success) {
                 ++out.report.evaluated;
+                if (r.degraded) {
+                    ++out.report.degraded;
+                    ++out.stats.cells_degraded;
+                }
                 out.entries.push_back(
                     {app.name, vname, std::move(r)});
             } else {

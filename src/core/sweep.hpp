@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "core/deadline.hpp"
 #include "core/evaluate.hpp"
 #include "core/status.hpp"
 #include "runtime/cache.hpp"
@@ -32,6 +33,18 @@
  * sequential pass afterwards in the same (app, variant) order the
  * sequential driver uses, so the outcome — entries, failures,
  * diagnostics, ordering — is byte-identical for any job count.
+ *
+ * Durability (see core/journal.hpp): with a journal_dir set, every
+ * completed build and evaluation is checkpointed to a crash-safe
+ * write-ahead journal before the sweep moves on, and resume = true
+ * replays a prior journal so only the missing cells are recomputed —
+ * the resumed report is byte-identical to an uninterrupted run.
+ *
+ * Pressure (see core/deadline.hpp): `deadline` bounds the whole
+ * sweep (cells that cannot start in time fail as kTimeout, not as a
+ * hang) and `cell_deadline_ms` bounds each cell; a cell whose budget
+ * expires is retried once with cheap fallback knobs and, when that
+ * succeeds, marked degraded in the report instead of failing.
  */
 
 namespace apex::core {
@@ -59,6 +72,28 @@ struct SweepOptions {
     /** Cooperative cancellation: when it reads true, unstarted cells
      * finish as kCancelled skips instead of evaluating. */
     const std::atomic<bool> *cancel = nullptr;
+
+    /** Wall-clock bound for the whole sweep.  Cells (and builds) that
+     * cannot start before it expires are recorded as kTimeout
+     * failures; running stages observe it cooperatively. */
+    Deadline deadline;
+    /**
+     * Per-cell wall-clock budget in milliseconds (<= 0: none).  Each
+     * evaluation runs under the tighter of this and the sweep
+     * deadline; on expiry it is retried once with cheap fallback
+     * knobs (1 placement attempt, no track escalation, at most 2
+     * fabric growths) under the sweep deadline only, and a result
+     * salvaged that way is marked EvalResult::degraded.
+     */
+    double cell_deadline_ms = 0.0;
+    /** Directory for the crash-safe sweep journal (the CLI passes its
+     * cache dir).  Empty disables journaling. */
+    std::string journal_dir;
+    /** Replay the journal in journal_dir: cells completed by a prior
+     * (possibly crashed) run are restored instead of re-evaluated.
+     * A journal whose configuration fingerprint does not match is
+     * ignored and restarted.  Requires journal_dir. */
+    bool resume = false;
 };
 
 /** One completed (application, variant) evaluation. */
@@ -75,6 +110,9 @@ struct SweepRuntimeStats {
     long tasks_stolen = 0;         ///< Executed off a foreign lane.
     long cache_hits = 0;           ///< evaluate() cache hits.
     long cache_misses = 0;         ///< evaluate() cache misses.
+    long cells_replayed = 0;       ///< Restored from the journal.
+    long cells_degraded = 0;       ///< Completed on the cheap path.
+    long non_optimal_cliques = 0;  ///< Clique searches cut short.
     double build_ms = 0.0;         ///< CPU ms in variant construction.
     double eval_ms = 0.0;          ///< CPU ms in evaluations.
     double wall_ms = 0.0;          ///< End-to-end sweep wall time.

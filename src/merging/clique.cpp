@@ -35,14 +35,22 @@ greedyClique(const CliqueProblem &pb)
 }
 
 struct Search {
+    /** Poll the deadline once per this many expand() nodes: cheap
+     * enough to be invisible, frequent enough that a stuck search
+     * notices expiry within milliseconds. */
+    static constexpr std::int64_t kDeadlineStride = 8192;
+
     const CliqueProblem &pb;
     std::int64_t budget;
+    const Deadline &deadline;
+    std::int64_t nodes = 0;
     std::vector<int> best;
     double best_weight = 0.0;
     bool optimal = true;
+    bool timed_out = false;
 
-    explicit Search(const CliqueProblem &p, std::int64_t b)
-        : pb(p), budget(b) {}
+    Search(const CliqueProblem &p, std::int64_t b, const Deadline &d)
+        : pb(p), budget(b), deadline(d) {}
 
     void
     expand(std::vector<int> &current, double current_weight,
@@ -50,6 +58,12 @@ struct Search {
     {
         if (--budget <= 0) {
             optimal = false;
+            return;
+        }
+        if (++nodes % kDeadlineStride == 0 && deadline.expired()) {
+            optimal = false;
+            timed_out = true;
+            budget = 0; // unwind the whole recursion
             return;
         }
         if (candidates.empty()) {
@@ -96,14 +110,21 @@ struct Search {
 } // namespace
 
 CliqueResult
-maxWeightClique(const CliqueProblem &pb, std::int64_t node_budget)
+maxWeightClique(const CliqueProblem &pb, std::int64_t node_budget,
+                const Deadline &deadline)
 {
     if (pb.n == 0)
         return {};
 
     CliqueResult seed = greedyClique(pb);
+    if (deadline.expired()) {
+        // No time for branch-and-bound: greedy is the degraded path.
+        seed.optimal = false;
+        seed.timed_out = true;
+        return seed;
+    }
 
-    Search search(pb, node_budget);
+    Search search(pb, node_budget, deadline);
     search.best = seed.vertices;
     search.best_weight = seed.weight;
 
@@ -120,6 +141,7 @@ maxWeightClique(const CliqueProblem &pb, std::int64_t node_budget)
     std::sort(result.vertices.begin(), result.vertices.end());
     result.weight = search.best_weight;
     result.optimal = search.optimal;
+    result.timed_out = search.timed_out;
     return result;
 }
 

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/deadline.hpp"
+
 /**
  * @file
  * Maximum-weight clique solver used by datapath merging (Sec. 3.3):
@@ -11,9 +13,10 @@
  * the compatibility graph.
  *
  * The solver is an exact branch-and-bound (greedy-seeded, with the
- * remaining-weight upper bound) under a node budget; if the budget is
- * exhausted on a pathological instance it returns the best clique
- * found so far, which is always at least as good as greedy.
+ * remaining-weight upper bound) under a node budget and an optional
+ * wall-clock deadline; if either runs out on a pathological instance
+ * it returns the best clique found so far, which is always at least
+ * as good as greedy.
  */
 
 namespace apex::merging {
@@ -29,7 +32,9 @@ struct CliqueProblem {
 struct CliqueResult {
     std::vector<int> vertices; ///< Chosen clique, ascending order.
     double weight = 0.0;       ///< Sum of vertex weights.
-    bool optimal = true;       ///< False if the node budget ran out.
+    bool optimal = true;       ///< False if a budget/deadline ran out.
+    bool timed_out = false;    ///< The deadline (not the node budget)
+                               ///< cut the search short.
 };
 
 /**
@@ -37,9 +42,12 @@ struct CliqueResult {
  *
  * @param problem      The weighted graph.
  * @param node_budget  Branch-and-bound node limit (default 2e6).
+ * @param deadline     Wall-clock bound, polled every few thousand
+ *                     nodes; expiry stops the search at best-so-far.
  */
 CliqueResult maxWeightClique(const CliqueProblem &problem,
-                             std::int64_t node_budget = 2'000'000);
+                             std::int64_t node_budget = 2'000'000,
+                             const Deadline &deadline = {});
 
 } // namespace apex::merging
 

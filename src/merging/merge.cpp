@@ -115,7 +115,8 @@ mergeDatapaths(const Datapath &a, const Datapath &b,
             }
         }
     }
-    const CliqueResult clique = maxWeightClique(pb, opt.clique_budget);
+    const CliqueResult clique =
+        maxWeightClique(pb, opt.clique_budget, opt.deadline);
 
     // 4. Selected pairings.
     std::vector<int> b_match(b.nodes.size(), -1); // B node -> A node
@@ -130,6 +131,7 @@ mergeDatapaths(const Datapath &a, const Datapath &b,
     MergeResult result;
     result.saved_area = clique.weight;
     result.clique_optimal = clique.optimal;
+    result.clique_timed_out = clique.timed_out;
     result.a_to_merged.resize(a.nodes.size());
     result.b_to_merged.assign(b.nodes.size(), -1);
 
@@ -187,6 +189,28 @@ patternUsable(const ir::Graph &pattern, std::size_t k,
     return false;
 }
 
+/** Roll one pairwise merge's clique outcome into the fold totals. */
+void
+noteCliqueOutcome(const MergeResult &mr, MultiMergeResult &result)
+{
+    if (!mr.clique_optimal)
+        ++result.non_optimal_cliques;
+    if (mr.clique_timed_out)
+        ++result.clique_timeouts;
+}
+
+/** Deadline expired mid-fold: record patterns [k, n) as skipped
+ * (index-aligned empty maps) and keep the datapath merged so far. */
+void
+skipRemaining(std::size_t k, std::size_t n, MultiMergeResult &result)
+{
+    result.deadline_expired = true;
+    for (std::size_t r = k; r < n; ++r) {
+        result.skipped_patterns.push_back(static_cast<int>(r));
+        result.pattern_maps.emplace_back();
+    }
+}
+
 } // namespace
 
 MultiMergeResult
@@ -204,6 +228,13 @@ mergePatterns(const std::vector<ir::Graph> &patterns,
     Status last_invalid = Status::okStatus();
     bool have_seed = false;
     for (std::size_t k = 0; k < patterns.size(); ++k) {
+        // The first pattern just seeds the fold (cheap); every later
+        // one costs a clique search, so respect the deadline between
+        // them and keep what is merged so far.
+        if (have_seed && opt.deadline.expired()) {
+            skipRemaining(k, patterns.size(), result);
+            break;
+        }
         if (!patternUsable(patterns[k], k, result, last_invalid))
             continue;
         std::vector<int> mapk;
@@ -216,6 +247,7 @@ mergePatterns(const std::vector<ir::Graph> &patterns,
         }
         MergeResult mr =
             mergeDatapaths(result.merged, next, tech, opt);
+        noteCliqueOutcome(mr, result);
         result.saved_area += mr.saved_area;
 
         // Relocate previous pattern maps through a_to_merged.
@@ -264,12 +296,19 @@ mergeIntoDatapath(const Datapath &seed,
     Status last_invalid = Status::okStatus();
     bool merged_any = false;
     for (std::size_t k = 0; k < patterns.size(); ++k) {
+        // The seed datapath is always a usable fallback, so deadline
+        // expiry here degrades to "stop growing" rather than failing.
+        if (opt.deadline.expired()) {
+            skipRemaining(k, patterns.size(), result);
+            break;
+        }
         if (!patternUsable(patterns[k], k, result, last_invalid))
             continue;
         std::vector<int> mapk;
         const Datapath next = datapathFromPattern(patterns[k], &mapk);
         MergeResult mr =
             mergeDatapaths(result.merged, next, tech, opt);
+        noteCliqueOutcome(mr, result);
         merged_any = true;
         result.saved_area += mr.saved_area;
 
@@ -285,7 +324,7 @@ mergeIntoDatapath(const Datapath &seed,
         result.pattern_maps.push_back(std::move(mapk));
         result.merged = std::move(mr.merged);
     }
-    if (!patterns.empty() && !merged_any)
+    if (!patterns.empty() && !merged_any && !result.deadline_expired)
         result.status = Status(ErrorCode::kMergeInfeasible,
                                "every pattern failed validation: " +
                                    last_invalid.toString());

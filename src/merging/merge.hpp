@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/deadline.hpp"
 #include "core/status.hpp"
 #include "merging/datapath.hpp"
 #include "model/tech.hpp"
@@ -38,6 +39,10 @@ struct MergeOptions {
     double input_merge_weight = 20.0;
     /** Same, for 1-bit inputs. */
     double input_merge_weight_bit = 2.0;
+    /** Wall-clock bound for the whole merge.  Each clique search runs
+     * under it, and a multi-pattern fold stops early (keeping the
+     * datapath merged so far) once it expires. */
+    Deadline deadline;
 };
 
 /** Outcome of merging datapaths A and B. */
@@ -47,6 +52,7 @@ struct MergeResult {
     std::vector<int> b_to_merged; ///< B node id -> merged node id.
     double saved_area = 0.0;      ///< Clique weight (um^2 saved).
     bool clique_optimal = true;   ///< Clique search ran to optimality.
+    bool clique_timed_out = false; ///< Deadline cut the clique search.
 };
 
 /** Merge two datapaths with minimal area overhead. */
@@ -66,6 +72,16 @@ struct MultiMergeResult {
      * the merged datapath.  A partial merge is still usable; the
      * skips are surfaced so callers can report them. */
     std::vector<int> skipped_patterns;
+    /** Clique searches that stopped before optimality (node budget or
+     * deadline): the merge is valid but may waste area.  Surfaced so
+     * sweeps can flag silently-suboptimal PEs. */
+    int non_optimal_cliques = 0;
+    /** Of those, searches cut short by the deadline specifically. */
+    int clique_timeouts = 0;
+    /** The merge deadline expired mid-fold: remaining patterns were
+     * recorded in skipped_patterns and the datapath merged so far was
+     * kept (graceful degradation, not failure). */
+    bool deadline_expired = false;
     /** kMergeInfeasible when nothing could be merged (every pattern
      * invalid, or an injected fault); ok on success, including
      * partial success with some patterns skipped. */

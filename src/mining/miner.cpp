@@ -298,6 +298,11 @@ FrequentSubgraphMiner::mine(const Graph &app) const
     int level = 1;
     while (!frontier.empty() &&
            level < options_.max_pattern_nodes) {
+        if (Status s = options_.deadline.check(
+                "mining level " + std::to_string(level + 1));
+            !s.ok()) {
+            throw ApexError(std::move(s));
+        }
         std::vector<WorkPattern> next;
 
         if (!parallel) {

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/deadline.hpp"
 #include "ir/graph.hpp"
 #include "runtime/thread_pool.hpp"
 
@@ -47,6 +48,15 @@ struct MinerOptions {
     /** Safety valve: cap on unique patterns explored per level. */
     int max_patterns_per_level = 512;
     SupportMetric metric = SupportMetric::kDistinctNodeSets;
+    /**
+     * Wall-clock bound for the whole mining run, checked at level
+     * boundaries (each level multiplies the candidate count, so the
+     * boundary is where runaway growth is caught).  Expiry raises
+     * ApexError(kTimeout); partial pattern lists are never returned —
+     * a silently truncated frontier would change which PE variants
+     * exist downstream.
+     */
+    Deadline deadline;
     /**
      * Optional worker pool.  With parallelism > 1 each level's
      * candidate expansion (growth, canonicalization, embedding

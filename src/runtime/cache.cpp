@@ -6,9 +6,21 @@
 #include <sstream>
 #include <thread>
 
+#include "runtime/record.hpp"
+
 namespace apex::runtime {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+/** On-disk entry schema: bump when the framing or payload layout of
+ * disk entries changes.  Old entries then read as version mismatches
+ * (counted, treated as misses) instead of being misparsed. */
+constexpr std::string_view kCacheMagic = "apexcache";
+constexpr int kCacheVersion = 2;
+
+} // namespace
 
 std::uint64_t
 fnv1a64(std::string_view data, std::uint64_t seed)
@@ -113,44 +125,44 @@ ArtifactCache::getFromDisk(const std::string &key)
     if (!is)
         return std::nullopt;
 
-    auto corrupt = [&]() -> std::optional<std::string> {
+    auto drop = [&](long CacheStats::*counter)
+        -> std::optional<std::string> {
         is.close();
         std::error_code ec;
         fs::remove(path, ec);
         std::lock_guard<std::mutex> lock(mutex_);
-        ++stats_.corrupt_dropped;
+        ++(stats_.*counter);
         return std::nullopt;
     };
 
-    std::string magic;
-    int version = 0;
-    std::size_t key_len = 0, payload_len = 0;
-    std::uint64_t checksum = 0;
+    FramedRecord record;
+    switch (readFrame(is, kCacheMagic, kCacheVersion, &record)) {
+      case FrameStatus::kOk:
+        break;
+      case FrameStatus::kVersionMismatch:
+        // An intact entry from another schema version: count it apart
+        // from corruption so upgrades over an old dir are observable.
+        return drop(&CacheStats::version_mismatches);
+      default:
+        return drop(&CacheStats::corrupt_dropped);
+    }
+
+    // Payload layout: "key <len>\n<key bytes><value bytes>".  The
+    // embedded key disambiguates file-name hash collisions.
+    std::istringstream ps(record.payload);
     std::string field;
-    if (!(is >> magic >> version) || magic != "apexcache" ||
-        version != 1)
-        return corrupt();
-    if (!(is >> field >> key_len) || field != "key")
-        return corrupt();
-    is.get(); // newline after the header line
+    std::size_t key_len = 0;
+    if (!(ps >> field >> key_len) || field != "key")
+        return drop(&CacheStats::corrupt_dropped);
+    ps.get(); // newline after the key header
     std::string stored_key(key_len, '\0');
-    if (!is.read(stored_key.data(),
+    if (!ps.read(stored_key.data(),
                  static_cast<std::streamsize>(key_len)) ||
         stored_key != key)
-        return corrupt(); // includes file-name hash collisions
-    if (!(is >> field >> std::hex >> checksum >> std::dec) ||
-        field != "sum")
-        return corrupt();
-    if (!(is >> field >> payload_len) || field != "len")
-        return corrupt();
-    is.get();
-    std::string payload(payload_len, '\0');
-    if (!is.read(payload.data(),
-                 static_cast<std::streamsize>(payload_len)))
-        return corrupt(); // truncated
-    if (fnv1a64(payload) != checksum)
-        return corrupt(); // bit rot / partial overwrite
-    return payload;
+        return drop(&CacheStats::corrupt_dropped);
+    std::string value(record.payload.substr(
+        static_cast<std::size_t>(ps.tellg())));
+    return value;
 }
 
 void
@@ -177,13 +189,10 @@ ArtifactCache::putToDisk(const std::string &key,
         std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
         if (!os)
             return;
-        os << "apexcache 1\n";
-        os << "key " << key.size() << '\n' << key;
-        os << "sum " << std::hex << fnv1a64(value) << std::dec
-           << '\n';
-        os << "len " << value.size() << '\n';
-        os.write(value.data(),
-                 static_cast<std::streamsize>(value.size()));
+        std::ostringstream payload;
+        payload << "key " << key.size() << '\n' << key << value;
+        os << encodeFrame(kCacheMagic, kCacheVersion, "entry",
+                          payload.str());
         if (!os)
             return;
     }

@@ -22,10 +22,13 @@
  *  - an in-memory LRU tier (bounded entry count, thread-safe);
  *  - an optional write-through on-disk tier (--cache-dir) so repeated
  *    sweeps across process runs become incremental.  Disk entries are
- *    self-verifying: a header records the full key and an FNV-1a
- *    checksum of the payload, and any mismatch (truncation, bit rot,
- *    key collision on file name) deletes the file and counts as a
- *    miss — a corrupt cache can cost time, never correctness.
+ *    framed records (runtime/record.hpp, shared with the sweep
+ *    journal): the frame header records the schema version and an
+ *    FNV-1a checksum, and the payload embeds the full key.  Any
+ *    mismatch (truncation, bit rot, key collision on file name)
+ *    deletes the file and counts as a miss, and an entry written by
+ *    another schema version is dropped as a version mismatch — a
+ *    stale or corrupt cache can cost time, never correctness.
  *
  * Values are opaque byte strings; serialization of the artifact is
  * the caller's contract (see core/evaluate.cpp).
@@ -52,6 +55,9 @@ struct CacheStats {
     long evictions = 0;       ///< LRU entries dropped at capacity.
     long disk_writes = 0;     ///< Disk entries written.
     long corrupt_dropped = 0; ///< Disk entries rejected + deleted.
+    /** Disk entries from another on-disk schema version, dropped and
+     * treated as misses (e.g. after an upgrade over an old dir). */
+    long version_mismatches = 0;
 };
 
 /** Two-tier content-addressed memoization cache. */

@@ -1,0 +1,186 @@
+#include "runtime/record.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <thread>
+
+#include "runtime/cache.hpp"
+
+namespace apex::runtime {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string
+hex64(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+} // namespace
+
+std::string
+encodeFrame(std::string_view magic, int version, std::string_view type,
+            std::string_view payload)
+{
+    std::ostringstream os;
+    os << magic << ' ' << version << ' ' << type << " sum "
+       << hex64(fnv1a64(payload)) << " len " << payload.size() << '\n';
+    os.write(payload.data(),
+             static_cast<std::streamsize>(payload.size()));
+    os << '\n';
+    return os.str();
+}
+
+FrameStatus
+readFrame(std::istream &is, std::string_view magic, int version,
+          FramedRecord *out)
+{
+    std::string file_magic;
+    if (!(is >> file_magic))
+        return is.eof() ? FrameStatus::kEof : FrameStatus::kCorrupt;
+    int file_version = 0;
+    std::string type, field;
+    std::uint64_t checksum = 0;
+    std::size_t payload_len = 0;
+    if (!(is >> file_version >> type))
+        return FrameStatus::kCorrupt;
+    if (file_magic != magic)
+        return FrameStatus::kCorrupt;
+    if (file_version != version)
+        return FrameStatus::kVersionMismatch;
+    if (!(is >> field) || field != "sum")
+        return FrameStatus::kCorrupt;
+    if (!(is >> std::hex >> checksum >> std::dec))
+        return FrameStatus::kCorrupt;
+    if (!(is >> field >> payload_len) || field != "len")
+        return FrameStatus::kCorrupt;
+    if (is.get() != '\n')
+        return FrameStatus::kCorrupt;
+    std::string payload(payload_len, '\0');
+    if (payload_len > 0 &&
+        !is.read(payload.data(),
+                 static_cast<std::streamsize>(payload_len)))
+        return FrameStatus::kCorrupt; // truncated payload
+    if (is.get() != '\n')
+        return FrameStatus::kCorrupt; // truncated trailer
+    if (fnv1a64(payload) != checksum)
+        return FrameStatus::kCorrupt; // bit rot / partial overwrite
+    out->type = std::move(type);
+    out->payload = std::move(payload);
+    return FrameStatus::kOk;
+}
+
+Status
+RecordLog::open(const std::string &path, std::string_view magic,
+                int version, bool replay)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (out_.is_open())
+        return Status(ErrorCode::kInvalidArgument,
+                      "record log already open at '" + path_ + "'");
+    path_ = path;
+    magic_ = std::string(magic);
+    version_ = version;
+    records_.clear();
+    recovery_ = LogRecovery::kFresh;
+
+    {
+        std::error_code ec;
+        fs::create_directories(fs::path(path).parent_path(), ec);
+        // A failing mkdir surfaces as the ofstream failing below.
+    }
+
+    bool compact = false;
+    if (replay) {
+        std::ifstream is(path_, std::ios::binary);
+        if (is) {
+            recovery_ = LogRecovery::kClean;
+            for (;;) {
+                FramedRecord record;
+                const FrameStatus fs =
+                    readFrame(is, magic_, version_, &record);
+                if (fs == FrameStatus::kOk) {
+                    records_.push_back(std::move(record));
+                    continue;
+                }
+                if (fs == FrameStatus::kEof)
+                    break;
+                // A mismatched version on the *first* frame means the
+                // whole log is another schema: restart it.  Anything
+                // else — corruption, or skew mid-file — is a damaged
+                // tail: keep the valid prefix, drop the rest.
+                if (fs == FrameStatus::kVersionMismatch &&
+                    records_.empty()) {
+                    recovery_ = LogRecovery::kVersionMismatch;
+                } else {
+                    recovery_ = LogRecovery::kTailDropped;
+                }
+                compact = true;
+                break;
+            }
+            if (records_.empty() &&
+                recovery_ == LogRecovery::kClean)
+                recovery_ = LogRecovery::kFresh;
+        }
+    }
+
+    if (compact || !replay) {
+        // Rewrite the valid prefix (possibly empty) atomically so a
+        // crash during recovery cannot make the log worse.
+        std::ostringstream tid;
+        tid << std::this_thread::get_id();
+        const std::string tmp = path_ + ".tmp." + tid.str();
+        {
+            std::ofstream os(tmp,
+                             std::ios::binary | std::ios::trunc);
+            if (!os)
+                return Status(ErrorCode::kInternal,
+                              "cannot write record log at '" + tmp +
+                                  "'");
+            for (const FramedRecord &r : records_)
+                os << encodeFrame(magic_, version_, r.type,
+                                  r.payload);
+            if (!os)
+                return Status(ErrorCode::kInternal,
+                              "short write compacting record log '" +
+                                  tmp + "'");
+        }
+        std::error_code ec;
+        fs::rename(tmp, path_, ec);
+        if (ec) {
+            fs::remove(tmp, ec);
+            return Status(ErrorCode::kInternal,
+                          "cannot replace record log '" + path_ +
+                              "'");
+        }
+    }
+
+    out_.open(path_, std::ios::binary | std::ios::app);
+    if (!out_)
+        return Status(ErrorCode::kInternal,
+                      "cannot open record log '" + path_ +
+                          "' for append");
+    return Status::okStatus();
+}
+
+Status
+RecordLog::append(std::string_view type, std::string_view payload)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!out_.is_open())
+        return Status(ErrorCode::kInternal, "record log is not open");
+    out_ << encodeFrame(magic_, version_, type, payload);
+    out_.flush();
+    if (!out_)
+        return Status(ErrorCode::kInternal,
+                      "short append to record log '" + path_ + "'");
+    return Status::okStatus();
+}
+
+} // namespace apex::runtime

@@ -1,0 +1,126 @@
+#ifndef APEX_RUNTIME_RECORD_H_
+#define APEX_RUNTIME_RECORD_H_
+
+#include <fstream>
+#include <istream>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/status.hpp"
+
+/**
+ * @file
+ * Framed, checksummed, versioned on-disk records — the durability
+ * substrate shared by the artifact cache and the sweep journal.
+ *
+ * A frame is one self-describing unit:
+ *
+ *     <magic> <version> <type> sum <fnv1a64-hex> len <bytes>\n
+ *     <payload>\n
+ *
+ * The header names the schema (magic + version) so a format change is
+ * detected *before* the payload is interpreted — a stale file reads
+ * as kVersionMismatch, never as silently-deserialized garbage — and
+ * the checksum covers the payload so truncation and bit rot read as
+ * kCorrupt.  Both outcomes are recoverable signals, not errors: the
+ * cache treats them as misses, the journal replays the valid prefix.
+ *
+ * RecordLog builds an append-only write-ahead log out of frames: each
+ * append writes one complete frame and flushes, so a crash (power
+ * loss, kill -9) can only ever lose or mangle the *tail* frame, which
+ * the checksum detects on the next open.  A recovered log is
+ * compacted back to its valid prefix with write-then-rename, so
+ * readers never observe a partial file.
+ */
+
+namespace apex::runtime {
+
+/** One decoded frame. */
+struct FramedRecord {
+    std::string type;    ///< Caller-defined record kind.
+    std::string payload; ///< Checksummed opaque bytes.
+};
+
+/** Outcome of decoding one frame. */
+enum class FrameStatus {
+    kOk,              ///< Frame decoded; checksum verified.
+    kEof,             ///< Clean end of stream (no partial frame).
+    kCorrupt,         ///< Malformed header, truncation or bad sum.
+    kVersionMismatch, ///< Right magic, different schema version.
+};
+
+/** Encode one frame (header + payload + trailing newline). */
+std::string encodeFrame(std::string_view magic, int version,
+                        std::string_view type,
+                        std::string_view payload);
+
+/**
+ * Decode the next frame from @p is.  @p out is written only on kOk.
+ * A frame whose magic matches but whose version differs reports
+ * kVersionMismatch (schema skew); anything else unreadable reports
+ * kCorrupt.
+ */
+FrameStatus readFrame(std::istream &is, std::string_view magic,
+                      int version, FramedRecord *out);
+
+/** What open() found on disk. */
+enum class LogRecovery {
+    kFresh,           ///< No usable prior log (new or truncated).
+    kClean,           ///< Prior log replayed completely.
+    kTailDropped,     ///< Prior log had a corrupt tail; prefix kept.
+    kVersionMismatch, ///< Prior log is another schema; started fresh.
+};
+
+/**
+ * Append-only, crash-safe record log.  Thread-safe appends; loading
+ * happens once in open().  All I/O failures degrade to an inactive
+ * log (appends become no-ops) — durability must never take down the
+ * computation it protects.
+ */
+class RecordLog {
+  public:
+    RecordLog() = default;
+    RecordLog(const RecordLog &) = delete;
+    RecordLog &operator=(const RecordLog &) = delete;
+
+    /**
+     * Open @p path for appending.  With @p replay, existing frames of
+     * the same magic/version are loaded into records() first and a
+     * corrupt tail is dropped (the file is compacted to the valid
+     * prefix via write-then-rename); without it, or on schema
+     * mismatch, the log is restarted empty.
+     */
+    Status open(const std::string &path, std::string_view magic,
+                int version, bool replay);
+
+    /** True when open() succeeded and appends will hit disk. */
+    bool active() const { return out_.is_open(); }
+
+    /** How open() recovered the prior log. */
+    LogRecovery recovery() const { return recovery_; }
+
+    /** Frames replayed by open(). */
+    const std::vector<FramedRecord> &records() const {
+        return records_;
+    }
+
+    /** Append one frame and flush it to the OS. Thread-safe. */
+    Status append(std::string_view type, std::string_view payload);
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    std::string magic_;
+    int version_ = 0;
+    LogRecovery recovery_ = LogRecovery::kFresh;
+    std::vector<FramedRecord> records_;
+    std::mutex mutex_;
+    std::ofstream out_;
+};
+
+} // namespace apex::runtime
+
+#endif // APEX_RUNTIME_RECORD_H_

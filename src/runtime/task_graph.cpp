@@ -56,6 +56,9 @@ TaskGraph::runTask(TaskId id)
     Status s;
     if (cancelled_.load(std::memory_order_relaxed)) {
         s = Status(ErrorCode::kCancelled, "task graph cancelled");
+    } else if (deadline_.expired()) {
+        s = Status(ErrorCode::kTimeout,
+                   "deadline expired before task '" + t.label + "'");
     } else if (dep_failed) {
         s = Status(ErrorCode::kCancelled,
                    "dependency '" + failed_dep + "' failed");

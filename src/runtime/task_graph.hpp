@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "core/deadline.hpp"
 #include "core/status.hpp"
 #include "runtime/thread_pool.hpp"
 
@@ -69,6 +70,16 @@ class TaskGraph {
     }
 
     /**
+     * Bound the whole graph by @p deadline: a task that has not
+     * started when it expires completes with kTimeout instead of
+     * running (already-running tasks finish — they enforce their own
+     * deadlines internally).  Must be set before run().
+     */
+    void setDeadline(const Deadline &deadline) {
+        deadline_ = deadline;
+    }
+
+    /**
      * Execute the graph to completion (including cancelled tasks,
      * which complete as kCancelled).  @return ok when every task
      * succeeded, else the first failure in task-id order — a
@@ -100,6 +111,7 @@ class TaskGraph {
 
     ThreadPool *pool_ = nullptr;
     std::vector<Task> tasks_;
+    Deadline deadline_;
     std::atomic<bool> cancelled_{false};
     bool started_ = false;
 

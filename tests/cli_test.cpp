@@ -1,0 +1,137 @@
+/**
+ * End-to-end process tests of the apexc CLI: exit codes must match
+ * exitCodeFor() for success, validation failures, the timeout path
+ * and cooperative cancellation, and a SIGKILLed journaled sweep must
+ * resume to byte-identical output.
+ *
+ * Each test shells out to the real binary (APEXC_PATH is injected by
+ * CMake), so these cover the signal handlers and process teardown
+ * that in-process tests cannot.
+ */
+#include <sys/wait.h>
+
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/status.hpp"
+
+namespace apex {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ScratchDir {
+  public:
+    explicit ScratchDir(const std::string &tag)
+        : path_(fs::temp_directory_path() / ("apex_cli_test_" + tag))
+    {
+        fs::remove_all(path_);
+        fs::create_directories(path_);
+    }
+    ~ScratchDir() { fs::remove_all(path_); }
+    std::string str() const { return path_.string(); }
+
+  private:
+    fs::path path_;
+};
+
+/** Run @p cmd through the shell; return its exit code (or the signal
+ * number + 128, as the shell reports a killed child). */
+int
+run(const std::string &cmd)
+{
+    const int raw = std::system(cmd.c_str());
+    if (raw == -1)
+        return -1;
+    if (WIFEXITED(raw))
+        return WEXITSTATUS(raw);
+    if (WIFSIGNALED(raw))
+        return 128 + WTERMSIG(raw);
+    return -1;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+const std::string apexc = APEXC_PATH;
+
+TEST(Cli, SuccessExitsZero)
+{
+    EXPECT_EQ(run(apexc + " apps > /dev/null"), 0);
+}
+
+TEST(Cli, InvalidArgumentsExitWithValidationCode)
+{
+    const int want = exitCodeFor(ErrorCode::kInvalidArgument);
+    EXPECT_EQ(run(apexc + " sweep --level bogus 2> /dev/null"),
+              want);
+    EXPECT_EQ(run(apexc + " explore no_such_app 2> /dev/null"),
+              want);
+    // --resume without --cache-dir: there is no journal to replay.
+    EXPECT_EQ(run(apexc + " sweep --resume 2> /dev/null"), want);
+}
+
+TEST(Cli, ExpiredDeadlineExitsWithTimeoutCode)
+{
+    // The clock-skew fault makes the first deadline poll observe an
+    // expired clock, so the timeout path runs without real waiting
+    // despite the huge nominal budget.
+    const int code =
+        run("APEX_FAULT=clock:1:1000000 " + apexc +
+            " sweep --level map --deadline 600000 > /dev/null");
+    EXPECT_EQ(code, exitCodeFor(ErrorCode::kTimeout));
+}
+
+TEST(Cli, SigtermCancelsCooperativelyWithCancelledCode)
+{
+    // Post-PnR sweeps run for seconds; a SIGTERM shortly after launch
+    // lands mid-sweep and must come back as a clean kCancelled exit,
+    // not a default-action kill (which the shell would report as 143).
+    const int code = run(
+        "sh -c '" + apexc +
+        " sweep --level pnr > /dev/null & pid=$!; sleep 0.2; "
+        "kill -TERM $pid; wait $pid'");
+    EXPECT_EQ(code, exitCodeFor(ErrorCode::kCancelled));
+}
+
+TEST(Cli, CrashedSweepResumesByteIdentical)
+{
+    ScratchDir dir("crash_resume");
+    const std::string cache = dir.str() + "/cache";
+    const std::string ref_out = dir.str() + "/reference.out";
+    const std::string resume_out = dir.str() + "/resumed.out";
+
+    // Reference: one uninterrupted, unjournaled sweep.
+    ASSERT_EQ(run(apexc + " sweep --level map > " + ref_out), 0);
+
+    // Crash: the fault injector hard-kills the process (as kill -9
+    // would) at the 3rd journal append.
+    const int crashed =
+        run("APEX_FAULT=crash:3 " + apexc +
+            " sweep --level map --cache-dir " + cache +
+            " > /dev/null 2>&1");
+    EXPECT_EQ(crashed, 128 + SIGKILL);
+    EXPECT_TRUE(fs::exists(cache + "/sweep.journal"));
+
+    // Resume: replays the journaled prefix, finishes the rest, and
+    // prints exactly what the uninterrupted run printed.
+    ASSERT_EQ(run(apexc + " sweep --level map --cache-dir " + cache +
+                  " --resume > " + resume_out),
+              0);
+    EXPECT_EQ(slurp(ref_out), slurp(resume_out));
+}
+
+} // namespace
+} // namespace apex

@@ -1,0 +1,558 @@
+/**
+ * Durability and pressure tests: the crash-safe sweep journal
+ * (kill -9 mid-sweep, resume, byte-identical report), the framed
+ * record log it is built on, the Deadline watchdog threaded through
+ * the exponential stages, and graceful degradation when a cell's
+ * budget runs out.
+ */
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/apps.hpp"
+#include "core/deadline.hpp"
+#include "core/evaluate.hpp"
+#include "core/fault.hpp"
+#include "core/journal.hpp"
+#include "core/sweep.hpp"
+#include "ir/builder.hpp"
+#include "ir/signature.hpp"
+#include "merging/clique.hpp"
+#include "runtime/record.hpp"
+#include "runtime/task_graph.hpp"
+
+namespace apex::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+const model::TechModel tech = model::defaultTech();
+
+/** Unique scratch dir per test, removed on scope exit. */
+class ScratchDir {
+  public:
+    explicit ScratchDir(const std::string &tag)
+        : path_(fs::temp_directory_path() /
+                ("apex_durability_test_" + tag))
+    {
+        fs::remove_all(path_);
+        fs::create_directories(path_);
+    }
+    ~ScratchDir() { fs::remove_all(path_); }
+    std::string str() const { return path_.string(); }
+
+  private:
+    fs::path path_;
+};
+
+std::vector<apps::AppInfo>
+smallApps()
+{
+    return {apps::gaussianBlur(1), apps::unsharp(1)};
+}
+
+/**
+ * Full byte-level projection of a sweep outcome: the summary, every
+ * entry (with its exactly-serialized result) and the complete
+ * diagnostics trail.  Two outcomes with equal bytes produced the
+ * same report.
+ */
+std::string
+outcomeBytes(const SweepOutcome &outcome)
+{
+    std::ostringstream os;
+    os << outcome.report.summary() << '\n';
+    os << "degraded " << outcome.report.degraded << '\n';
+    for (const SweepEntry &e : outcome.entries)
+        os << e.app << '/' << e.variant << '\n'
+           << serializeEvalResult(e.result);
+    os << outcome.report.diagnostics.toString();
+    return os.str();
+}
+
+// --- Frame codec -------------------------------------------------------
+
+TEST(FrameCodec, RoundTripsBinaryPayload)
+{
+    const std::string payload("bytes\nwith\nnewlines\0and nul", 27);
+    const std::string frame =
+        runtime::encodeFrame("apextest", 3, "blob", payload);
+    std::istringstream is(frame);
+    runtime::FramedRecord rec;
+    ASSERT_EQ(runtime::readFrame(is, "apextest", 3, &rec),
+              runtime::FrameStatus::kOk);
+    EXPECT_EQ(rec.type, "blob");
+    EXPECT_EQ(rec.payload, payload);
+    EXPECT_EQ(runtime::readFrame(is, "apextest", 3, &rec),
+              runtime::FrameStatus::kEof);
+}
+
+TEST(FrameCodec, VersionSkewIsDetectedBeforePayload)
+{
+    const std::string frame =
+        runtime::encodeFrame("apextest", 1, "blob", "old payload");
+    std::istringstream is(frame);
+    runtime::FramedRecord rec;
+    EXPECT_EQ(runtime::readFrame(is, "apextest", 2, &rec),
+              runtime::FrameStatus::kVersionMismatch);
+}
+
+TEST(FrameCodec, TruncationAndBitRotAreCorrupt)
+{
+    const std::string frame =
+        runtime::encodeFrame("apextest", 3, "blob", "payload bytes");
+    {
+        // A torn tail write: half the frame is missing.
+        std::istringstream is(frame.substr(0, frame.size() / 2));
+        runtime::FramedRecord rec;
+        EXPECT_EQ(runtime::readFrame(is, "apextest", 3, &rec),
+                  runtime::FrameStatus::kCorrupt);
+    }
+    {
+        // One flipped payload byte: the checksum catches it.
+        std::string rotted = frame;
+        rotted[rotted.size() - 3] ^= 0x20;
+        std::istringstream is(rotted);
+        runtime::FramedRecord rec;
+        EXPECT_EQ(runtime::readFrame(is, "apextest", 3, &rec),
+                  runtime::FrameStatus::kCorrupt);
+    }
+}
+
+// --- RecordLog ---------------------------------------------------------
+
+TEST(RecordLog, AppendsSurviveReopen)
+{
+    ScratchDir dir("recordlog");
+    const std::string path = dir.str() + "/log";
+    {
+        runtime::RecordLog log;
+        ASSERT_TRUE(log.open(path, "apextest", 1, true).ok());
+        EXPECT_EQ(log.recovery(), runtime::LogRecovery::kFresh);
+        ASSERT_TRUE(log.append("a", "first").ok());
+        ASSERT_TRUE(log.append("b", "second").ok());
+    }
+    runtime::RecordLog log;
+    ASSERT_TRUE(log.open(path, "apextest", 1, true).ok());
+    EXPECT_EQ(log.recovery(), runtime::LogRecovery::kClean);
+    ASSERT_EQ(log.records().size(), 2u);
+    EXPECT_EQ(log.records()[0].type, "a");
+    EXPECT_EQ(log.records()[0].payload, "first");
+    EXPECT_EQ(log.records()[1].payload, "second");
+}
+
+TEST(RecordLog, CorruptTailIsDroppedAndCompacted)
+{
+    ScratchDir dir("tailcrash");
+    const std::string path = dir.str() + "/log";
+    {
+        runtime::RecordLog log;
+        ASSERT_TRUE(log.open(path, "apextest", 1, true).ok());
+        ASSERT_TRUE(log.append("a", "kept one").ok());
+        ASSERT_TRUE(log.append("a", "kept two").ok());
+    }
+    {
+        // A crash mid-append leaves a torn frame at the tail.
+        std::ofstream os(path, std::ios::binary | std::ios::app);
+        os << "apextest 1 a sum 0123";
+    }
+    {
+        runtime::RecordLog log;
+        ASSERT_TRUE(log.open(path, "apextest", 1, true).ok());
+        EXPECT_EQ(log.recovery(),
+                  runtime::LogRecovery::kTailDropped);
+        ASSERT_EQ(log.records().size(), 2u);
+        ASSERT_TRUE(log.append("a", "after recovery").ok());
+    }
+    // The compaction rewrote a clean file: the next open is clean.
+    runtime::RecordLog log;
+    ASSERT_TRUE(log.open(path, "apextest", 1, true).ok());
+    EXPECT_EQ(log.recovery(), runtime::LogRecovery::kClean);
+    ASSERT_EQ(log.records().size(), 3u);
+    EXPECT_EQ(log.records()[2].payload, "after recovery");
+}
+
+TEST(RecordLog, SchemaMismatchRestartsFresh)
+{
+    ScratchDir dir("schema");
+    const std::string path = dir.str() + "/log";
+    {
+        runtime::RecordLog log;
+        ASSERT_TRUE(log.open(path, "apextest", 1, true).ok());
+        ASSERT_TRUE(log.append("a", "v1 record").ok());
+    }
+    runtime::RecordLog log;
+    ASSERT_TRUE(log.open(path, "apextest", 2, true).ok());
+    EXPECT_EQ(log.recovery(),
+              runtime::LogRecovery::kVersionMismatch);
+    EXPECT_TRUE(log.records().empty());
+}
+
+// --- SweepJournal ------------------------------------------------------
+
+TEST(SweepJournal, ReplaysAppAndCellRecords)
+{
+    ScratchDir dir("journal");
+    SweepJournal::AppRecord app;
+    app.app = 0;
+    app.spec_failed = true;
+    app.spec_name = "pe4_x";
+    app.spec_status =
+        Status(ErrorCode::kMiningFailed, "injected")
+            .withContext("mining subgraphs");
+    app.cells[0] = {true, "pe_base", 0, 0};
+    app.cells[1] = {true, "pe1_x", 2, 1};
+
+    SweepJournal::CellRecord ok_cell;
+    ok_cell.app = 0;
+    ok_cell.cell = 0;
+    ok_cell.variant = "pe_base";
+    ok_cell.result.success = true;
+    ok_cell.result.pe_count = 7;
+    ok_cell.result.pe_area = 0.1 + 0.2; // exact double round-trip
+    ok_cell.result.diagnostics.info("place", "attempt trail", 2);
+
+    SweepJournal::CellRecord bad_cell;
+    bad_cell.app = 0;
+    bad_cell.cell = 1;
+    bad_cell.variant = "pe1_x";
+    bad_cell.result.success = false;
+    bad_cell.result.pnr_attempts = 4;
+    bad_cell.result.status =
+        Status(ErrorCode::kRouteFailed, "congestion on track 3")
+            .withContext("routing 'x'")
+            .withContext("evaluating 'x' on 'pe1_x'");
+    bad_cell.result.error = bad_cell.result.status.toString();
+    bad_cell.result.diagnostics.error("route",
+                                      bad_cell.result.status, 4);
+
+    {
+        SweepJournal journal;
+        ASSERT_TRUE(journal.open(dir.str(), 42, 2, false).ok());
+        ASSERT_TRUE(journal.active());
+        journal.appendApp(app);
+        journal.appendCell(ok_cell);
+        journal.appendCell(bad_cell);
+    }
+
+    SweepJournal journal;
+    ASSERT_TRUE(journal.open(dir.str(), 42, 2, true).ok());
+    EXPECT_EQ(journal.replayedCells(), 2);
+    ASSERT_NE(journal.appRecord(0), nullptr);
+    EXPECT_EQ(journal.appRecord(1), nullptr);
+    const SweepJournal::AppRecord &a = *journal.appRecord(0);
+    EXPECT_TRUE(a.spec_failed);
+    EXPECT_EQ(a.spec_name, "pe4_x");
+    EXPECT_EQ(a.spec_status.toString(), app.spec_status.toString());
+    EXPECT_TRUE(a.cells[0].has_variant);
+    EXPECT_EQ(a.cells[1].variant, "pe1_x");
+    EXPECT_EQ(a.cells[1].non_optimal_merges, 2);
+    EXPECT_EQ(a.cells[1].merge_timeouts, 1);
+    EXPECT_FALSE(a.cells[2].has_variant);
+
+    const SweepJournal::CellRecord *c0 = journal.cellRecord(0, 0);
+    ASSERT_NE(c0, nullptr);
+    EXPECT_TRUE(c0->result.success);
+    EXPECT_EQ(c0->result.pe_count, 7);
+    EXPECT_EQ(c0->result.pe_area, ok_cell.result.pe_area);
+    EXPECT_EQ(c0->result.diagnostics.toString(),
+              ok_cell.result.diagnostics.toString());
+
+    const SweepJournal::CellRecord *c1 = journal.cellRecord(0, 1);
+    ASSERT_NE(c1, nullptr);
+    EXPECT_FALSE(c1->result.success);
+    EXPECT_EQ(c1->result.pnr_attempts, 4);
+    EXPECT_EQ(c1->result.status.toString(),
+              bad_cell.result.status.toString());
+    EXPECT_EQ(journal.cellRecord(0, 2), nullptr);
+    EXPECT_EQ(journal.cellRecord(1, 0), nullptr);
+}
+
+TEST(SweepJournal, FingerprintMismatchStartsFresh)
+{
+    ScratchDir dir("fpmismatch");
+    {
+        SweepJournal journal;
+        ASSERT_TRUE(journal.open(dir.str(), 1, 1, false).ok());
+        SweepJournal::AppRecord app;
+        app.app = 0;
+        journal.appendApp(app);
+    }
+    // Same dir, different sweep configuration: nothing replays, and
+    // the stale journal has been restarted.
+    SweepJournal journal;
+    ASSERT_TRUE(journal.open(dir.str(), 2, 1, true).ok());
+    EXPECT_EQ(journal.appRecord(0), nullptr);
+    EXPECT_EQ(journal.replayedCells(), 0);
+}
+
+// --- Deadline ----------------------------------------------------------
+
+TEST(Deadline, BasicsAndComposition)
+{
+    const Deadline inf = Deadline::infinite();
+    EXPECT_TRUE(inf.isInfinite());
+    EXPECT_FALSE(inf.expired());
+    EXPECT_TRUE(inf.check("anything").ok());
+
+    const Deadline past = Deadline::after(-1.0);
+    EXPECT_TRUE(past.expired());
+    const Status s = past.check("the clique search");
+    EXPECT_EQ(s.code(), ErrorCode::kTimeout);
+    // The message must replay byte-identically from a journal, so it
+    // carries no clock readings.
+    EXPECT_EQ(s.message(),
+              "deadline expired before the clique search");
+
+    const Deadline future = Deadline::after(1e9);
+    EXPECT_FALSE(future.expired());
+    EXPECT_GT(future.remainingMs(), 0.0);
+    EXPECT_TRUE(
+        Deadline::earliest(inf, future).expired() == false);
+    EXPECT_TRUE(Deadline::earliest(past, future).expired());
+    EXPECT_TRUE(Deadline::earliest(inf, inf).isInfinite());
+}
+
+TEST(Deadline, ClockSkewFaultForcesExpiryDeterministically)
+{
+    const Deadline d = Deadline::after(1e9);
+    FaultScope scope(FaultStage::kClockSkew, 2);
+    EXPECT_FALSE(d.expired()); // poll 1: clock is honest
+    EXPECT_TRUE(d.expired());  // poll 2: armed skew fires
+    EXPECT_FALSE(d.expired()); // poll 3: honest again
+    // Infinite deadlines never consult the clock at all.
+    FaultScope again(FaultStage::kClockSkew, 1);
+    EXPECT_FALSE(Deadline::infinite().expired());
+}
+
+TEST(Deadline, CliqueSearchDegradesToGreedyOnExpiry)
+{
+    merging::CliqueProblem pb;
+    pb.n = 3;
+    pb.weight = {3.0, 2.0, 1.0};
+    pb.adj = {{false, true, true},
+              {true, false, true},
+              {true, true, false}};
+    const merging::CliqueResult r =
+        merging::maxWeightClique(pb, 1000, Deadline::after(-1.0));
+    EXPECT_TRUE(r.timed_out);
+    EXPECT_FALSE(r.optimal);
+    // Degraded, not empty: the greedy seed is still a valid clique.
+    EXPECT_EQ(r.vertices.size(), 3u);
+
+    const merging::CliqueResult full = merging::maxWeightClique(pb);
+    EXPECT_TRUE(full.optimal);
+    EXPECT_FALSE(full.timed_out);
+    EXPECT_EQ(full.weight, 6.0);
+}
+
+TEST(Deadline, CanonicalCodeTimesOutWithoutPartialResult)
+{
+    // Eight interchangeable adds over the same inputs: a worst-case
+    // symmetric instance whose enumeration visits far more than one
+    // deadline-poll stride.
+    ir::GraphBuilder b;
+    const ir::Value x = b.input("x");
+    const ir::Value y = b.input("y");
+    for (int i = 0; i < 8; ++i)
+        b.output(b.add(x, y));
+    const ir::Graph g = b.take();
+
+    const auto timed =
+        ir::tryCanonicalCode(g, Deadline::after(-1.0));
+    ASSERT_FALSE(timed.ok());
+    EXPECT_EQ(timed.status().code(), ErrorCode::kTimeout);
+
+    // Unbounded, the same graph canonicalizes fine — and through both
+    // entry points identically.
+    const auto full = ir::tryCanonicalCode(g, Deadline::infinite());
+    ASSERT_TRUE(full.ok());
+    EXPECT_EQ(*full, ir::canonicalCode(g));
+}
+
+TEST(Deadline, MinerStopsAtLevelBoundary)
+{
+    ExplorerOptions options;
+    options.miner.deadline = Deadline::after(-1.0);
+    const Explorer ex(tech, options);
+    const auto mined =
+        ex.tryAnalyze(apps::gaussianBlur(1).graph);
+    ASSERT_FALSE(mined.ok());
+    EXPECT_EQ(mined.status().code(), ErrorCode::kTimeout);
+}
+
+TEST(Deadline, TaskGraphSkipsUnstartedTasksAsTimeout)
+{
+    runtime::TaskGraph graph;
+    graph.setDeadline(Deadline::after(-1.0));
+    bool ran = false;
+    graph.add("work", [&] {
+        ran = true;
+        return Status::okStatus();
+    });
+    const Status s = graph.run();
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(s.code(), ErrorCode::kTimeout);
+    EXPECT_EQ(graph.taskStatus(0).code(), ErrorCode::kTimeout);
+}
+
+TEST(Deadline, EvaluateReturnsTimeoutStatus)
+{
+    const auto app = apps::gaussianBlur(1);
+    const Explorer ex(tech);
+    EvalOptions options;
+    options.deadline = Deadline::after(-1.0);
+    const EvalResult r =
+        evaluate(app, ex.baselineVariant(),
+                 EvalLevel::kPostMapping, tech, options);
+    EXPECT_FALSE(r.success);
+    EXPECT_EQ(r.status.code(), ErrorCode::kTimeout);
+    EXPECT_FALSE(r.diagnostics.forStage("deadline").empty());
+}
+
+// --- Sweep durability --------------------------------------------------
+
+TEST(Durability, ResumeAfterCleanRunReplaysEverything)
+{
+    ScratchDir dir("cleanresume");
+    const auto apps_list = smallApps();
+    const Explorer ex(tech);
+    SweepOptions options;
+    options.journal_dir = dir.str();
+
+    const SweepOutcome first =
+        runSweep(apps_list, ex, tech, options);
+    ASSERT_EQ(first.report.evaluated, 6);
+    EXPECT_EQ(first.stats.cells_replayed, 0);
+
+    options.resume = true;
+    const SweepOutcome second =
+        runSweep(apps_list, ex, tech, options);
+    EXPECT_EQ(second.stats.cells_replayed, 6);
+    EXPECT_EQ(second.stats.tasks_run, 0);
+    EXPECT_EQ(outcomeBytes(first), outcomeBytes(second));
+}
+
+TEST(Durability, SweepSurvivesSigkillAndResumesByteIdentical)
+{
+    ScratchDir dir("sigkill");
+    const auto apps_list = smallApps();
+    const Explorer ex(tech);
+
+    SweepOptions options;
+    options.journal_dir = dir.str();
+
+    // The uninterrupted reference run (no journal involved).
+    SweepOptions ref_options;
+    const SweepOutcome reference =
+        runSweep(apps_list, ex, tech, ref_options);
+    ASSERT_EQ(reference.report.evaluated, 6);
+
+    // Child: journaled sweep, hard-killed at the 4th journal append
+    // (as kill -9 would: no cleanup, no stream flushes).
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        FaultInjector::instance().reset();
+        FaultInjector::instance().arm(FaultStage::kCrash, 4);
+        (void)runSweep(apps_list, ex, tech, options);
+        _Exit(42); // not reached: the crash point fires first
+    }
+    int wait_status = 0;
+    ASSERT_EQ(waitpid(pid, &wait_status, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(wait_status));
+    ASSERT_EQ(WTERMSIG(wait_status), SIGKILL);
+
+    // Resume: the journaled prefix replays, the rest re-runs, and
+    // the assembled report is byte-identical to the uninterrupted
+    // reference.
+    options.resume = true;
+    const SweepOutcome resumed =
+        runSweep(apps_list, ex, tech, options);
+    EXPECT_GT(resumed.stats.cells_replayed, 0);
+    EXPECT_LT(resumed.stats.cells_replayed, 6);
+    EXPECT_EQ(resumed.report.evaluated, 6);
+    EXPECT_EQ(outcomeBytes(reference), outcomeBytes(resumed));
+
+    // And a second resume replays everything without recomputing.
+    const SweepOutcome third =
+        runSweep(apps_list, ex, tech, options);
+    EXPECT_EQ(third.stats.cells_replayed, 6);
+    EXPECT_EQ(third.stats.tasks_run, 0);
+    EXPECT_EQ(outcomeBytes(reference), outcomeBytes(third));
+}
+
+// --- Graceful degradation ----------------------------------------------
+
+TEST(Degradation, CellDeadlineFallsBackToCheapKnobs)
+{
+    const auto apps_list = smallApps();
+    const Explorer ex(tech);
+    SweepOptions options;
+    // An unmeetable per-cell budget: every cell times out and takes
+    // the degraded retry, which (unbounded) succeeds.
+    options.cell_deadline_ms = 1e-6;
+
+    const SweepOutcome outcome =
+        runSweep(apps_list, ex, tech, options);
+    EXPECT_EQ(outcome.report.evaluated, 6);
+    EXPECT_EQ(outcome.report.degraded, 6);
+    EXPECT_EQ(outcome.stats.cells_degraded, 6);
+    EXPECT_TRUE(outcome.report.failures.empty());
+    for (const SweepEntry &e : outcome.entries)
+        EXPECT_TRUE(e.result.degraded) << e.app << '/' << e.variant;
+    // The fallback is observable: a "deadline" warning per cell.
+    EXPECT_EQ(outcome.report.diagnostics.count(Severity::kWarning),
+              6);
+    EXPECT_NE(outcome.report.summary().find("6 degraded"),
+              std::string::npos);
+}
+
+TEST(Degradation, ExpiredSweepDeadlineIsTimeoutNotHang)
+{
+    const auto apps_list = smallApps();
+    const Explorer ex(tech);
+    SweepOptions options;
+    options.deadline = Deadline::after(-1.0);
+
+    const SweepOutcome outcome =
+        runSweep(apps_list, ex, tech, options);
+    EXPECT_EQ(outcome.report.evaluated, 0);
+    ASSERT_EQ(outcome.report.failures.size(), 2u);
+    for (const StageFailure &f : outcome.report.failures) {
+        EXPECT_EQ(f.status.code(), ErrorCode::kTimeout);
+        EXPECT_EQ(f.stage, "deadline");
+    }
+}
+
+TEST(Degradation, NonOptimalCliqueIsSurfacedAsWarning)
+{
+    const auto apps_list = smallApps();
+    ExplorerOptions xo;
+    // A one-node branch-and-bound budget: every non-trivial clique
+    // search stops at the greedy seed, non-optimally.
+    xo.merge.clique_budget = 1;
+    const Explorer ex(tech, xo);
+    SweepOptions options;
+
+    const SweepOutcome outcome =
+        runSweep(apps_list, ex, tech, options);
+    EXPECT_GT(outcome.stats.non_optimal_cliques, 0);
+    bool merge_warning = false;
+    for (const DiagnosticRecord &r :
+         outcome.report.diagnostics.records())
+        if (r.severity == Severity::kWarning && r.stage == "merge")
+            merge_warning = true;
+    EXPECT_TRUE(merge_warning);
+}
+
+} // namespace
+} // namespace apex::core

@@ -257,7 +257,8 @@ TEST(ArtifactCache, CorruptDiskEntryIsDroppedNotServed)
     const std::string path = writer.diskPathFor("key1");
     {
         std::ofstream os(path, std::ios::binary | std::ios::trunc);
-        os << "apexcache 1\nkey 4\nkey1sum deadbeef\nlen 11\nwrong bytes";
+        os << "apexcache 2 entry sum deadbeefdeadbeef len 11\n"
+              "wrong bytes\n";
     }
     runtime::ArtifactCache reader({.disk_dir = dir.str()});
     EXPECT_FALSE(reader.get("key1").has_value());
@@ -265,6 +266,31 @@ TEST(ArtifactCache, CorruptDiskEntryIsDroppedNotServed)
     EXPECT_EQ(reader.stats().misses, 1);
     // The poisoned file was deleted, not left to fail forever.
     EXPECT_FALSE(fs::exists(path));
+}
+
+TEST(ArtifactCache, StaleSchemaVersionIsAMissNotGarbage)
+{
+    ScratchDir dir("verskew");
+    runtime::ArtifactCache writer({.disk_dir = dir.str()});
+    writer.put("key1", "payload one");
+
+    // A v1-era entry left behind by an older build: right magic,
+    // different schema version.  It must read as a version mismatch
+    // (counted separately), never as deserialized garbage.
+    const std::string path = writer.diskPathFor("key1");
+    {
+        std::ofstream os(path, std::ios::binary | std::ios::trunc);
+        os << "apexcache 1\nkey1 11\npayload one\n";
+    }
+    runtime::ArtifactCache reader({.disk_dir = dir.str()});
+    EXPECT_FALSE(reader.get("key1").has_value());
+    EXPECT_EQ(reader.stats().version_mismatches, 1);
+    EXPECT_EQ(reader.stats().corrupt_dropped, 0);
+    EXPECT_EQ(reader.stats().misses, 1);
+    // The stale file was cleared so the slot can be rewritten.
+    EXPECT_FALSE(fs::exists(path));
+    reader.put("key1", "payload one");
+    EXPECT_TRUE(reader.get("key1").has_value());
 }
 
 TEST(ArtifactCache, WrongKeyInFileIsACollisionNotAHit)
