@@ -68,6 +68,7 @@ main()
             core::SweepOptions options;
             options.jobs = jobs;
             options.cache = &cache;
+            const bench::StageSnapshot stages;
             const auto t0 = std::chrono::steady_clock::now();
             const auto out =
                 core::runSweep(suite, explorer, tech, options);
@@ -83,13 +84,14 @@ main()
                         "\"wall_ms\":%.2f,\"entries\":%zu,"
                         "\"failures\":%zu,\"cache_hits\":%ld,"
                         "\"cache_misses\":%ld,\"tasks_stolen\":%ld,"
-                        "\"matches_jobs1\":%s}\n",
+                        "\"matches_jobs1\":%s,%s}\n",
                         jobs, warm ? "warm" : "cold", wall_ms,
                         out.entries.size(),
                         out.report.failures.size(),
                         out.stats.cache_hits, out.stats.cache_misses,
                         out.stats.tasks_stolen,
-                        identical ? "true" : "false");
+                        identical ? "true" : "false",
+                        stages.jsonFragment().c_str());
             if (!identical) {
                 bench::note("DETERMINISM VIOLATION at jobs=" +
                             std::to_string(jobs));

@@ -20,6 +20,14 @@
  *       across the variant recipe; failing pairs are reported and
  *       skipped rather than aborting the sweep.
  *
+ * Telemetry (every command): --trace FILE records structured spans
+ * for each pipeline stage and writes a Chrome trace-event JSON file
+ * (load it in chrome://tracing or Perfetto); --metrics-out FILE dumps
+ * the unified metrics registry (apex.* counters, gauges, latency
+ * histograms) as JSON.  Both files are written after the command
+ * finishes, whatever its exit code.  Tracing off costs one branch per
+ * span site; metrics counters are always live.
+ *
  * Parallelism: --jobs N (or the APEX_JOBS environment variable) runs
  * analyze/explore/sweep on a work-stealing pool with N lanes; N = 0
  * asks for one lane per hardware thread.  The default (1) is the
@@ -73,6 +81,7 @@
 #include "pe/verilog_tb.hpp"
 #include "pipeline/pe_pipeline.hpp"
 #include "runtime/cache.hpp"
+#include "runtime/telemetry.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace {
@@ -498,6 +507,13 @@ cmdSweep(int argc, char **argv)
                 stderr);
         std::fprintf(stderr, "runtime: %s\n",
                      outcome.stats.toString().c_str());
+        // Per-cell stage-time breakdown (filled while --trace is on).
+        const std::string stage_table =
+            outcome.report.stageTimeTable();
+        if (!stage_table.empty()) {
+            std::fputs("stage times (ms, from spans):\n", stderr);
+            std::fputs(stage_table.c_str(), stderr);
+        }
     }
 
     // An interrupted sweep reports what completed, then exits with
@@ -513,41 +529,92 @@ cmdSweep(int argc, char **argv)
     return 0;
 }
 
+/** Dispatch to the requested subcommand (the body of main, split out
+ * so telemetry artifacts can be written after any exit path). */
+int
+runCommand(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(
+            stderr,
+            "usage: apexc <apps|analyze|explore|rtl|dump|sweep> "
+            "[args]\n");
+        return 2;
+    }
+    const std::string cmd = argv[1];
+    if (cmd == "apps")
+        return cmdApps();
+    if (cmd == "sweep")
+        return cmdSweep(argc, argv);
+    if (argc < 3) {
+        std::fprintf(stderr, "apexc %s: missing application\n",
+                     cmd.c_str());
+        return 2;
+    }
+    const std::string source = argv[2];
+    if (cmd == "analyze")
+        return cmdAnalyze(argc, argv, source);
+    if (cmd == "explore")
+        return cmdExplore(argc, argv, source);
+    if (cmd == "rtl")
+        return cmdRtl(argc, argv, source);
+    if (cmd == "dump")
+        return cmdDump(argc, argv, source);
+    std::fprintf(stderr, "apexc: unknown command '%s'\n",
+                 cmd.c_str());
+    return 2;
+}
+
+/** Write one telemetry artifact; a write failure is reported but
+ * never overrides the command's own exit status. */
+bool
+writeArtifact(const char *path, const std::string &json)
+{
+    std::ofstream os(path, std::ios::binary);
+    os << json;
+    os.flush();
+    if (!os) {
+        std::fprintf(stderr, "apexc: cannot write '%s'\n", path);
+        return false;
+    }
+    return true;
+}
+
+/** Emit --trace / --metrics-out files (no-ops when not requested).
+ * @return false when a requested artifact could not be written. */
+bool
+writeTelemetryArtifacts(const char *trace_path,
+                        const char *metrics_path)
+{
+    bool ok = true;
+    if (trace_path != nullptr)
+        ok &= writeArtifact(trace_path,
+                            telemetry::chromeTraceJson());
+    if (metrics_path != nullptr)
+        ok &= writeArtifact(metrics_path,
+                            telemetry::Registry::instance()
+                                .jsonDump());
+    return ok;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     try {
-        if (argc < 2) {
-            std::fprintf(
-                stderr,
-                "usage: apexc <apps|analyze|explore|rtl|dump|sweep> "
-                "[args]\n");
-            return 2;
-        }
-        const std::string cmd = argv[1];
-        if (cmd == "apps")
-            return cmdApps();
-        if (cmd == "sweep")
-            return cmdSweep(argc, argv);
-        if (argc < 3) {
-            std::fprintf(stderr, "apexc %s: missing application\n",
-                         cmd.c_str());
-            return 2;
-        }
-        const std::string source = argv[2];
-        if (cmd == "analyze")
-            return cmdAnalyze(argc, argv, source);
-        if (cmd == "explore")
-            return cmdExplore(argc, argv, source);
-        if (cmd == "rtl")
-            return cmdRtl(argc, argv, source);
-        if (cmd == "dump")
-            return cmdDump(argc, argv, source);
-        std::fprintf(stderr, "apexc: unknown command '%s'\n",
-                     cmd.c_str());
-        return 2;
+        // Telemetry flags apply to every subcommand: tracing must be
+        // on before any work runs, artifacts are written after it.
+        const char *trace_path = flagValue(argc, argv, "--trace");
+        const char *metrics_path =
+            flagValue(argc, argv, "--metrics-out");
+        if (trace_path != nullptr)
+            telemetry::setTracingEnabled(true);
+        const int rc = runCommand(argc, argv);
+        if (!writeTelemetryArtifacts(trace_path, metrics_path) &&
+            rc == 0)
+            return exitCodeFor(ErrorCode::kInvalidArgument);
+        return rc;
     } catch (const ApexError &e) {
         std::fprintf(stderr, "apexc: %s\n",
                      e.status().toString().c_str());

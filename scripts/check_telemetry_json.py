@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Validate apexc telemetry artifacts against their schemas.
+
+Usage:
+    check_telemetry_json.py trace   out_trace.json
+    check_telemetry_json.py metrics out_metrics.json
+
+`trace` checks a Chrome trace-event file (--trace): the envelope, and
+that every event is either thread_name metadata ("M") or a complete
+span ("X") with non-negative timestamps and a depth argument.
+
+`metrics` checks a registry dump (--metrics-out): section layout,
+name-sorted entries, and histogram invariants (ascending bounds, one
+overflow bucket, bucket counts summing to the observation count).
+
+Exit code 0 when the file validates, 1 with a reason on stderr when
+it does not.  Stdlib only.
+"""
+
+import json
+import sys
+
+
+class SchemaError(Exception):
+    pass
+
+
+def require(cond, message):
+    if not cond:
+        raise SchemaError(message)
+
+
+def check_sorted_names(entries, section):
+    names = [e.get("name") for e in entries]
+    for n in names:
+        require(isinstance(n, str) and n, f"{section}: unnamed entry")
+    require(names == sorted(names), f"{section}: not sorted by name")
+    require(len(names) == len(set(names)),
+            f"{section}: duplicate names")
+
+
+def check_trace(doc):
+    require(isinstance(doc, dict), "top level must be an object")
+    require(doc.get("displayTimeUnit") == "ms",
+            "displayTimeUnit must be 'ms'")
+    events = doc.get("traceEvents")
+    require(isinstance(events, list), "traceEvents must be a list")
+    spans = 0
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        require(isinstance(ev, dict), f"{where}: not an object")
+        ph = ev.get("ph")
+        require(ph in ("X", "M"), f"{where}: ph must be X or M")
+        require(isinstance(ev.get("pid"), int), f"{where}: bad pid")
+        require(isinstance(ev.get("tid"), int), f"{where}: bad tid")
+        args = ev.get("args")
+        require(isinstance(args, dict), f"{where}: bad args")
+        if ph == "M":
+            require(ev.get("name") == "thread_name",
+                    f"{where}: metadata must be thread_name")
+            require(isinstance(args.get("name"), str),
+                    f"{where}: thread_name needs args.name")
+            continue
+        spans += 1
+        require(isinstance(ev.get("name"), str) and ev["name"],
+                f"{where}: span needs a name")
+        require(ev.get("cat") == "apex", f"{where}: cat must be apex")
+        for field in ("ts", "dur"):
+            v = ev.get(field)
+            require(isinstance(v, (int, float)) and v >= 0,
+                    f"{where}: {field} must be a non-negative number")
+        depth = args.get("depth")
+        require(isinstance(depth, int) and depth >= 0,
+                f"{where}: args.depth must be a non-negative int")
+    require(spans > 0, "trace contains no span events")
+
+
+def check_metrics(doc):
+    require(isinstance(doc, dict), "top level must be an object")
+    require(doc.get("apex_metrics") == 1,
+            "apex_metrics schema marker missing")
+    for section in ("counters", "gauges", "histograms"):
+        entries = doc.get(section)
+        require(isinstance(entries, list),
+                f"{section} must be a list")
+        check_sorted_names(entries, section)
+    for c in doc["counters"]:
+        require(isinstance(c.get("value"), int),
+                f"counter {c.get('name')}: value must be an int")
+    for g in doc["gauges"]:
+        require(isinstance(g.get("value"), (int, float)),
+                f"gauge {g.get('name')}: value must be a number")
+    for h in doc["histograms"]:
+        name = h.get("name")
+        bounds = h.get("bounds")
+        counts = h.get("counts")
+        require(isinstance(bounds, list) and bounds,
+                f"histogram {name}: bounds must be non-empty")
+        require(bounds == sorted(bounds) and
+                len(bounds) == len(set(bounds)),
+                f"histogram {name}: bounds must be ascending")
+        require(isinstance(counts, list) and
+                len(counts) == len(bounds) + 1,
+                f"histogram {name}: need len(bounds)+1 buckets "
+                "(last is overflow)")
+        require(all(isinstance(c, int) and c >= 0 for c in counts),
+                f"histogram {name}: bucket counts must be "
+                "non-negative ints")
+        require(isinstance(h.get("sum"), (int, float)),
+                f"histogram {name}: sum must be a number")
+        require(h.get("count") == sum(counts),
+                f"histogram {name}: count != sum of buckets")
+
+
+def main(argv):
+    if len(argv) != 3 or argv[1] not in ("trace", "metrics"):
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+    kind, path = argv[1], argv[2]
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"{path}: {e}", file=sys.stderr)
+        return 1
+    try:
+        (check_trace if kind == "trace" else check_metrics)(doc)
+    except SchemaError as e:
+        print(f"{path}: schema violation: {e}", file=sys.stderr)
+        return 1
+    print(f"{path}: valid {kind} artifact")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

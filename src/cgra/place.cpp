@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "core/fault.hpp"
+#include "runtime/telemetry.hpp"
 
 namespace apex::cgra {
 
@@ -74,7 +75,22 @@ placeHetero(const Fabric &fabric, const MappedGraph &mapped,
             const std::vector<int> &pe_type_of_node,
             int num_pe_types, const PlacerOptions &options)
 {
+    APEX_SPAN("place",
+              {{"nodes", static_cast<long long>(mapped.nodes.size())},
+               {"seed", static_cast<long long>(options.seed)}});
+    telemetry::StageTimer timer(
+        telemetry::histogram("apex.place.ms"));
+    telemetry::counter("apex.place.attempts").add(1);
+
     PlacementResult result;
+    struct OutcomeCounters {
+        const PlacementResult &r;
+        ~OutcomeCounters()
+        {
+            if (!r.success)
+                telemetry::counter("apex.place.failures").add(1);
+        }
+    } outcome_counters{result};
     if (Status fault = checkFault(FaultStage::kPlace); !fault.ok()) {
         result.status = std::move(fault);
         result.error = result.status.toString();

@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "core/fault.hpp"
+#include "runtime/telemetry.hpp"
 
 namespace apex::cgra {
 
@@ -61,7 +62,28 @@ RouteResult
 route(const Fabric &fabric, const PlacementResult &placement,
       const RouterOptions &options)
 {
+    APEX_SPAN("route",
+              {{"nets",
+                static_cast<long long>(placement.edges.size())},
+               {"tracks", options.tracks}});
+    telemetry::StageTimer timer(
+        telemetry::histogram("apex.route.ms"));
+    telemetry::counter("apex.route.calls").add(1);
+
     RouteResult result;
+    // Counts every exit path once: iterations consumed, and whether
+    // this call failed (declared after `result`, so it reads the
+    // final state just before the return value leaves scope).
+    struct OutcomeCounters {
+        const RouteResult &r;
+        ~OutcomeCounters()
+        {
+            telemetry::counter("apex.route.ripup_iterations")
+                .add(r.iterations);
+            if (!r.success)
+                telemetry::counter("apex.route.failures").add(1);
+        }
+    } outcome_counters{result};
     if (Status fault = checkFault(FaultStage::kRoute); !fault.ok()) {
         result.status = std::move(fault);
         result.error = result.status.toString();

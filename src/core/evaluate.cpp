@@ -19,6 +19,7 @@
 #include "pipeline/app_pipeline.hpp"
 #include "pipeline/pe_pipeline.hpp"
 #include "pipeline/timing.hpp"
+#include "runtime/telemetry.hpp"
 
 namespace apex::core {
 
@@ -322,6 +323,16 @@ evaluate(const apps::AppInfo &app, const PeVariant &variant,
          const EvalOptions &options)
 {
     EvalResult r;
+    // Cell attribution: every span below (mapper, P&R, pipeliner,
+    // and anything they call) inherits this "app/variant" scope, so
+    // the per-cell stage-time breakdown can group by it.
+    telemetry::ScopedCell cell_scope;
+    if (telemetry::tracingEnabled())
+        cell_scope.set(app.name + "/" + variant.name);
+    APEX_SPAN("evaluate",
+              {{"app", app.name}, {"variant", variant.name}});
+    telemetry::StageTimer eval_timer(
+        telemetry::histogram("apex.eval.ms"));
     const std::string pair_context =
         "evaluating '" + app.name + "' on '" + variant.name + "'";
     if (Status fault = checkFault(FaultStage::kEvaluate);
@@ -522,6 +533,10 @@ evaluate(const apps::AppInfo &app, const PeVariant &variant,
             for (int esc = 0; esc <= escalations; ++esc) {
                 cgra::RouterOptions ropt = base_ropt;
                 ropt.tracks = base_ropt.tracks + 2 * esc;
+                if (esc > 0)
+                    telemetry::counter(
+                        "apex.route.track_escalations")
+                        .add(1);
                 routing = cgra::route(fabric, placement, ropt);
                 if (routing.success) {
                     if (esc > 0) {

@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "runtime/telemetry.hpp"
+
 namespace apex {
 
 namespace {
@@ -147,6 +149,7 @@ FaultInjector::onCall(FaultStage stage)
     const int from = fail_from_[i].load(std::memory_order_acquire);
     if (from > 0 && n >= from &&
         n < from + fail_count_[i].load(std::memory_order_relaxed)) {
+        telemetry::counter("apex.fault.injected").add(1);
         std::ostringstream os;
         os << "injected fault at stage '" << faultStageName(stage)
            << "' (call " << n << ")";

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "core/fault.hpp"
+#include "runtime/telemetry.hpp"
 
 namespace apex::core {
 
@@ -260,6 +261,7 @@ SweepJournal::open(const std::string &dir, std::uint64_t fingerprint,
 
     bool need_header = true;
     if (resume && !log->records().empty()) {
+        APEX_SPAN("journal.replay");
         const auto &records = log->records();
         if (headerMatches(records.front(), fingerprint, app_count)) {
             need_header = false;
@@ -279,8 +281,12 @@ SweepJournal::open(const std::string &dir, std::uint64_t fingerprint,
                         cell.cell >= 0 &&
                         cell.cell < kJournalCellsPerApp) {
                         auto &slot = cells_[cell.app][cell.cell];
-                        if (!slot.has_value())
+                        if (!slot.has_value()) {
                             ++replayed_cells_;
+                            telemetry::counter(
+                                "apex.journal.replayed_cells")
+                                .add(1);
+                        }
                         slot = std::move(cell);
                     }
                 }
@@ -331,7 +337,9 @@ SweepJournal::appendApp(const AppRecord &rec)
 {
     if (!active())
         return;
+    APEX_SPAN("journal.append", {{"kind", "app"}});
     (void)log_->append("app", encodeApp(rec));
+    telemetry::counter("apex.journal.appends").add(1);
     crashPoint();
 }
 
@@ -340,7 +348,9 @@ SweepJournal::appendCell(const CellRecord &rec)
 {
     if (!active())
         return;
+    APEX_SPAN("journal.append", {{"kind", "cell"}});
     (void)log_->append("cell", encodeCell(rec));
+    telemetry::counter("apex.journal.appends").add(1);
     crashPoint();
 }
 

@@ -4,6 +4,7 @@
 #include <array>
 #include <chrono>
 #include <cstdio>
+#include <map>
 #include <memory>
 #include <optional>
 #include <utility>
@@ -12,6 +13,7 @@
 #include "ir/signature.hpp"
 #include "ir/validate.hpp"
 #include "runtime/task_graph.hpp"
+#include "runtime/telemetry.hpp"
 
 namespace apex::core {
 
@@ -164,6 +166,61 @@ degradedOptions(const EvalOptions &base, const Deadline &sweep)
     return cheap;
 }
 
+/** The process-wide `apex.sweep.*` counters SweepRuntimeStats reads.
+ * runSweep snapshots them on entry and reports the delta, so the old
+ * per-sweep semantics survive the registry migration. */
+struct SweepCounters {
+    telemetry::Counter &tasks =
+        telemetry::counter("apex.sweep.tasks");
+    telemetry::Counter &build_us =
+        telemetry::counter("apex.sweep.build_us");
+    telemetry::Counter &eval_us =
+        telemetry::counter("apex.sweep.eval_us");
+    telemetry::Counter &cells_replayed =
+        telemetry::counter("apex.sweep.cells_replayed");
+    telemetry::Counter &cells_degraded =
+        telemetry::counter("apex.sweep.cells_degraded");
+    telemetry::Counter &non_optimal_cliques =
+        telemetry::counter("apex.sweep.non_optimal_cliques");
+};
+
+SweepCounters &
+sweepCounters()
+{
+    static SweepCounters *counters = new SweepCounters();
+    return *counters;
+}
+
+/** Aggregate the spans this sweep emitted into per-(cell, stage)
+ * wall-time rows.  @p first_event is the size of the collected event
+ * store when the sweep started (events before it belong to earlier
+ * work in the process). */
+void
+aggregateStageTimes(std::size_t first_event,
+                    ExplorationReport *report)
+{
+    telemetry::collect();
+    const std::vector<telemetry::SpanEvent> &evs =
+        telemetry::events();
+    std::map<std::pair<std::string, std::string>,
+             std::pair<double, long>>
+        rows;
+    for (std::size_t i = first_event; i < evs.size(); ++i) {
+        auto &row = rows[{evs[i].scope, evs[i].name}];
+        row.first += evs[i].dur_us / 1e3;
+        row.second += 1;
+    }
+    report->stage_times.reserve(rows.size());
+    for (const auto &[key, val] : rows) {
+        StageTime t;
+        t.scope = key.first;
+        t.stage = key.second;
+        t.ms = val.first;
+        t.count = val.second;
+        report->stage_times.push_back(std::move(t));
+    }
+}
+
 /** Append @p slot's build outcome to the journal (once). */
 void
 journalApp(SweepJournal &journal, int index, AppSlot &slot)
@@ -211,6 +268,15 @@ runSweep(const std::vector<apps::AppInfo> &apps,
 {
     const Clock::time_point wall_start = Clock::now();
     SweepOutcome out;
+    APEX_SPAN("sweep", {{"apps", static_cast<long long>(apps.size())}});
+
+    // Event-store position when this sweep starts: only spans emitted
+    // from here on feed the report's stage-time breakdown.
+    std::size_t first_event = 0;
+    if (telemetry::tracingEnabled()) {
+        telemetry::collect();
+        first_event = telemetry::events().size();
+    }
 
     // Resolve the execution resources.  jobs == 1 (the default) means
     // no pool at all: the task graph runs inline in insertion order,
@@ -240,9 +306,10 @@ runSweep(const std::vector<apps::AppInfo> &apps,
 
     const std::atomic<bool> *cancel = options.cancel;
     std::vector<AppSlot> slots(apps.size());
-    std::atomic<long> tasks_run{0};
-    std::atomic<long> build_us{0};
-    std::atomic<long> eval_us{0};
+    SweepCounters &counters = sweepCounters();
+    const long long tasks_before = counters.tasks.value();
+    const long long build_us_before = counters.build_us.value();
+    const long long eval_us_before = counters.eval_us.value();
 
     // --- Durability: open (and maybe replay) the sweep journal ------
     // An open failure leaves the journal inactive: the sweep still
@@ -295,6 +362,7 @@ runSweep(const std::vector<apps::AppInfo> &apps,
         }
     }
     out.stats.cells_replayed = journal.replayedCells();
+    counters.cells_replayed.add(journal.replayedCells());
 
     // --- Fan out: one build task per app, one eval task per cell ---
     // Every task writes only its own slot; all ordering-sensitive
@@ -308,8 +376,7 @@ runSweep(const std::vector<apps::AppInfo> &apps,
         const runtime::TaskId build = graph.add(
             "build:" + app.name,
             [&options, &explorer, &graph, &app, &slot, cancel,
-             &tasks_run, &build_us, &journal,
-             app_index]() -> Status {
+             &counters, &journal, app_index]() -> Status {
                 if (slot.skip_build)
                     return Status::okStatus();
                 if (cancel != nullptr && cancel->load()) {
@@ -320,8 +387,14 @@ runSweep(const std::vector<apps::AppInfo> &apps,
                     slot.deadline_skipped = true;
                     return Status::okStatus();
                 }
+                telemetry::ScopedCell cell_scope;
+                if (telemetry::tracingEnabled())
+                    cell_scope.set(app.name);
+                APEX_SPAN("build", {{"app", app.name}});
+                telemetry::StageTimer timer(
+                    telemetry::histogram("apex.build.ms"));
                 const Clock::time_point t0 = Clock::now();
-                tasks_run.fetch_add(1, std::memory_order_relaxed);
+                counters.tasks.add(1);
                 slot.build_ran = true;
 
                 // Boundary validation: a corrupt application skips
@@ -332,8 +405,7 @@ runSweep(const std::vector<apps::AppInfo> &apps,
                             "validating application '" + app.name +
                             "'");
                     journalApp(journal, app_index, slot);
-                    build_us.fetch_add(elapsedUs(t0),
-                                       std::memory_order_relaxed);
+                    counters.build_us.add(elapsedUs(t0));
                     return Status::okStatus();
                 }
                 if (options.include_baseline)
@@ -358,8 +430,7 @@ runSweep(const std::vector<apps::AppInfo> &apps,
                     }
                 }
                 journalApp(journal, app_index, slot);
-                build_us.fetch_add(elapsedUs(t0),
-                                   std::memory_order_relaxed);
+                counters.build_us.add(elapsedUs(t0));
                 return Status::okStatus();
             });
 
@@ -368,7 +439,7 @@ runSweep(const std::vector<apps::AppInfo> &apps,
             graph.add(
                 "eval:" + app.name + "#" + std::to_string(j),
                 [&options, &graph, &app, &cell, cancel, &eval_opts,
-                 &tech, &tasks_run, &eval_us, &journal, app_index,
+                 &tech, &counters, &journal, app_index,
                  j]() -> Status {
                     if (cell.ran) // replayed from the journal
                         return Status::okStatus();
@@ -383,8 +454,7 @@ runSweep(const std::vector<apps::AppInfo> &apps,
                         return Status::okStatus();
                     }
                     const Clock::time_point t0 = Clock::now();
-                    tasks_run.fetch_add(1,
-                                        std::memory_order_relaxed);
+                    counters.tasks.add(1);
                     cell.ran = true;
                     EvalResult &r = cell.result;
                     const bool cell_bounded =
@@ -455,8 +525,7 @@ runSweep(const std::vector<apps::AppInfo> &apps,
                         trail.merge(r.diagnostics);
                         r.diagnostics = std::move(trail);
                     }
-                    eval_us.fetch_add(elapsedUs(t0),
-                                      std::memory_order_relaxed);
+                    counters.eval_us.add(elapsedUs(t0));
                     SweepJournal::CellRecord rec;
                     rec.app = app_index;
                     rec.cell = j;
@@ -532,8 +601,17 @@ runSweep(const std::vector<apps::AppInfo> &apps,
                     "); the PE may spend more area than necessary";
                 w.scope = app.name + "/" + vname;
                 out.report.diagnostics.report(std::move(w));
-                out.stats.non_optimal_cliques +=
-                    cell.non_optimal_merges;
+                // The diagnostic above is part of the byte-identical
+                // report contract, but the runtime stat counts clique
+                // searches cut short *this run* — a fully-replayed
+                // app never re-ran its merges, so recounting its
+                // journaled flags would double-count under --resume.
+                if (!slot.skip_build) {
+                    out.stats.non_optimal_cliques +=
+                        cell.non_optimal_merges;
+                    counters.non_optimal_cliques.add(
+                        cell.non_optimal_merges);
+                }
             }
             if (!cell.ran) {
                 recordFailure(
@@ -554,8 +632,15 @@ runSweep(const std::vector<apps::AppInfo> &apps,
             if (r.success) {
                 ++out.report.evaluated;
                 if (r.degraded) {
+                    // The report mirrors the cell's durable outcome
+                    // (byte-identical under --resume), but the stats
+                    // count degradations *this run*: a cell replayed
+                    // from the journal did not degrade again.
                     ++out.report.degraded;
-                    ++out.stats.cells_degraded;
+                    if (!cell.replayed) {
+                        ++out.stats.cells_degraded;
+                        counters.cells_degraded.add(1);
+                    }
                 }
                 out.entries.push_back(
                     {app.name, vname, std::move(r)});
@@ -571,7 +656,10 @@ runSweep(const std::vector<apps::AppInfo> &apps,
     }
 
     // --- Runtime counters ------------------------------------------
-    out.stats.tasks_run = tasks_run.load();
+    // All counters live in the telemetry registry; this sweep's
+    // contribution is the delta against the entry snapshots.
+    out.stats.tasks_run =
+        static_cast<long>(counters.tasks.value() - tasks_before);
     if (pool != nullptr) {
         const runtime::PoolStats after = pool->stats();
         out.stats.tasks_stolen =
@@ -582,10 +670,17 @@ runSweep(const std::vector<apps::AppInfo> &apps,
         out.stats.cache_hits = after.hits - cache_before.hits;
         out.stats.cache_misses = after.misses - cache_before.misses;
     }
-    out.stats.build_ms = static_cast<double>(build_us.load()) / 1e3;
-    out.stats.eval_ms = static_cast<double>(eval_us.load()) / 1e3;
+    out.stats.build_ms =
+        static_cast<double>(counters.build_us.value() -
+                            build_us_before) /
+        1e3;
+    out.stats.eval_ms = static_cast<double>(counters.eval_us.value() -
+                                            eval_us_before) /
+                        1e3;
     out.stats.wall_ms =
         static_cast<double>(elapsedUs(wall_start)) / 1e3;
+    if (telemetry::tracingEnabled())
+        aggregateStageTimes(first_event, &out.report);
     return out;
 }
 

@@ -7,6 +7,7 @@
 #include <set>
 
 #include "ir/interpreter.hpp"
+#include "runtime/telemetry.hpp"
 
 namespace apex::mapper {
 
@@ -288,6 +289,11 @@ std::vector<RewriteRule>
 RewriteRuleSynthesizer::synthesizeLibrary(
     const std::vector<Graph> &complex_patterns) const
 {
+    APEX_SPAN("map.rewrite",
+              {{"patterns",
+                static_cast<long long>(complex_patterns.size())}});
+    telemetry::StageTimer timer(
+        telemetry::histogram("apex.rewrite.ms"));
     std::vector<RewriteRule> rules;
 
     // Complex patterns first.

@@ -6,6 +6,7 @@
 
 #include "core/fault.hpp"
 #include "pe/functional.hpp"
+#include "runtime/telemetry.hpp"
 
 /*
  * Determinism contract (parallel DSE runtime): this module is called
@@ -160,6 +161,9 @@ struct AnchoredMatcher {
 SelectionResult
 InstructionSelector::map(const Graph &app) const
 {
+    APEX_SPAN("map.select");
+    telemetry::StageTimer timer(
+        telemetry::histogram("apex.map.ms"));
     SelectionResult result;
     if (Status fault = checkFault(FaultStage::kMap); !fault.ok()) {
         result.status = std::move(fault);

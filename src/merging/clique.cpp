@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "runtime/telemetry.hpp"
+
 namespace apex::merging {
 
 namespace {
@@ -115,12 +117,18 @@ maxWeightClique(const CliqueProblem &pb, std::int64_t node_budget,
 {
     if (pb.n == 0)
         return {};
+    APEX_SPAN("clique", {{"n", pb.n}});
+    telemetry::StageTimer timer(
+        telemetry::histogram("apex.clique.ms"));
+    telemetry::counter("apex.clique.searches").add(1);
 
     CliqueResult seed = greedyClique(pb);
     if (deadline.expired()) {
         // No time for branch-and-bound: greedy is the degraded path.
         seed.optimal = false;
         seed.timed_out = true;
+        telemetry::counter("apex.clique.non_optimal").add(1);
+        telemetry::counter("apex.clique.timeouts").add(1);
         return seed;
     }
 
@@ -142,6 +150,11 @@ maxWeightClique(const CliqueProblem &pb, std::int64_t node_budget,
     result.weight = search.best_weight;
     result.optimal = search.optimal;
     result.timed_out = search.timed_out;
+    telemetry::counter("apex.clique.nodes").add(search.nodes);
+    if (!result.optimal)
+        telemetry::counter("apex.clique.non_optimal").add(1);
+    if (result.timed_out)
+        telemetry::counter("apex.clique.timeouts").add(1);
     return result;
 }
 

@@ -8,6 +8,7 @@
 #include "core/fault.hpp"
 #include "ir/validate.hpp"
 #include "merging/clique.hpp"
+#include "runtime/telemetry.hpp"
 
 /*
  * Determinism contract (parallel DSE runtime): merging runs inside
@@ -70,6 +71,9 @@ MergeResult
 mergeDatapaths(const Datapath &a, const Datapath &b,
                const model::TechModel &tech, const MergeOptions &opt)
 {
+    APEX_SPAN("merge");
+    telemetry::StageTimer timer(
+        telemetry::histogram("apex.merge.ms"));
     // 1. Enumerate node merge opportunities.
     std::vector<Opportunity> opportunities;
     for (int i = 0; i < static_cast<int>(a.nodes.size()); ++i) {

@@ -9,6 +9,7 @@
 #include "ir/signature.hpp"
 #include "mining/isomorphism.hpp"
 #include "mining/mis.hpp"
+#include "runtime/telemetry.hpp"
 
 namespace apex::mining {
 
@@ -267,6 +268,9 @@ applyExtension(const Graph &pattern, const Extension &ext)
 std::vector<MinedPattern>
 FrequentSubgraphMiner::mine(const Graph &app) const
 {
+    APEX_SPAN("mine");
+    telemetry::StageTimer timer(
+        telemetry::histogram("apex.mine.ms"));
     std::vector<MinedPattern> results;
     std::set<std::string> seen;
 
@@ -303,6 +307,8 @@ FrequentSubgraphMiner::mine(const Graph &app) const
             !s.ok()) {
             throw ApexError(std::move(s));
         }
+        APEX_SPAN("mine.level", {{"level", level + 1}});
+        telemetry::counter("apex.mine.levels").add(1);
         std::vector<WorkPattern> next;
 
         if (!parallel) {
@@ -433,12 +439,18 @@ FrequentSubgraphMiner::mine(const Graph &app) const
         frontier = std::move(next);
         ++level;
     }
+    telemetry::counter("apex.mine.patterns")
+        .add(static_cast<long long>(results.size()));
     return results;
 }
 
 void
 rankPatterns(std::vector<MinedPattern> &patterns)
 {
+    APEX_SPAN("mis.rank",
+              {{"patterns", static_cast<long long>(patterns.size())}});
+    telemetry::StageTimer timer(
+        telemetry::histogram("apex.mis.ms"));
     // Drop patterns that contain no real compute (constants only).
     std::erase_if(patterns, [](const MinedPattern &p) {
         for (NodeId id = 0; id < p.pattern.size(); ++id)

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "runtime/telemetry.hpp"
+
 namespace apex::pipeline {
 
 using mapper::MappedGraph;
@@ -220,6 +222,9 @@ AppPipelineResult
 pipelineApplication(MappedGraph *mapped, int pe_latency,
                     const AppPipelineOptions &options)
 {
+    APEX_SPAN("pipeline.app");
+    telemetry::StageTimer timer(
+        telemetry::histogram("apex.pipeline.app.ms"));
     AppPipelineResult result = balanceBranchDelays(mapped, pe_latency);
     const AppPipelineResult fold =
         foldRegisterChains(mapped, options);

@@ -1,6 +1,7 @@
 #include "pipeline/pe_pipeline.hpp"
 
 #include "pipeline/timing.hpp"
+#include "runtime/telemetry.hpp"
 
 namespace apex::pipeline {
 
@@ -8,6 +9,9 @@ PePipelineResult
 pipelinePe(pe::PeSpec &spec, const model::TechModel &tech,
            const PePipelineOptions &options)
 {
+    APEX_SPAN("pipeline.pe");
+    telemetry::StageTimer timer(
+        telemetry::histogram("apex.pipeline.pe.ms"));
     PePipelineResult result;
     result.unpipelined = analyzeTiming(spec, tech).critical_path;
 

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "runtime/record.hpp"
+#include "runtime/telemetry.hpp"
 
 namespace apex::runtime {
 
@@ -19,6 +20,52 @@ namespace {
  * (counted, treated as misses) instead of being misparsed. */
 constexpr std::string_view kCacheMagic = "apexcache";
 constexpr int kCacheVersion = 2;
+
+/** The process-wide `apex.cache.*` counters behind CacheStats. */
+struct CacheCounters {
+    telemetry::Counter &hits = telemetry::counter("apex.cache.hits");
+    telemetry::Counter &misses =
+        telemetry::counter("apex.cache.misses");
+    telemetry::Counter &memory_hits =
+        telemetry::counter("apex.cache.memory_hits");
+    telemetry::Counter &disk_hits =
+        telemetry::counter("apex.cache.disk_hits");
+    telemetry::Counter &insertions =
+        telemetry::counter("apex.cache.insertions");
+    telemetry::Counter &evictions =
+        telemetry::counter("apex.cache.evictions");
+    telemetry::Counter &disk_writes =
+        telemetry::counter("apex.cache.disk_writes");
+    telemetry::Counter &corrupt_dropped =
+        telemetry::counter("apex.cache.corrupt_dropped");
+    telemetry::Counter &version_mismatches =
+        telemetry::counter("apex.cache.version_mismatches");
+};
+
+CacheCounters &
+cacheCounters()
+{
+    static CacheCounters *counters = new CacheCounters();
+    return *counters;
+}
+
+CacheStats
+globalCacheStats()
+{
+    const CacheCounters &c = cacheCounters();
+    CacheStats s;
+    s.hits = static_cast<long>(c.hits.value());
+    s.misses = static_cast<long>(c.misses.value());
+    s.memory_hits = static_cast<long>(c.memory_hits.value());
+    s.disk_hits = static_cast<long>(c.disk_hits.value());
+    s.insertions = static_cast<long>(c.insertions.value());
+    s.evictions = static_cast<long>(c.evictions.value());
+    s.disk_writes = static_cast<long>(c.disk_writes.value());
+    s.corrupt_dropped = static_cast<long>(c.corrupt_dropped.value());
+    s.version_mismatches =
+        static_cast<long>(c.version_mismatches.value());
+    return s;
+}
 
 } // namespace
 
@@ -47,7 +94,7 @@ hex64(std::uint64_t v)
 } // namespace
 
 ArtifactCache::ArtifactCache(CacheOptions options)
-    : options_(std::move(options))
+    : options_(std::move(options)), baseline_(globalCacheStats())
 {
 }
 
@@ -75,19 +122,21 @@ ArtifactCache::insertMemory(const std::string &key, std::string value)
     while (lru_.size() > options_.max_memory_entries) {
         index_.erase(lru_.back().first);
         lru_.pop_back();
-        ++stats_.evictions;
+        cacheCounters().evictions.add(1);
     }
 }
 
 std::optional<std::string>
 ArtifactCache::get(const std::string &key)
 {
+    APEX_SPAN("cache.get");
+    CacheCounters &counters = cacheCounters();
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (auto it = index_.find(key); it != index_.end()) {
             lru_.splice(lru_.begin(), lru_, it->second);
-            ++stats_.hits;
-            ++stats_.memory_hits;
+            counters.hits.add(1);
+            counters.memory_hits.add(1);
             return it->second->second;
         }
     }
@@ -95,22 +144,22 @@ ArtifactCache::get(const std::string &key)
         if (auto value = getFromDisk(key)) {
             std::lock_guard<std::mutex> lock(mutex_);
             insertMemory(key, *value);
-            ++stats_.hits;
-            ++stats_.disk_hits;
+            counters.hits.add(1);
+            counters.disk_hits.add(1);
             return value;
         }
     }
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.misses;
+    counters.misses.add(1);
     return std::nullopt;
 }
 
 void
 ArtifactCache::put(const std::string &key, const std::string &value)
 {
+    APEX_SPAN("cache.put");
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        ++stats_.insertions;
+        cacheCounters().insertions.add(1);
         insertMemory(key, value);
     }
     if (!options_.disk_dir.empty())
@@ -125,13 +174,12 @@ ArtifactCache::getFromDisk(const std::string &key)
     if (!is)
         return std::nullopt;
 
-    auto drop = [&](long CacheStats::*counter)
+    auto drop = [&](telemetry::Counter &counter)
         -> std::optional<std::string> {
         is.close();
         std::error_code ec;
         fs::remove(path, ec);
-        std::lock_guard<std::mutex> lock(mutex_);
-        ++(stats_.*counter);
+        counter.add(1);
         return std::nullopt;
     };
 
@@ -142,9 +190,9 @@ ArtifactCache::getFromDisk(const std::string &key)
       case FrameStatus::kVersionMismatch:
         // An intact entry from another schema version: count it apart
         // from corruption so upgrades over an old dir are observable.
-        return drop(&CacheStats::version_mismatches);
+        return drop(cacheCounters().version_mismatches);
       default:
-        return drop(&CacheStats::corrupt_dropped);
+        return drop(cacheCounters().corrupt_dropped);
     }
 
     // Payload layout: "key <len>\n<key bytes><value bytes>".  The
@@ -153,13 +201,13 @@ ArtifactCache::getFromDisk(const std::string &key)
     std::string field;
     std::size_t key_len = 0;
     if (!(ps >> field >> key_len) || field != "key")
-        return drop(&CacheStats::corrupt_dropped);
+        return drop(cacheCounters().corrupt_dropped);
     ps.get(); // newline after the key header
     std::string stored_key(key_len, '\0');
     if (!ps.read(stored_key.data(),
                  static_cast<std::streamsize>(key_len)) ||
         stored_key != key)
-        return drop(&CacheStats::corrupt_dropped);
+        return drop(cacheCounters().corrupt_dropped);
     std::string value(record.payload.substr(
         static_cast<std::size_t>(ps.tellg())));
     return value;
@@ -202,15 +250,25 @@ ArtifactCache::putToDisk(const std::string &key,
         fs::remove(tmp, ec);
         return;
     }
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.disk_writes;
+    cacheCounters().disk_writes.add(1);
 }
 
 CacheStats
 ArtifactCache::stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return stats_;
+    const CacheStats now = globalCacheStats();
+    CacheStats s;
+    s.hits = now.hits - baseline_.hits;
+    s.misses = now.misses - baseline_.misses;
+    s.memory_hits = now.memory_hits - baseline_.memory_hits;
+    s.disk_hits = now.disk_hits - baseline_.disk_hits;
+    s.insertions = now.insertions - baseline_.insertions;
+    s.evictions = now.evictions - baseline_.evictions;
+    s.disk_writes = now.disk_writes - baseline_.disk_writes;
+    s.corrupt_dropped = now.corrupt_dropped - baseline_.corrupt_dropped;
+    s.version_mismatches =
+        now.version_mismatches - baseline_.version_mismatches;
+    return s;
 }
 
 std::size_t

@@ -45,7 +45,16 @@ struct CacheOptions {
     std::string disk_dir;
 };
 
-/** Monotonic counters (snapshot via ArtifactCache::stats). */
+/**
+ * Monotonic counters (snapshot via ArtifactCache::stats).
+ *
+ * The authoritative counters live in the telemetry registry under
+ * `apex.cache.*` (one set per process); each ArtifactCache snapshots
+ * them at construction and stats() reports the delta since then, so a
+ * fresh cache still starts from zero the way tests expect.  (Caveat:
+ * two caches live at once would see each other's traffic; the runtime
+ * only ever creates one per sweep.)
+ */
 struct CacheStats {
     long hits = 0;            ///< get() served from either tier.
     long misses = 0;          ///< get() found nothing usable.
@@ -95,7 +104,8 @@ class ArtifactCache {
     std::map<std::string,
              std::list<std::pair<std::string, std::string>>::iterator>
         index_;
-    CacheStats stats_;
+    /** Registry values at construction; stats() = registry - this. */
+    CacheStats baseline_;
     bool disk_dir_ready_ = false;
 };
 

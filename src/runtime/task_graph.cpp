@@ -4,6 +4,8 @@
 #include <thread>
 #include <utility>
 
+#include "runtime/telemetry.hpp"
+
 namespace apex::runtime {
 
 TaskId
@@ -64,6 +66,7 @@ TaskGraph::runTask(TaskId id)
                    "dependency '" + failed_dep + "' failed");
     } else {
         try {
+            APEX_SPAN("task", {{"label", t.label}});
             s = t.fn();
         } catch (const ApexError &e) {
             s = e.status().withContext("task '" + t.label + "'");

@@ -7,6 +7,8 @@
 #include <exception>
 #include <utility>
 
+#include "runtime/telemetry.hpp"
+
 namespace apex::runtime {
 
 namespace {
@@ -14,6 +16,31 @@ namespace {
 /** Which pool (and lane) the current thread is a worker of. */
 thread_local ThreadPool *tl_pool = nullptr;
 thread_local int tl_lane = -1;
+
+telemetry::Counter &
+tasksRunCounter()
+{
+    static telemetry::Counter *c =
+        &telemetry::counter("apex.pool.tasks_run");
+    return *c;
+}
+
+telemetry::Counter &
+tasksStolenCounter()
+{
+    static telemetry::Counter *c =
+        &telemetry::counter("apex.pool.tasks_stolen");
+    return *c;
+}
+
+PoolStats
+globalPoolStats()
+{
+    PoolStats s;
+    s.tasks_run = static_cast<long>(tasksRunCounter().value());
+    s.tasks_stolen = static_cast<long>(tasksStolenCounter().value());
+    return s;
+}
 
 } // namespace
 
@@ -30,7 +57,8 @@ ThreadPool::defaultParallelism()
 }
 
 ThreadPool::ThreadPool(int parallelism)
-    : parallelism_(std::max(1, parallelism))
+    : parallelism_(std::max(1, parallelism)),
+      baseline_(globalPoolStats())
 {
     const int workers = parallelism_ - 1;
     lanes_.reserve(workers + 1);
@@ -55,7 +83,7 @@ ThreadPool::submit(std::function<void()> fn)
     if (parallelism_ <= 1) {
         // Sequential pool: run inline, preserving submission order.
         fn();
-        run_.fetch_add(1, std::memory_order_relaxed);
+        tasksRunCounter().add(1);
         return;
     }
     const int lane = (tl_pool == this)
@@ -96,7 +124,7 @@ ThreadPool::stealFrom(int self, std::function<void()> *fn)
         if (victim == self)
             continue;
         if (popLane(victim, /*back=*/false, fn)) {
-            stolen_.fetch_add(1, std::memory_order_relaxed);
+            tasksStolenCounter().add(1);
             return true;
         }
     }
@@ -116,7 +144,7 @@ ThreadPool::tryRunOne()
     if (!got)
         return false;
     fn();
-    run_.fetch_add(1, std::memory_order_relaxed);
+    tasksRunCounter().add(1);
     return true;
 }
 
@@ -125,6 +153,7 @@ ThreadPool::workerLoop(int self)
 {
     tl_pool = this;
     tl_lane = self;
+    telemetry::setLane(self);
     while (!stop_.load(std::memory_order_relaxed)) {
         if (tryRunOne())
             continue;
@@ -136,14 +165,16 @@ ThreadPool::workerLoop(int self)
     }
     tl_pool = nullptr;
     tl_lane = -1;
+    telemetry::setLane(-1);
 }
 
 PoolStats
 ThreadPool::stats() const
 {
+    const PoolStats now = globalPoolStats();
     PoolStats s;
-    s.tasks_run = run_.load(std::memory_order_relaxed);
-    s.tasks_stolen = stolen_.load(std::memory_order_relaxed);
+    s.tasks_run = now.tasks_run - baseline_.tasks_run;
+    s.tasks_stolen = now.tasks_stolen - baseline_.tasks_stolen;
     return s;
 }
 

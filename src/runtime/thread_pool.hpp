@@ -34,7 +34,10 @@
 
 namespace apex::runtime {
 
-/** Execution counters (monotonic since construction). */
+/** Execution counters (monotonic since construction).  Backed by the
+ * process-wide telemetry counters `apex.pool.tasks_run` /
+ * `apex.pool.tasks_stolen`; each pool snapshots them at construction
+ * and stats() reports the delta, so a fresh pool starts at zero. */
 struct PoolStats {
     long tasks_run = 0;    ///< Tasks executed to completion.
     long tasks_stolen = 0; ///< Executed from another lane's deque.
@@ -92,8 +95,8 @@ class ThreadPool {
     std::condition_variable wake_cv_;
     std::atomic<bool> stop_{false};
     std::atomic<int> pending_{0};
-    std::atomic<long> run_{0};
-    std::atomic<long> stolen_{0};
+    /** Registry values at construction; stats() = registry - this. */
+    PoolStats baseline_;
 };
 
 /**

@@ -516,6 +516,35 @@ TEST(Degradation, CellDeadlineFallsBackToCheapKnobs)
               std::string::npos);
 }
 
+TEST(Degradation, ResumedDegradedCellsAreNotRecountedInStats)
+{
+    ScratchDir dir("degradedresume");
+    const auto apps_list = smallApps();
+    const Explorer ex(tech);
+    SweepOptions options;
+    options.journal_dir = dir.str();
+    options.cell_deadline_ms = 1e-6; // every cell degrades
+
+    const SweepOutcome first =
+        runSweep(apps_list, ex, tech, options);
+    ASSERT_EQ(first.report.degraded, 6);
+    ASSERT_EQ(first.stats.cells_degraded, 6);
+
+    options.resume = true;
+    const SweepOutcome second =
+        runSweep(apps_list, ex, tech, options);
+    EXPECT_EQ(second.stats.cells_replayed, 6);
+    // The report mirrors the durable outcome: byte-identical to the
+    // uninterrupted run, degraded cells included.
+    EXPECT_EQ(second.report.degraded, 6);
+    EXPECT_EQ(outcomeBytes(first), outcomeBytes(second));
+    // The runtime stats count this run's work only.  Regression: a
+    // resumed sweep used to recount every replayed degraded cell in
+    // cells_degraded, so resuming inflated the counter each time.
+    EXPECT_EQ(second.stats.tasks_run, 0);
+    EXPECT_EQ(second.stats.cells_degraded, 0);
+}
+
 TEST(Degradation, ExpiredSweepDeadlineIsTimeoutNotHang)
 {
     const auto apps_list = smallApps();

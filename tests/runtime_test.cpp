@@ -6,10 +6,12 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
@@ -21,6 +23,7 @@
 #include "model/tech.hpp"
 #include "runtime/cache.hpp"
 #include "runtime/task_graph.hpp"
+#include "runtime/telemetry.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace {
@@ -412,6 +415,46 @@ TEST(ParallelSweep, CachedResultsAreBitIdentical)
         EXPECT_EQ(a.perf_per_mm2, b.perf_per_mm2);
         EXPECT_EQ(a.pe_count, b.pe_count);
     }
+}
+
+TEST(ParallelSweep, TraceSpansPerLaneDoNotOverlap)
+{
+    telemetry::resetTracingForTesting();
+    telemetry::setTracingEnabled(true);
+
+    const auto suite = smallSuite();
+    const model::TechModel tech = model::defaultTech();
+    const core::Explorer explorer(tech);
+    core::SweepOptions options;
+    options.jobs = 4;
+    const auto out = core::runSweep(suite, explorer, tech, options);
+    ASSERT_FALSE(out.entries.empty());
+
+    telemetry::setTracingEnabled(false);
+    telemetry::collect();
+
+    // Every span tagged with a worker lane ran on that lane's thread,
+    // so the top-level (depth 0) intervals of one lane must tile the
+    // timeline without overlapping each other.
+    std::map<int, std::vector<const telemetry::SpanEvent *>> by_lane;
+    for (const telemetry::SpanEvent &ev : telemetry::events())
+        if (ev.lane >= 0 && ev.depth == 0)
+            by_lane[ev.lane].push_back(&ev);
+    EXPECT_FALSE(by_lane.empty());
+    for (auto &[lane, spans] : by_lane) {
+        std::sort(spans.begin(), spans.end(),
+                  [](const telemetry::SpanEvent *a,
+                     const telemetry::SpanEvent *b) {
+                      return a->ts_us < b->ts_us;
+                  });
+        for (std::size_t i = 1; i < spans.size(); ++i) {
+            EXPECT_GE(spans[i]->ts_us,
+                      spans[i - 1]->ts_us + spans[i - 1]->dur_us)
+                << "overlapping spans on lane " << lane << ": "
+                << spans[i - 1]->name << " and " << spans[i]->name;
+        }
+    }
+    telemetry::resetTracingForTesting();
 }
 
 } // namespace

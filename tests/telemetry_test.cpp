@@ -1,0 +1,284 @@
+/**
+ * Tests for the telemetry layer: RAII spans + thread-local rings +
+ * Chrome-trace export, and the unified metrics registry (counters,
+ * gauges, fixed-bucket histograms, stable JSON dump).
+ *
+ * The registry and the tracing globals are process-wide, so every
+ * test works with deltas (snapshot before, compare after) or with
+ * uniquely named metrics, and tracing tests reset the collected
+ * event store up front.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/telemetry.hpp"
+
+namespace {
+
+using namespace apex::telemetry;
+
+/** Enable tracing for one test; restores "off" and clears the event
+ * store on exit so tests compose in any order. */
+class TracingScope {
+  public:
+    TracingScope()
+    {
+        resetTracingForTesting();
+        setTracingEnabled(true);
+    }
+    ~TracingScope()
+    {
+        setTracingEnabled(false);
+        resetTracingForTesting();
+    }
+};
+
+/** Collected events named @p name (collect() first). */
+std::vector<SpanEvent>
+eventsNamed(const std::string &name)
+{
+    collect();
+    std::vector<SpanEvent> out;
+    for (const SpanEvent &ev : events())
+        if (ev.name == name)
+            out.push_back(ev);
+    return out;
+}
+
+TEST(Span, RecordsNameArgsAndDuration)
+{
+    TracingScope tracing;
+    {
+        APEX_SPAN("t.record", {{"app", "camera"}, {"level", 2}});
+    }
+    const auto evs = eventsNamed("t.record");
+    ASSERT_EQ(evs.size(), 1u);
+    EXPECT_EQ(evs[0].depth, 0);
+    EXPECT_GE(evs[0].dur_us, 0.0);
+    EXPECT_NE(evs[0].args.find("\"app\":\"camera\""),
+              std::string::npos);
+    EXPECT_NE(evs[0].args.find("\"level\":2"), std::string::npos);
+}
+
+TEST(Span, NestingRecordsDepthAndContainment)
+{
+    TracingScope tracing;
+    {
+        APEX_SPAN("t.outer");
+        {
+            APEX_SPAN("t.inner");
+        }
+    }
+    const auto outer = eventsNamed("t.outer");
+    const auto inner = eventsNamed("t.inner");
+    ASSERT_EQ(outer.size(), 1u);
+    ASSERT_EQ(inner.size(), 1u);
+    EXPECT_EQ(outer[0].depth, 0);
+    EXPECT_EQ(inner[0].depth, 1);
+    // The child interval lies inside the parent interval.
+    EXPECT_LE(outer[0].ts_us, inner[0].ts_us);
+    EXPECT_GE(outer[0].ts_us + outer[0].dur_us,
+              inner[0].ts_us + inner[0].dur_us);
+}
+
+TEST(Span, ScopedCellTagsSpansAndRestoresPrevious)
+{
+    TracingScope tracing;
+    {
+        ScopedCell outer_cell;
+        outer_cell.set("camera/pe1");
+        {
+            APEX_SPAN("t.tagged");
+        }
+        {
+            ScopedCell inner_cell;
+            inner_cell.set("camera/pe4");
+            APEX_SPAN("t.retagged");
+        }
+        {
+            APEX_SPAN("t.tagged_again");
+        }
+    }
+    EXPECT_EQ(eventsNamed("t.tagged").at(0).scope, "camera/pe1");
+    EXPECT_EQ(eventsNamed("t.retagged").at(0).scope, "camera/pe4");
+    // The inner ScopedCell restored the outer cell, not "".
+    EXPECT_EQ(eventsNamed("t.tagged_again").at(0).scope,
+              "camera/pe1");
+}
+
+TEST(Span, LaneAttributionFollowsSetLane)
+{
+    TracingScope tracing;
+    std::thread worker([] {
+        setLane(7);
+        {
+            APEX_SPAN("t.lane");
+        }
+        setLane(-1);
+    });
+    worker.join();
+    const auto evs = eventsNamed("t.lane");
+    ASSERT_EQ(evs.size(), 1u);
+    EXPECT_EQ(evs[0].lane, 7);
+}
+
+TEST(Span, DisabledPathRecordsNothingAndSkipsArgs)
+{
+    resetTracingForTesting();
+    setTracingEnabled(false);
+    const long long before = spansRecorded();
+    int arg_evals = 0;
+    auto expensive = [&arg_evals] {
+        ++arg_evals;
+        return std::string("value");
+    };
+    for (int i = 0; i < 100; ++i) {
+        APEX_SPAN("t.disabled", {{"k", expensive()}});
+    }
+    EXPECT_EQ(spansRecorded(), before);
+    // APEX_SPAN must not evaluate its argument list when disabled.
+    EXPECT_EQ(arg_evals, 0);
+    collect();
+    EXPECT_TRUE(eventsNamed("t.disabled").empty());
+}
+
+TEST(Span, RingWrapDropsInsteadOfBlocking)
+{
+    TracingScope tracing;
+    setRingCapacityForTesting(4);
+    const long long dropped_before = droppedEvents();
+    // A fresh thread gets the tiny ring; nobody drains it while the
+    // thread floods it, so everything past the capacity is dropped.
+    std::thread producer([] {
+        for (int i = 0; i < 10; ++i) {
+            APEX_SPAN("t.wrap", {{"i", i}});
+        }
+    });
+    producer.join();
+    setRingCapacityForTesting(16384); // restore the default
+    const auto evs = eventsNamed("t.wrap");
+    EXPECT_EQ(evs.size(), 4u);
+    EXPECT_EQ(droppedEvents() - dropped_before, 6);
+}
+
+TEST(ChromeTrace, EmitsValidEnvelopeAndEvents)
+{
+    TracingScope tracing;
+    std::thread worker([] {
+        setLane(0);
+        {
+            APEX_SPAN("t.traced", {{"app", "quote\"backslash\\"}});
+        }
+        setLane(-1);
+    });
+    worker.join();
+    const std::string json = chromeTraceJson();
+    // Envelope.
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+    EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+    // Lane metadata + the complete event with escaped args.
+    EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"lane 0\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"t.traced\""), std::string::npos);
+    EXPECT_NE(json.find("quote\\\"backslash\\\\"),
+              std::string::npos);
+    // No raw control characters survive escaping.
+    for (char c : json)
+        EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+}
+
+TEST(Metrics, CounterAccumulatesAndIsStableByName)
+{
+    Counter &c = counter("test.telemetry.counter");
+    const long long before = c.value();
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), before + 42);
+    // Same name, same object.
+    EXPECT_EQ(&counter("test.telemetry.counter"), &c);
+}
+
+TEST(Metrics, GaugeIsLastWriteWins)
+{
+    Gauge &g = gauge("test.telemetry.gauge");
+    g.set(2.5);
+    g.set(-1.25);
+    EXPECT_EQ(g.value(), -1.25);
+}
+
+TEST(Metrics, HistogramBucketsBoundsAndOverflow)
+{
+    Histogram &h = Registry::instance().histogram(
+        "test.telemetry.hist", {1.0, 10.0, 100.0});
+    ASSERT_EQ(h.bounds().size(), 3u);
+    h.observe(0.5);   // <= 1        -> bucket 0
+    h.observe(1.0);   // boundary    -> bucket 0
+    h.observe(7.0);   // <= 10       -> bucket 1
+    h.observe(99.0);  // <= 100      -> bucket 2
+    h.observe(500.0); // > last      -> overflow bucket
+    EXPECT_EQ(h.bucketCount(0), 2);
+    EXPECT_EQ(h.bucketCount(1), 1);
+    EXPECT_EQ(h.bucketCount(2), 1);
+    EXPECT_EQ(h.bucketCount(3), 1); // overflow
+    EXPECT_EQ(h.count(), 5);
+    EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 7.0 + 99.0 + 500.0);
+}
+
+TEST(Metrics, JsonDumpIsStableSortedAndWellFormed)
+{
+    counter("test.dump.zeta").add(3);
+    counter("test.dump.alpha").add(1);
+    gauge("test.dump.gauge").set(1.5);
+    Registry::instance().histogram("test.dump.hist", {1.0, 2.0})
+        .observe(1.5);
+    const std::string dump = Registry::instance().jsonDump();
+    // Envelope and sections.
+    EXPECT_EQ(dump.front(), '{');
+    EXPECT_EQ(dump.back(), '}');
+    EXPECT_NE(dump.find("\"apex_metrics\":1"), std::string::npos);
+    EXPECT_NE(dump.find("\"counters\":["), std::string::npos);
+    EXPECT_NE(dump.find("\"gauges\":["), std::string::npos);
+    EXPECT_NE(dump.find("\"histograms\":["), std::string::npos);
+    // Name-sorted within a section.
+    EXPECT_LT(dump.find("test.dump.alpha"),
+              dump.find("test.dump.zeta"));
+    // Histogram rows carry bounds/counts/sum/count.
+    EXPECT_NE(dump.find("\"bounds\":[1,2]"), std::string::npos);
+    EXPECT_NE(dump.find("\"counts\":["), std::string::npos);
+    EXPECT_NE(dump.find("\"sum\":1.5"), std::string::npos);
+    // Dumping is repeatable byte-for-byte when nothing changed.
+    EXPECT_EQ(dump, Registry::instance().jsonDump());
+}
+
+TEST(Metrics, StageTimerObservesOnScopeExit)
+{
+    Histogram &h =
+        Registry::instance().histogram("test.timer.ms", {1e9});
+    const long long before = h.count();
+    {
+        StageTimer timer(h);
+    }
+    EXPECT_EQ(h.count(), before + 1);
+}
+
+TEST(Metrics, SpanMacroLeavesRegistryAlone)
+{
+    // Spans and metrics are independent facilities: tracing state
+    // must not create or mutate registry entries.
+    TracingScope tracing;
+    const std::string before = Registry::instance().jsonDump();
+    {
+        APEX_SPAN("t.registry_untouched");
+    }
+    collect();
+    EXPECT_EQ(Registry::instance().jsonDump(), before);
+}
+
+} // namespace
