@@ -8,15 +8,23 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
 #include "apps/apps.hpp"
+#include "bench/common.hpp"
 #include "cgra/place.hpp"
 #include "cgra/route.hpp"
 #include "core/evaluate.hpp"
+#include "ir/builder.hpp"
 #include "mapper/rewrite.hpp"
 #include "mapper/select.hpp"
 #include "merging/clique.hpp"
 #include "merging/merge.hpp"
+#include "mining/isomorphism.hpp"
 #include "mining/miner.hpp"
+#include "mining/mis.hpp"
 #include "model/tech.hpp"
 #include "pe/baseline.hpp"
 
@@ -152,6 +160,175 @@ BM_FullFlowGaussian(benchmark::State &state)
 }
 BENCHMARK(BM_FullFlowGaussian);
 
+// ---------------------------------------------------------------------
+// `--kernels`: deterministic scaling rows for the combinatorial
+// kernels, one JSON object per line.  Instances are seeded, weights
+// live on an integer grid and node counts are branch-deterministic,
+// so the numbers are byte-stable across machines — the CI perf-smoke
+// job diffs them against the checked-in BENCH_kernels.json baseline.
+
+double
+wallMs(const std::chrono::steady_clock::time_point &t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** The BM_MaxWeightClique instance family (same LCG, same density). */
+merging::CliqueProblem
+kernelCliqueInstance(int n)
+{
+    merging::CliqueProblem pb;
+    pb.n = n;
+    pb.adj.assign(n, std::vector<bool>(n, false));
+    std::uint32_t lcg = 12345;
+    for (int i = 0; i < n; ++i) {
+        pb.weight.push_back(1.0 + (i % 7));
+        for (int j = i + 1; j < n; ++j) {
+            lcg = lcg * 1664525u + 1013904223u;
+            if ((lcg >> 16) % 100 < 55)
+                pb.adj[i][j] = pb.adj[j][i] = true;
+        }
+    }
+    return pb;
+}
+
+std::vector<std::vector<ir::NodeId>>
+kernelOccurrences(int n)
+{
+    std::uint32_t lcg = 777;
+    std::vector<std::vector<ir::NodeId>> occ(n);
+    for (int i = 0; i < n; ++i) {
+        for (int k = 0; k < 4; ++k) {
+            lcg = lcg * 1664525u + 1013904223u;
+            occ[i].push_back(
+                static_cast<ir::NodeId>((lcg >> 16) % n));
+        }
+        std::sort(occ[i].begin(), occ[i].end());
+        occ[i].erase(std::unique(occ[i].begin(), occ[i].end()),
+                     occ[i].end());
+    }
+    return occ;
+}
+
+ir::Graph
+kernelIsoTarget(int ops)
+{
+    std::uint32_t lcg = 4242;
+    ir::GraphBuilder b;
+    std::vector<ir::Value> pool;
+    for (int i = 0; i < 4; ++i)
+        pool.push_back(b.input());
+    pool.push_back(b.constant(3));
+    for (int i = 0; i < ops; ++i) {
+        lcg = lcg * 1664525u + 1013904223u;
+        const ir::Value x = pool[(lcg >> 16) % pool.size()];
+        lcg = lcg * 1664525u + 1013904223u;
+        const ir::Value y = pool[(lcg >> 16) % pool.size()];
+        lcg = lcg * 1664525u + 1013904223u;
+        switch ((lcg >> 16) % 3) {
+        case 0: pool.push_back(b.add(x, y)); break;
+        case 1: pool.push_back(b.mul(x, y)); break;
+        default: pool.push_back(b.sub(x, y)); break;
+        }
+    }
+    b.output(pool.back());
+    return b.take();
+}
+
+int
+runKernelRows()
+{
+    // Clique: bitset BBMC with the coloring bound vs the historic
+    // weight-sum bound (reference solver).  `nodes` is the telemetry
+    // counter apex.clique.nodes for this row; the >= 5x node
+    // reduction is the headline claim checked by CI.
+    for (int n : {40, 80, 160, 240}) {
+        const auto pb = kernelCliqueInstance(n);
+        bench::StageSnapshot stages;
+        auto t0 = std::chrono::steady_clock::now();
+        const auto got = merging::maxWeightClique(pb, 500000);
+        const double ms = wallMs(t0);
+        t0 = std::chrono::steady_clock::now();
+        const auto weak = merging::maxWeightCliqueReference(
+            pb, 2'000'000, {}, merging::CliqueBound::kWeightSum);
+        const double ms_ref = wallMs(t0);
+        const double ratio =
+            got.nodes > 0 ? static_cast<double>(weak.nodes) /
+                                static_cast<double>(got.nodes)
+                          : 0.0;
+        std::printf("{\"kernel\":\"clique\",\"n\":%d,"
+                    "\"nodes\":%lld,\"nodes_weak\":%lld,"
+                    "\"ratio\":%.2f,\"weight\":%.1f,"
+                    "\"match\":%s,\"ms\":%.2f,\"ms_ref\":%.2f,%s}\n",
+                    n, static_cast<long long>(got.nodes),
+                    static_cast<long long>(weak.nodes), ratio,
+                    got.weight,
+                    (!got.optimal || !weak.optimal ||
+                     got.vertices == weak.vertices)
+                        ? "true"
+                        : "false",
+                    ms, ms_ref, stages.jsonFragment().c_str());
+    }
+
+    // MIS: inverted-index overlap + bucket greedy / bitset exact vs
+    // the all-pairs + scanning reference.
+    for (int n : {26, 200, 800, 2000}) {
+        const auto occ = kernelOccurrences(n);
+        bench::StageSnapshot stages;
+        auto t0 = std::chrono::steady_clock::now();
+        const auto got = mining::maximalIndependentSet(occ);
+        const double ms = wallMs(t0);
+        t0 = std::chrono::steady_clock::now();
+        const auto ref = mining::maximalIndependentSetReference(occ);
+        const double ms_ref = wallMs(t0);
+        std::printf("{\"kernel\":\"mis\",\"n\":%d,\"size\":%d,"
+                    "\"match\":%s,\"ms\":%.2f,\"ms_ref\":%.2f,%s}\n",
+                    n, got.size,
+                    got.chosen == ref.chosen ? "true" : "false", ms,
+                    ms_ref, stages.jsonFragment().c_str());
+    }
+
+    // Isomorphism: label-indexed matcher vs whole-graph-scan
+    // reference, multiply-accumulate pattern.
+    ir::GraphBuilder bp;
+    bp.add(bp.mul(bp.input(), bp.input()), bp.input());
+    const ir::Graph pattern = bp.take();
+    for (int ops : {200, 800, 3200}) {
+        const ir::Graph target = kernelIsoTarget(ops);
+        bench::StageSnapshot stages;
+        auto t0 = std::chrono::steady_clock::now();
+        const auto got = mining::findEmbeddings(pattern, target);
+        const double ms = wallMs(t0);
+        t0 = std::chrono::steady_clock::now();
+        const auto ref =
+            mining::findEmbeddingsReference(pattern, target);
+        const double ms_ref = wallMs(t0);
+        bool match = got.size() == ref.size();
+        for (std::size_t i = 0; match && i < got.size(); ++i)
+            match = got[i].map == ref[i].map;
+        std::printf("{\"kernel\":\"iso\",\"n\":%d,"
+                    "\"embeddings\":%zu,\"match\":%s,"
+                    "\"ms\":%.2f,\"ms_ref\":%.2f,%s}\n",
+                    ops, got.size(), match ? "true" : "false", ms,
+                    ms_ref, stages.jsonFragment().c_str());
+    }
+    return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--kernels") == 0)
+            return runKernelRows();
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Perf-smoke gate for the combinatorial kernels.
+
+Compares a fresh `bench_micro_algorithms --kernels` run against the
+checked-in BENCH_kernels.json baseline.  The instances are seeded and
+the branch-and-bound is deterministic, so `apex.clique.nodes` (the
+`nodes` field) is byte-stable across machines: a change in node count
+means the search itself changed, not the hardware.
+
+Failure conditions:
+  * any clique row expands more than 2x the baseline's node count
+    (the pruning bound regressed);
+  * the largest clique row's weak-bound/coloring-bound node ratio
+    falls below 5x (the headline reduction claim);
+  * any row reports match:false (optimized and reference kernels
+    disagreed — a determinism-contract break).
+
+Usage: check_kernel_perf.py CURRENT.json BASELINE.json
+"""
+
+import json
+import sys
+
+NODE_REGRESSION_FACTOR = 2.0
+MIN_CLIQUE_RATIO = 5.0
+
+
+def load_rows(path):
+    rows = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                rows.append(json.loads(line))
+    return rows
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    current = load_rows(sys.argv[1])
+    baseline = load_rows(sys.argv[2])
+    failures = []
+
+    for row in current:
+        if not row.get("match", True):
+            failures.append(
+                f"{row['kernel']} n={row['n']}: optimized and "
+                "reference kernels disagree (match:false)")
+
+    base_clique = {r["n"]: r for r in baseline
+                   if r["kernel"] == "clique"}
+    cur_clique = [r for r in current if r["kernel"] == "clique"]
+    if not cur_clique:
+        failures.append("no clique rows in current output")
+    for row in cur_clique:
+        base = base_clique.get(row["n"])
+        if base is None:
+            continue
+        limit = NODE_REGRESSION_FACTOR * base["nodes"]
+        if row["nodes"] > limit:
+            failures.append(
+                f"clique n={row['n']}: {row['nodes']} nodes "
+                f"expanded vs baseline {base['nodes']} "
+                f"(> {NODE_REGRESSION_FACTOR}x)")
+
+    if cur_clique:
+        largest = max(cur_clique, key=lambda r: r["n"])
+        if largest["ratio"] < MIN_CLIQUE_RATIO:
+            failures.append(
+                f"clique n={largest['n']}: weak/coloring node ratio "
+                f"{largest['ratio']:.2f} < {MIN_CLIQUE_RATIO}")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}")
+        sys.exit(1)
+    print(f"kernel perf smoke OK ({len(current)} rows)")
+
+
+if __name__ == "__main__":
+    main()

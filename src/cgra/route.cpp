@@ -2,14 +2,24 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
-#include <queue>
-#include <set>
+#include <functional>
 #include <sstream>
 
 #include "core/fault.hpp"
 #include "runtime/telemetry.hpp"
 
+/*
+ * PathFinder router on flat per-tile arrays.  The historic version
+ * allocated std::map/std::set search tables per net; this one hoists
+ * flat vectors indexed by dense tile id across all nets of a rip-up
+ * pass and invalidates them with an epoch counter, keeps per-link
+ * signal sets as small vectors (distinct signals per link are bounded
+ * by the track count that congestion is negotiating toward), and
+ * replaces std::priority_queue with push_heap/pop_heap on one hoisted
+ * vector — the exact algorithm priority_queue uses, so pop order and
+ * therefore every routed path is byte-identical to the historic
+ * router.
+ */
 namespace apex::cgra {
 
 namespace {
@@ -42,20 +52,56 @@ signalKey(const PlacedEdge &e)
     return static_cast<std::int64_t>(e.src);
 }
 
+/** Distinct signals on one link, as a small vector: linear membership
+ * beats a std::set for the handful of signals congestion negotiation
+ * allows per link, and clear() keeps the capacity across rip-ups. */
+struct LinkSignals {
+    std::vector<std::int64_t> keys;
+
+    bool
+    contains(std::int64_t key) const
+    {
+        return std::find(keys.begin(), keys.end(), key) != keys.end();
+    }
+
+    void
+    insert(std::int64_t key)
+    {
+        if (!contains(key))
+            keys.push_back(key);
+    }
+
+    int
+    count() const
+    {
+        return static_cast<int>(keys.size());
+    }
+};
+
+/** One outgoing hop of a tile, precomputed so the inner A* loop never
+ * re-derives link indices or dense neighbour ids. */
+struct Hop {
+    int link;    ///< Fabric::linkIndex of tile -> nb.
+    int nb_idx;  ///< Dense index of the neighbour.
+    Coord nb;    ///< Neighbour coordinate (for the heuristic).
+};
+
 } // namespace
 
 std::vector<int>
 RouteResult::tilesTouched(const Fabric &fabric) const
 {
-    std::set<int> tiles;
+    std::vector<int> tiles;
     for (const auto &path : paths) {
         for (int link : path) {
             const auto [src, dst] = fabric.linkEnds(link);
-            tiles.insert(fabric.indexOf(src));
-            tiles.insert(fabric.indexOf(dst));
+            tiles.push_back(fabric.indexOf(src));
+            tiles.push_back(fabric.indexOf(dst));
         }
     }
-    return {tiles.begin(), tiles.end()};
+    std::sort(tiles.begin(), tiles.end());
+    tiles.erase(std::unique(tiles.begin(), tiles.end()), tiles.end());
+    return tiles;
 }
 
 RouteResult
@@ -90,66 +136,98 @@ route(const Fabric &fabric, const PlacementResult &placement,
         return result;
     }
     const int links = fabric.linkCount();
+    const int n = fabric.tileCount();
     std::vector<double> history(links, 0.0);
     // Distinct signals per link (net-aware capacity).
-    std::vector<std::set<std::int64_t>> link_signals(links);
+    std::vector<LinkSignals> link_signals(links);
     result.paths.assign(placement.edges.size(), {});
+
+    // Per-tile outgoing hops and per-link source-tile indices,
+    // computed once: the A* loop and path reconstruction only touch
+    // flat arrays afterwards.  Hop order matches fabric.neighbours()
+    // so relaxation ties resolve exactly as before.
+    std::vector<std::vector<Hop>> hops(n);
+    for (int t = 0; t < n; ++t) {
+        const Coord c = fabric.coordAt(t);
+        for (const Coord &nb : fabric.neighbours(c))
+            hops[t].push_back(
+                {fabric.linkIndex(c, nb), fabric.indexOf(nb), nb});
+    }
+    std::vector<int> link_src(links, -1);
+    for (int l = 0; l < links; ++l)
+        link_src[l] = fabric.indexOf(fabric.linkEnds(l).first);
+
+    // Search tables hoisted across nets; `visit_epoch[t] == epoch`
+    // marks best/via_link as valid for the current net, so resetting
+    // between nets is one integer increment instead of two O(n)
+    // fills.
+    std::vector<double> best(n, 0.0);
+    std::vector<int> via_link(n, -1);
+    std::vector<int> visit_epoch(n, 0);
+    int epoch = 0;
+    std::vector<QueueEntry> frontier;
 
     // A* for one net under the current congestion costs.  Links
     // already carrying this signal cost almost nothing (multicast
     // branches share the wire).
     auto route_net = [&](Coord from, Coord to, std::int64_t key,
                          double present_pen) -> std::vector<int> {
-        const int n = fabric.tileCount();
-        std::vector<double> best(n, 1e18);
-        std::vector<int> via_link(n, -1);
-        std::priority_queue<QueueEntry, std::vector<QueueEntry>,
-                            std::greater<QueueEntry>>
-            frontier;
+        ++epoch;
+        frontier.clear();
         const int start = fabric.indexOf(from);
         const int goal = fabric.indexOf(to);
         best[start] = 0.0;
-        frontier.push({0.0, 1.0 * manhattan(from, to), start});
+        via_link[start] = -1;
+        visit_epoch[start] = epoch;
+        frontier.push_back({0.0, 1.0 * manhattan(from, to), start});
 
         while (!frontier.empty()) {
-            const QueueEntry top = frontier.top();
-            frontier.pop();
+            std::pop_heap(frontier.begin(), frontier.end(),
+                          std::greater<QueueEntry>());
+            const QueueEntry top = frontier.back();
+            frontier.pop_back();
             if (top.tile == goal)
                 break;
             if (top.cost > best[top.tile] + 1e-12)
                 continue;
-            const Coord c = fabric.coordAt(top.tile);
-            for (const Coord &nb : fabric.neighbours(c)) {
-                const int link = fabric.linkIndex(c, nb);
+            for (const Hop &hop : hops[top.tile]) {
+                const int link = hop.link;
                 double cost;
-                if (link_signals[link].count(key)) {
+                if (link_signals[link].contains(key)) {
                     cost = 0.05; // free ride on our own net
                 } else {
                     cost = 1.0 + history[link];
-                    const int used = static_cast<int>(
-                        link_signals[link].size());
+                    const int used = link_signals[link].count();
                     if (used >= options.tracks)
                         cost += present_pen *
                                 (used - options.tracks + 1);
                 }
-                const int nb_idx = fabric.indexOf(nb);
+                const int nb_idx = hop.nb_idx;
+                const double nb_best =
+                    visit_epoch[nb_idx] == epoch ? best[nb_idx]
+                                                 : 1e18;
                 const double total = top.cost + cost;
-                if (total + 1e-12 < best[nb_idx]) {
+                if (total + 1e-12 < nb_best) {
                     best[nb_idx] = total;
                     via_link[nb_idx] = link;
-                    frontier.push(
-                        {total, 1.0 * manhattan(nb, to), nb_idx});
+                    visit_epoch[nb_idx] = epoch;
+                    frontier.push_back(
+                        {total, 1.0 * manhattan(hop.nb, to), nb_idx});
+                    std::push_heap(frontier.begin(), frontier.end(),
+                                   std::greater<QueueEntry>());
                 }
             }
         }
-        if (via_link[goal] < 0 && goal != start)
+        const bool reached =
+            visit_epoch[goal] == epoch && via_link[goal] >= 0;
+        if (!reached && goal != start)
             return {};
         std::vector<int> path;
         int cursor = goal;
         while (cursor != start) {
             const int link = via_link[cursor];
             path.push_back(link);
-            cursor = fabric.indexOf(fabric.linkEnds(link).first);
+            cursor = link_src[link];
         }
         std::reverse(path.begin(), path.end());
         return path;
@@ -169,7 +247,7 @@ route(const Fabric &fabric, const PlacementResult &placement,
         result.iterations = iter + 1;
         // Rip up everything and reroute under current penalties.
         for (auto &s : link_signals)
-            s.clear();
+            s.keys.clear();
         bool failed = false;
         for (std::size_t e = 0; e < placement.edges.size(); ++e) {
             const PlacedEdge &edge = placement.edges[e];
@@ -198,8 +276,7 @@ route(const Fabric &fabric, const PlacementResult &placement,
         // Congestion check on distinct signals per link.
         int overused = 0;
         for (int l = 0; l < links; ++l) {
-            const int used =
-                static_cast<int>(link_signals[l].size());
+            const int used = link_signals[l].count();
             if (used > options.tracks) {
                 ++overused;
                 history[l] += options.history_increment *
@@ -215,8 +292,7 @@ route(const Fabric &fabric, const PlacementResult &placement,
 
     result.link_usage.assign(links, 0);
     for (int l = 0; l < links; ++l)
-        result.link_usage[l] =
-            static_cast<int>(link_signals[l].size());
+        result.link_usage[l] = link_signals[l].count();
 
     if (!result.success) {
         if (result.error.empty()) {
@@ -241,10 +317,11 @@ route(const Fabric &fabric, const PlacementResult &placement,
     for (const auto &path : result.paths)
         result.total_hops += static_cast<int>(path.size());
     for (std::size_t e = 0; e < placement.edges.size(); ++e) {
-        const int hops = static_cast<int>(result.paths[e].size());
-        if (placement.edges[e].regs > hops)
+        const int hops_used =
+            static_cast<int>(result.paths[e].size());
+        if (placement.edges[e].regs > hops_used)
             result.register_overflow +=
-                placement.edges[e].regs - hops;
+                placement.edges[e].regs - hops_used;
     }
     return result;
 }

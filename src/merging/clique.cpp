@@ -3,24 +3,32 @@
 #include <algorithm>
 #include <numeric>
 
+#include "core/bitset.hpp"
+#include "merging/clique_detail.hpp"
 #include "runtime/telemetry.hpp"
 
 namespace apex::merging {
 
-namespace {
+namespace detail {
 
-/** Greedy clique: repeatedly add the heaviest compatible vertex. */
-CliqueResult
-greedyClique(const CliqueProblem &pb)
+std::vector<int>
+branchOrder(const CliqueProblem &pb)
 {
     std::vector<int> order(pb.n);
     std::iota(order.begin(), order.end(), 0);
     std::sort(order.begin(), order.end(), [&](int a, int b) {
-        return pb.weight[a] > pb.weight[b];
+        if (pb.weight[a] != pb.weight[b])
+            return pb.weight[a] > pb.weight[b];
+        return a < b;
     });
+    return order;
+}
 
+CliqueResult
+greedyClique(const CliqueProblem &pb)
+{
     CliqueResult result;
-    for (int v : order) {
+    for (int v : branchOrder(pb)) {
         bool ok = true;
         for (int u : result.vertices)
             if (!pb.adj[v][u]) {
@@ -36,7 +44,19 @@ greedyClique(const CliqueProblem &pb)
     return result;
 }
 
-struct Search {
+} // namespace detail
+
+namespace {
+
+/**
+ * BBMC-style search in *position* space: vertex `order[p]` lives at
+ * position p, so ascending bit iteration over a candidate bitset IS
+ * the (weight desc, index asc) branching order.  Candidate sets are
+ * one bitset row per recursion depth in a preallocated pool; the
+ * colouring scratch is shared across depths because each node's bound
+ * is fully computed before it recurses.
+ */
+struct BitSearch {
     /** Poll the deadline once per this many expand() nodes: cheap
      * enough to be invisible, frequent enough that a stuck search
      * notices expiry within milliseconds. */
@@ -46,17 +66,113 @@ struct Search {
     std::int64_t budget;
     const Deadline &deadline;
     std::int64_t nodes = 0;
-    std::vector<int> best;
+    std::vector<int> best; ///< Original vertex ids.
     double best_weight = 0.0;
     bool optimal = true;
     bool timed_out = false;
 
-    Search(const CliqueProblem &p, std::int64_t b, const Deadline &d)
-        : pb(p), budget(b), deadline(d) {}
+    int n;
+    std::vector<int> vert;   ///< position -> original vertex id.
+    std::vector<double> wt;  ///< position -> weight.
+    core::BitsetMatrix adj;  ///< adjacency rows in position space.
+    core::BitsetMatrix pool; ///< candidate row per recursion depth.
+
+    // Colouring scratch, valid only between a node's entry and its
+    // first recursion (each expand() finishes its bound before
+    // descending, so children may overwrite it freely).
+    core::BitsetMatrix colour_classes;
+    std::vector<int> colour_of; ///< per candidate list slot.
+    std::vector<double> colour_max;
+
+    // Per-depth candidate lists and suffix bounds, reused across
+    // visits to the same depth (no per-node allocation after warmup).
+    std::vector<std::vector<int>> cands_at;
+    std::vector<std::vector<double>> bound_at;
+
+    std::vector<int> current; ///< DFS stack of original vertex ids.
+
+    BitSearch(const CliqueProblem &p, std::int64_t b,
+              const Deadline &d)
+        : pb(p), budget(b), deadline(d), n(p.n),
+          vert(detail::branchOrder(p)), wt(p.n),
+          adj(static_cast<std::size_t>(p.n),
+              static_cast<std::size_t>(p.n)),
+          pool(static_cast<std::size_t>(p.n) + 1,
+               static_cast<std::size_t>(p.n)),
+          colour_classes(static_cast<std::size_t>(p.n),
+                         static_cast<std::size_t>(p.n))
+    {
+        std::vector<int> pos(n);
+        for (int p2 = 0; p2 < n; ++p2)
+            pos[vert[p2]] = p2;
+        for (int p2 = 0; p2 < n; ++p2) {
+            wt[p2] = pb.weight[vert[p2]];
+            const auto &row = pb.adj[vert[p2]];
+            for (int u = 0; u < n; ++u)
+                if (row[u])
+                    adj.set(p2, pos[u]);
+        }
+        cands_at.resize(static_cast<std::size_t>(n) + 1);
+        bound_at.resize(static_cast<std::size_t>(n) + 1);
+        colour_of.resize(n);
+        colour_max.resize(n);
+    }
+
+    /**
+     * Greedy colouring of the depth's candidate set plus suffix
+     * bounds: bound[i] = sum over colour classes of the heaviest
+     * class member within cands[i..].  Computed back-to-front so each
+     * candidate contributes only what it raises its class maximum by.
+     */
+    void
+    colourBounds(std::size_t depth)
+    {
+        const std::vector<int> &cands = cands_at[depth];
+        const int k = static_cast<int>(cands.size());
+        int n_colours = 0;
+        for (int i = 0; i < k; ++i) {
+            const int p = cands[i];
+            int c = 0;
+            while (c < n_colours) {
+                // Class c stays an independent set only if p has no
+                // neighbour already in it.
+                const std::uint64_t *cls = colour_classes.row(c);
+                const std::uint64_t *nb = adj.row(p);
+                bool clash = false;
+                for (std::size_t w = 0; w < adj.rowWords(); ++w)
+                    if (cls[w] & nb[w]) {
+                        clash = true;
+                        break;
+                    }
+                if (!clash)
+                    break;
+                ++c;
+            }
+            if (c == n_colours) {
+                colour_classes.clearRow(c);
+                ++n_colours;
+            }
+            colour_classes.set(c, p);
+            colour_of[i] = c;
+        }
+        for (int c = 0; c < n_colours; ++c)
+            colour_max[c] = 0.0;
+        std::vector<double> &bound = bound_at[depth];
+        bound.resize(k);
+        double total = 0.0;
+        for (int i = k - 1; i >= 0; --i) {
+            const int c = colour_of[i];
+            const double w = wt[cands[i]];
+            if (w > colour_max[c]) {
+                total += w - colour_max[c];
+                colour_max[c] = w;
+            }
+            bound[i] = total;
+        }
+    }
 
     void
-    expand(std::vector<int> &current, double current_weight,
-           std::vector<int> &candidates)
+    expand(std::size_t depth, double current_weight)
     {
         if (--budget <= 0) {
             optimal = false;
@@ -68,39 +184,44 @@ struct Search {
             budget = 0; // unwind the whole recursion
             return;
         }
-        if (candidates.empty()) {
+        std::vector<int> &cands = cands_at[depth];
+        cands.clear();
+        pool.forEachInRow(depth, [&](int p) { cands.push_back(p); });
+        if (cands.empty()) {
             if (current_weight > best_weight) {
                 best_weight = current_weight;
                 best = current;
             }
             return;
         }
-        double rest = 0.0;
-        for (int v : candidates)
-            rest += pb.weight[v];
+        colourBounds(depth);
+        const std::vector<double> &bound = bound_at[depth];
 
-        // Candidates are kept sorted by descending weight.
-        for (std::size_t i = 0; i < candidates.size(); ++i) {
-            if (current_weight + rest <= best_weight)
-                return; // bound: even taking everything cannot win
-            const int v = candidates[i];
-            rest -= pb.weight[v];
+        for (std::size_t i = 0; i < cands.size(); ++i) {
+            if (current_weight + bound[i] <= best_weight)
+                return; // bound: even the best colouring cannot win
+            const int p = cands[i];
+            // Drop p from the row so the child set only holds later
+            // candidates; the list built above is unaffected.
+            pool.row(depth)[p >> 6] &= ~(1ull << (p & 63));
+            std::uint64_t *child = pool.row(depth + 1);
+            const std::uint64_t *rem = pool.row(depth);
+            const std::uint64_t *nb = adj.row(p);
+            bool child_any = false;
+            for (std::size_t w = 0; w < pool.rowWords(); ++w) {
+                child[w] = rem[w] & nb[w];
+                child_any |= child[w] != 0;
+            }
 
-            std::vector<int> next;
-            next.reserve(candidates.size() - i);
-            for (std::size_t j = i + 1; j < candidates.size(); ++j)
-                if (pb.adj[v][candidates[j]])
-                    next.push_back(candidates[j]);
-
-            current.push_back(v);
-            const double w = current_weight + pb.weight[v];
-            if (next.empty()) {
+            current.push_back(vert[p]);
+            const double w = current_weight + wt[p];
+            if (!child_any) {
                 if (w > best_weight) {
                     best_weight = w;
                     best = current;
                 }
             } else {
-                expand(current, w, next);
+                expand(depth + 1, w);
             }
             current.pop_back();
             if (budget <= 0)
@@ -122,7 +243,7 @@ maxWeightClique(const CliqueProblem &pb, std::int64_t node_budget,
         telemetry::histogram("apex.clique.ms"));
     telemetry::counter("apex.clique.searches").add(1);
 
-    CliqueResult seed = greedyClique(pb);
+    CliqueResult seed = detail::greedyClique(pb);
     if (deadline.expired()) {
         // No time for branch-and-bound: greedy is the degraded path.
         seed.optimal = false;
@@ -132,17 +253,13 @@ maxWeightClique(const CliqueProblem &pb, std::int64_t node_budget,
         return seed;
     }
 
-    Search search(pb, node_budget, deadline);
+    BitSearch search(pb, node_budget, deadline);
     search.best = seed.vertices;
     search.best_weight = seed.weight;
 
-    std::vector<int> candidates(pb.n);
-    std::iota(candidates.begin(), candidates.end(), 0);
-    std::sort(candidates.begin(), candidates.end(), [&](int a, int b) {
-        return pb.weight[a] > pb.weight[b];
-    });
-    std::vector<int> current;
-    search.expand(current, 0.0, candidates);
+    for (int p = 0; p < pb.n; ++p)
+        search.pool.set(0, p);
+    search.expand(0, 0.0);
 
     CliqueResult result;
     result.vertices = std::move(search.best);
@@ -150,6 +267,7 @@ maxWeightClique(const CliqueProblem &pb, std::int64_t node_budget,
     result.weight = search.best_weight;
     result.optimal = search.optimal;
     result.timed_out = search.timed_out;
+    result.nodes = search.nodes;
     telemetry::counter("apex.clique.nodes").add(search.nodes);
     if (!result.optimal)
         telemetry::counter("apex.clique.non_optimal").add(1);

@@ -12,11 +12,24 @@
  * the compatible-merge selection is exactly a maximum-weight clique of
  * the compatibility graph.
  *
- * The solver is an exact branch-and-bound (greedy-seeded, with the
- * remaining-weight upper bound) under a node budget and an optional
- * wall-clock deadline; if either runs out on a pathological instance
- * it returns the best clique found so far, which is always at least
- * as good as greedy.
+ * The solver is an exact BBMC-style branch and bound: vertices are
+ * ordered (weight desc, index asc), candidate sets live in dense
+ * bitsets intersected word-at-a-time, and the upper bound is a greedy
+ * colouring of the candidate set — independent-set colour classes can
+ * contribute at most their heaviest member each, which prunes orders
+ * of magnitude more nodes than a plain remaining-weight sum.  It runs
+ * under a node budget and an optional wall-clock deadline; if either
+ * runs out on a pathological instance it returns the best clique
+ * found so far, which is always at least as good as greedy.
+ *
+ * Determinism contract: branching follows the fixed (weight desc,
+ * index asc) vertex order, the incumbent is replaced only on a strict
+ * weight improvement, and the bound is admissible — so the returned
+ * clique is a pure function of the input, byte-identical across
+ * bound strengths, runs and lanes.  `maxWeightCliqueReference`
+ * retains the same search on naive vector-of-vector structures (with
+ * a selectable bound) for differential testing and node-count
+ * comparisons; see tests/kernels_test.cpp.
  */
 
 namespace apex::merging {
@@ -35,6 +48,7 @@ struct CliqueResult {
     bool optimal = true;       ///< False if a budget/deadline ran out.
     bool timed_out = false;    ///< The deadline (not the node budget)
                                ///< cut the search short.
+    std::int64_t nodes = 0;    ///< Branch-and-bound nodes expanded.
 };
 
 /**
@@ -48,6 +62,27 @@ struct CliqueResult {
 CliqueResult maxWeightClique(const CliqueProblem &problem,
                              std::int64_t node_budget = 2'000'000,
                              const Deadline &deadline = {});
+
+/** Upper bound used by the reference solver. */
+enum class CliqueBound {
+    kWeightSum, ///< Sum of remaining candidate weights (historic).
+    kColoring,  ///< Greedy-colouring bound (matches maxWeightClique).
+};
+
+/**
+ * Reference solver on naive data structures (vector candidate lists,
+ * per-node allocations), retained for differential tests and the
+ * kernel benchmarks.  With CliqueBound::kColoring it must return
+ * byte-identical results to maxWeightClique on every path, including
+ * budget and deadline truncation; with kWeightSum it reproduces the
+ * historic weak bound (same answers at ample budget, many more nodes).
+ * No telemetry is recorded.
+ */
+CliqueResult
+maxWeightCliqueReference(const CliqueProblem &problem,
+                         std::int64_t node_budget = 2'000'000,
+                         const Deadline &deadline = {},
+                         CliqueBound bound = CliqueBound::kColoring);
 
 } // namespace apex::merging
 

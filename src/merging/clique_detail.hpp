@@ -1,0 +1,29 @@
+#ifndef APEX_MERGING_CLIQUE_DETAIL_H_
+#define APEX_MERGING_CLIQUE_DETAIL_H_
+
+#include <vector>
+
+#include "merging/clique.hpp"
+
+/**
+ * @file
+ * Internals shared by the bitset clique solver and its retained
+ * reference implementation.  Both must branch in the same order and
+ * start from the same greedy incumbent or the byte-identical
+ * differential contract (tests/kernels_test.cpp) breaks — so the
+ * order and the seed live here exactly once.
+ */
+
+namespace apex::merging::detail {
+
+/** Branching order: weight descending, index ascending on ties. */
+std::vector<int> branchOrder(const CliqueProblem &pb);
+
+/** Greedy clique: repeatedly add the heaviest compatible vertex
+ * (in branchOrder); seeds the incumbent and serves as the degraded
+ * path when the deadline is already expired. */
+CliqueResult greedyClique(const CliqueProblem &pb);
+
+} // namespace apex::merging::detail
+
+#endif // APEX_MERGING_CLIQUE_DETAIL_H_

@@ -1,63 +1,28 @@
+#include <algorithm>
+
 #include "mining/isomorphism.hpp"
 
-#include <algorithm>
-#include <functional>
-#include <map>
-#include <utility>
-
-#include "runtime/telemetry.hpp"
-
-/*
- * Label-indexed subgraph matcher.  The historic matcher
- * (isomorphism_reference.cpp) scanned every target node whenever a
- * pattern node had no mapped neighbour to derive candidates from;
- * candidate filtering dominates matching cost (FAST,
- * arXiv:2102.10768), so this version adds a per-target label index
- * (op -> candidate nodes, LUTs bucketed by truth table) plus an
- * operand-arity / core-fanout-degree prefilter.  Both only remove
- * candidates that could never complete an embedding, so the embedding
- * list — order and `limit` truncation included — stays byte-identical
- * to the reference (enforced by tests/kernels_test.cpp).
+/**
+ * @file
+ * Retained reference subgraph-isomorphism search: the historic
+ * backtracking matcher whose unconstrained pattern nodes scan the
+ * whole target graph, kept verbatim as the differential-testing
+ * oracle for the label-indexed matcher in isomorphism.cpp.  It must
+ * return byte-identical embedding lists (order included, truncation
+ * via `limit` included).
  */
+
 namespace apex::mining {
 
 using ir::Edge;
 using ir::Graph;
 using ir::Node;
 using ir::NodeId;
-using ir::Op;
-
-bool
-isPlaceholder(const Graph &pattern, NodeId id)
-{
-    const Op op = pattern.op(id);
-    return op == Op::kInput || op == Op::kInputBit;
-}
-
-bool
-labelsMatch(const Node &pattern_node, const Node &target_node)
-{
-    if (pattern_node.op != target_node.op)
-        return false;
-    // Constants match regardless of value (a weight is a weight);
-    // LUTs must implement the same boolean function.
-    if (pattern_node.op == Op::kLut)
-        return pattern_node.param == target_node.param;
-    return true;
-}
 
 namespace {
 
-/** Index key mirroring labelsMatch(): op, plus the truth table for
- * LUTs only (consts match any value). */
-std::pair<Op, std::uint64_t>
-labelKey(const Node &n)
-{
-    return {n.op, n.op == Op::kLut ? n.param : 0};
-}
-
 /** Matching state shared across the backtracking recursion. */
-struct MatchState {
+struct RefMatchState {
     const Graph &pattern;
     const Graph &target;
     std::size_t limit;
@@ -69,33 +34,16 @@ struct MatchState {
     std::vector<std::vector<Edge>> target_fanout;
     std::vector<std::vector<Edge>> pattern_fanout;
 
-    /** Target nodes by label, ascending (built by one target scan). */
-    std::map<std::pair<Op, std::uint64_t>, std::vector<NodeId>>
-        label_index;
-    /** Per pattern node: fanout edges into core (non-placeholder)
-     * nodes.  An embedding maps those to distinct target fanout
-     * edges, so any target node with fewer fanouts can be skipped. */
-    std::vector<int> core_fanout_need;
-
-    MatchState(const Graph &p, const Graph &t, std::size_t lim)
+    RefMatchState(const Graph &p, const Graph &t, std::size_t lim)
         : pattern(p), target(t), limit(lim),
           map(p.size(), ir::kNoNode), target_used(t.size(), false),
-          target_fanout(t.fanouts()), pattern_fanout(p.fanouts()),
-          core_fanout_need(p.size(), 0)
-    {
-        for (NodeId id = 0; id < t.size(); ++id)
-            label_index[labelKey(t.node(id))].push_back(id);
-        for (NodeId id = 0; id < p.size(); ++id)
-            for (const Edge &e : pattern_fanout[id])
-                if (!isPlaceholder(p, e.dst))
-                    ++core_fanout_need[id];
-    }
+          target_fanout(t.fanouts()), pattern_fanout(p.fanouts()) {}
 };
 
 /** Check every pattern constraint touching @p pid once it is mapped to
  * @p tid; also bind placeholders feeding @p pid. */
 bool
-consistent(MatchState &st, NodeId pid, NodeId tid)
+consistent(RefMatchState &st, NodeId pid, NodeId tid)
 {
     const Node &pn = st.pattern.node(pid);
     const Node &tn = st.target.node(tid);
@@ -143,7 +91,7 @@ consistent(MatchState &st, NodeId pid, NodeId tid)
 /** Bind the placeholders feeding @p pid; returns the bindings made so
  * they can be undone on backtrack. */
 std::vector<NodeId>
-bindPlaceholders(MatchState &st, NodeId pid, NodeId tid)
+bindPlaceholders(RefMatchState &st, NodeId pid, NodeId tid)
 {
     std::vector<NodeId> bound;
     const Node &pn = st.pattern.node(pid);
@@ -160,7 +108,7 @@ bindPlaceholders(MatchState &st, NodeId pid, NodeId tid)
 }
 
 void
-recurse(MatchState &st, std::size_t depth)
+recurse(RefMatchState &st, std::size_t depth)
 {
     if (st.limit && st.results.size() >= st.limit)
         return;
@@ -174,9 +122,7 @@ recurse(MatchState &st, std::size_t depth)
     const NodeId pid = st.core_order[depth];
 
     // Candidate targets: derive from an already-mapped neighbour when
-    // possible; otherwise the label index replaces the historic
-    // whole-target scan with the (already ascending) same-label
-    // bucket.
+    // possible; otherwise scan all target nodes.
     std::vector<NodeId> candidates;
     bool derived = false;
 
@@ -208,27 +154,17 @@ recurse(MatchState &st, std::size_t depth)
             break;
         }
     }
-    if (derived) {
-        std::sort(candidates.begin(), candidates.end());
-        candidates.erase(
-            std::unique(candidates.begin(), candidates.end()),
-            candidates.end());
-    } else {
-        const auto it = st.label_index.find(labelKey(pn));
-        if (it == st.label_index.end())
-            return; // no target node carries this label
-        candidates = it->second;
+    if (!derived) {
+        for (NodeId t = 0; t < st.target.size(); ++t)
+            candidates.push_back(t);
     }
 
-    const int fanout_need = st.core_fanout_need[pid];
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+
     for (NodeId tid : candidates) {
         if (tid >= st.target.size() || st.target_used[tid])
-            continue;
-        // Degree prefilter: pid's core fanout edges map to distinct
-        // target fanout edges of tid, so too few fanouts can never
-        // complete an embedding.
-        if (static_cast<int>(st.target_fanout[tid].size()) <
-            fanout_need)
             continue;
         if (!consistent(st, pid, tid))
             continue;
@@ -246,12 +182,10 @@ recurse(MatchState &st, std::size_t depth)
 } // namespace
 
 std::vector<Embedding>
-findEmbeddings(const Graph &pattern, const Graph &target,
-               std::size_t limit)
+findEmbeddingsReference(const Graph &pattern, const Graph &target,
+                        std::size_t limit)
 {
-    telemetry::StageTimer timer(
-        telemetry::histogram("apex.iso.ms"));
-    MatchState st(pattern, target, limit);
+    RefMatchState st(pattern, target, limit);
 
     // Core nodes in a connectivity-friendly order: topological order of
     // the pattern keeps each node adjacent to a previously ordered one
@@ -264,12 +198,6 @@ findEmbeddings(const Graph &pattern, const Graph &target,
         return {};
     recurse(st, 0);
     return std::move(st.results);
-}
-
-bool
-hasEmbedding(const Graph &pattern, const Graph &target)
-{
-    return !findEmbeddings(pattern, target, 1).empty();
 }
 
 } // namespace apex::mining

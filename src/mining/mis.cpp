@@ -2,7 +2,21 @@
 
 #include <algorithm>
 #include <functional>
+#include <queue>
+#include <utility>
 
+#include "core/bitset.hpp"
+#include "runtime/telemetry.hpp"
+
+/*
+ * Optimized MIS kernels.  Every function must return byte-identical
+ * results to its counterpart in mis_reference.cpp (the differential
+ * suite in tests/kernels_test.cpp enforces this): the overlap rows
+ * come out ascending, greedy picks the (min live degree, min index)
+ * vertex, and the exact search pivots on the (max live degree, min
+ * index) vertex with strict-improvement incumbents — all identical
+ * decision rules, only the data structures changed.
+ */
 namespace apex::mining {
 
 std::vector<std::vector<int>>
@@ -11,49 +25,94 @@ overlapGraph(const std::vector<std::vector<ir::NodeId>> &occurrences)
     const int n = static_cast<int>(occurrences.size());
     std::vector<std::vector<int>> adj(n);
 
-    auto intersects = [](const std::vector<ir::NodeId> &a,
-                         const std::vector<ir::NodeId> &b) {
-        std::size_t i = 0, j = 0;
-        while (i < a.size() && j < b.size()) {
-            if (a[i] == b[j])
-                return true;
-            if (a[i] < b[j])
-                ++i;
-            else
-                ++j;
-        }
-        return false;
-    };
-
+    // Inverted index: (target node, occurrence) incidence pairs.
+    // Occurrences sharing no node never meet, so the pairwise work is
+    // quadratic only within each node's bucket instead of across all
+    // occurrence pairs.
+    std::vector<std::pair<ir::NodeId, int>> incidence;
+    std::size_t total = 0;
+    for (const auto &occ : occurrences)
+        total += occ.size();
+    incidence.reserve(total);
     for (int i = 0; i < n; ++i)
-        for (int j = i + 1; j < n; ++j)
-            if (intersects(occurrences[i], occurrences[j])) {
-                adj[i].push_back(j);
-                adj[j].push_back(i);
-            }
+        for (ir::NodeId node : occurrences[i])
+            incidence.emplace_back(node, i);
+    std::sort(incidence.begin(), incidence.end());
+
+    std::vector<std::pair<int, int>> edges;
+    for (std::size_t lo = 0; lo < incidence.size();) {
+        std::size_t hi = lo;
+        while (hi < incidence.size() &&
+               incidence[hi].first == incidence[lo].first)
+            ++hi;
+        for (std::size_t a = lo; a < hi; ++a)
+            for (std::size_t b = a + 1; b < hi; ++b)
+                if (incidence[a].second != incidence[b].second)
+                    edges.emplace_back(incidence[a].second,
+                                       incidence[b].second);
+        lo = hi;
+    }
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+    // Lexicographic edge order fills every row ascending: (i, r)
+    // edges with i < r all precede (r, j) edges, exactly the order
+    // the historic all-pairs loop produced.
+    for (const auto &[i, j] : edges) {
+        adj[i].push_back(j);
+        adj[j].push_back(i);
+    }
     return adj;
 }
 
 namespace {
 
-/** Min-degree greedy: repeatedly take the vertex with fewest live
- * neighbours, remove it and its neighbourhood. */
+/**
+ * Min-degree greedy with a bucket-by-degree structure: buckets[d] is
+ * a lazy min-heap of vertices whose degree was d when pushed.  Each
+ * degree decrement pushes a fresh copy, so a live vertex always has a
+ * valid entry at its true degree and stale copies are skipped on pop.
+ * Each pick is near O(1) amortized instead of an O(n) scan; the
+ * picked vertex — (min live degree, min index) — is identical to the
+ * reference scan's.
+ */
 MisResult
 greedyMis(const std::vector<std::vector<int>> &adj)
 {
     const int n = static_cast<int>(adj.size());
-    std::vector<bool> alive(n, true);
-    std::vector<int> degree(n, 0);
-    for (int i = 0; i < n; ++i)
-        degree[i] = static_cast<int>(adj[i].size());
-
     MisResult result;
+    if (n == 0)
+        return result;
+
+    std::vector<bool> alive(n, true);
+    std::vector<int> degree(n);
+    int maxd = 0;
+    for (int i = 0; i < n; ++i) {
+        degree[i] = static_cast<int>(adj[i].size());
+        maxd = std::max(maxd, degree[i]);
+    }
+    using MinHeap = std::priority_queue<int, std::vector<int>,
+                                        std::greater<int>>;
+    std::vector<MinHeap> buckets(maxd + 1);
+    for (int i = 0; i < n; ++i)
+        buckets[degree[i]].push(i);
+
     int remaining = n;
+    int cur = 0;
     while (remaining > 0) {
         int best = -1;
-        for (int i = 0; i < n; ++i)
-            if (alive[i] && (best == -1 || degree[i] < degree[best]))
-                best = i;
+        while (best == -1) {
+            if (buckets[cur].empty()) {
+                ++cur;
+                continue;
+            }
+            const int top = buckets[cur].top();
+            if (!alive[top] || degree[top] != cur) {
+                buckets[cur].pop(); // stale copy
+                continue;
+            }
+            best = top;
+        }
         result.chosen.push_back(best);
         // Remove best and its neighbourhood.
         std::vector<int> removed = {best};
@@ -64,8 +123,10 @@ greedyMis(const std::vector<std::vector<int>> &adj)
             alive[r] = false;
             --remaining;
             for (int nb : adj[r])
-                if (alive[nb])
-                    --degree[nb];
+                if (alive[nb]) {
+                    buckets[--degree[nb]].push(nb);
+                    cur = std::min(cur, degree[nb]);
+                }
         }
     }
     std::sort(result.chosen.begin(), result.chosen.end());
@@ -73,68 +134,132 @@ greedyMis(const std::vector<std::vector<int>> &adj)
     return result;
 }
 
-/** Exact maximum independent set by branch and bound on the highest-
- * degree vertex (include/exclude), with the live-vertex count bound. */
-void
-exactMis(const std::vector<std::vector<int>> &adj,
-         std::vector<bool> &alive, int alive_count,
-         std::vector<int> &current, std::vector<int> &best)
-{
-    if (current.size() + alive_count <= best.size())
-        return;
-    // Pick the live vertex with the highest live degree.
-    const int n = static_cast<int>(adj.size());
-    int pivot = -1, pivot_deg = -1;
-    for (int i = 0; i < n; ++i) {
-        if (!alive[i])
-            continue;
-        int d = 0;
-        for (int nb : adj[i])
-            if (alive[nb])
-                ++d;
-        if (d > pivot_deg) {
-            pivot = i;
-            pivot_deg = d;
+/**
+ * Exact maximum independent set on dense bitset alive-sets.  Pivot =
+ * (max live degree, min index), include/exclude branching, live-count
+ * bound — the reference recursion's decision rules exactly, but the
+ * live degrees are cached and updated on remove/restore instead of
+ * being recomputed per recursion node, and neighbourhoods are bitset
+ * rows instead of adjacency-list walks.
+ */
+struct ExactMis {
+    int n;
+    core::BitsetMatrix adj;  ///< Row v = neighbours of v.
+    core::DenseBitset alive;
+    std::vector<int> degree; ///< Live degree of each live vertex.
+    std::vector<int> current;
+    std::vector<int> best;
+    std::vector<int> removed_stack; ///< Shared DFS removal stack.
+
+    explicit ExactMis(const std::vector<std::vector<int>> &lists)
+        : n(static_cast<int>(lists.size())),
+          adj(static_cast<std::size_t>(n),
+              static_cast<std::size_t>(n)),
+          alive(static_cast<std::size_t>(n)), degree(n)
+    {
+        for (int v = 0; v < n; ++v) {
+            for (int u : lists[v])
+                adj.set(v, u);
+            degree[v] = static_cast<int>(lists[v].size());
+            alive.set(v);
         }
     }
-    if (pivot == -1) {
-        if (current.size() > best.size())
-            best = current;
-        return;
-    }
-    if (pivot_deg == 0) {
-        // All remaining vertices are isolated: take them all.
-        std::vector<int> taken = current;
-        for (int i = 0; i < n; ++i)
-            if (alive[i])
-                taken.push_back(i);
-        if (taken.size() > best.size())
-            best = std::move(taken);
-        return;
+
+    /** Remove the vertices on removed_stack[base..): clear alive bits
+     * and decrement surviving neighbours' cached degrees. */
+    void
+    removeFrom(std::size_t base)
+    {
+        for (std::size_t k = base; k < removed_stack.size(); ++k) {
+            const int r = removed_stack[k];
+            alive.reset(r);
+            forEachLiveNeighbour(
+                r, [&](int nb) { --degree[nb]; });
+        }
     }
 
-    // Branch 1: include pivot (removes pivot + neighbourhood).
+    /** Exact inverse of removeFrom(): restore in reverse order so
+     * every increment mirrors the decrement it undoes. */
+    void
+    restoreFrom(std::size_t base)
     {
-        std::vector<int> removed = {pivot};
-        for (int nb : adj[pivot])
-            if (alive[nb])
-                removed.push_back(nb);
-        for (int r : removed)
-            alive[r] = false;
-        current.push_back(pivot);
-        exactMis(adj, alive, alive_count -
-                 static_cast<int>(removed.size()), current, best);
-        current.pop_back();
-        for (int r : removed)
-            alive[r] = true;
+        for (std::size_t k = removed_stack.size(); k-- > base;) {
+            const int r = removed_stack[k];
+            forEachLiveNeighbour(
+                r, [&](int nb) { ++degree[nb]; });
+            alive.set(r);
+        }
+        removed_stack.resize(base);
     }
-    // Branch 2: exclude pivot.
+
+    template <typename Fn>
+    void
+    forEachLiveNeighbour(int v, Fn &&fn)
     {
-        alive[pivot] = false;
-        exactMis(adj, alive, alive_count - 1, current, best);
-        alive[pivot] = true;
+        const std::uint64_t *row = adj.row(v);
+        const std::uint64_t *live = alive.data();
+        for (std::size_t w = 0; w < alive.words(); ++w) {
+            std::uint64_t word = row[w] & live[w];
+            while (word) {
+                fn(static_cast<int>(w * 64 +
+                                    std::countr_zero(word)));
+                word &= word - 1;
+            }
+        }
     }
-}
+
+    void
+    recurse(int alive_count)
+    {
+        if (current.size() + alive_count <= best.size())
+            return;
+        // Pick the live vertex with the highest cached live degree
+        // (ascending scan: first max wins, as in the reference).
+        int pivot = -1, pivot_deg = -1;
+        alive.forEach([&](int i) {
+            if (degree[i] > pivot_deg) {
+                pivot = i;
+                pivot_deg = degree[i];
+            }
+        });
+        if (pivot == -1) {
+            if (current.size() > best.size())
+                best = current;
+            return;
+        }
+        if (pivot_deg == 0) {
+            // All remaining vertices are isolated: take them all.
+            std::vector<int> taken = current;
+            alive.forEach([&](int i) { taken.push_back(i); });
+            if (taken.size() > best.size())
+                best = std::move(taken);
+            return;
+        }
+
+        // Branch 1: include pivot (removes pivot + neighbourhood).
+        {
+            const std::size_t base = removed_stack.size();
+            removed_stack.push_back(pivot);
+            forEachLiveNeighbour(
+                pivot, [&](int nb) { removed_stack.push_back(nb); });
+            const int n_removed =
+                static_cast<int>(removed_stack.size() - base);
+            removeFrom(base);
+            current.push_back(pivot);
+            recurse(alive_count - n_removed);
+            current.pop_back();
+            restoreFrom(base);
+        }
+        // Branch 2: exclude pivot.
+        {
+            const std::size_t base = removed_stack.size();
+            removed_stack.push_back(pivot);
+            removeFrom(base);
+            recurse(alive_count - 1);
+            restoreFrom(base);
+        }
+    }
+};
 
 } // namespace
 
@@ -146,17 +271,18 @@ maximalIndependentSet(
     const int n = static_cast<int>(occurrences.size());
     if (n == 0)
         return {};
+    telemetry::StageTimer timer(
+        telemetry::histogram("apex.mis.solve.ms"));
 
     const auto adj = overlapGraph(occurrences);
 
     if (n <= exact_limit) {
-        std::vector<bool> alive(n, true);
-        std::vector<int> current;
-        std::vector<int> best = greedyMis(adj).chosen; // seed bound
-        exactMis(adj, alive, n, current, best);
-        std::sort(best.begin(), best.end());
+        ExactMis solver(adj);
+        solver.best = greedyMis(adj).chosen; // seed bound
+        solver.recurse(n);
+        std::sort(solver.best.begin(), solver.best.end());
         MisResult r;
-        r.chosen = std::move(best);
+        r.chosen = std::move(solver.best);
         r.size = static_cast<int>(r.chosen.size());
         return r;
     }

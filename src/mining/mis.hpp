@@ -19,6 +19,16 @@
  * overlap graphs up to a size threshold and falls back to the
  * min-degree greedy heuristic above it — both return a *maximal*
  * independent set, matching the paper's terminology.
+ *
+ * Implementation: the overlap graph is built with an inverted index
+ * (target node -> occurrence ids; pairwise work is quadratic only
+ * within each bucket instead of across all occurrence pairs), greedy
+ * seeding keeps a bucket-by-degree structure so each pick is near
+ * O(1) instead of an O(n) scan, and the exact branch and bound runs
+ * on dense bitset alive-sets with cached live degrees.  All of it is
+ * deterministic with ascending-index tie-breaking; the historic
+ * implementations are retained as `*Reference` for differential
+ * testing (tests/kernels_test.cpp) and must stay byte-identical.
  */
 
 namespace apex::mining {
@@ -46,10 +56,24 @@ maximalIndependentSet(const std::vector<std::vector<ir::NodeId>>
 /**
  * Build the overlap adjacency used by maximalIndependentSet().
  * adjacency[i] lists the occurrence indices whose node sets intersect
- * occurrence i's.
+ * occurrence i's, ascending.
  */
 std::vector<std::vector<int>>
 overlapGraph(const std::vector<std::vector<ir::NodeId>> &occurrences);
+
+/** Historic all-pairs overlap construction (O(n^2) sorted-set
+ * intersections), retained as the differential-test oracle. */
+std::vector<std::vector<int>>
+overlapGraphReference(
+    const std::vector<std::vector<ir::NodeId>> &occurrences);
+
+/** Historic solver (O(n) greedy scans, per-recursion degree
+ * recomputation), retained as the differential-test oracle.  Must
+ * return byte-identical results to maximalIndependentSet(). */
+MisResult
+maximalIndependentSetReference(
+    const std::vector<std::vector<ir::NodeId>> &occurrences,
+    int exact_limit = 28);
 
 } // namespace apex::mining
 

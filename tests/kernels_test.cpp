@@ -1,0 +1,429 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/bitset.hpp"
+#include "core/deadline.hpp"
+#include "ir/builder.hpp"
+#include "merging/clique.hpp"
+#include "mining/isomorphism.hpp"
+#include "mining/mis.hpp"
+
+/*
+ * Differential suite for the bitset combinatorial kernels: every
+ * optimized kernel must return byte-identical results to its retained
+ * reference implementation — order included, truncation paths
+ * included.  Seeds are fixed, so a mismatch is a determinism-contract
+ * break, not flakiness.
+ */
+namespace {
+
+using apex::Deadline;
+
+/** Deterministic LCG so instances are identical on every platform. */
+struct Lcg {
+    std::uint32_t state;
+    explicit Lcg(std::uint32_t seed) : state(seed) {}
+    std::uint32_t next()
+    {
+        state = state * 1664525u + 1013904223u;
+        return state >> 16;
+    }
+};
+
+// ---------------------------------------------------------------------
+// DenseBitset / BitsetMatrix substrate.
+
+TEST(BitsetTest, SetTestCountReset) {
+    apex::core::DenseBitset bs(130);
+    EXPECT_TRUE(bs.none());
+    bs.set(0);
+    bs.set(63);
+    bs.set(64);
+    bs.set(129);
+    EXPECT_EQ(bs.count(), 4u);
+    EXPECT_TRUE(bs.test(63));
+    EXPECT_FALSE(bs.test(62));
+    bs.reset(63);
+    EXPECT_FALSE(bs.test(63));
+    EXPECT_EQ(bs.count(), 3u);
+}
+
+TEST(BitsetTest, SetAllRespectsUniverse) {
+    apex::core::DenseBitset bs(70);
+    bs.setAll();
+    EXPECT_EQ(bs.count(), 70u);
+}
+
+TEST(BitsetTest, ForEachAscending) {
+    apex::core::DenseBitset bs(200);
+    const std::vector<int> want = {3, 64, 65, 127, 128, 199};
+    for (int i : want)
+        bs.set(static_cast<std::size_t>(i));
+    std::vector<int> got;
+    bs.forEach([&](int i) { got.push_back(i); });
+    EXPECT_EQ(got, want);
+}
+
+TEST(BitsetTest, IntersectAndNotDisjoint) {
+    apex::core::DenseBitset a(100), b(100);
+    a.set(1);
+    a.set(70);
+    a.set(99);
+    b.set(70);
+    b.set(2);
+    apex::core::DenseBitset c = a;
+    c &= b;
+    EXPECT_EQ(c.count(), 1u);
+    EXPECT_TRUE(c.test(70));
+    a.andNot(b);
+    EXPECT_FALSE(a.test(70));
+    EXPECT_TRUE(a.test(1));
+    EXPECT_TRUE(a.disjoint(c) == false || !a.test(70));
+    apex::core::DenseBitset d(100);
+    d.set(5);
+    EXPECT_TRUE(c.disjoint(d));
+}
+
+TEST(BitsetTest, MatrixRowsIndependent) {
+    apex::core::BitsetMatrix m(3, 90);
+    m.set(0, 5);
+    m.set(1, 5);
+    m.set(1, 80);
+    EXPECT_TRUE(m.test(0, 5));
+    EXPECT_FALSE(m.test(2, 5));
+    EXPECT_EQ(m.rowCount(1), 2u);
+    m.intersectRows(2, 0, 1);
+    EXPECT_EQ(m.rowCount(2), 1u);
+    EXPECT_TRUE(m.test(2, 5));
+    m.clearRow(1);
+    EXPECT_FALSE(m.rowAny(1));
+    m.ensureRows(6);
+    EXPECT_GE(m.rows(), 6u);
+    EXPECT_FALSE(m.rowAny(5));
+}
+
+// ---------------------------------------------------------------------
+// Clique: bitset BBMC vs reference, both bounds, truncation paths.
+
+using apex::merging::CliqueBound;
+using apex::merging::CliqueProblem;
+using apex::merging::CliqueResult;
+using apex::merging::maxWeightClique;
+using apex::merging::maxWeightCliqueReference;
+
+/** Random graph with integer-grid weights (exact FP comparisons are
+ * well-defined on them). */
+CliqueProblem
+randomClique(int n, int density_pct, std::uint32_t seed)
+{
+    CliqueProblem p;
+    p.n = n;
+    p.weight.resize(n);
+    p.adj.assign(n, std::vector<bool>(n, false));
+    Lcg lcg(seed);
+    for (int i = 0; i < n; ++i)
+        p.weight[i] = 1.0 + static_cast<double>(lcg.next() % 7);
+    for (int i = 0; i < n; ++i)
+        for (int j = i + 1; j < n; ++j)
+            if (static_cast<int>(lcg.next() % 100) < density_pct) {
+                p.adj[i][j] = true;
+                p.adj[j][i] = true;
+            }
+    return p;
+}
+
+void
+expectSameClique(const CliqueResult &a, const CliqueResult &b,
+                 bool compare_nodes)
+{
+    EXPECT_EQ(a.vertices, b.vertices);
+    EXPECT_EQ(a.weight, b.weight); // exact: identical arithmetic
+    EXPECT_EQ(a.optimal, b.optimal);
+    EXPECT_EQ(a.timed_out, b.timed_out);
+    if (compare_nodes)
+        EXPECT_EQ(a.nodes, b.nodes);
+}
+
+TEST(CliqueDifferentialTest, MatchesColoringReferenceAtAmpleBudget) {
+    for (int n : {1, 2, 10, 30, 60}) {
+        for (int density : {10, 50, 90}) {
+            SCOPED_TRACE("n=" + std::to_string(n) +
+                         " density=" + std::to_string(density));
+            const auto p = randomClique(n, density, 1000u + n + density);
+            const auto got = maxWeightClique(p);
+            const auto ref = maxWeightCliqueReference(
+                p, 2'000'000, {}, CliqueBound::kColoring);
+            expectSameClique(got, ref, /*compare_nodes=*/true);
+            EXPECT_TRUE(got.optimal);
+        }
+    }
+}
+
+TEST(CliqueDifferentialTest, MatchesHistoricWeakBoundAnswers) {
+    // The coloring bound prunes more nodes but — being admissible
+    // under the fixed branching order with strict-improvement
+    // incumbents — must return the same clique as the historic
+    // weight-sum bound whenever neither search is truncated.
+    for (int n : {12, 25, 45}) {
+        SCOPED_TRACE("n=" + std::to_string(n));
+        const auto p = randomClique(n, 55, 77u * n);
+        const auto got = maxWeightClique(p);
+        const auto weak = maxWeightCliqueReference(
+            p, 50'000'000, {}, CliqueBound::kWeightSum);
+        ASSERT_TRUE(weak.optimal);
+        EXPECT_EQ(got.vertices, weak.vertices);
+        EXPECT_EQ(got.weight, weak.weight);
+        // The point of the stronger bound: never more nodes, and on
+        // non-trivial instances strictly fewer.
+        EXPECT_LE(got.nodes, weak.nodes);
+        if (n >= 25)
+            EXPECT_LT(got.nodes, weak.nodes);
+    }
+}
+
+TEST(CliqueDifferentialTest, BudgetTruncationIsByteIdentical) {
+    // Under truncation the node count is part of the behaviour, so
+    // the oracle must share the same (coloring) bound.
+    const auto p = randomClique(40, 60, 424242u);
+    for (std::int64_t budget : {1, 5, 37, 200, 5000}) {
+        SCOPED_TRACE("budget=" + std::to_string(budget));
+        const auto got = maxWeightClique(p, budget);
+        const auto ref = maxWeightCliqueReference(
+            p, budget, {}, CliqueBound::kColoring);
+        expectSameClique(got, ref, /*compare_nodes=*/true);
+    }
+    EXPECT_FALSE(maxWeightClique(p, 1).optimal);
+}
+
+TEST(CliqueDifferentialTest, ExpiredDeadlineDegradesIdentically) {
+    const auto p = randomClique(30, 50, 99u);
+    const Deadline expired = Deadline::after(0);
+    const auto got = maxWeightClique(p, 2'000'000, expired);
+    const auto ref = maxWeightCliqueReference(
+        p, 2'000'000, expired, CliqueBound::kColoring);
+    expectSameClique(got, ref, /*compare_nodes=*/true);
+    EXPECT_FALSE(got.optimal);
+    EXPECT_TRUE(got.timed_out);
+    // Degraded answer is still a valid clique.
+    for (std::size_t a = 0; a < got.vertices.size(); ++a)
+        for (std::size_t b = a + 1; b < got.vertices.size(); ++b)
+            EXPECT_TRUE(p.adj[got.vertices[a]][got.vertices[b]]);
+}
+
+TEST(CliqueDifferentialTest, EmptyAndEdgelessGraphs) {
+    CliqueProblem empty;
+    expectSameClique(maxWeightClique(empty),
+                     maxWeightCliqueReference(empty), true);
+
+    const auto p = randomClique(8, 0, 5u); // no edges at all
+    const auto got = maxWeightClique(p);
+    expectSameClique(got, maxWeightCliqueReference(p), true);
+    ASSERT_EQ(got.vertices.size(), 1u); // heaviest single vertex
+}
+
+// ---------------------------------------------------------------------
+// MIS: inverted-index overlap + bitset exact search vs references.
+
+using apex::mining::maximalIndependentSet;
+using apex::mining::maximalIndependentSetReference;
+using apex::mining::overlapGraph;
+using apex::mining::overlapGraphReference;
+
+/** Random occurrence sets: sorted unique node ids from a universe
+ * sized to give a controllable overlap density. */
+std::vector<std::vector<apex::ir::NodeId>>
+randomOccurrences(int n, int universe, int per_occ, std::uint32_t seed)
+{
+    Lcg lcg(seed);
+    std::vector<std::vector<apex::ir::NodeId>> occ(n);
+    for (int i = 0; i < n; ++i) {
+        for (int k = 0; k < per_occ; ++k)
+            occ[i].push_back(static_cast<apex::ir::NodeId>(
+                lcg.next() % universe));
+        std::sort(occ[i].begin(), occ[i].end());
+        occ[i].erase(std::unique(occ[i].begin(), occ[i].end()),
+                     occ[i].end());
+    }
+    return occ;
+}
+
+TEST(MisDifferentialTest, OverlapGraphMatchesReference) {
+    for (int n : {0, 1, 7, 20, 60}) {
+        for (int universe : {4, 40, 400}) {
+            SCOPED_TRACE("n=" + std::to_string(n) +
+                         " universe=" + std::to_string(universe));
+            const auto occ =
+                randomOccurrences(n, universe, 4, 31u * n + universe);
+            EXPECT_EQ(overlapGraph(occ), overlapGraphReference(occ));
+        }
+    }
+}
+
+TEST(MisDifferentialTest, ExactRegimeMatchesReference) {
+    for (int n : {1, 5, 12, 24, 28}) {
+        for (int universe : {6, 30, 200}) {
+            SCOPED_TRACE("n=" + std::to_string(n) +
+                         " universe=" + std::to_string(universe));
+            const auto occ =
+                randomOccurrences(n, universe, 3, 17u * n + universe);
+            const auto got = maximalIndependentSet(occ);
+            const auto ref = maximalIndependentSetReference(occ);
+            EXPECT_EQ(got.chosen, ref.chosen);
+            EXPECT_EQ(got.size, ref.size);
+        }
+    }
+}
+
+TEST(MisDifferentialTest, GreedyRegimeMatchesReference) {
+    for (int n : {40, 90}) {
+        for (int universe : {10, 120}) {
+            SCOPED_TRACE("n=" + std::to_string(n) +
+                         " universe=" + std::to_string(universe));
+            const auto occ =
+                randomOccurrences(n, universe, 5, 13u * n + universe);
+            const auto got = maximalIndependentSet(occ);
+            const auto ref = maximalIndependentSetReference(occ);
+            EXPECT_EQ(got.chosen, ref.chosen);
+            EXPECT_EQ(got.size, ref.size);
+        }
+    }
+}
+
+TEST(MisDifferentialTest, ChosenSetIsIndependentAndMaximal) {
+    const auto occ = randomOccurrences(26, 24, 3, 2024u);
+    const auto adj = overlapGraph(occ);
+    const auto got = maximalIndependentSet(occ);
+    std::vector<bool> in(occ.size(), false);
+    for (int v : got.chosen)
+        in[v] = true;
+    for (int v : got.chosen)
+        for (int nb : adj[v])
+            EXPECT_FALSE(in[nb]);
+    for (std::size_t v = 0; v < occ.size(); ++v) {
+        if (in[v])
+            continue;
+        bool blocked = false;
+        for (int nb : adj[v])
+            blocked = blocked || in[nb];
+        EXPECT_TRUE(blocked) << "set not maximal at " << v;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Isomorphism: label-indexed matcher vs whole-graph-scan reference.
+
+using apex::ir::Graph;
+using apex::ir::GraphBuilder;
+using apex::ir::Value;
+using apex::mining::findEmbeddings;
+using apex::mining::findEmbeddingsReference;
+
+/** Random expression DAG: a pool of values grown by binary ops over
+ * random earlier values, several outputs. */
+Graph
+randomTarget(int ops, std::uint32_t seed)
+{
+    Lcg lcg(seed);
+    GraphBuilder b;
+    std::vector<Value> pool;
+    for (int i = 0; i < 4; ++i)
+        pool.push_back(b.input());
+    pool.push_back(b.constant(3));
+    pool.push_back(b.constant(5));
+    for (int i = 0; i < ops; ++i) {
+        const Value x = pool[lcg.next() % pool.size()];
+        const Value y = pool[lcg.next() % pool.size()];
+        switch (lcg.next() % 4) {
+        case 0: pool.push_back(b.add(x, y)); break;
+        case 1: pool.push_back(b.sub(x, y)); break;
+        case 2: pool.push_back(b.mul(x, y)); break;
+        default: pool.push_back(b.min(x, y)); break;
+        }
+    }
+    b.output(pool.back());
+    return b.take();
+}
+
+std::vector<Graph>
+testPatterns()
+{
+    std::vector<Graph> out;
+    {
+        GraphBuilder b; // bare multiply
+        b.mul(b.input(), b.input());
+        out.push_back(b.take());
+    }
+    {
+        GraphBuilder b; // multiply-accumulate
+        b.add(b.mul(b.input(), b.input()), b.input());
+        out.push_back(b.take());
+    }
+    {
+        GraphBuilder b; // add chain
+        b.add(b.add(b.input(), b.input()), b.input());
+        out.push_back(b.take());
+    }
+    {
+        GraphBuilder b; // multiply by constant
+        b.mul(b.input(), b.constant(7));
+        out.push_back(b.take());
+    }
+    {
+        GraphBuilder b; // sub(min) — port order matters
+        b.sub(b.min(b.input(), b.input()), b.input());
+        out.push_back(b.take());
+    }
+    return out;
+}
+
+void
+expectSameEmbeddings(const Graph &pattern, const Graph &target,
+                     std::size_t limit)
+{
+    const auto got = findEmbeddings(pattern, target, limit);
+    const auto ref = findEmbeddingsReference(pattern, target, limit);
+    ASSERT_EQ(got.size(), ref.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(got[i].map, ref[i].map) << "embedding " << i;
+}
+
+TEST(IsomorphismDifferentialTest, MatchesReferenceOnRandomTargets) {
+    const auto patterns = testPatterns();
+    for (std::uint32_t seed : {1u, 7u, 19u, 101u}) {
+        const Graph target = randomTarget(40, seed);
+        for (std::size_t pi = 0; pi < patterns.size(); ++pi) {
+            SCOPED_TRACE("seed=" + std::to_string(seed) +
+                         " pattern=" + std::to_string(pi));
+            expectSameEmbeddings(patterns[pi], target, 0);
+        }
+    }
+}
+
+TEST(IsomorphismDifferentialTest, LimitTruncationIsByteIdentical) {
+    const auto patterns = testPatterns();
+    const Graph target = randomTarget(60, 555u);
+    for (std::size_t pi = 0; pi < patterns.size(); ++pi) {
+        for (std::size_t limit : {1u, 2u, 3u, 10u}) {
+            SCOPED_TRACE("pattern=" + std::to_string(pi) +
+                         " limit=" + std::to_string(limit));
+            expectSameEmbeddings(patterns[pi], target, limit);
+        }
+    }
+}
+
+TEST(IsomorphismDifferentialTest, NoMatchingLabelReturnsEmpty) {
+    GraphBuilder bt;
+    bt.output(bt.add(bt.input(), bt.input()));
+    const Graph target = bt.take();
+
+    GraphBuilder bp;
+    bp.mul(bp.input(), bp.input());
+    const Graph pattern = bp.take();
+    EXPECT_TRUE(findEmbeddings(pattern, target).empty());
+    EXPECT_TRUE(findEmbeddingsReference(pattern, target).empty());
+}
+
+} // namespace
