@@ -16,6 +16,7 @@
  *   apexc sweep [--level map|pnr|pipe] [--diagnostics]
  *               [--jobs N] [--cache-dir DIR] [--resume]
  *               [--deadline MS] [--cell-deadline MS]
+ *               [--isolate thread|process] [--cell-retries N]
  *       Fault-tolerant evaluation of every built-in application
  *       across the variant recipe; failing pairs are reported and
  *       skipped rather than aborting the sweep.
@@ -52,9 +53,20 @@
  * once with cheap fallback knobs and marked "degraded" in the report
  * instead of failing the sweep.
  *
+ * Isolation: --isolate process (default: thread) runs each
+ * evaluation in a supervised pool of forked worker processes, so a
+ * crashing, hanging or OOM-killed cell costs one worker instead of
+ * the sweep.  A dead worker is restarted under exponential backoff
+ * and its cell retried up to --cell-retries times (default 2); a
+ * cell that keeps killing workers is quarantined — reported (and
+ * journaled) as a WorkerCrashed failure with the death cause
+ * (crash / oom / hang) — and the sweep continues.  With no faults
+ * the report is byte-identical to --isolate thread at any --jobs.
+ *
  * Exit codes: 0 on success, otherwise the stage-specific code from
  * exitCodeFor() (2 usage, 3 parse, 4 invalid IR, 7 mapping, 8
- * placement, 9 routing, 10 capacity, 12 timeout, 14 cancelled, ...).
+ * placement, 9 routing, 10 capacity, 12 timeout, 14 cancelled,
+ * 15 worker crashed, ...).
  * Pass --diagnostics to explore/sweep to dump the structured
  * per-stage diagnostic trail.
  *
@@ -176,6 +188,19 @@ hasFlag(int argc, char **argv, const char *flag)
         if (std::strcmp(argv[i], flag) == 0)
             return true;
     return false;
+}
+
+/** --isolate MODE, accepting both "--isolate process" and the
+ * "--isolate=process" spelling; null when absent. */
+const char *
+isolateFlag(int argc, char **argv)
+{
+    if (const char *s = flagValue(argc, argv, "--isolate"))
+        return s;
+    for (int i = 0; i < argc; ++i)
+        if (std::strncmp(argv[i], "--isolate=", 10) == 0)
+            return argv[i] + 10;
+    return nullptr;
 }
 
 /** --jobs N, else $APEX_JOBS, else 1 (sequential).  0 = one lane per
@@ -467,10 +492,26 @@ cmdSweep(int argc, char **argv)
                    "lives in the cache directory)"));
 
     // Pressure: wall-clock budgets for the sweep and for each cell.
-    if (const char *s = flagValue(argc, argv, "--deadline"))
+    bool deadline_bounded = false;
+    if (const char *s = flagValue(argc, argv, "--deadline")) {
         options.deadline = Deadline::after(std::atof(s));
+        deadline_bounded = true;
+    }
     if (const char *s = flagValue(argc, argv, "--cell-deadline"))
         options.cell_deadline_ms = std::atof(s);
+
+    // Isolation: crash containment behind forked worker processes.
+    if (const char *s = isolateFlag(argc, argv)) {
+        if (std::strcmp(s, "process") == 0)
+            options.isolate = core::IsolateMode::kProcess;
+        else if (std::strcmp(s, "thread") != 0)
+            return loadFailure(Status(
+                ErrorCode::kInvalidArgument,
+                std::string("unknown --isolate mode '") + s +
+                    "' (expected thread or process)"));
+    }
+    if (const char *s = flagValue(argc, argv, "--cell-retries"))
+        options.cell_retries = std::atoi(s);
 
     // Cooperative shutdown: completed cells stay in the report (and
     // journal); unstarted ones are recorded as cancelled.
@@ -520,6 +561,13 @@ cmdSweep(int argc, char **argv)
     // the documented cancellation code.
     if (g_interrupted.load())
         return exitCodeFor(ErrorCode::kCancelled);
+    // A bounded sweep that evaluated nothing because its deadline
+    // (possibly already expired at launch, e.g. --deadline 0) beat
+    // every cell exits with the timeout code — not with whichever
+    // failure happened to be recorded first.
+    if (outcome.report.evaluated == 0 && deadline_bounded &&
+        options.deadline.expired())
+        return exitCodeFor(ErrorCode::kTimeout);
     // The sweep itself succeeds as long as something was evaluated;
     // a sweep where nothing ran reports its first failure's code.
     if (outcome.report.evaluated == 0 &&

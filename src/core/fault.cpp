@@ -14,8 +14,10 @@ namespace apex {
 namespace {
 
 constexpr std::array<std::string_view, kNumFaultStages> kStageNames = {
-    "deserialize", "validate", "mine",  "merge", "map",
-    "place",       "route",    "evaluate", "crash", "clock",
+    "deserialize", "validate",    "mine",        "merge",
+    "map",         "place",       "route",       "evaluate",
+    "crash",       "clock",       "worker_kill", "worker_hang",
+    "worker_garbage",
 };
 
 } // namespace
@@ -51,6 +53,10 @@ faultErrorCode(FaultStage stage)
       case FaultStage::kRoute:       return ErrorCode::kRouteFailed;
       case FaultStage::kEvaluate:    return ErrorCode::kEvaluationFailed;
       case FaultStage::kClockSkew:   return ErrorCode::kTimeout;
+      case FaultStage::kWorkerKill:
+      case FaultStage::kWorkerHang:
+      case FaultStage::kWorkerGarbage:
+          return ErrorCode::kWorkerCrashed;
       default:                       return ErrorCode::kInternal;
     }
 }

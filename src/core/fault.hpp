@@ -54,6 +54,15 @@ enum class FaultStage {
     /** Clock skew ("clock"): the armed Deadline poll observes a clock
      * far in the future, taking the kTimeout path deterministically. */
     kClockSkew,
+    /** Worker-pool faults ("worker_kill" / "worker_hang" /
+     * "worker_garbage"): counted at *dispatch* in the supervisor, so
+     * ordinals stay deterministic across restarted children.  The
+     * armed dispatch makes the worker abort mid-task, freeze (no
+     * heartbeats, no result), or write an unframed byte salad on its
+     * result pipe. */
+    kWorkerKill,
+    kWorkerHang,
+    kWorkerGarbage,
     kNumStages,
 };
 

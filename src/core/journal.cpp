@@ -245,6 +245,19 @@ decodeCell(const std::string &payload, SweepJournal::CellRecord *out)
 
 } // namespace
 
+std::string
+SweepJournal::encodeCellRecordPayload(const CellRecord &rec)
+{
+    return encodeCell(rec);
+}
+
+bool
+SweepJournal::decodeCellRecordPayload(const std::string &payload,
+                                      CellRecord *out)
+{
+    return decodeCell(payload, out);
+}
+
 Status
 SweepJournal::open(const std::string &dir, std::uint64_t fingerprint,
                    std::size_t app_count, bool resume)

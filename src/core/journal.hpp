@@ -102,6 +102,18 @@ class SweepJournal {
     /** Replayed cell record, or null. */
     const CellRecord *cellRecord(std::size_t app, int cell) const;
 
+    /**
+     * Encode/decode one CellRecord as the exact payload bytes the
+     * journal appends.  Shared with the process-isolation worker
+     * protocol (core/sweep.cpp --isolate=process): a worker's
+     * response *is* a journalable cell record, so the supervisor
+     * checkpoints exactly what it received — checksummed end to end.
+     */
+    static std::string
+    encodeCellRecordPayload(const CellRecord &rec);
+    static bool decodeCellRecordPayload(const std::string &payload,
+                                        CellRecord *out);
+
     /** Append one completed build outcome.  Crash point. */
     void appendApp(const AppRecord &rec);
 

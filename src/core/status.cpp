@@ -24,6 +24,7 @@ errorCodeName(ErrorCode code)
       case ErrorCode::kTimeout:           return "Timeout";
       case ErrorCode::kCancelled:         return "Cancelled";
       case ErrorCode::kInternal:          return "Internal";
+      case ErrorCode::kWorkerCrashed:     return "WorkerCrashed";
     }
     return "Unknown";
 }
@@ -46,6 +47,7 @@ exitCodeFor(ErrorCode code)
       case ErrorCode::kTimeout:           return 12;
       case ErrorCode::kInternal:          return 13;
       case ErrorCode::kCancelled:         return 14;
+      case ErrorCode::kWorkerCrashed:     return 15;
     }
     return 1;
 }
@@ -65,6 +67,7 @@ stageForCode(ErrorCode code)
       case ErrorCode::kEvaluationFailed:  return "evaluate";
       case ErrorCode::kTimeout:           return "deadline";
       case ErrorCode::kCancelled:         return "runtime";
+      case ErrorCode::kWorkerCrashed:     return "worker";
       default:                            return "unknown";
     }
 }

@@ -49,6 +49,7 @@ enum class ErrorCode {
     kTimeout,           ///< Stage exceeded its budget.
     kCancelled,         ///< Cooperatively cancelled before running.
     kInternal,          ///< Unexpected exception / logic error.
+    kWorkerCrashed,     ///< Worker process died evaluating a cell.
 };
 
 /** Stable identifier, e.g. "RouteFailed". */

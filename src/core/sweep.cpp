@@ -9,11 +9,14 @@
 #include <optional>
 #include <utility>
 
+#include <sstream>
+
 #include "core/journal.hpp"
 #include "ir/signature.hpp"
 #include "ir/validate.hpp"
 #include "runtime/task_graph.hpp"
 #include "runtime/telemetry.hpp"
+#include "runtime/worker_pool.hpp"
 
 namespace apex::core {
 
@@ -166,6 +169,79 @@ degradedOptions(const EvalOptions &base, const Deadline &sweep)
     return cheap;
 }
 
+/**
+ * One guarded cell evaluation: exceptions become failure results, and
+ * a cell whose *cell* budget ran out while the sweep still has time
+ * is retried once with the cheap fallback knobs (degraded path).
+ * Shared verbatim by the in-process eval tasks and the process-mode
+ * worker children, which is what keeps the two modes byte-identical.
+ */
+EvalResult
+evaluateCellGuarded(const apps::AppInfo &app, const PeVariant &variant,
+                    const model::TechModel &tech,
+                    const EvalOptions &eval_opts,
+                    const SweepOptions &options)
+{
+    EvalResult r;
+    const bool cell_bounded = options.cell_deadline_ms > 0;
+    EvalOptions local = eval_opts;
+    local.deadline =
+        cell_bounded
+            ? Deadline::earliest(
+                  options.deadline,
+                  Deadline::after(options.cell_deadline_ms))
+            : options.deadline;
+    try {
+        r = evaluate(app, variant, options.level, tech, local);
+    } catch (const ApexError &e) {
+        r.status = e.status().withContext(
+            "evaluating '" + app.name + "' on '" + variant.name +
+            "'");
+        r.error = r.status.toString();
+    } catch (const std::exception &e) {
+        r.status =
+            Status(ErrorCode::kInternal,
+                   std::string("unexpected exception: ") + e.what());
+        r.error = r.status.toString();
+    }
+    // Graceful degradation: the *cell* budget ran out but the sweep
+    // still has time — salvage the cell with the cheap knobs instead
+    // of failing.
+    if (!r.success && r.status.code() == ErrorCode::kTimeout &&
+        cell_bounded && !options.deadline.expired()) {
+        EvalResult first = std::move(r);
+        r = EvalResult{};
+        try {
+            r = evaluate(app, variant, options.level, tech,
+                         degradedOptions(eval_opts,
+                                         options.deadline));
+        } catch (const ApexError &e) {
+            r.status = e.status().withContext(
+                "evaluating '" + app.name + "' on '" + variant.name +
+                "'");
+            r.error = r.status.toString();
+        } catch (const std::exception &e) {
+            r.status = Status(
+                ErrorCode::kInternal,
+                std::string("unexpected exception: ") + e.what());
+            r.error = r.status.toString();
+        }
+        if (r.success)
+            r.degraded = true;
+        r.pnr_attempts += first.pnr_attempts;
+        Diagnostics trail;
+        trail.merge(first.diagnostics);
+        trail.warning("deadline",
+                      "cell deadline expired; retrying with "
+                      "degraded knobs (1 placement attempt, "
+                      "no track escalation, <= 2 fabric "
+                      "growths)");
+        trail.merge(r.diagnostics);
+        r.diagnostics = std::move(trail);
+    }
+    return r;
+}
+
 /** The process-wide `apex.sweep.*` counters SweepRuntimeStats reads.
  * runSweep snapshots them on entry and reports the delta, so the old
  * per-sweep semantics survive the registry migration. */
@@ -249,15 +325,17 @@ journalApp(SweepJournal &journal, int index, AppSlot &slot)
 std::string
 SweepRuntimeStats::toString() const
 {
-    char buf[320];
+    char buf[400];
     std::snprintf(buf, sizeof buf,
                   "jobs=%d tasks=%ld stolen=%ld cache=%ld/%ld "
                   "replayed=%ld degraded=%ld nonopt_cliques=%ld "
+                  "restarts=%ld retries=%ld quarantined=%ld "
                   "build=%.2fms eval=%.2fms wall=%.2fms",
                   jobs, tasks_run, tasks_stolen, cache_hits,
                   cache_hits + cache_misses, cells_replayed,
-                  cells_degraded, non_optimal_cliques, build_ms,
-                  eval_ms, wall_ms);
+                  cells_degraded, non_optimal_cliques,
+                  worker_restarts, worker_retries,
+                  worker_quarantined, build_ms, eval_ms, wall_ms);
     return buf;
 }
 
@@ -434,6 +512,11 @@ runSweep(const std::vector<apps::AppInfo> &apps,
                 return Status::okStatus();
             });
 
+        // Process isolation runs evaluations behind the worker pool
+        // *after* the builds; only the in-process mode fans them out
+        // as graph tasks here.
+        if (options.isolate != IsolateMode::kInProcess)
+            continue;
         for (int j = 0; j < 3; ++j) {
             Cell &cell = slot.cells[j];
             graph.add(
@@ -456,75 +539,10 @@ runSweep(const std::vector<apps::AppInfo> &apps,
                     const Clock::time_point t0 = Clock::now();
                     counters.tasks.add(1);
                     cell.ran = true;
+                    cell.result = evaluateCellGuarded(
+                        app, *cell.variant, tech, eval_opts,
+                        options);
                     EvalResult &r = cell.result;
-                    const bool cell_bounded =
-                        options.cell_deadline_ms > 0;
-                    EvalOptions local = eval_opts;
-                    local.deadline =
-                        cell_bounded
-                            ? Deadline::earliest(
-                                  options.deadline,
-                                  Deadline::after(
-                                      options.cell_deadline_ms))
-                            : options.deadline;
-                    try {
-                        r = evaluate(app, *cell.variant,
-                                     options.level, tech, local);
-                    } catch (const ApexError &e) {
-                        r.status = e.status().withContext(
-                            "evaluating '" + app.name + "' on '" +
-                            cell.variant->name + "'");
-                        r.error = r.status.toString();
-                    } catch (const std::exception &e) {
-                        r.status = Status(
-                            ErrorCode::kInternal,
-                            std::string("unexpected exception: ") +
-                                e.what());
-                        r.error = r.status.toString();
-                    }
-                    // Graceful degradation: the *cell* budget ran
-                    // out but the sweep still has time — salvage the
-                    // cell with the cheap knobs instead of failing.
-                    if (!r.success &&
-                        r.status.code() == ErrorCode::kTimeout &&
-                        cell_bounded &&
-                        !options.deadline.expired()) {
-                        EvalResult first = std::move(r);
-                        r = EvalResult{};
-                        try {
-                            r = evaluate(app, *cell.variant,
-                                         options.level, tech,
-                                         degradedOptions(
-                                             eval_opts,
-                                             options.deadline));
-                        } catch (const ApexError &e) {
-                            r.status = e.status().withContext(
-                                "evaluating '" + app.name +
-                                "' on '" + cell.variant->name +
-                                "'");
-                            r.error = r.status.toString();
-                        } catch (const std::exception &e) {
-                            r.status = Status(
-                                ErrorCode::kInternal,
-                                std::string(
-                                    "unexpected exception: ") +
-                                    e.what());
-                            r.error = r.status.toString();
-                        }
-                        if (r.success)
-                            r.degraded = true;
-                        r.pnr_attempts += first.pnr_attempts;
-                        Diagnostics trail;
-                        trail.merge(first.diagnostics);
-                        trail.warning(
-                            "deadline",
-                            "cell deadline expired; retrying with "
-                            "degraded knobs (1 placement attempt, "
-                            "no track escalation, <= 2 fabric "
-                            "growths)");
-                        trail.merge(r.diagnostics);
-                        r.diagnostics = std::move(trail);
-                    }
                     counters.eval_us.add(elapsedUs(t0));
                     SweepJournal::CellRecord rec;
                     rec.app = app_index;
@@ -541,6 +559,132 @@ runSweep(const std::vector<apps::AppInfo> &apps,
     // can only mean cancellation — which the assembly below reads off
     // the ran/build_ran flags directly.
     (void)graph.run();
+
+    // --- Process isolation: dispatch evaluations to forked workers --
+    // Workers are forked *after* the builds, so fork-COW hands every
+    // child the built variants for free; each child evaluates cells
+    // it is sent and answers with the exact journal payload bytes,
+    // checksummed end to end.  A worker death is survived: retry up
+    // to cell_retries re-dispatches, then quarantine the cell as a
+    // kWorkerCrashed failure with its death cause and keep sweeping.
+    if (options.isolate == IsolateMode::kProcess) {
+        struct WorkItem {
+            std::size_t app;
+            int cell;
+        };
+        std::vector<WorkItem> work;
+        std::vector<std::string> payloads;
+        for (std::size_t i = 0; i < apps.size(); ++i) {
+            for (int j = 0; j < 3; ++j) {
+                Cell &cell = slots[i].cells[j];
+                if (cell.ran || !cell.variant.has_value())
+                    continue;
+                if (cancel != nullptr && cancel->load())
+                    continue; // Assembly records the cancellation.
+                if (options.deadline.expired()) {
+                    // An expired sweep deadline forks no workers.
+                    cell.deadline_skipped = true;
+                    continue;
+                }
+                work.push_back({i, j});
+                payloads.push_back(std::to_string(i) + " " +
+                                   std::to_string(j));
+            }
+        }
+        if (!work.empty()) {
+            // Children must not append to the shared artifact cache:
+            // concurrent processes interleaving writes through one
+            // inherited fd would corrupt it.  Results are identical
+            // either way (the cache is a pure memoization).
+            EvalOptions child_eval = eval_opts;
+            child_eval.cache = nullptr;
+            const auto handler =
+                [&apps, &slots, &tech, &child_eval,
+                 &options](const std::string &task) -> std::string {
+                std::istringstream is(task);
+                std::size_t i = 0;
+                int j = 0;
+                if (!(is >> i >> j) || i >= apps.size() || j < 0 ||
+                    j >= 3)
+                    throw ApexError(
+                        Status(ErrorCode::kInternal,
+                               "malformed worker task '" + task +
+                                   "'"));
+                const Cell &cell = slots[i].cells[j];
+                SweepJournal::CellRecord rec;
+                rec.app = static_cast<int>(i);
+                rec.cell = j;
+                rec.variant = cell.name;
+                rec.result = evaluateCellGuarded(
+                    apps[i], *cell.variant, tech, child_eval,
+                    options);
+                return SweepJournal::encodeCellRecordPayload(rec);
+            };
+            runtime::WorkerPoolOptions wopts;
+            wopts.workers = out.stats.jobs;
+            wopts.task_retries = options.cell_retries;
+            wopts.heartbeat_ms = options.worker_heartbeat_ms;
+            wopts.liveness_timeout_ms =
+                options.worker_liveness_timeout_ms;
+            wopts.cancel = cancel;
+            runtime::WorkerPool workers(handler, wopts);
+            const std::vector<runtime::WorkerTaskOutcome> outcomes =
+                workers.run(payloads);
+
+            for (std::size_t k = 0; k < work.size(); ++k) {
+                Cell &cell = slots[work[k].app].cells[work[k].cell];
+                const runtime::WorkerTaskOutcome &o = outcomes[k];
+                if (o.fate == runtime::TaskFate::kCancelled)
+                    continue; // Assembly records the cancellation.
+                counters.tasks.add(1);
+                counters.eval_us.add(
+                    static_cast<long>(o.wall_ms * 1e3));
+                SweepJournal::CellRecord rec;
+                rec.app = static_cast<int>(work[k].app);
+                rec.cell = work[k].cell;
+                rec.variant = cell.name;
+                if (o.fate == runtime::TaskFate::kDone &&
+                    SweepJournal::decodeCellRecordPayload(
+                        o.response, &rec)) {
+                    // Trust the payload's result, not its indices:
+                    // the journal key is the supervisor's.
+                    rec.app = static_cast<int>(work[k].app);
+                    rec.cell = work[k].cell;
+                    rec.variant = cell.name;
+                } else {
+                    // Quarantined (or an undecodable response, which
+                    // is a protocol-level crash): record a durable
+                    // kWorkerCrashed failure so --resume replays the
+                    // verdict instead of re-poisoning a worker.
+                    EvalResult &r = rec.result;
+                    r.success = false;
+                    r.pnr_attempts = std::max(1, o.attempts);
+                    std::ostringstream msg;
+                    msg << "worker died evaluating this cell ("
+                        << runtime::workerDeathCauseName(
+                               o.cause ==
+                                       runtime::WorkerDeathCause::
+                                           kNone
+                                   ? runtime::WorkerDeathCause::
+                                         kCrash
+                                   : o.cause)
+                        << "); quarantined after " << o.attempts
+                        << (o.attempts == 1 ? " attempt"
+                                            : " attempts");
+                    r.status = Status(ErrorCode::kWorkerCrashed,
+                                      msg.str());
+                    r.error = r.status.toString();
+                }
+                cell.ran = true;
+                cell.result = rec.result;
+                journal.appendCell(rec);
+            }
+            out.stats.worker_restarts = workers.stats().restarts;
+            out.stats.worker_retries = workers.stats().retries;
+            out.stats.worker_quarantined =
+                workers.stats().quarantined;
+        }
+    }
 
     // --- Deterministic assembly ------------------------------------
     // One sequential pass in (app, recipe-cell) order reproduces the

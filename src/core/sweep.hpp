@@ -49,6 +49,24 @@
 
 namespace apex::core {
 
+/** Where evaluations execute. */
+enum class IsolateMode {
+    /** Cells run on the in-process ThreadPool (the default and the
+     * determinism oracle). */
+    kInProcess,
+    /**
+     * Cells run in forked worker processes behind the supervised
+     * WorkerPool (runtime/worker_pool.hpp): a crashing, hanging or
+     * OOM-killed cell costs one worker, not the sweep.  A cell that
+     * kills its worker on every allowed attempt (1 + cell_retries)
+     * is quarantined — recorded as a kWorkerCrashed failure with the
+     * death cause, journaled durably, and the sweep continues.  With
+     * no faults the report is byte-identical to kInProcess at any
+     * job count.
+     */
+    kProcess,
+};
+
 /** Sweep configuration. */
 struct SweepOptions {
     EvalLevel level = EvalLevel::kPostMapping;
@@ -94,6 +112,19 @@ struct SweepOptions {
      * A journal whose configuration fingerprint does not match is
      * ignored and restarted.  Requires journal_dir. */
     bool resume = false;
+
+    /** Execution substrate for evaluations (builds always run
+     * in-process: fork-COW then shares the built variants with every
+     * worker for free). */
+    IsolateMode isolate = IsolateMode::kInProcess;
+    /** kProcess only: re-dispatches allowed after a worker-killing
+     * attempt before the cell is quarantined. */
+    int cell_retries = 2;
+    /** kProcess only: worker proof-of-life cadence. */
+    double worker_heartbeat_ms = 25.0;
+    /** kProcess only: silence budget before a busy worker is
+     * declared hung and SIGKILLed. */
+    double worker_liveness_timeout_ms = 2000.0;
 };
 
 /** One completed (application, variant) evaluation. */
@@ -113,6 +144,9 @@ struct SweepRuntimeStats {
     long cells_replayed = 0;       ///< Restored from the journal.
     long cells_degraded = 0;       ///< Completed on the cheap path.
     long non_optimal_cliques = 0;  ///< Clique searches cut short.
+    long worker_restarts = 0;      ///< Workers re-forked (kProcess).
+    long worker_retries = 0;       ///< Cells re-dispatched (kProcess).
+    long worker_quarantined = 0;   ///< Cells given up on (kProcess).
     double build_ms = 0.0;         ///< CPU ms in variant construction.
     double eval_ms = 0.0;          ///< CPU ms in evaluations.
     double wall_ms = 0.0;          ///< End-to-end sweep wall time.

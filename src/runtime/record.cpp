@@ -5,7 +5,11 @@
 #include <sstream>
 #include <thread>
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include "runtime/cache.hpp"
+#include "runtime/telemetry.hpp"
 
 namespace apex::runtime {
 
@@ -20,6 +24,37 @@ hex64(std::uint64_t v)
     std::snprintf(buf, sizeof buf, "%016llx",
                   static_cast<unsigned long long>(v));
     return buf;
+}
+
+/** fsync @p path (best effort — crash-safety hardening must not turn
+ * an otherwise-working log into an error). */
+void
+syncPath(const std::string &path, bool directory)
+{
+    const int fd =
+        ::open(path.c_str(),
+               directory ? (O_RDONLY | O_DIRECTORY) : O_RDONLY);
+    if (fd < 0)
+        return;
+    ::fsync(fd);
+    ::close(fd);
+}
+
+/** Remove stale compaction temporaries (`<log>.tmp.*`) left behind by
+ * a crash between the tmp write and the rename. */
+void
+removeStaleTemporaries(const std::string &path)
+{
+    const fs::path p(path);
+    const std::string prefix = p.filename().string() + ".tmp.";
+    std::error_code ec;
+    fs::directory_iterator it(p.parent_path(), ec);
+    if (ec)
+        return;
+    for (const auto &entry : it) {
+        if (entry.path().filename().string().rfind(prefix, 0) == 0)
+            fs::remove(entry.path(), ec);
+    }
 }
 
 } // namespace
@@ -95,6 +130,10 @@ RecordLog::open(const std::string &path, std::string_view magic,
         fs::create_directories(fs::path(path).parent_path(), ec);
         // A failing mkdir surfaces as the ofstream failing below.
     }
+    // A crash between a compaction's tmp write and its rename leaves
+    // an orphan tmp file; clear them before (not after) recovery so
+    // this open's own tmp is never collected.
+    removeStaleTemporaries(path_);
 
     bool compact = false;
     if (replay) {
@@ -127,6 +166,8 @@ RecordLog::open(const std::string &path, std::string_view magic,
             if (records_.empty() &&
                 recovery_ == LogRecovery::kClean)
                 recovery_ = LogRecovery::kFresh;
+            if (recovery_ == LogRecovery::kTailDropped)
+                telemetry::counter("apex.record.tail_drops").add(1);
         }
     }
 
@@ -151,6 +192,11 @@ RecordLog::open(const std::string &path, std::string_view magic,
                               "short write compacting record log '" +
                                   tmp + "'");
         }
+        // Write-then-rename alone is not crash-safe: the tmp's bytes
+        // must be on disk before the rename points the log name at
+        // them, and the rename itself lives in the directory, which
+        // has its own durability.  fsync both (best effort).
+        syncPath(tmp, /*directory=*/false);
         std::error_code ec;
         fs::rename(tmp, path_, ec);
         if (ec) {
@@ -159,6 +205,9 @@ RecordLog::open(const std::string &path, std::string_view magic,
                           "cannot replace record log '" + path_ +
                               "'");
         }
+        const fs::path parent = fs::path(path_).parent_path();
+        if (!parent.empty())
+            syncPath(parent.string(), /*directory=*/true);
     }
 
     out_.open(path_, std::ios::binary | std::ios::app);

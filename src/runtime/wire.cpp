@@ -1,0 +1,123 @@
+#include "runtime/wire.hpp"
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "runtime/cache.hpp"
+
+namespace apex::runtime {
+
+namespace {
+
+// Frame headers are one short ASCII line; a "header" that runs past
+// this bound is garbage, not a slow pipe.
+constexpr std::size_t kMaxHeaderBytes = 256;
+
+// Upper bound on a single frame payload (64 MiB).  A length field
+// beyond this is corruption — honoring it would let one flipped bit
+// make the supervisor buffer unbounded memory waiting for bytes that
+// will never arrive.
+constexpr std::size_t kMaxPayloadBytes = 64u << 20;
+
+} // namespace
+
+void
+FrameDecoder::feed(const char *data, std::size_t n)
+{
+    if (corrupt_)
+        return;
+    buffer_.append(data, n);
+}
+
+DecodeResult
+FrameDecoder::next(FramedRecord *out)
+{
+    if (corrupt_)
+        return DecodeResult::kCorrupt;
+
+    // Reclaim the consumed prefix once it dominates the buffer.
+    if (pos_ > 0 && pos_ >= buffer_.size() / 2) {
+        buffer_.erase(0, pos_);
+        pos_ = 0;
+    }
+
+    const std::size_t header_end = buffer_.find('\n', pos_);
+    if (header_end == std::string::npos) {
+        if (buffer_.size() - pos_ > kMaxHeaderBytes) {
+            corrupt_ = true;
+            return DecodeResult::kCorrupt;
+        }
+        return DecodeResult::kNeedMore;
+    }
+    if (header_end - pos_ > kMaxHeaderBytes) {
+        corrupt_ = true;
+        return DecodeResult::kCorrupt;
+    }
+
+    std::istringstream header(
+        buffer_.substr(pos_, header_end - pos_));
+    std::string magic, type, field;
+    int version = 0;
+    std::uint64_t checksum = 0;
+    std::size_t payload_len = 0;
+    if (!(header >> magic >> version >> type) || magic != magic_ ||
+        version != version_ || !(header >> field) || field != "sum" ||
+        !(header >> std::hex >> checksum >> std::dec) ||
+        !(header >> field >> payload_len) || field != "len" ||
+        payload_len > kMaxPayloadBytes) {
+        corrupt_ = true;
+        return DecodeResult::kCorrupt;
+    }
+
+    const std::size_t body_start = header_end + 1;
+    // Payload plus its trailing newline.
+    if (buffer_.size() - body_start < payload_len + 1)
+        return DecodeResult::kNeedMore;
+    if (buffer_[body_start + payload_len] != '\n') {
+        corrupt_ = true;
+        return DecodeResult::kCorrupt;
+    }
+    std::string payload = buffer_.substr(body_start, payload_len);
+    if (fnv1a64(payload) != checksum) {
+        corrupt_ = true;
+        return DecodeResult::kCorrupt;
+    }
+    out->type = std::move(type);
+    out->payload = std::move(payload);
+    pos_ = body_start + payload_len + 1;
+    return DecodeResult::kFrame;
+}
+
+Status
+writeAll(int fd, std::string_view bytes)
+{
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        const ssize_t n =
+            ::write(fd, bytes.data() + off, bytes.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return Status(ErrorCode::kInternal,
+                          "pipe write failed: " +
+                              std::string(std::strerror(errno)));
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return Status::okStatus();
+}
+
+Status
+writeFrame(int fd, std::string_view type, std::string_view payload)
+{
+    return writeAll(fd,
+                    encodeFrame(kWireMagic, kWireVersion, type,
+                                payload));
+}
+
+} // namespace apex::runtime

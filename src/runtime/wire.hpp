@@ -1,0 +1,91 @@
+#ifndef APEX_RUNTIME_WIRE_H_
+#define APEX_RUNTIME_WIRE_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "core/status.hpp"
+#include "runtime/record.hpp"
+
+/**
+ * @file
+ * Length-framed, checksummed pipe protocol — the wire layer of the
+ * supervised worker pool (runtime/worker_pool.hpp).
+ *
+ * Frames reuse the exact on-disk format of runtime/record.hpp
+ * (`<magic> <version> <type> sum <fnv1a64-hex> len <N>\n<payload>\n`),
+ * so the same header-before-payload discipline that protects the WAL
+ * protects the pipes: a schema skew is detected before the payload is
+ * interpreted, and a torn or bit-flipped payload reads as corruption,
+ * never as a silently-wrong result.  The difference from a file is
+ * that a pipe delivers bytes incrementally, so decoding needs an
+ * incremental front end: FrameDecoder buffers fed bytes and
+ * distinguishes "frame complete", "need more bytes" and "stream is
+ * poisoned".
+ *
+ * Corruption on a pipe is not recoverable the way a WAL tail is:
+ * once framing is lost there is no resynchronization point, so a
+ * corrupt decoder stays corrupt and the supervisor's only safe move
+ * is to kill and restart the worker behind it.  That is exactly the
+ * supervision-tree contract — a garbled worker is indistinguishable
+ * from a crashed one.
+ */
+
+namespace apex::runtime {
+
+/** Magic + schema version of worker-pool pipe frames. */
+inline constexpr std::string_view kWireMagic = "apexwire";
+inline constexpr int kWireVersion = 1;
+
+/** Outcome of one FrameDecoder::next() call. */
+enum class DecodeResult {
+    kFrame,    ///< One complete, checksum-verified frame extracted.
+    kNeedMore, ///< No complete frame buffered yet; feed more bytes.
+    kCorrupt,  ///< Framing lost; the stream is permanently poisoned.
+};
+
+/**
+ * Incremental frame decoder for one pipe.  feed() appends raw bytes;
+ * next() extracts complete frames in order.  After the first corrupt
+ * frame the decoder latches kCorrupt forever — a byte stream with
+ * broken framing cannot be resynchronized.
+ */
+class FrameDecoder {
+  public:
+    explicit FrameDecoder(std::string_view magic = kWireMagic,
+                          int version = kWireVersion)
+        : magic_(magic), version_(version) {}
+
+    /** Append @p n raw bytes from the pipe. */
+    void feed(const char *data, std::size_t n);
+
+    /** Extract the next complete frame into @p out (kFrame only). */
+    DecodeResult next(FramedRecord *out);
+
+    /** True once any frame failed to decode. */
+    bool corrupt() const { return corrupt_; }
+
+    /** Bytes buffered but not yet consumed (tests / diagnostics). */
+    std::size_t buffered() const { return buffer_.size() - pos_; }
+
+  private:
+    std::string magic_;
+    int version_ = 0;
+    std::string buffer_;
+    std::size_t pos_ = 0; ///< Consumed prefix of buffer_.
+    bool corrupt_ = false;
+};
+
+/** write() @p bytes to @p fd completely, retrying short writes and
+ * EINTR.  The caller must ignore SIGPIPE; a closed peer reports a
+ * Status instead of killing the process. */
+Status writeAll(int fd, std::string_view bytes);
+
+/** Encode one wire frame and write it to @p fd completely. */
+Status writeFrame(int fd, std::string_view type,
+                  std::string_view payload);
+
+} // namespace apex::runtime
+
+#endif // APEX_RUNTIME_WIRE_H_

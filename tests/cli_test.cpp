@@ -94,6 +94,57 @@ TEST(Cli, ExpiredDeadlineExitsWithTimeoutCode)
     EXPECT_EQ(code, exitCodeFor(ErrorCode::kTimeout));
 }
 
+TEST(Cli, AlreadyExpiredDeadlineExitsTimeoutWithCoherentReport)
+{
+    // --deadline 0 is expired before the first cell can start: the
+    // sweep must not wedge or report success — every cell is skipped
+    // and the exit code is the timeout code, in both isolate modes.
+    ScratchDir dir("deadline_zero");
+    const int want = exitCodeFor(ErrorCode::kTimeout);
+    for (const std::string isolate : {"thread", "process"}) {
+        const std::string out =
+            dir.str() + "/report_" + isolate + ".out";
+        EXPECT_EQ(run(apexc + " sweep --level map --deadline 0" +
+                      " --isolate " + isolate + " > " + out),
+                  want)
+            << isolate;
+        const std::string report = slurp(out);
+        EXPECT_NE(report.find("0 evaluated"), std::string::npos)
+            << isolate << ": " << report;
+    }
+}
+
+TEST(Cli, WorkerKillSweepCompletesWithQuarantine)
+{
+    // A cell that kills its worker on every allowed attempt must be
+    // quarantined with its cause in the report while the rest of the
+    // sweep completes; transparent recovery (1 kill, retries left)
+    // must leave no trace in the report at all.
+    ScratchDir dir("worker_kill");
+    const std::string ref_out = dir.str() + "/reference.out";
+    ASSERT_EQ(run(apexc + " sweep --level map > " + ref_out), 0);
+
+    const std::string recovered = dir.str() + "/recovered.out";
+    EXPECT_EQ(run("APEX_FAULT=worker_kill:2 " + apexc +
+                  " sweep --level map --isolate process > " +
+                  recovered + " 2> /dev/null"),
+              0);
+    EXPECT_EQ(slurp(ref_out), slurp(recovered));
+
+    // Quarantine does not fail the sweep: the other cells evaluated,
+    // so the exit code stays 0 and the failure lives in the report.
+    const std::string poisoned = dir.str() + "/poisoned.out";
+    EXPECT_EQ(run("APEX_FAULT=worker_kill:1:3 " + apexc +
+                  " sweep --level map --isolate process"
+                  " --cell-retries 2 > " +
+                  poisoned + " 2> /dev/null"),
+              0);
+    const std::string report = slurp(poisoned);
+    EXPECT_NE(report.find("stage 'worker'"), std::string::npos)
+        << report;
+    EXPECT_NE(report.find("(crash)"), std::string::npos) << report;
+}
+
 TEST(Cli, SigtermCancelsCooperativelyWithCancelledCode)
 {
     // Post-PnR sweeps run for seconds; a SIGTERM shortly after launch

@@ -28,6 +28,7 @@
 #include "merging/clique.hpp"
 #include "runtime/record.hpp"
 #include "runtime/task_graph.hpp"
+#include "runtime/telemetry.hpp"
 
 namespace apex::core {
 namespace {
@@ -178,6 +179,84 @@ TEST(RecordLog, CorruptTailIsDroppedAndCompacted)
     EXPECT_EQ(log.recovery(), runtime::LogRecovery::kClean);
     ASSERT_EQ(log.records().size(), 3u);
     EXPECT_EQ(log.records()[2].payload, "after recovery");
+}
+
+TEST(RecordLog, MidFileCorruptionKeepsPrefixAndCountsTheDrop)
+{
+    ScratchDir dir("midfile");
+    const std::string path = dir.str() + "/log";
+    {
+        runtime::RecordLog log;
+        ASSERT_TRUE(log.open(path, "apextest", 1, true).ok());
+        ASSERT_TRUE(log.append("a", "record one").ok());
+        ASSERT_TRUE(log.append("a", "record two").ok());
+        ASSERT_TRUE(log.append("a", "record three").ok());
+    }
+    // Flip one payload byte of the *middle* record — not the tail.
+    // Replay must stop at the corruption point: everything after a
+    // damaged frame is unframed bytes, so only the prefix is
+    // trustworthy.
+    {
+        std::fstream f(path, std::ios::binary | std::ios::in |
+                                 std::ios::out);
+        std::string all((std::istreambuf_iterator<char>(f)),
+                        std::istreambuf_iterator<char>());
+        const std::size_t at = all.find("record two");
+        ASSERT_NE(at, std::string::npos);
+        f.seekp(static_cast<std::streamoff>(at + 3));
+        f.put('X');
+    }
+    const long long drops_before =
+        telemetry::counter("apex.record.tail_drops").value();
+    runtime::RecordLog log;
+    ASSERT_TRUE(log.open(path, "apextest", 1, true).ok());
+    EXPECT_EQ(log.recovery(), runtime::LogRecovery::kTailDropped);
+    ASSERT_EQ(log.records().size(), 1u);
+    EXPECT_EQ(log.records()[0].payload, "record one");
+    // The drop is observable in metrics, not just in the recovery
+    // enum the caller may never look at.
+    EXPECT_EQ(
+        telemetry::counter("apex.record.tail_drops").value(),
+        drops_before + 1);
+}
+
+TEST(RecordLog, HalfCompactedCrashStateRecovers)
+{
+    // Simulate a crash *between* a compaction's tmp write and its
+    // rename: the real log still has its corrupt tail, and an orphan
+    // tmp file sits next to it.  The next open must recover the
+    // valid prefix and clean up the orphan — and never mistake the
+    // orphan for the log.
+    ScratchDir dir("halfcompact");
+    const std::string path = dir.str() + "/log";
+    {
+        runtime::RecordLog log;
+        ASSERT_TRUE(log.open(path, "apextest", 1, true).ok());
+        ASSERT_TRUE(log.append("a", "durable").ok());
+    }
+    {
+        std::ofstream os(path, std::ios::binary | std::ios::app);
+        os << "apextest 1 a sum feed"; // torn tail
+    }
+    const std::string stale = path + ".tmp.12345";
+    {
+        std::ofstream os(stale, std::ios::binary);
+        os << runtime::encodeFrame("apextest", 1, "a", "durable");
+    }
+    {
+        runtime::RecordLog log;
+        ASSERT_TRUE(log.open(path, "apextest", 1, true).ok());
+        EXPECT_EQ(log.recovery(),
+                  runtime::LogRecovery::kTailDropped);
+        ASSERT_EQ(log.records().size(), 1u);
+        EXPECT_EQ(log.records()[0].payload, "durable");
+        EXPECT_FALSE(fs::exists(stale));
+        ASSERT_TRUE(log.append("a", "after recovery").ok());
+    }
+    runtime::RecordLog log;
+    ASSERT_TRUE(log.open(path, "apextest", 1, true).ok());
+    EXPECT_EQ(log.recovery(), runtime::LogRecovery::kClean);
+    EXPECT_EQ(log.records().size(), 2u);
 }
 
 TEST(RecordLog, SchemaMismatchRestartsFresh)
@@ -483,6 +562,181 @@ TEST(Durability, SweepSurvivesSigkillAndResumesByteIdentical)
     EXPECT_EQ(outcomeBytes(reference), outcomeBytes(resumed));
 
     // And a second resume replays everything without recomputing.
+    const SweepOutcome third =
+        runSweep(apps_list, ex, tech, options);
+    EXPECT_EQ(third.stats.cells_replayed, 6);
+    EXPECT_EQ(third.stats.tasks_run, 0);
+    EXPECT_EQ(outcomeBytes(reference), outcomeBytes(third));
+}
+
+// --- Process isolation -------------------------------------------------
+
+TEST(Isolation, ProcessModeIsByteIdenticalWithoutFaults)
+{
+    const auto apps_list = smallApps();
+    const Explorer ex(tech);
+
+    SweepOptions inproc;
+    const SweepOutcome reference =
+        runSweep(apps_list, ex, tech, inproc);
+    ASSERT_EQ(reference.report.evaluated, 6);
+
+    for (int jobs : {1, 2}) {
+        SweepOptions options;
+        options.isolate = IsolateMode::kProcess;
+        options.jobs = jobs;
+        const SweepOutcome isolated =
+            runSweep(apps_list, ex, tech, options);
+        EXPECT_EQ(isolated.report.evaluated, 6) << "jobs " << jobs;
+        EXPECT_EQ(outcomeBytes(reference), outcomeBytes(isolated))
+            << "jobs " << jobs;
+        EXPECT_EQ(isolated.stats.worker_restarts, 0);
+        EXPECT_EQ(isolated.stats.worker_quarantined, 0);
+    }
+}
+
+TEST(Isolation, WorkerKillIsRetriedTransparently)
+{
+    const auto apps_list = smallApps();
+    const Explorer ex(tech);
+
+    SweepOptions inproc;
+    const SweepOutcome reference =
+        runSweep(apps_list, ex, tech, inproc);
+
+    // The 2nd dispatched cell kills its worker once; the retry on
+    // the respawned worker succeeds and the report shows no trace.
+    FaultScope fault(FaultStage::kWorkerKill, 2);
+    SweepOptions options;
+    options.isolate = IsolateMode::kProcess;
+    const SweepOutcome isolated =
+        runSweep(apps_list, ex, tech, options);
+    EXPECT_EQ(isolated.report.evaluated, 6);
+    EXPECT_EQ(outcomeBytes(reference), outcomeBytes(isolated));
+    EXPECT_EQ(isolated.stats.worker_restarts, 1);
+    EXPECT_EQ(isolated.stats.worker_retries, 1);
+    EXPECT_EQ(isolated.stats.worker_quarantined, 0);
+}
+
+TEST(Isolation, PoisonCellIsQuarantinedDurably)
+{
+    ScratchDir dir("quarantine");
+    const auto apps_list = smallApps();
+    const Explorer ex(tech);
+
+    SweepOptions options;
+    options.isolate = IsolateMode::kProcess;
+    options.cell_retries = 2;
+    options.journal_dir = dir.str();
+
+    std::string first_bytes;
+    {
+        // The first cell kills its worker on all 3 allowed attempts.
+        FaultScope fault(FaultStage::kWorkerKill, 1, 3);
+        const SweepOutcome outcome =
+            runSweep(apps_list, ex, tech, options);
+        EXPECT_EQ(outcome.report.evaluated, 5);
+        ASSERT_EQ(outcome.report.failures.size(), 1u);
+        const StageFailure &f = outcome.report.failures[0];
+        EXPECT_EQ(f.stage, "worker");
+        EXPECT_EQ(f.status.code(), ErrorCode::kWorkerCrashed);
+        EXPECT_EQ(f.attempts, 3);
+        EXPECT_NE(f.status.message().find("(crash)"),
+                  std::string::npos)
+            << f.status.message();
+        EXPECT_EQ(outcome.stats.worker_quarantined, 1);
+        EXPECT_EQ(outcome.stats.worker_retries, 2);
+        EXPECT_EQ(outcome.stats.worker_restarts, 3);
+        first_bytes = outcomeBytes(outcome);
+    }
+
+    // The quarantine verdict is durable: a resume (faults disarmed)
+    // replays it from the journal instead of re-running the cell —
+    // a poison cell must never get a second chance to kill workers.
+    options.resume = true;
+    const SweepOutcome resumed =
+        runSweep(apps_list, ex, tech, options);
+    EXPECT_EQ(resumed.stats.cells_replayed, 6);
+    EXPECT_EQ(resumed.stats.tasks_run, 0);
+    EXPECT_EQ(resumed.stats.worker_restarts, 0);
+    EXPECT_EQ(first_bytes, outcomeBytes(resumed));
+}
+
+TEST(Isolation, HangingWorkerIsQuarantinedWithCause)
+{
+    const auto apps_list = smallApps();
+    const Explorer ex(tech);
+
+    FaultScope fault(FaultStage::kWorkerHang, 1, 2);
+    SweepOptions options;
+    options.isolate = IsolateMode::kProcess;
+    options.cell_retries = 1;
+    options.worker_heartbeat_ms = 5.0;
+    options.worker_liveness_timeout_ms = 100.0;
+    const SweepOutcome outcome =
+        runSweep(apps_list, ex, tech, options);
+    EXPECT_EQ(outcome.report.evaluated, 5);
+    ASSERT_EQ(outcome.report.failures.size(), 1u);
+    EXPECT_EQ(outcome.report.failures[0].status.code(),
+              ErrorCode::kWorkerCrashed);
+    EXPECT_NE(
+        outcome.report.failures[0].status.message().find("(hang)"),
+        std::string::npos)
+        << outcome.report.failures[0].status.message();
+}
+
+TEST(Durability, MidJournalCorruptionReEvaluatesOnlyLostCells)
+{
+    ScratchDir dir("midjournal");
+    const auto apps_list = smallApps();
+    const Explorer ex(tech);
+
+    SweepOptions ref_options;
+    const SweepOutcome reference =
+        runSweep(apps_list, ex, tech, ref_options);
+    ASSERT_EQ(reference.report.evaluated, 6);
+
+    SweepOptions options;
+    options.journal_dir = dir.str();
+    const SweepOutcome first =
+        runSweep(apps_list, ex, tech, options);
+    ASSERT_EQ(first.report.evaluated, 6);
+
+    // Flip a payload byte of the *third* cell record — corruption in
+    // the middle of the journal, with valid frames after it.  Replay
+    // must keep only the prefix (2 cells), count the drop, and the
+    // resume must re-evaluate exactly the lost cells.
+    const std::string path = dir.str() + "/sweep.journal";
+    {
+        std::fstream f(path, std::ios::binary | std::ios::in |
+                                 std::ios::out);
+        std::string all((std::istreambuf_iterator<char>(f)),
+                        std::istreambuf_iterator<char>());
+        std::size_t at = 0;
+        for (int i = 0; i < 3; ++i) {
+            at = all.find("apexsweep 1 cell sum", at + 1);
+            ASSERT_NE(at, std::string::npos) << "cell frame " << i;
+        }
+        const std::size_t header_end = all.find('\n', at);
+        ASSERT_NE(header_end, std::string::npos);
+        f.seekp(static_cast<std::streamoff>(header_end + 1));
+        f.put(all[header_end + 1] == 'X' ? 'Y' : 'X');
+    }
+
+    const long long drops_before =
+        telemetry::counter("apex.record.tail_drops").value();
+    options.resume = true;
+    const SweepOutcome resumed =
+        runSweep(apps_list, ex, tech, options);
+    EXPECT_EQ(
+        telemetry::counter("apex.record.tail_drops").value(),
+        drops_before + 1);
+    EXPECT_EQ(resumed.stats.cells_replayed, 2);
+    EXPECT_EQ(resumed.report.evaluated, 6);
+    EXPECT_EQ(outcomeBytes(reference), outcomeBytes(resumed));
+
+    // The re-run cells were re-journaled: a further resume replays
+    // all six from a clean log.
     const SweepOutcome third =
         runSweep(apps_list, ex, tech, options);
     EXPECT_EQ(third.stats.cells_replayed, 6);
