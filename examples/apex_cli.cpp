@@ -20,14 +20,28 @@
  *       Fault-tolerant evaluation of every built-in application
  *       across the variant recipe; failing pairs are reported and
  *       skipped rather than aborting the sweep.
+ *   apexc client <sweep|info|metrics> --socket PATH [--port N]
+ *       Run the request against a running apexd instead of in
+ *       process.  `client sweep` accepts the sweep pressure and
+ *       isolation flags (--level, --isolate, --cell-retries,
+ *       --deadline, --cell-deadline, plus --priority N and
+ *       --progress) and prints byte-identical stdout to the batch
+ *       `apexc sweep` with the same flags — the daemon's resources
+ *       are invisible in the bytes.  Progress frames and the
+ *       coalescing verdict go to stderr.
+ *   apexc --version
+ *       Print the build commit, build type and protocol version.
  *
  * Telemetry (every command): --trace FILE records structured spans
  * for each pipeline stage and writes a Chrome trace-event JSON file
  * (load it in chrome://tracing or Perfetto); --metrics-out FILE dumps
  * the unified metrics registry (apex.* counters, gauges, latency
  * histograms) as JSON.  Both files are written after the command
- * finishes, whatever its exit code.  Tracing off costs one branch per
- * span site; metrics counters are always live.
+ * finishes, whatever its exit code; --metrics-interval MS
+ * additionally rewrites the metrics file periodically while the
+ * command runs (atomic rename, so a watcher never reads a torn
+ * file).  Tracing off costs one branch per span site; metrics
+ * counters are always live.
  *
  * Parallelism: --jobs N (or the APEX_JOBS environment variable) runs
  * analyze/explore/sweep on a work-stealing pool with N lanes; N = 0
@@ -95,6 +109,9 @@
 #include "runtime/cache.hpp"
 #include "runtime/telemetry.hpp"
 #include "runtime/thread_pool.hpp"
+#include "service/client.hpp"
+#include "service/protocol.hpp"
+#include "service/version.hpp"
 
 namespace {
 
@@ -533,14 +550,12 @@ cmdSweep(int argc, char **argv)
     std::signal(SIGINT, SIG_DFL);
     std::signal(SIGTERM, SIG_DFL);
 
-    for (const core::SweepEntry &e : outcome.entries) {
-        std::printf("%-10s %-16s pe_count=%-3d pe_area_um2=%-10.1f "
-                    "pe_energy_pj=%.3f\n",
-                    e.app.c_str(), e.variant.c_str(),
-                    e.result.pe_count, e.result.pe_area,
-                    e.result.pe_energy);
-    }
-    std::printf("%s\n", outcome.report.summary().c_str());
+    // Batch and service-client sweeps print through the same
+    // renderer, so their stdout is byte-identical by construction.
+    std::fputs(service::renderSweepText(outcome.entries,
+                                        outcome.report)
+                   .c_str(),
+               stdout);
     if (hasFlag(argc, argv, "--diagnostics")) {
         if (!outcome.report.diagnostics.empty())
             std::fputs(
@@ -577,6 +592,117 @@ cmdSweep(int argc, char **argv)
     return 0;
 }
 
+/** Report a service-side failure and map it to an exit code. */
+int
+serviceFailure(const Status &status)
+{
+    std::fprintf(stderr, "apexc: %s\n", status.toString().c_str());
+    return exitCodeFor(status.code());
+}
+
+/** Dial the daemon named by --socket PATH (or --port N, loopback
+ * TCP).  A connection or handshake failure exits kUnavailable. */
+Status
+connectDaemon(int argc, char **argv, service::Client *client)
+{
+    if (const char *path = flagValue(argc, argv, "--socket"))
+        return client->connect(path);
+    if (const char *port = flagValue(argc, argv, "--port"))
+        return client->connectTcp(std::atoi(port));
+    return Status(ErrorCode::kInvalidArgument,
+                  "client requires --socket PATH or --port N");
+}
+
+/**
+ * `apexc client <sweep|info|metrics>` — run the request against a
+ * running apexd.  The sweep path reuses the batch flag names; the
+ * daemon owns the execution resources (--jobs here would be
+ * meaningless), and stdout carries exactly the bytes batch mode
+ * would print.
+ */
+int
+cmdClient(int argc, char **argv)
+{
+    if (argc < 3) {
+        std::fprintf(stderr,
+                     "usage: apexc client <sweep|info|metrics> "
+                     "--socket PATH [--port N]\n");
+        return 2;
+    }
+    const std::string what = argv[2];
+    service::Client client;
+    if (Status s = connectDaemon(argc, argv, &client); !s.ok())
+        return serviceFailure(s);
+
+    if (what == "info") {
+        service::InfoReply info;
+        if (Status s = client.info(&info); !s.ok())
+            return serviceFailure(s);
+        std::printf("server    %s\n", info.version.c_str());
+        std::printf("commit    %s\n", info.commit.c_str());
+        std::printf("flags     %s\n", info.flags.c_str());
+        std::printf("protocol  v%d\n", info.protocol);
+        client.goodbye();
+        return 0;
+    }
+    if (what == "metrics") {
+        std::string json;
+        if (Status s = client.metrics(&json); !s.ok())
+            return serviceFailure(s);
+        std::fputs(json.c_str(), stdout);
+        client.goodbye();
+        return 0;
+    }
+    if (what != "sweep") {
+        std::fprintf(stderr,
+                     "apexc client: unknown request '%s' (expected "
+                     "sweep, info or metrics)\n",
+                     what.c_str());
+        return 2;
+    }
+
+    service::SweepRequest request;
+    request.id = 1;
+    if (const char *s = flagValue(argc, argv, "--level"))
+        request.level = s;
+    if (const auto level = parseLevel(request.level); !level)
+        return loadFailure(level.status());
+    if (const char *s = isolateFlag(argc, argv))
+        request.isolate = s;
+    if (const char *s = flagValue(argc, argv, "--cell-retries"))
+        request.cell_retries = std::atoi(s);
+    if (const char *s = flagValue(argc, argv, "--deadline"))
+        request.deadline_ms = std::atof(s);
+    if (const char *s = flagValue(argc, argv, "--cell-deadline"))
+        request.cell_deadline_ms = std::atof(s);
+    if (const char *s = flagValue(argc, argv, "--priority"))
+        request.priority = std::atoi(s);
+    request.want_progress = hasFlag(argc, argv, "--progress");
+
+    // Progress and the coalescing verdict go to stderr: stdout is
+    // reserved for the byte-identity contract with batch mode.
+    service::SweepAck ack;
+    service::SweepReply reply;
+    const Status s = client.runSweep(
+        request, &reply,
+        [](const service::SweepProgressFrame &p) {
+            std::fprintf(stderr, "progress %d/%d %s/%s\n", p.done,
+                         p.total, p.app.c_str(), p.variant.c_str());
+        },
+        &ack);
+    if (!s.ok())
+        return serviceFailure(s);
+    if (ack.coalesced)
+        std::fprintf(stderr,
+                     "apexc: coalesced with an identical in-flight "
+                     "sweep\n");
+    std::fputs(
+        service::renderSweepText(reply.entries, reply.report).c_str(),
+        stdout);
+    client.goodbye();
+    return service::sweepExitCode(reply);
+}
+
 /** Dispatch to the requested subcommand (the body of main, split out
  * so telemetry artifacts can be written after any exit path). */
 int
@@ -585,15 +711,21 @@ runCommand(int argc, char **argv)
     if (argc < 2) {
         std::fprintf(
             stderr,
-            "usage: apexc <apps|analyze|explore|rtl|dump|sweep> "
-            "[args]\n");
+            "usage: apexc <apps|analyze|explore|rtl|dump|sweep|"
+            "client|--version> [args]\n");
         return 2;
     }
     const std::string cmd = argv[1];
+    if (cmd == "--version" || cmd == "version") {
+        std::printf("%s\n", service::versionString().c_str());
+        return 0;
+    }
     if (cmd == "apps")
         return cmdApps();
     if (cmd == "sweep")
         return cmdSweep(argc, argv);
+    if (cmd == "client")
+        return cmdClient(argc, argv);
     if (argc < 3) {
         std::fprintf(stderr, "apexc %s: missing application\n",
                      cmd.c_str());
@@ -658,7 +790,23 @@ main(int argc, char **argv)
             flagValue(argc, argv, "--metrics-out");
         if (trace_path != nullptr)
             telemetry::setTracingEnabled(true);
+        // --metrics-interval MS: rewrite the metrics file while the
+        // command runs (long sweeps become observable in flight).
+        std::unique_ptr<telemetry::PeriodicMetricsWriter> periodic;
+        if (const char *s =
+                flagValue(argc, argv, "--metrics-interval")) {
+            if (metrics_path == nullptr) {
+                std::fprintf(stderr,
+                             "apexc: --metrics-interval requires "
+                             "--metrics-out FILE\n");
+                return exitCodeFor(ErrorCode::kInvalidArgument);
+            }
+            periodic =
+                std::make_unique<telemetry::PeriodicMetricsWriter>(
+                    metrics_path, std::atof(s));
+        }
         const int rc = runCommand(argc, argv);
+        periodic.reset(); // Join the flusher (final flush included).
         if (!writeTelemetryArtifacts(trace_path, metrics_path) &&
             rc == 0)
             return exitCodeFor(ErrorCode::kInvalidArgument);

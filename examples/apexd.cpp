@@ -1,0 +1,149 @@
+/**
+ * apexd — the APEX DSE service daemon.
+ *
+ * Usage:
+ *   apexd --socket PATH [--tcp-port N] [--executors N] [--jobs N]
+ *         [--queue-depth N] [--cache-dir DIR]
+ *         [--metrics-out FILE [--metrics-interval MS]]
+ *         [--admission-hold-ms MS]
+ *   apexd --version
+ *
+ * The daemon loads the application set once, keeps the
+ * content-addressed artifact cache hot across requests, and serves
+ * sweep / info / metrics requests from `apexc client ...` over a
+ * Unix-domain socket (optionally TCP on 127.0.0.1).  Identical
+ * concurrent sweep requests coalesce onto one execution; a full
+ * admission queue rejects with an explicit frame (see
+ * src/service/server.hpp and DESIGN.md Sec. 7g).
+ *
+ * SIGTERM / SIGINT shut down gracefully: listeners close, queued
+ * requests are abandoned, running sweeps cancel cooperatively (their
+ * subscribers receive a cancelled report), and every thread is
+ * joined before exit.
+ *
+ * --metrics-out FILE dumps the telemetry registry on exit;
+ * --metrics-interval MS also rewrites it periodically (atomic
+ * rename), so `apex.service.*` counters are observable while the
+ * daemon runs.  --admission-hold-ms is a test knob that widens the
+ * coalescing window deterministically; leave it 0 in production.
+ */
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+
+#include <poll.h>
+
+#include "runtime/telemetry.hpp"
+#include "service/server.hpp"
+#include "service/version.hpp"
+
+namespace {
+
+using namespace apex;
+
+/** SIGTERM/SIGINT latch; the main thread polls it. */
+volatile std::sig_atomic_t g_shutdown = 0;
+
+extern "C" void
+onShutdown(int /*signum*/)
+{
+    g_shutdown = 1;
+}
+
+const char *
+flagValue(int argc, char **argv, const char *flag)
+{
+    for (int i = 0; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], flag) == 0)
+            return argv[i + 1];
+    return nullptr;
+}
+
+bool
+hasFlag(int argc, char **argv, const char *flag)
+{
+    for (int i = 0; i < argc; ++i)
+        if (std::strcmp(argv[i], flag) == 0)
+            return true;
+    return false;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (hasFlag(argc, argv, "--version")) {
+        std::printf("%s\n", service::versionString().c_str());
+        return 0;
+    }
+
+    service::ServerOptions options;
+    if (const char *s = flagValue(argc, argv, "--socket"))
+        options.unix_path = s;
+    if (options.unix_path.empty()) {
+        std::fprintf(stderr,
+                     "usage: apexd --socket PATH [--tcp-port N] "
+                     "[--executors N] [--jobs N] [--queue-depth N] "
+                     "[--cache-dir DIR] [--metrics-out FILE "
+                     "[--metrics-interval MS]]\n");
+        return 2;
+    }
+    if (const char *s = flagValue(argc, argv, "--tcp-port"))
+        options.tcp_port = std::atoi(s);
+    if (const char *s = flagValue(argc, argv, "--executors"))
+        options.executors = std::atoi(s);
+    if (const char *s = flagValue(argc, argv, "--jobs"))
+        options.jobs = std::atoi(s);
+    if (const char *s = flagValue(argc, argv, "--queue-depth"))
+        options.queue_depth =
+            static_cast<std::size_t>(std::atoi(s));
+    if (const char *s = flagValue(argc, argv, "--cache-dir"))
+        options.cache_dir = s;
+    if (const char *s = flagValue(argc, argv, "--admission-hold-ms"))
+        options.admission_hold_ms = std::atof(s);
+
+    const char *metrics_path = flagValue(argc, argv, "--metrics-out");
+    std::unique_ptr<telemetry::PeriodicMetricsWriter> periodic;
+    if (const char *s = flagValue(argc, argv, "--metrics-interval")) {
+        if (metrics_path == nullptr) {
+            std::fprintf(stderr,
+                         "apexd: --metrics-interval requires "
+                         "--metrics-out FILE\n");
+            return 2;
+        }
+        periodic = std::make_unique<telemetry::PeriodicMetricsWriter>(
+            metrics_path, std::atof(s));
+    }
+
+    service::Server server(options);
+    if (const Status s = server.start(); !s.ok()) {
+        std::fprintf(stderr, "apexd: %s\n", s.toString().c_str());
+        return exitCodeFor(s.code());
+    }
+    std::fprintf(stderr, "apexd: %s\n",
+                 service::versionString().c_str());
+    std::fprintf(stderr, "apexd: listening on %s",
+                 options.unix_path.c_str());
+    if (server.tcpPort() > 0)
+        std::fprintf(stderr, " and 127.0.0.1:%d", server.tcpPort());
+    std::fprintf(stderr, "\n");
+
+    std::signal(SIGTERM, onShutdown);
+    std::signal(SIGINT, onShutdown);
+    while (g_shutdown == 0)
+        ::poll(nullptr, 0, 200); // EINTR on a signal ends the nap.
+
+    std::fprintf(stderr, "apexd: shutting down\n");
+    server.stop();
+    if (periodic != nullptr) {
+        periodic.reset(); // Destructor = final flush.
+    } else if (metrics_path != nullptr) {
+        std::ofstream os(metrics_path, std::ios::binary);
+        os << telemetry::Registry::instance().jsonDump();
+    }
+    return 0;
+}

@@ -1,0 +1,139 @@
+#ifndef APEX_CORE_ENCODING_H_
+#define APEX_CORE_ENCODING_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "core/status.hpp"
+
+/**
+ * @file
+ * Text-payload encoding primitives shared by every layer that
+ * serializes pipeline state into checksummed frames: the sweep
+ * journal (core/journal.cpp), the worker-pool task protocol and the
+ * service wire protocol (src/service/protocol.cpp).
+ *
+ * The format is deliberately dumb: length-prefixed strings
+ * (`<len>\n<bytes>\n`) make every field safe to hold newlines,
+ * spaces or arbitrary bytes (error messages do), and integers are
+ * plain decimal fields.  All framing-level integrity (checksums,
+ * versioning, truncation detection) lives a layer below, in
+ * runtime/record.hpp — these helpers only need to be unambiguous,
+ * not self-validating.
+ *
+ * Every decoder returns false on malformed input instead of
+ * throwing; callers treat a false as frame corruption.
+ */
+
+namespace apex::core::enc {
+
+/** Write one length-prefixed string. */
+inline void
+putStr(std::ostream &os, std::string_view s)
+{
+    os << s.size() << '\n';
+    os.write(s.data(), static_cast<std::streamsize>(s.size()));
+    os << '\n';
+}
+
+/** Read one length-prefixed string; false on malformed input. */
+inline bool
+getStr(std::istream &is, std::string *out)
+{
+    std::size_t n = 0;
+    if (!(is >> n))
+        return false;
+    if (is.get() != '\n')
+        return false;
+    out->resize(n);
+    if (n > 0 && !is.read(out->data(), static_cast<std::streamsize>(n)))
+        return false;
+    return is.get() == '\n';
+}
+
+/** Write a Status: code, message, context chain. */
+inline void
+putStatus(std::ostream &os, const Status &s)
+{
+    os << static_cast<int>(s.code()) << '\n';
+    putStr(os, s.message());
+    os << s.context().size() << '\n';
+    for (const std::string &frame : s.context())
+        putStr(os, frame);
+}
+
+/** Inverse of putStatus(); false on malformed input. */
+inline bool
+getStatus(std::istream &is, Status *out)
+{
+    int code = 0;
+    std::string message;
+    std::size_t nframes = 0;
+    if (!(is >> code))
+        return false;
+    is.get();
+    if (!getStr(is, &message))
+        return false;
+    if (!(is >> nframes))
+        return false;
+    is.get();
+    Status s = code == 0 ? Status::okStatus()
+                         : Status(static_cast<ErrorCode>(code),
+                                  std::move(message));
+    for (std::size_t i = 0; i < nframes; ++i) {
+        std::string frame;
+        if (!getStr(is, &frame))
+            return false;
+        // The rvalue overload appends to s in place and returns a
+        // reference to s itself; assigning that back would self-move.
+        (void)std::move(s).withContext(std::move(frame));
+    }
+    *out = std::move(s);
+    return true;
+}
+
+/** Write a Diagnostics sink record by record. */
+inline void
+putDiagnostics(std::ostream &os, const Diagnostics &d)
+{
+    os << d.records().size() << '\n';
+    for (const DiagnosticRecord &r : d.records()) {
+        os << static_cast<int>(r.severity) << ' '
+           << static_cast<int>(r.code) << ' ' << r.attempt << '\n';
+        putStr(os, r.stage);
+        putStr(os, r.message);
+        putStr(os, r.scope);
+    }
+}
+
+/** Inverse of putDiagnostics(); appends to @p out, false on
+ * malformed input. */
+inline bool
+getDiagnostics(std::istream &is, Diagnostics *out)
+{
+    std::size_t n = 0;
+    if (!(is >> n))
+        return false;
+    is.get();
+    for (std::size_t i = 0; i < n; ++i) {
+        DiagnosticRecord r;
+        int severity = 0;
+        int code = 0;
+        if (!(is >> severity >> code >> r.attempt))
+            return false;
+        is.get();
+        r.severity = static_cast<Severity>(severity);
+        r.code = static_cast<ErrorCode>(code);
+        if (!getStr(is, &r.stage) || !getStr(is, &r.message) ||
+            !getStr(is, &r.scope))
+            return false;
+        out->report(std::move(r));
+    }
+    return true;
+}
+
+} // namespace apex::core::enc
+
+#endif // APEX_CORE_ENCODING_H_

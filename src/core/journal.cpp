@@ -3,12 +3,18 @@
 #include <cstdio>
 #include <sstream>
 
+#include "core/encoding.hpp"
 #include "core/fault.hpp"
 #include "runtime/telemetry.hpp"
 
 namespace apex::core {
 
 namespace {
+
+// Payload primitives (length-prefixed strings, Status, Diagnostics)
+// are shared with the worker-pool and service protocols — see
+// core/encoding.hpp.
+using namespace enc;
 
 constexpr std::string_view kJournalMagic = "apexsweep";
 constexpr int kJournalVersion = 1;
@@ -20,109 +26,6 @@ hex64(std::uint64_t v)
     std::snprintf(buf, sizeof buf, "%016llx",
                   static_cast<unsigned long long>(v));
     return buf;
-}
-
-// --- payload primitives ----------------------------------------------
-// Length-prefixed strings make every other field safe to hold
-// newlines, spaces, or arbitrary bytes (error messages do).
-
-void
-putStr(std::ostream &os, std::string_view s)
-{
-    os << s.size() << '\n';
-    os.write(s.data(), static_cast<std::streamsize>(s.size()));
-    os << '\n';
-}
-
-bool
-getStr(std::istream &is, std::string *out)
-{
-    std::size_t n = 0;
-    if (!(is >> n))
-        return false;
-    if (is.get() != '\n')
-        return false;
-    out->resize(n);
-    if (n > 0 && !is.read(out->data(), static_cast<std::streamsize>(n)))
-        return false;
-    return is.get() == '\n';
-}
-
-void
-putStatus(std::ostream &os, const Status &s)
-{
-    os << static_cast<int>(s.code()) << '\n';
-    putStr(os, s.message());
-    os << s.context().size() << '\n';
-    for (const std::string &frame : s.context())
-        putStr(os, frame);
-}
-
-bool
-getStatus(std::istream &is, Status *out)
-{
-    int code = 0;
-    std::string message;
-    std::size_t nframes = 0;
-    if (!(is >> code))
-        return false;
-    is.get();
-    if (!getStr(is, &message))
-        return false;
-    if (!(is >> nframes))
-        return false;
-    is.get();
-    Status s = code == 0
-                   ? Status::okStatus()
-                   : Status(static_cast<ErrorCode>(code),
-                            std::move(message));
-    for (std::size_t i = 0; i < nframes; ++i) {
-        std::string frame;
-        if (!getStr(is, &frame))
-            return false;
-        // The rvalue overload appends to s in place and returns a
-        // reference to s itself; assigning that back would self-move.
-        (void)std::move(s).withContext(std::move(frame));
-    }
-    *out = std::move(s);
-    return true;
-}
-
-void
-putDiagnostics(std::ostream &os, const Diagnostics &d)
-{
-    os << d.records().size() << '\n';
-    for (const DiagnosticRecord &r : d.records()) {
-        os << static_cast<int>(r.severity) << ' '
-           << static_cast<int>(r.code) << ' ' << r.attempt << '\n';
-        putStr(os, r.stage);
-        putStr(os, r.message);
-        putStr(os, r.scope);
-    }
-}
-
-bool
-getDiagnostics(std::istream &is, Diagnostics *out)
-{
-    std::size_t n = 0;
-    if (!(is >> n))
-        return false;
-    is.get();
-    for (std::size_t i = 0; i < n; ++i) {
-        DiagnosticRecord r;
-        int severity = 0;
-        int code = 0;
-        if (!(is >> severity >> code >> r.attempt))
-            return false;
-        is.get();
-        r.severity = static_cast<Severity>(severity);
-        r.code = static_cast<ErrorCode>(code);
-        if (!getStr(is, &r.stage) || !getStr(is, &r.message) ||
-            !getStr(is, &r.scope))
-            return false;
-        out->report(std::move(r));
-    }
-    return true;
 }
 
 // --- record payloads -------------------------------------------------

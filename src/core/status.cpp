@@ -25,6 +25,7 @@ errorCodeName(ErrorCode code)
       case ErrorCode::kCancelled:         return "Cancelled";
       case ErrorCode::kInternal:          return "Internal";
       case ErrorCode::kWorkerCrashed:     return "WorkerCrashed";
+      case ErrorCode::kUnavailable:       return "Unavailable";
     }
     return "Unknown";
 }
@@ -48,6 +49,7 @@ exitCodeFor(ErrorCode code)
       case ErrorCode::kInternal:          return 13;
       case ErrorCode::kCancelled:         return 14;
       case ErrorCode::kWorkerCrashed:     return 15;
+      case ErrorCode::kUnavailable:       return 16;
     }
     return 1;
 }
@@ -68,6 +70,7 @@ stageForCode(ErrorCode code)
       case ErrorCode::kTimeout:           return "deadline";
       case ErrorCode::kCancelled:         return "runtime";
       case ErrorCode::kWorkerCrashed:     return "worker";
+      case ErrorCode::kUnavailable:       return "service";
       default:                            return "unknown";
     }
 }

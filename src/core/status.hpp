@@ -50,6 +50,7 @@ enum class ErrorCode {
     kCancelled,         ///< Cooperatively cancelled before running.
     kInternal,          ///< Unexpected exception / logic error.
     kWorkerCrashed,     ///< Worker process died evaluating a cell.
+    kUnavailable,       ///< Service unreachable / refusing work.
 };
 
 /** Stable identifier, e.g. "RouteFailed". */

@@ -94,13 +94,23 @@ elapsedUs(Clock::time_point from)
             .count());
 }
 
-/**
- * Fingerprint of every input that shapes the sweep's work: the app
- * set, the recipe, the evaluation knobs, the tech model and the
- * explorer configuration.  Deadlines and job counts are deliberately
- * excluded — they decide how fast cells complete, never what they
- * contain — so a resumed run may use different budgets.
- */
+/** Move @p v into @p cell, caching the fields the report needs even
+ * after the variant itself is gone (or was never rebuilt). */
+void
+setVariant(Cell &cell, PeVariant v)
+{
+    cell.present = true;
+    cell.name = v.name;
+    cell.non_optimal_merges = v.non_optimal_merges;
+    cell.merge_timeouts = v.merge_timeouts;
+    cell.variant = std::move(v);
+}
+
+} // namespace
+
+// Declared in sweep.hpp; see the header comment.  Defined outside the
+// anonymous namespace because the service layer keys request
+// coalescing on it.
 std::uint64_t
 sweepFingerprint(const std::vector<apps::AppInfo> &apps,
                  const Explorer &explorer,
@@ -143,17 +153,7 @@ sweepFingerprint(const std::vector<apps::AppInfo> &apps,
     return f.digest();
 }
 
-/** Move @p v into @p cell, caching the fields the report needs even
- * after the variant itself is gone (or was never rebuilt). */
-void
-setVariant(Cell &cell, PeVariant v)
-{
-    cell.present = true;
-    cell.name = v.name;
-    cell.non_optimal_merges = v.non_optimal_merges;
-    cell.merge_timeouts = v.merge_timeouts;
-    cell.variant = std::move(v);
-}
+namespace {
 
 /** Cheap fallback knobs for the degraded retry of a timed-out cell:
  * one placement attempt, no track escalation, at most two fabric
@@ -384,6 +384,25 @@ runSweep(const std::vector<apps::AppInfo> &apps,
 
     const std::atomic<bool> *cancel = options.cancel;
     std::vector<AppSlot> slots(apps.size());
+
+    // Progress reporting: cells completed so far, against the recipe
+    // upper bound.  Shared by the in-process eval tasks and the
+    // worker-pool integration loop below.
+    std::atomic<int> progress_done{0};
+    const int progress_total = static_cast<int>(apps.size()) * 3;
+    const auto reportProgress = [&options, &progress_done,
+                                 progress_total](
+                                    const std::string &app,
+                                    const std::string &variant) {
+        if (!options.progress)
+            return;
+        SweepProgress p;
+        p.done = progress_done.fetch_add(1) + 1;
+        p.total = progress_total;
+        p.app = app;
+        p.variant = variant;
+        options.progress(p);
+    };
     SweepCounters &counters = sweepCounters();
     const long long tasks_before = counters.tasks.value();
     const long long build_us_before = counters.build_us.value();
@@ -522,8 +541,8 @@ runSweep(const std::vector<apps::AppInfo> &apps,
             graph.add(
                 "eval:" + app.name + "#" + std::to_string(j),
                 [&options, &graph, &app, &cell, cancel, &eval_opts,
-                 &tech, &counters, &journal, app_index,
-                 j]() -> Status {
+                 &tech, &counters, &journal, &reportProgress,
+                 app_index, j]() -> Status {
                     if (cell.ran) // replayed from the journal
                         return Status::okStatus();
                     if (cancel != nullptr && cancel->load()) {
@@ -550,6 +569,7 @@ runSweep(const std::vector<apps::AppInfo> &apps,
                     rec.variant = cell.name;
                     rec.result = r;
                     journal.appendCell(rec);
+                    reportProgress(app.name, cell.name);
                     return Status::okStatus();
                 },
                 {build});
@@ -678,6 +698,7 @@ runSweep(const std::vector<apps::AppInfo> &apps,
                 cell.ran = true;
                 cell.result = rec.result;
                 journal.appendCell(rec);
+                reportProgress(apps[work[k].app].name, cell.name);
             }
             out.stats.worker_restarts = workers.stats().restarts;
             out.stats.worker_retries = workers.stats().retries;

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -67,6 +68,15 @@ enum class IsolateMode {
     kProcess,
 };
 
+/** One completed cell evaluation, reported through
+ * SweepOptions::progress while the sweep is still running. */
+struct SweepProgress {
+    int done = 0;  ///< Evaluations completed so far (this sweep).
+    int total = 0; ///< Upper bound: 3 recipe cells per application.
+    std::string app;
+    std::string variant;
+};
+
 /** Sweep configuration. */
 struct SweepOptions {
     EvalLevel level = EvalLevel::kPostMapping;
@@ -90,6 +100,11 @@ struct SweepOptions {
     /** Cooperative cancellation: when it reads true, unstarted cells
      * finish as kCancelled skips instead of evaluating. */
     const std::atomic<bool> *cancel = nullptr;
+    /** Invoked after each fresh cell evaluation completes, from
+     * whichever lane (or worker supervisor) finished it — the callee
+     * must be thread-safe.  Replayed cells do not fire.  Purely
+     * observational: it never affects the report. */
+    std::function<void(const SweepProgress &)> progress;
 
     /** Wall-clock bound for the whole sweep.  Cells (and builds) that
      * cannot start before it expires are recorded as kTimeout
@@ -161,6 +176,19 @@ struct SweepOutcome {
     ExplorationReport report;        ///< Roll-up incl. failures.
     SweepRuntimeStats stats;         ///< Parallel-runtime counters.
 };
+
+/**
+ * Fingerprint of every input that shapes a sweep's work: the app set,
+ * the recipe, the evaluation knobs, the tech model and the explorer
+ * configuration.  Deadlines and job counts are deliberately excluded
+ * — they decide how fast cells complete, never what they contain —
+ * so a resumed run may use different budgets.  Doubles as the
+ * journal identity and the service layer's request-coalescing key.
+ */
+std::uint64_t sweepFingerprint(const std::vector<apps::AppInfo> &apps,
+                               const Explorer &explorer,
+                               const model::TechModel &tech,
+                               const SweepOptions &options);
 
 /** Evaluate @p apps across the variant recipe, surviving failures. */
 SweepOutcome runSweep(const std::vector<apps::AppInfo> &apps,

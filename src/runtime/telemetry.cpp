@@ -691,6 +691,61 @@ Registry::resetForTesting()
     }
 }
 
+PeriodicMetricsWriter::PeriodicMetricsWriter(std::string path,
+                                             double interval_ms)
+    : path_(std::move(path)), interval_ms_(interval_ms)
+{
+    thread_ = std::thread([this] { threadMain(); });
+}
+
+PeriodicMetricsWriter::~PeriodicMetricsWriter()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    (void)flushNow();
+}
+
+bool
+PeriodicMetricsWriter::flushNow()
+{
+    // Write-to-temp + rename keeps every observed state of the file a
+    // complete dump; rename(2) is atomic within a filesystem.
+    const std::string dump = Registry::instance().jsonDump();
+    const std::string tmp = path_ + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    const bool wrote =
+        std::fwrite(dump.data(), 1, dump.size(), f) == dump.size();
+    const bool closed = std::fclose(f) == 0;
+    if (!wrote || !closed ||
+        std::rename(tmp.c_str(), path_.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    flushes_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+void
+PeriodicMetricsWriter::threadMain()
+{
+    const auto interval = std::chrono::duration<double, std::milli>(
+        interval_ms_ > 0 ? interval_ms_ : 1000.0);
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+        if (cv_.wait_for(lock, interval, [this] { return stop_; }))
+            return; // Destructor performs the final flush.
+        lock.unlock();
+        (void)flushNow();
+        lock.lock();
+    }
+}
+
 StageTimer::StageTimer(Histogram &h)
     : histogram_(h), t0_ns_(monotonicNanos())
 {

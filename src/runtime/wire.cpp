@@ -6,6 +6,7 @@
 #include <cstring>
 #include <sstream>
 
+#include <poll.h>
 #include <unistd.h>
 
 #include "runtime/cache.hpp"
@@ -18,12 +19,6 @@ namespace {
 // this bound is garbage, not a slow pipe.
 constexpr std::size_t kMaxHeaderBytes = 256;
 
-// Upper bound on a single frame payload (64 MiB).  A length field
-// beyond this is corruption — honoring it would let one flipped bit
-// make the supervisor buffer unbounded memory waiting for bytes that
-// will never arrive.
-constexpr std::size_t kMaxPayloadBytes = 64u << 20;
-
 } // namespace
 
 void
@@ -32,6 +27,14 @@ FrameDecoder::feed(const char *data, std::size_t n)
     if (corrupt_)
         return;
     buffer_.append(data, n);
+}
+
+DecodeResult
+FrameDecoder::poison(std::string reason)
+{
+    corrupt_ = true;
+    reason_ = std::move(reason);
+    return DecodeResult::kCorrupt;
 }
 
 DecodeResult
@@ -48,16 +51,14 @@ FrameDecoder::next(FramedRecord *out)
 
     const std::size_t header_end = buffer_.find('\n', pos_);
     if (header_end == std::string::npos) {
-        if (buffer_.size() - pos_ > kMaxHeaderBytes) {
-            corrupt_ = true;
-            return DecodeResult::kCorrupt;
-        }
+        if (buffer_.size() - pos_ > kMaxHeaderBytes)
+            return poison("frame header exceeds " +
+                          std::to_string(kMaxHeaderBytes) + " bytes");
         return DecodeResult::kNeedMore;
     }
-    if (header_end - pos_ > kMaxHeaderBytes) {
-        corrupt_ = true;
-        return DecodeResult::kCorrupt;
-    }
+    if (header_end - pos_ > kMaxHeaderBytes)
+        return poison("frame header exceeds " +
+                      std::to_string(kMaxHeaderBytes) + " bytes");
 
     std::istringstream header(
         buffer_.substr(pos_, header_end - pos_));
@@ -68,29 +69,56 @@ FrameDecoder::next(FramedRecord *out)
     if (!(header >> magic >> version >> type) || magic != magic_ ||
         version != version_ || !(header >> field) || field != "sum" ||
         !(header >> std::hex >> checksum >> std::dec) ||
-        !(header >> field >> payload_len) || field != "len" ||
-        payload_len > kMaxPayloadBytes) {
-        corrupt_ = true;
-        return DecodeResult::kCorrupt;
+        !(header >> field >> payload_len) || field != "len") {
+        if (magic == magic_ && version != version_)
+            return poison("frame version mismatch: stream speaks v" +
+                          std::to_string(version) + ", decoder v" +
+                          std::to_string(version_));
+        return poison("malformed frame header");
     }
+    if (payload_len > max_payload_)
+        return poison("frame payload of " +
+                      std::to_string(payload_len) +
+                      " bytes exceeds the " +
+                      std::to_string(max_payload_) + "-byte limit");
 
     const std::size_t body_start = header_end + 1;
     // Payload plus its trailing newline.
     if (buffer_.size() - body_start < payload_len + 1)
         return DecodeResult::kNeedMore;
-    if (buffer_[body_start + payload_len] != '\n') {
-        corrupt_ = true;
-        return DecodeResult::kCorrupt;
-    }
+    if (buffer_[body_start + payload_len] != '\n')
+        return poison("frame payload missing terminator");
     std::string payload = buffer_.substr(body_start, payload_len);
-    if (fnv1a64(payload) != checksum) {
-        corrupt_ = true;
-        return DecodeResult::kCorrupt;
-    }
+    if (fnv1a64(payload) != checksum)
+        return poison("frame payload checksum mismatch");
     out->type = std::move(type);
     out->payload = std::move(payload);
     pos_ = body_start + payload_len + 1;
     return DecodeResult::kFrame;
+}
+
+DrainResult
+drainFd(int fd, FrameDecoder &decoder)
+{
+    char buf[16384];
+    for (;;) {
+        const ssize_t n = ::read(fd, buf, sizeof buf);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return DrainResult::kOpen;
+            return DrainResult::kError;
+        }
+        if (n == 0)
+            return DrainResult::kEof;
+        decoder.feed(buf, static_cast<std::size_t>(n));
+        // A short read means the stream is (momentarily) drained; on
+        // a blocking fd looping again would wait for bytes that may
+        // never come.
+        if (static_cast<std::size_t>(n) < sizeof buf)
+            return DrainResult::kOpen;
+    }
 }
 
 Status
@@ -103,6 +131,15 @@ writeAll(int fd, std::string_view bytes)
         if (n < 0) {
             if (errno == EINTR)
                 continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                // Non-blocking fd (a service socket) with a full
+                // kernel buffer: wait until writable, then retry.  A
+                // blocking fd never reports EAGAIN, so the worker
+                // pool's pipes skip this path entirely.
+                struct pollfd pfd = {fd, POLLOUT, 0};
+                (void)::poll(&pfd, 1, -1);
+                continue;
+            }
             return Status(ErrorCode::kInternal,
                           "pipe write failed: " +
                               std::string(std::strerror(errno)));
@@ -118,6 +155,13 @@ writeFrame(int fd, std::string_view type, std::string_view payload)
     return writeAll(fd,
                     encodeFrame(kWireMagic, kWireVersion, type,
                                 payload));
+}
+
+Status
+writeFrame(int fd, std::string_view magic, int version,
+           std::string_view type, std::string_view payload)
+{
+    return writeAll(fd, encodeFrame(magic, version, type, payload));
 }
 
 } // namespace apex::runtime

@@ -10,26 +10,34 @@
 
 /**
  * @file
- * Length-framed, checksummed pipe protocol — the wire layer of the
- * supervised worker pool (runtime/worker_pool.hpp).
+ * Length-framed, checksummed byte-stream protocol — the wire layer of
+ * the supervised worker pool (runtime/worker_pool.hpp) and the DSE
+ * service daemon (src/service/).
  *
  * Frames reuse the exact on-disk format of runtime/record.hpp
  * (`<magic> <version> <type> sum <fnv1a64-hex> len <N>\n<payload>\n`),
  * so the same header-before-payload discipline that protects the WAL
- * protects the pipes: a schema skew is detected before the payload is
- * interpreted, and a torn or bit-flipped payload reads as corruption,
- * never as a silently-wrong result.  The difference from a file is
- * that a pipe delivers bytes incrementally, so decoding needs an
- * incremental front end: FrameDecoder buffers fed bytes and
- * distinguishes "frame complete", "need more bytes" and "stream is
- * poisoned".
+ * protects the pipes and sockets: a schema skew is detected before the
+ * payload is interpreted, and a torn or bit-flipped payload reads as
+ * corruption, never as a silently-wrong result.  The difference from a
+ * file is that a pipe or socket delivers bytes incrementally, so
+ * decoding needs an incremental front end: FrameDecoder buffers fed
+ * bytes and distinguishes "frame complete", "need more bytes" and
+ * "stream is poisoned".
  *
- * Corruption on a pipe is not recoverable the way a WAL tail is:
- * once framing is lost there is no resynchronization point, so a
- * corrupt decoder stays corrupt and the supervisor's only safe move
- * is to kill and restart the worker behind it.  That is exactly the
- * supervision-tree contract — a garbled worker is indistinguishable
- * from a crashed one.
+ * Corruption on a byte stream is not recoverable the way a WAL tail
+ * is: once framing is lost there is no resynchronization point, so a
+ * corrupt decoder stays corrupt and the owner's only safe move is to
+ * drop the peer (kill the worker, close the connection).  That is
+ * exactly the supervision-tree contract — a garbled peer is
+ * indistinguishable from a crashed one.
+ *
+ * Resource bounds: a decoder enforces an explicit maximum frame size
+ * (max_payload at construction, kMaxFramePayloadBytes by default).  A
+ * length field beyond the bound reads as corruption with a clean
+ * reason — honoring it would let one flipped bit (or one hostile
+ * client) make the receiving process buffer unbounded memory waiting
+ * for bytes that will never arrive.
  */
 
 namespace apex::runtime {
@@ -37,6 +45,9 @@ namespace apex::runtime {
 /** Magic + schema version of worker-pool pipe frames. */
 inline constexpr std::string_view kWireMagic = "apexwire";
 inline constexpr int kWireVersion = 1;
+
+/** Default upper bound on a single frame payload (64 MiB). */
+inline constexpr std::size_t kMaxFramePayloadBytes = 64u << 20;
 
 /** Outcome of one FrameDecoder::next() call. */
 enum class DecodeResult {
@@ -46,18 +57,24 @@ enum class DecodeResult {
 };
 
 /**
- * Incremental frame decoder for one pipe.  feed() appends raw bytes;
- * next() extracts complete frames in order.  After the first corrupt
- * frame the decoder latches kCorrupt forever — a byte stream with
- * broken framing cannot be resynchronized.
+ * Incremental frame decoder for one byte stream.  feed() appends raw
+ * bytes; next() extracts complete frames in order.  After the first
+ * corrupt frame the decoder latches kCorrupt forever — a byte stream
+ * with broken framing cannot be resynchronized — and corruptReason()
+ * names what was wrong (bad header, oversized length, checksum
+ * mismatch, ...) so the owner can report a useful error instead of a
+ * bare "corrupt".
  */
 class FrameDecoder {
   public:
     explicit FrameDecoder(std::string_view magic = kWireMagic,
-                          int version = kWireVersion)
-        : magic_(magic), version_(version) {}
+                          int version = kWireVersion,
+                          std::size_t max_payload =
+                              kMaxFramePayloadBytes)
+        : magic_(magic), version_(version),
+          max_payload_(max_payload) {}
 
-    /** Append @p n raw bytes from the pipe. */
+    /** Append @p n raw bytes from the stream. */
     void feed(const char *data, std::size_t n);
 
     /** Extract the next complete frame into @p out (kFrame only). */
@@ -66,25 +83,57 @@ class FrameDecoder {
     /** True once any frame failed to decode. */
     bool corrupt() const { return corrupt_; }
 
+    /** Why the decoder latched corrupt ("" while healthy). */
+    const std::string &corruptReason() const { return reason_; }
+
+    /** Largest payload this decoder will accept. */
+    std::size_t maxPayload() const { return max_payload_; }
+
     /** Bytes buffered but not yet consumed (tests / diagnostics). */
     std::size_t buffered() const { return buffer_.size() - pos_; }
 
   private:
+    DecodeResult poison(std::string reason);
+
     std::string magic_;
     int version_ = 0;
+    std::size_t max_payload_ = kMaxFramePayloadBytes;
     std::string buffer_;
     std::size_t pos_ = 0; ///< Consumed prefix of buffer_.
     bool corrupt_ = false;
+    std::string reason_;
 };
+
+/** Outcome of one drainFd() call. */
+enum class DrainResult {
+    kOpen,  ///< Everything currently readable was fed; stream open.
+    kEof,   ///< Peer closed the stream (after feeding what remained).
+    kError, ///< read() failed (not EINTR/EAGAIN).
+};
+
+/**
+ * Feed @p decoder every byte currently readable from @p fd without
+ * blocking past the available data: loops read() until EAGAIN (on a
+ * non-blocking fd), EOF or error.  On a *blocking* fd the first read
+ * may wait — callers poll()/ppoll() first.  Shared by the worker-pool
+ * supervisor and the service daemon's socket sessions.
+ */
+DrainResult drainFd(int fd, FrameDecoder &decoder);
 
 /** write() @p bytes to @p fd completely, retrying short writes and
  * EINTR.  The caller must ignore SIGPIPE; a closed peer reports a
  * Status instead of killing the process. */
 Status writeAll(int fd, std::string_view bytes);
 
-/** Encode one wire frame and write it to @p fd completely. */
+/** Encode one worker-pool wire frame and write it to @p fd
+ * completely. */
 Status writeFrame(int fd, std::string_view type,
                   std::string_view payload);
+
+/** Encode one frame of an arbitrary protocol (magic/version chosen by
+ * the caller, e.g. the service protocol) and write it to @p fd. */
+Status writeFrame(int fd, std::string_view magic, int version,
+                  std::string_view type, std::string_view payload);
 
 } // namespace apex::runtime
 

@@ -398,17 +398,11 @@ WorkerPool::run(const std::vector<std::string> &tasks)
         }
     };
 
-    // Drain whatever a worker managed to say, then classify.
+    // Drain whatever a worker managed to say, then classify.  (EOF
+    // and read errors need no handling here: worker death is detected
+    // by waitpid, and the decoder just processes what did arrive.)
     const auto drainAndProcess = [&](Worker &w) {
-        char buf[16384];
-        for (;;) {
-            const ssize_t n = ::read(w.resp_fd, buf, sizeof buf);
-            if (n < 0 && errno == EINTR)
-                continue;
-            if (n <= 0)
-                break; // EAGAIN or EOF: nothing more buffered now.
-            w.decoder.feed(buf, static_cast<std::size_t>(n));
-        }
+        (void)drainFd(w.resp_fd, w.decoder);
         FramedRecord frame;
         for (;;) {
             const DecodeResult dr = w.decoder.next(&frame);

@@ -1,0 +1,83 @@
+#ifndef APEX_SERVICE_CLIENT_H_
+#define APEX_SERVICE_CLIENT_H_
+
+#include <functional>
+#include <string>
+
+#include "core/status.hpp"
+#include "runtime/wire.hpp"
+#include "service/protocol.hpp"
+
+/**
+ * @file
+ * Blocking client of the DSE service.
+ *
+ * A Client owns one connection: connect() dials the daemon's
+ * Unix-domain socket (or 127.0.0.1:port) and completes the hello
+ * handshake; the request methods then drive one
+ * request/streamed-response exchange each.  Every failure is a
+ * Status — kUnavailable when the daemon is absent or hangs up,
+ * kInternal on protocol violations — so `apexc client ...` maps
+ * errors to exit codes exactly like every other command.
+ *
+ * The client is synchronous by design: `apexc client sweep` has
+ * nothing to do but wait, and a blocking read loop keeps the
+ * byte-identity path (decode reply -> renderSweepText) trivial to
+ * audit.
+ */
+
+namespace apex::service {
+
+class Client {
+  public:
+    Client() = default;
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /** Dial @p unix_path and complete the hello handshake. */
+    Status connect(const std::string &unix_path);
+
+    /** Dial 127.0.0.1:@p port and complete the hello handshake. */
+    Status connectTcp(int port);
+
+    /** Server build identity (`info` request). */
+    Status info(InfoReply *out);
+
+    /** Telemetry registry snapshot of the daemon (`metrics`
+     * request): the JSON document, verbatim. */
+    Status metrics(std::string *out);
+
+    /**
+     * Run one sweep: send the request, wait through ack | reject,
+     * stream progress frames into @p on_progress (may be null) and
+     * decode the final report into @p reply.  A reject becomes a
+     * Status carrying the daemon's code and reason.  @p ack_out (may
+     * be null) receives the ack — tests read `coalesced` from it.
+     */
+    Status runSweep(const SweepRequest &request, SweepReply *reply,
+                    const std::function<void(const SweepProgressFrame &)>
+                        &on_progress = nullptr,
+                    SweepAck *ack_out = nullptr);
+
+    /** Polite goodbye (bye -> bye.ok); the connection closes. */
+    void goodbye();
+
+    /** Server version string captured at the handshake. */
+    const std::string &serverVersion() const { return server_version_; }
+
+  private:
+    Status handshake();
+    /** Block until one frame arrives (kUnavailable on EOF). */
+    Status readFrame(runtime::FramedRecord *out);
+    Status sendFrame(std::string_view type, std::string_view payload);
+
+    int fd_ = -1;
+    runtime::FrameDecoder decoder_{kServiceMagic, kServiceWireVersion};
+    std::string server_version_;
+};
+
+} // namespace apex::service
+
+#endif // APEX_SERVICE_CLIENT_H_

@@ -1,0 +1,323 @@
+#include "service/protocol.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "core/encoding.hpp"
+#include "core/evaluate.hpp"
+
+namespace apex::service {
+
+namespace {
+
+using namespace core::enc;
+
+/** Hex-float doubles round-trip IEEE values exactly, so a decoded
+ * deadline (or metric) is bit-identical to the encoded one. */
+void
+putDouble(std::ostream &os, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%a", v);
+    os << buf << '\n';
+}
+
+bool
+getDouble(std::istream &is, double *out)
+{
+    std::string tok;
+    if (!(is >> tok))
+        return false;
+    is.get();
+    char *end = nullptr;
+    *out = std::strtod(tok.c_str(), &end);
+    return end != nullptr && *end == '\0' && end != tok.c_str();
+}
+
+} // namespace
+
+// --- hello -----------------------------------------------------------
+
+std::string
+encodeHello(const HelloRequest &req)
+{
+    std::ostringstream os;
+    os << req.protocol << '\n';
+    putStr(os, req.client);
+    return os.str();
+}
+
+bool
+decodeHello(const std::string &payload, HelloRequest *out)
+{
+    std::istringstream is(payload);
+    if (!(is >> out->protocol))
+        return false;
+    is.get();
+    return getStr(is, &out->client);
+}
+
+std::string
+encodeHelloReply(const HelloReply &rep)
+{
+    std::ostringstream os;
+    os << rep.protocol << '\n';
+    putStr(os, rep.server_version);
+    return os.str();
+}
+
+bool
+decodeHelloReply(const std::string &payload, HelloReply *out)
+{
+    std::istringstream is(payload);
+    if (!(is >> out->protocol))
+        return false;
+    is.get();
+    return getStr(is, &out->server_version);
+}
+
+// --- info ------------------------------------------------------------
+
+std::string
+encodeInfoReply(const InfoReply &rep)
+{
+    std::ostringstream os;
+    os << rep.protocol << '\n';
+    putStr(os, rep.version);
+    putStr(os, rep.commit);
+    putStr(os, rep.flags);
+    return os.str();
+}
+
+bool
+decodeInfoReply(const std::string &payload, InfoReply *out)
+{
+    std::istringstream is(payload);
+    if (!(is >> out->protocol))
+        return false;
+    is.get();
+    return getStr(is, &out->version) && getStr(is, &out->commit) &&
+           getStr(is, &out->flags);
+}
+
+// --- sweep request ---------------------------------------------------
+
+std::string
+encodeSweepRequest(const SweepRequest &req)
+{
+    std::ostringstream os;
+    os << req.id << ' ' << req.priority << ' ' << req.cell_retries
+       << ' ' << (req.want_progress ? 1 : 0) << '\n';
+    putStr(os, req.level);
+    putStr(os, req.isolate);
+    putDouble(os, req.deadline_ms);
+    putDouble(os, req.cell_deadline_ms);
+    return os.str();
+}
+
+bool
+decodeSweepRequest(const std::string &payload, SweepRequest *out)
+{
+    std::istringstream is(payload);
+    int want_progress = 0;
+    if (!(is >> out->id >> out->priority >> out->cell_retries >>
+          want_progress))
+        return false;
+    is.get();
+    out->want_progress = want_progress != 0;
+    return getStr(is, &out->level) && getStr(is, &out->isolate) &&
+           getDouble(is, &out->deadline_ms) &&
+           getDouble(is, &out->cell_deadline_ms);
+}
+
+// --- ack / reject ----------------------------------------------------
+
+std::string
+encodeAck(const SweepAck &ack)
+{
+    std::ostringstream os;
+    os << ack.id << ' ' << (ack.coalesced ? 1 : 0) << '\n';
+    return os.str();
+}
+
+bool
+decodeAck(const std::string &payload, SweepAck *out)
+{
+    std::istringstream is(payload);
+    int coalesced = 0;
+    if (!(is >> out->id >> coalesced))
+        return false;
+    out->coalesced = coalesced != 0;
+    return true;
+}
+
+std::string
+encodeReject(const SweepReject &rej)
+{
+    std::ostringstream os;
+    os << rej.id << ' ' << static_cast<int>(rej.code) << '\n';
+    putStr(os, rej.reason);
+    return os.str();
+}
+
+bool
+decodeReject(const std::string &payload, SweepReject *out)
+{
+    std::istringstream is(payload);
+    int code = 0;
+    if (!(is >> out->id >> code))
+        return false;
+    is.get();
+    out->code = static_cast<ErrorCode>(code);
+    return getStr(is, &out->reason);
+}
+
+// --- progress --------------------------------------------------------
+
+std::string
+encodeProgress(const SweepProgressFrame &p)
+{
+    std::ostringstream os;
+    os << p.id << ' ' << p.done << ' ' << p.total << '\n';
+    putStr(os, p.app);
+    putStr(os, p.variant);
+    return os.str();
+}
+
+bool
+decodeProgress(const std::string &payload, SweepProgressFrame *out)
+{
+    std::istringstream is(payload);
+    if (!(is >> out->id >> out->done >> out->total))
+        return false;
+    is.get();
+    return getStr(is, &out->app) && getStr(is, &out->variant);
+}
+
+// --- report ----------------------------------------------------------
+
+std::string
+encodeSweepReply(const SweepReply &rep)
+{
+    std::ostringstream os;
+    os << rep.id << '\n';
+    os << (rep.deadline_bounded ? 1 : 0) << ' '
+       << (rep.deadline_expired ? 1 : 0) << ' '
+       << (rep.cancelled ? 1 : 0) << '\n';
+    os << rep.entries.size() << '\n';
+    for (const core::SweepEntry &e : rep.entries) {
+        putStr(os, e.app);
+        putStr(os, e.variant);
+        putStr(os, core::serializeEvalResult(e.result));
+    }
+    const ExplorationReport &r = rep.report;
+    os << r.evaluated << ' ' << r.skipped << ' ' << r.degraded
+       << '\n';
+    os << r.failures.size() << '\n';
+    for (const StageFailure &f : r.failures) {
+        putStr(os, f.app);
+        putStr(os, f.variant);
+        putStr(os, f.stage);
+        putStatus(os, f.status);
+        os << f.attempts << '\n';
+    }
+    putDiagnostics(os, r.diagnostics);
+    return os.str();
+}
+
+bool
+decodeSweepReply(const std::string &payload, SweepReply *out)
+{
+    std::istringstream is(payload);
+    if (!(is >> out->id))
+        return false;
+    is.get();
+    int bounded = 0;
+    int expired = 0;
+    int cancelled = 0;
+    if (!(is >> bounded >> expired >> cancelled))
+        return false;
+    is.get();
+    out->deadline_bounded = bounded != 0;
+    out->deadline_expired = expired != 0;
+    out->cancelled = cancelled != 0;
+
+    std::size_t n = 0;
+    if (!(is >> n))
+        return false;
+    is.get();
+    out->entries.clear();
+    out->entries.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        core::SweepEntry e;
+        std::string blob;
+        if (!getStr(is, &e.app) || !getStr(is, &e.variant) ||
+            !getStr(is, &blob))
+            return false;
+        Result<core::EvalResult> parsed = core::parseEvalResult(blob);
+        if (!parsed.ok())
+            return false;
+        e.result = std::move(parsed).value();
+        out->entries.push_back(std::move(e));
+    }
+
+    ExplorationReport &r = out->report;
+    r = ExplorationReport{};
+    if (!(is >> r.evaluated >> r.skipped >> r.degraded))
+        return false;
+    is.get();
+    std::size_t nfail = 0;
+    if (!(is >> nfail))
+        return false;
+    is.get();
+    r.failures.reserve(nfail);
+    for (std::size_t i = 0; i < nfail; ++i) {
+        StageFailure f;
+        if (!getStr(is, &f.app) || !getStr(is, &f.variant) ||
+            !getStr(is, &f.stage) || !getStatus(is, &f.status))
+            return false;
+        if (!(is >> f.attempts))
+            return false;
+        is.get();
+        r.failures.push_back(std::move(f));
+    }
+    return getDiagnostics(is, &r.diagnostics);
+}
+
+// --- rendering -------------------------------------------------------
+
+std::string
+renderSweepText(const std::vector<core::SweepEntry> &entries,
+                const ExplorationReport &report)
+{
+    std::string out;
+    char buf[256];
+    for (const core::SweepEntry &e : entries) {
+        std::snprintf(buf, sizeof buf,
+                      "%-10s %-16s pe_count=%-3d pe_area_um2=%-10.1f "
+                      "pe_energy_pj=%.3f\n",
+                      e.app.c_str(), e.variant.c_str(),
+                      e.result.pe_count, e.result.pe_area,
+                      e.result.pe_energy);
+        out += buf;
+    }
+    out += report.summary();
+    out += '\n';
+    return out;
+}
+
+int
+sweepExitCode(const SweepReply &rep)
+{
+    if (rep.cancelled)
+        return exitCodeFor(ErrorCode::kCancelled);
+    if (rep.report.evaluated == 0 && rep.deadline_bounded &&
+        rep.deadline_expired)
+        return exitCodeFor(ErrorCode::kTimeout);
+    if (rep.report.evaluated == 0 && !rep.report.failures.empty())
+        return exitCodeFor(rep.report.failures.front().status.code());
+    return 0;
+}
+
+} // namespace apex::service

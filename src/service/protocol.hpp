@@ -1,0 +1,194 @@
+#ifndef APEX_SERVICE_PROTOCOL_H_
+#define APEX_SERVICE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/status.hpp"
+#include "core/sweep.hpp"
+
+/**
+ * @file
+ * Wire protocol of the DSE service (see DESIGN.md Sec. 7g).
+ *
+ * Frames reuse the checksummed record format of runtime/record.hpp
+ * with their own magic ("apexsvc") and framing version, decoded
+ * incrementally by runtime::FrameDecoder; this header defines the
+ * *payloads* — typed request/reply structs with encode/decode pairs
+ * built on the shared primitives of core/encoding.hpp.  Every
+ * decoder returns false on malformed input; a false after a
+ * checksum-verified frame means a schema skew, and the session is
+ * dropped.
+ *
+ * Conversation shape (client drives):
+ *
+ *   hello           -> hello.ok | hello.err        (version check)
+ *   info            -> info.ok                     (build identity)
+ *   metrics         -> metrics.ok                  (registry JSON)
+ *   sweep           -> ack | reject,
+ *                      then progress* (opt-in), then report
+ *   bye             -> bye.ok, connection closes
+ *
+ * The correctness contract of the sweep path: renderSweepText() over
+ * a decoded SweepReply produces byte-identical stdout to the batch
+ * `apexc sweep` with the same flags — the daemon's job count,
+ * executor assignment and coalescing are invisible in the bytes
+ * (guaranteed by runSweep's determinism contract).
+ */
+
+namespace apex::service {
+
+/** Frame magic + framing version of service sockets (the payload
+ * schema version is kProtocolVersion in version.hpp). */
+inline constexpr std::string_view kServiceMagic = "apexsvc";
+inline constexpr int kServiceWireVersion = 1;
+
+// Frame types.
+inline constexpr std::string_view kFrameHello = "hello";
+inline constexpr std::string_view kFrameHelloOk = "hello.ok";
+inline constexpr std::string_view kFrameHelloErr = "hello.err";
+inline constexpr std::string_view kFrameInfo = "info";
+inline constexpr std::string_view kFrameInfoOk = "info.ok";
+inline constexpr std::string_view kFrameMetrics = "metrics";
+inline constexpr std::string_view kFrameMetricsOk = "metrics.ok";
+inline constexpr std::string_view kFrameSweep = "sweep";
+inline constexpr std::string_view kFrameAck = "ack";
+inline constexpr std::string_view kFrameReject = "reject";
+inline constexpr std::string_view kFrameProgress = "progress";
+inline constexpr std::string_view kFrameReport = "report";
+inline constexpr std::string_view kFrameBye = "bye";
+inline constexpr std::string_view kFrameByeOk = "bye.ok";
+
+// --------------------------------------------------------------------
+// Handshake
+// --------------------------------------------------------------------
+
+/** First frame on every connection. */
+struct HelloRequest {
+    int protocol = 0;   ///< Client's kProtocolVersion.
+    std::string client; ///< Free-form identity ("apexc", a test, ...).
+};
+
+/** hello.ok payload. */
+struct HelloReply {
+    int protocol = 0;           ///< Server's kProtocolVersion.
+    std::string server_version; ///< versionString().
+};
+
+std::string encodeHello(const HelloRequest &req);
+bool decodeHello(const std::string &payload, HelloRequest *out);
+std::string encodeHelloReply(const HelloReply &rep);
+bool decodeHelloReply(const std::string &payload, HelloReply *out);
+
+// --------------------------------------------------------------------
+// Build identity (the `info` request)
+// --------------------------------------------------------------------
+
+/** info.ok payload: enough to diagnose any client/daemon skew. */
+struct InfoReply {
+    int protocol = 0;
+    std::string version; ///< versionString().
+    std::string commit;  ///< buildCommit().
+    std::string flags;   ///< buildFlags().
+};
+
+std::string encodeInfoReply(const InfoReply &rep);
+bool decodeInfoReply(const std::string &payload, InfoReply *out);
+
+// --------------------------------------------------------------------
+// Sweep request / streaming response
+// --------------------------------------------------------------------
+
+/**
+ * One sweep over the built-in application set — the CLI-level knobs
+ * of `apexc sweep`, shipped to the daemon.  The daemon decides the
+ * execution resources (its own job count and executors); runSweep's
+ * determinism contract makes that invisible in the reply bytes.
+ */
+struct SweepRequest {
+    std::uint64_t id = 0;       ///< Client-chosen request id, echoed
+                                ///< in every response frame.
+    int priority = 0;           ///< Higher pops from the queue first.
+    std::string level = "map";  ///< map | pnr | pipe.
+    std::string isolate = "thread"; ///< thread | process.
+    int cell_retries = 2;
+    double deadline_ms = 0.0;      ///< <= 0: unbounded.
+    double cell_deadline_ms = 0.0; ///< <= 0: none.
+    bool want_progress = false;    ///< Stream per-cell progress.
+};
+
+std::string encodeSweepRequest(const SweepRequest &req);
+bool decodeSweepRequest(const std::string &payload, SweepRequest *out);
+
+/** ack payload: the request is queued (or attached to an identical
+ * in-flight sweep). */
+struct SweepAck {
+    std::uint64_t id = 0;
+    bool coalesced = false; ///< Attached to an in-flight request.
+};
+
+std::string encodeAck(const SweepAck &ack);
+bool decodeAck(const std::string &payload, SweepAck *out);
+
+/** reject payload: admission control refused the request. */
+struct SweepReject {
+    std::uint64_t id = 0;
+    ErrorCode code = ErrorCode::kUnavailable;
+    std::string reason;
+};
+
+std::string encodeReject(const SweepReject &rej);
+bool decodeReject(const std::string &payload, SweepReject *out);
+
+/** progress payload: one completed cell (streamed when the request
+ * opted in; attached requests observe cells of the shared sweep). */
+struct SweepProgressFrame {
+    std::uint64_t id = 0;
+    int done = 0;
+    int total = 0;
+    std::string app;
+    std::string variant;
+};
+
+std::string encodeProgress(const SweepProgressFrame &p);
+bool decodeProgress(const std::string &payload,
+                    SweepProgressFrame *out);
+
+/** report payload: the complete sweep outcome.  deadline_bounded /
+ * deadline_expired carry the server-side state the batch CLI reads
+ * locally to pick its exit code. */
+struct SweepReply {
+    std::uint64_t id = 0;
+    bool deadline_bounded = false;
+    bool deadline_expired = false;
+    bool cancelled = false; ///< Daemon shut down mid-sweep.
+    std::vector<core::SweepEntry> entries;
+    ExplorationReport report;
+};
+
+std::string encodeSweepReply(const SweepReply &rep);
+bool decodeSweepReply(const std::string &payload, SweepReply *out);
+
+// --------------------------------------------------------------------
+// Rendering (the byte-identity contract)
+// --------------------------------------------------------------------
+
+/**
+ * The exact stdout of `apexc sweep`: one line per entry, then the
+ * report summary.  Batch mode and the service client both print
+ * through this function, so "client output == batch output" holds by
+ * construction and is enforced end-to-end by the service tests.
+ */
+std::string renderSweepText(const std::vector<core::SweepEntry> &entries,
+                            const ExplorationReport &report);
+
+/** Exit code `apexc sweep` maps @p rep to (mirrors the batch rules:
+ * timeout when a bounded sweep starved, first failure's code when
+ * nothing ran, cancelled when the daemon stopped mid-sweep). */
+int sweepExitCode(const SweepReply &rep);
+
+} // namespace apex::service
+
+#endif // APEX_SERVICE_PROTOCOL_H_

@@ -1,0 +1,113 @@
+#ifndef APEX_SERVICE_QUEUE_H_
+#define APEX_SERVICE_QUEUE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "runtime/telemetry.hpp"
+
+/**
+ * @file
+ * Bounded admission queue of the DSE service.
+ *
+ * Backpressure lives here: a sweep is hours of CPU, so the daemon
+ * admits at most `max_depth` queued requests and *rejects* the rest
+ * with an explicit frame instead of buffering unbounded work — a
+ * client learns immediately that the service is saturated and can
+ * back off, retry elsewhere, or fail its own caller.
+ *
+ * Ordering is (priority desc, arrival order): a higher-priority
+ * request pops first, ties pop FIFO.  The depth gauge (when given)
+ * tracks the live queue length for `apex.service.queue_depth`.
+ *
+ * shutdown() makes every present and future pop() return nullopt
+ * without draining what is queued — pending jobs are abandoned (their
+ * sessions are closing anyway) so SIGTERM never waits on hours of
+ * queued sweeps.
+ */
+
+namespace apex::service {
+
+template <typename T>
+class AdmissionQueue {
+  public:
+    explicit AdmissionQueue(std::size_t max_depth,
+                            telemetry::Gauge *depth_gauge = nullptr)
+        : max_depth_(max_depth), depth_gauge_(depth_gauge)
+    {
+        if (depth_gauge_ != nullptr)
+            depth_gauge_->set(0.0);
+    }
+
+    /** Enqueue @p item; false when the queue is full or shut down
+     * (the caller sends the reject frame). */
+    bool push(T item, int priority = 0)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (shutdown_ || items_.size() >= max_depth_)
+                return false;
+            // Key sorts by (priority desc, arrival asc): map order is
+            // ascending, so negate the priority.
+            items_.emplace(std::make_pair(-priority, next_seq_++),
+                           std::move(item));
+            if (depth_gauge_ != nullptr)
+                depth_gauge_->set(static_cast<double>(items_.size()));
+        }
+        cv_.notify_one();
+        return true;
+    }
+
+    /** Block until an item is available or shutdown(); nullopt means
+     * the queue is shut down and the worker should exit. */
+    std::optional<T> pop()
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock,
+                 [this] { return shutdown_ || !items_.empty(); });
+        if (shutdown_)
+            return std::nullopt;
+        auto it = items_.begin();
+        T item = std::move(it->second);
+        items_.erase(it);
+        if (depth_gauge_ != nullptr)
+            depth_gauge_->set(static_cast<double>(items_.size()));
+        return item;
+    }
+
+    /** Abandon queued items and wake every blocked pop(). */
+    void shutdown()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            shutdown_ = true;
+            items_.clear();
+            if (depth_gauge_ != nullptr)
+                depth_gauge_->set(0.0);
+        }
+        cv_.notify_all();
+    }
+
+    std::size_t depth() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return items_.size();
+    }
+
+  private:
+    const std::size_t max_depth_;
+    telemetry::Gauge *depth_gauge_;
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    bool shutdown_ = false;
+    std::uint64_t next_seq_ = 0;
+    std::map<std::pair<int, std::uint64_t>, T> items_;
+};
+
+} // namespace apex::service
+
+#endif // APEX_SERVICE_QUEUE_H_

@@ -1,0 +1,539 @@
+#include "service/server.hpp"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+
+#include "core/deadline.hpp"
+#include "core/explorer.hpp"
+#include "runtime/telemetry.hpp"
+#include "service/version.hpp"
+
+namespace apex::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Status
+posixError(const std::string &what)
+{
+    return Status(ErrorCode::kUnavailable,
+                  what + ": " + std::strerror(errno));
+}
+
+void
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0)
+        (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/** Parse a request's level name (validated at admission so a typo is
+ * a reject frame, not a queued job that fails later). */
+bool
+parseLevelName(const std::string &name, core::EvalLevel *out)
+{
+    if (name == "map")
+        *out = core::EvalLevel::kPostMapping;
+    else if (name == "pnr")
+        *out = core::EvalLevel::kPostPnr;
+    else if (name == "pipe")
+        *out = core::EvalLevel::kPostPipelining;
+    else
+        return false;
+    return true;
+}
+
+bool
+parseIsolateName(const std::string &name, core::IsolateMode *out)
+{
+    if (name == "thread")
+        *out = core::IsolateMode::kInProcess;
+    else if (name == "process")
+        *out = core::IsolateMode::kProcess;
+    else
+        return false;
+    return true;
+}
+
+/** SweepOptions a request maps to (sans runtime resources).  Shared
+ * by the coalescing key and the executor so the fingerprint always
+ * describes exactly the sweep that would run. */
+core::SweepOptions
+sweepOptionsFor(const SweepRequest &request)
+{
+    core::SweepOptions opts;
+    (void)parseLevelName(request.level, &opts.level);
+    (void)parseIsolateName(request.isolate, &opts.isolate);
+    opts.cell_retries = request.cell_retries;
+    opts.cell_deadline_ms = request.cell_deadline_ms;
+    return opts;
+}
+
+} // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      queue_(options_.queue_depth,
+             &telemetry::gauge("apex.service.queue_depth"))
+{
+}
+
+Server::~Server()
+{
+    stop();
+}
+
+Status
+Server::start()
+{
+    if (started_)
+        return Status(ErrorCode::kInternal, "server already started");
+    if (options_.unix_path.empty())
+        return Status(ErrorCode::kInvalidArgument,
+                      "a unix socket path is required");
+
+    // A dead peer must cost a Status from writeAll, not the process.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    // Hot state, loaded once and shared by every request.
+    apps_ = apps::allApps();
+    runtime::CacheOptions copt;
+    if (!options_.cache_dir.empty())
+        copt.disk_dir = options_.cache_dir;
+    cache_ = std::make_unique<runtime::ArtifactCache>(copt);
+
+    // Self-pipe: executors wake the io thread for outbound frames.
+    int wake[2] = {-1, -1};
+    if (::pipe(wake) != 0)
+        return posixError("pipe");
+    wake_rd_ = wake[0];
+    wake_wr_ = wake[1];
+    setNonBlocking(wake_rd_);
+    setNonBlocking(wake_wr_);
+
+    // Unix-domain listener (the primary transport).
+    struct sockaddr_un addr;
+    std::memset(&addr, 0, sizeof addr);
+    addr.sun_family = AF_UNIX;
+    if (options_.unix_path.size() >= sizeof addr.sun_path)
+        return Status(ErrorCode::kInvalidArgument,
+                      "socket path too long: " + options_.unix_path);
+    std::strncpy(addr.sun_path, options_.unix_path.c_str(),
+                 sizeof addr.sun_path - 1);
+    unix_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (unix_fd_ < 0)
+        return posixError("socket");
+    (void)::unlink(options_.unix_path.c_str());
+    if (::bind(unix_fd_, reinterpret_cast<struct sockaddr *>(&addr),
+               sizeof addr) != 0 ||
+        ::listen(unix_fd_, 64) != 0) {
+        const Status s = posixError("bind " + options_.unix_path);
+        ::close(unix_fd_);
+        unix_fd_ = -1;
+        return s;
+    }
+    setNonBlocking(unix_fd_);
+
+    // Optional TCP listener, loopback only.
+    if (options_.tcp_port >= 0) {
+        tcp_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (tcp_fd_ < 0)
+            return posixError("socket (tcp)");
+        const int one = 1;
+        (void)::setsockopt(tcp_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                           sizeof one);
+        struct sockaddr_in tin;
+        std::memset(&tin, 0, sizeof tin);
+        tin.sin_family = AF_INET;
+        tin.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        tin.sin_port =
+            htons(static_cast<std::uint16_t>(options_.tcp_port));
+        if (::bind(tcp_fd_,
+                   reinterpret_cast<struct sockaddr *>(&tin),
+                   sizeof tin) != 0 ||
+            ::listen(tcp_fd_, 64) != 0) {
+            const Status s = posixError("bind 127.0.0.1");
+            ::close(tcp_fd_);
+            tcp_fd_ = -1;
+            return s;
+        }
+        socklen_t len = sizeof tin;
+        if (::getsockname(tcp_fd_,
+                          reinterpret_cast<struct sockaddr *>(&tin),
+                          &len) == 0)
+            tcp_port_ = ntohs(tin.sin_port);
+        setNonBlocking(tcp_fd_);
+    }
+
+    stop_.store(false);
+    started_ = true;
+    const int executors = options_.executors > 0 ? options_.executors
+                                                 : 1;
+    executors_.reserve(executors);
+    for (int i = 0; i < executors; ++i)
+        executors_.emplace_back([this] { executorLoop(); });
+    io_thread_ = std::thread([this] { ioLoop(); });
+    return Status::okStatus();
+}
+
+void
+Server::stop()
+{
+    if (!started_)
+        return;
+    stop_.store(true);
+    queue_.shutdown();
+    // Wake the io thread; a full pipe already guarantees a wakeup.
+    const char byte = 1;
+    (void)!::write(wake_wr_, &byte, 1);
+    for (std::thread &t : executors_)
+        t.join();
+    executors_.clear();
+    io_thread_.join();
+
+    sessions_.clear();
+    {
+        std::lock_guard<std::mutex> lock(outbound_mu_);
+        outbound_.clear();
+    }
+    {
+        std::lock_guard<std::mutex> lock(inflight_mu_);
+        inflight_.clear();
+    }
+    for (int *fd : {&unix_fd_, &tcp_fd_, &wake_rd_, &wake_wr_}) {
+        if (*fd >= 0)
+            ::close(*fd);
+        *fd = -1;
+    }
+    (void)::unlink(options_.unix_path.c_str());
+    started_ = false;
+}
+
+void
+Server::acceptPending(int listen_fd)
+{
+    for (;;) {
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd < 0)
+            return; // EAGAIN (or a raced-away connection).
+        setNonBlocking(fd);
+        const std::uint64_t id = next_session_id_++;
+        sessions_.emplace(id, std::make_unique<Session>(fd, id));
+    }
+}
+
+void
+Server::ioLoop()
+{
+    std::vector<struct pollfd> fds;
+    std::vector<std::uint64_t> fd_sessions;
+    while (!stop_.load()) {
+        fds.clear();
+        fd_sessions.clear();
+        fds.push_back({wake_rd_, POLLIN, 0});
+        fds.push_back({unix_fd_, POLLIN, 0});
+        if (tcp_fd_ >= 0)
+            fds.push_back({tcp_fd_, POLLIN, 0});
+        const std::size_t first_session = fds.size();
+        for (const auto &[id, session] : sessions_) {
+            fds.push_back({session->fd(), POLLIN, 0});
+            fd_sessions.push_back(id);
+        }
+
+        // A finite timeout bounds the stop() latency even if the
+        // wakeup byte is lost to a racing drain.
+        if (::poll(fds.data(), fds.size(), 100) < 0 &&
+            errno != EINTR)
+            break;
+        if (stop_.load())
+            break;
+
+        if (fds[0].revents != 0) {
+            char buf[256];
+            while (::read(wake_rd_, buf, sizeof buf) > 0) {
+            }
+        }
+        // Outbound frames from the executors (completion reports,
+        // progress): flush every pass, whatever woke us.
+        std::vector<Outbound> pending;
+        {
+            std::lock_guard<std::mutex> lock(outbound_mu_);
+            pending.swap(outbound_);
+        }
+        for (Outbound &out : pending) {
+            auto it = sessions_.find(out.session_id);
+            if (it == sessions_.end())
+                continue; // Subscriber disconnected mid-sweep.
+            if (!it->second->send(out.type, out.payload))
+                dropSession(out.session_id);
+        }
+
+        if (fds[1].revents != 0)
+            acceptPending(unix_fd_);
+        if (tcp_fd_ >= 0 && fds[2].revents != 0)
+            acceptPending(tcp_fd_);
+
+        for (std::size_t i = first_session; i < fds.size(); ++i) {
+            if (fds[i].revents == 0)
+                continue;
+            const std::uint64_t id = fd_sessions[i - first_session];
+            auto it = sessions_.find(id);
+            if (it == sessions_.end())
+                continue; // Dropped by an outbound failure above.
+            Session &session = *it->second;
+            std::vector<runtime::FramedRecord> frames;
+            bool keep = session.onReadable(&frames);
+            for (const runtime::FramedRecord &rec : frames)
+                if (!dispatch(session, rec)) {
+                    keep = false;
+                    break;
+                }
+            if (!keep)
+                dropSession(id);
+        }
+    }
+}
+
+bool
+Server::dispatch(Session &session, const runtime::FramedRecord &rec)
+{
+    if (rec.type == kFrameSweep) {
+        SweepRequest request;
+        if (!decodeSweepRequest(rec.payload, &request))
+            return false; // Schema skew: drop the session.
+        admitSweep(session, request);
+        return true;
+    }
+    if (rec.type == kFrameInfo) {
+        InfoReply info;
+        info.protocol = kProtocolVersion;
+        info.version = versionString();
+        info.commit = buildCommit();
+        info.flags = buildFlags();
+        return session.send(kFrameInfoOk, encodeInfoReply(info));
+    }
+    if (rec.type == kFrameMetrics) {
+        return session.send(
+            kFrameMetricsOk,
+            telemetry::Registry::instance().jsonDump());
+    }
+    if (rec.type == kFrameBye) {
+        (void)session.send(kFrameByeOk, "");
+        return false; // Graceful close.
+    }
+    return false; // Unknown frame type: protocol violation.
+}
+
+std::uint64_t
+Server::coalescingKey(const SweepRequest &request) const
+{
+    // The journal/core fingerprint covers everything that shapes the
+    // cells' *content*; the service key additionally folds in the
+    // knobs that shape the *report* (deadlines can turn cells into
+    // timeout failures, isolation changes crash verdicts), so two
+    // coalesced requests are guaranteed byte-identical replies.
+    const core::Explorer explorer(model::defaultTech());
+    const std::uint64_t fp = core::sweepFingerprint(
+        apps_, explorer, model::defaultTech(),
+        sweepOptionsFor(request));
+    char knobs[160];
+    std::snprintf(knobs, sizeof knobs, "%016llx %s %s %d %a %a",
+                  static_cast<unsigned long long>(fp),
+                  request.level.c_str(), request.isolate.c_str(),
+                  request.cell_retries, request.deadline_ms,
+                  request.cell_deadline_ms);
+    return runtime::fnv1a64(knobs);
+}
+
+void
+Server::admitSweep(Session &session, const SweepRequest &request)
+{
+    core::EvalLevel level;
+    core::IsolateMode isolate;
+    if (!parseLevelName(request.level, &level) ||
+        !parseIsolateName(request.isolate, &isolate)) {
+        SweepReject rej;
+        rej.id = request.id;
+        rej.code = ErrorCode::kInvalidArgument;
+        rej.reason = "unknown level '" + request.level +
+                     "' or isolate '" + request.isolate + "'";
+        (void)session.send(kFrameReject, encodeReject(rej));
+        return;
+    }
+
+    const std::uint64_t key = coalescingKey(request);
+    SweepJob::Subscriber sub;
+    sub.session_id = session.id();
+    sub.request_id = request.id;
+    sub.want_progress = request.want_progress;
+
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+        {
+            std::lock_guard<std::mutex> job_lock(it->second->mu);
+            it->second->subscribers.push_back(sub);
+        }
+        telemetry::counter("apex.service.accepted").add(1);
+        telemetry::counter("apex.service.coalesced").add(1);
+        SweepAck ack;
+        ack.id = request.id;
+        ack.coalesced = true;
+        (void)session.send(kFrameAck, encodeAck(ack));
+        return;
+    }
+
+    auto job = std::make_shared<SweepJob>();
+    job->key = key;
+    job->request = request;
+    job->subscribers.push_back(sub);
+    inflight_.emplace(key, job);
+    if (!queue_.push(job, request.priority)) {
+        inflight_.erase(key);
+        telemetry::counter("apex.service.rejected").add(1);
+        SweepReject rej;
+        rej.id = request.id;
+        rej.code = ErrorCode::kUnavailable;
+        rej.reason =
+            "admission queue full (depth " +
+            std::to_string(options_.queue_depth) + "); retry later";
+        (void)session.send(kFrameReject, encodeReject(rej));
+        return;
+    }
+    telemetry::counter("apex.service.accepted").add(1);
+    SweepAck ack;
+    ack.id = request.id;
+    ack.coalesced = false;
+    (void)session.send(kFrameAck, encodeAck(ack));
+}
+
+void
+Server::executorLoop()
+{
+    while (auto job = queue_.pop()) {
+        if (options_.admission_hold_ms > 0)
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(
+                    options_.admission_hold_ms));
+        runJob(*job);
+    }
+}
+
+void
+Server::runJob(const std::shared_ptr<SweepJob> &job)
+{
+    const Clock::time_point t0 = Clock::now();
+    telemetry::counter("apex.service.sweeps").add(1);
+
+    const SweepRequest &request = job->request;
+    core::SweepOptions opts = sweepOptionsFor(request);
+    opts.jobs = options_.jobs;
+    opts.cache = cache_.get();
+    opts.cancel = &stop_;
+    // The budget starts when execution starts: queue wait is the
+    // price of admission, not of the sweep (matching the batch CLI,
+    // where the deadline clock starts after flag parsing).
+    const bool bounded = request.deadline_ms > 0;
+    if (bounded)
+        opts.deadline = Deadline::after(request.deadline_ms);
+    opts.progress = [this, &job](const core::SweepProgress &p) {
+        broadcastProgress(job, p);
+    };
+
+    // Variant construction observes the sweep deadline too, exactly
+    // like the batch path.
+    core::ExplorerOptions ex_options;
+    ex_options.miner.deadline = opts.deadline;
+    ex_options.merge.deadline = opts.deadline;
+    const core::Explorer explorer(model::defaultTech(), ex_options);
+    core::SweepOutcome outcome = core::runSweep(
+        apps_, explorer, model::defaultTech(), opts);
+
+    SweepReply reply;
+    reply.deadline_bounded = bounded;
+    reply.deadline_expired = bounded && opts.deadline.expired();
+    reply.cancelled = stop_.load();
+    reply.entries = std::move(outcome.entries);
+    reply.report = std::move(outcome.report);
+
+    // Stop accepting coalesced joiners *before* publishing: a request
+    // arriving after this point starts a fresh sweep instead of
+    // attaching to a completed one.
+    {
+        std::lock_guard<std::mutex> lock(inflight_mu_);
+        inflight_.erase(job->key);
+    }
+    telemetry::histogram("apex.service.request_ms")
+        .observe(std::chrono::duration<double, std::milli>(
+                     Clock::now() - t0)
+                     .count());
+
+    std::vector<SweepJob::Subscriber> subscribers;
+    {
+        std::lock_guard<std::mutex> job_lock(job->mu);
+        subscribers = job->subscribers;
+    }
+    for (const SweepJob::Subscriber &sub : subscribers) {
+        reply.id = sub.request_id;
+        enqueueOutbound(sub.session_id, kFrameReport,
+                        encodeSweepReply(reply));
+    }
+}
+
+void
+Server::broadcastProgress(const std::shared_ptr<SweepJob> &job,
+                          const core::SweepProgress &progress)
+{
+    SweepProgressFrame frame;
+    frame.done = progress.done;
+    frame.total = progress.total;
+    frame.app = progress.app;
+    frame.variant = progress.variant;
+
+    std::vector<SweepJob::Subscriber> subscribers;
+    {
+        std::lock_guard<std::mutex> job_lock(job->mu);
+        subscribers = job->subscribers;
+    }
+    for (const SweepJob::Subscriber &sub : subscribers) {
+        if (!sub.want_progress)
+            continue;
+        frame.id = sub.request_id;
+        enqueueOutbound(sub.session_id, kFrameProgress,
+                        encodeProgress(frame));
+    }
+}
+
+void
+Server::enqueueOutbound(std::uint64_t session_id,
+                        std::string_view type, std::string payload)
+{
+    if (stop_.load())
+        return; // The io thread is winding down; nobody to deliver.
+    {
+        std::lock_guard<std::mutex> lock(outbound_mu_);
+        outbound_.push_back(
+            {session_id, std::string(type), std::move(payload)});
+    }
+    const char byte = 1;
+    (void)!::write(wake_wr_, &byte, 1);
+}
+
+void
+Server::dropSession(std::uint64_t session_id)
+{
+    sessions_.erase(session_id);
+}
+
+} // namespace apex::service

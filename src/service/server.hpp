@@ -1,0 +1,175 @@
+#ifndef APEX_SERVICE_SERVER_H_
+#define APEX_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/status.hpp"
+#include "core/sweep.hpp"
+#include "runtime/cache.hpp"
+#include "service/protocol.hpp"
+#include "service/queue.hpp"
+#include "service/session.hpp"
+
+/**
+ * @file
+ * apexd — the long-running DSE service daemon.
+ *
+ * The daemon keeps the expensive state of a sweep hot across
+ * requests: the application set (parsed graphs), and a shared
+ * content-addressed ArtifactCache whose rewrite-rule and evaluation
+ * artifacts make the Nth sweep incremental.  Requests arrive over a
+ * Unix-domain socket (optionally TCP on 127.0.0.1) as checksummed
+ * frames (service/protocol.hpp) and flow through:
+ *
+ *   session layer  — handshake, request ids (session.hpp)
+ *   admission      — bounded priority queue; a full queue REJECTS
+ *                    with an explicit frame (queue.hpp)
+ *   coalescing     — requests are keyed on the sweep's content
+ *                    fingerprint (core::sweepFingerprint + the
+ *                    outcome-shaping knobs); an identical in-flight
+ *                    request gains a subscriber instead of a second
+ *                    execution, and every subscriber receives the
+ *                    full report
+ *   execution      — N executor threads pop jobs and run
+ *                    core::runSweep on the shared cache; progress
+ *                    streams to subscribed sessions per completed
+ *                    cell
+ *
+ * Threading: one io thread owns every socket (poll + reads + writes);
+ * executors never touch a socket — they enqueue outbound frames and
+ * wake the io thread through a self-pipe.  stop() (SIGTERM path)
+ * stops accepting, abandons the queue, cancels running sweeps
+ * cooperatively (subscribers receive a cancelled report) and joins
+ * every thread.
+ *
+ * Metrics: apex.service.accepted / rejected / coalesced counters,
+ * apex.service.queue_depth gauge, apex.service.sweeps (sweeps
+ * actually executed — coalescing keeps this below accepted), and the
+ * apex.service.request_ms latency histogram.
+ */
+
+namespace apex::service {
+
+/** Daemon configuration. */
+struct ServerOptions {
+    /** Unix-domain socket path (required; an existing file is
+     * replaced). */
+    std::string unix_path;
+    /** TCP listener on 127.0.0.1 (< 0: none, 0: ephemeral — read the
+     * bound port back with tcpPort()). */
+    int tcp_port = -1;
+    /** Executor threads: sweeps running concurrently. */
+    int executors = 1;
+    /** Admission bound: queued (not yet running) requests beyond this
+     * are rejected. */
+    std::size_t queue_depth = 8;
+    /** Worker lanes per sweep (core::SweepOptions::jobs). */
+    int jobs = 1;
+    /** Artifact-cache directory ("" = in-memory only). */
+    std::string cache_dir;
+    /**
+     * Test hook: hold each job this long between dequeue and
+     * execution, widening the window in which an identical request
+     * coalesces deterministically.  0 in production.
+     */
+    double admission_hold_ms = 0.0;
+};
+
+/** One admitted sweep: the request plus every session subscribed to
+ * its outcome (the first requester and each coalesced duplicate). */
+struct SweepJob {
+    struct Subscriber {
+        std::uint64_t session_id = 0;
+        std::uint64_t request_id = 0;
+        bool want_progress = false;
+    };
+
+    std::uint64_t key = 0;    ///< Coalescing fingerprint.
+    SweepRequest request;     ///< First requester's knobs.
+    std::mutex mu;            ///< Guards subscribers.
+    std::vector<Subscriber> subscribers;
+};
+
+class Server {
+  public:
+    explicit Server(ServerOptions options);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind listeners, load the application set, spawn the io thread
+     * and the executors.  Non-ok leaves the server stopped. */
+    Status start();
+
+    /** Graceful shutdown (idempotent): stop accepting, abandon the
+     * queue, cancel running sweeps, join every thread, close every
+     * session, remove the socket file. */
+    void stop();
+
+    /** Bound TCP port (0 when no TCP listener). */
+    int tcpPort() const { return tcp_port_; }
+
+  private:
+    struct Outbound {
+        std::uint64_t session_id = 0;
+        std::string type;
+        std::string payload;
+    };
+
+    void ioLoop();
+    void executorLoop();
+    void acceptPending(int listen_fd);
+    /** Dispatch one post-handshake frame; false drops the session. */
+    bool dispatch(Session &session, const runtime::FramedRecord &rec);
+    void admitSweep(Session &session, const SweepRequest &request);
+    void runJob(const std::shared_ptr<SweepJob> &job);
+    void broadcastProgress(const std::shared_ptr<SweepJob> &job,
+                           const core::SweepProgress &progress);
+    /** Queue @p frame for the io thread and wake it. */
+    void enqueueOutbound(std::uint64_t session_id,
+                         std::string_view type, std::string payload);
+    void dropSession(std::uint64_t session_id);
+    std::uint64_t coalescingKey(const SweepRequest &request) const;
+
+    ServerOptions options_;
+    std::atomic<bool> stop_{false};
+    bool started_ = false;
+
+    int unix_fd_ = -1;
+    int tcp_fd_ = -1;
+    int tcp_port_ = 0;
+    int wake_rd_ = -1;
+    int wake_wr_ = -1;
+
+    // Hot cross-request state.
+    std::vector<apps::AppInfo> apps_;
+    std::unique_ptr<runtime::ArtifactCache> cache_;
+
+    // Sessions (io thread only, except id allocation).
+    std::map<std::uint64_t, std::unique_ptr<Session>> sessions_;
+    std::uint64_t next_session_id_ = 1;
+
+    // Admission + coalescing.
+    AdmissionQueue<std::shared_ptr<SweepJob>> queue_;
+    std::mutex inflight_mu_;
+    std::map<std::uint64_t, std::shared_ptr<SweepJob>> inflight_;
+
+    // Executor -> io thread handoff.
+    std::mutex outbound_mu_;
+    std::vector<Outbound> outbound_;
+
+    std::thread io_thread_;
+    std::vector<std::thread> executors_;
+};
+
+} // namespace apex::service
+
+#endif // APEX_SERVICE_SERVER_H_

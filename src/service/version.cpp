@@ -1,0 +1,32 @@
+#include "service/version.hpp"
+
+namespace apex::service {
+
+std::string
+buildCommit()
+{
+#ifdef APEX_BUILD_COMMIT
+    return APEX_BUILD_COMMIT;
+#else
+    return "unknown";
+#endif
+}
+
+std::string
+buildFlags()
+{
+#ifdef APEX_BUILD_TYPE
+    return APEX_BUILD_TYPE;
+#else
+    return "unknown";
+#endif
+}
+
+std::string
+versionString()
+{
+    return "apex " + buildCommit() + " (" + buildFlags() +
+           ") protocol v" + std::to_string(kProtocolVersion);
+}
+
+} // namespace apex::service

@@ -184,5 +184,28 @@ TEST(Cli, CrashedSweepResumesByteIdentical)
     EXPECT_EQ(slurp(ref_out), slurp(resume_out));
 }
 
+TEST(Cli, VersionReportsBuildIdentityAndProtocol)
+{
+    ScratchDir dir("version");
+    const std::string out = dir.str() + "/version.out";
+    ASSERT_EQ(run(apexc + " --version > " + out), 0);
+    const std::string text = slurp(out);
+    EXPECT_EQ(text.find("apex "), 0u);
+    EXPECT_NE(text.find("protocol v"), std::string::npos);
+}
+
+TEST(Cli, ClientWithoutDaemonExitsUnavailable)
+{
+    ScratchDir dir("no_daemon");
+    // No daemon listens here; the client must fail fast with the
+    // service-stage exit code, not hang or crash.
+    EXPECT_EQ(run(apexc + " client sweep --socket " + dir.str() +
+                  "/absent.sock > /dev/null 2>&1"),
+              exitCodeFor(ErrorCode::kUnavailable));
+    EXPECT_EQ(run(apexc + " client info --socket " + dir.str() +
+                  "/absent.sock > /dev/null 2>&1"),
+              exitCodeFor(ErrorCode::kUnavailable));
+}
+
 } // namespace
 } // namespace apex

@@ -1,0 +1,605 @@
+/**
+ * Tests of the DSE service: protocol round-trips, the bounded
+ * admission queue, and the daemon end-to-end over a real Unix-domain
+ * socket — handshake and version skew, info/metrics requests, the
+ * sweep byte-identity contract against an in-process runSweep,
+ * request coalescing under concurrent identical clients, rejection
+ * when the admission queue is full, and robustness against a client
+ * that disconnects mid-stream.
+ *
+ * The telemetry registry is process-global and monotonic, so every
+ * assertion on an apex.service.* counter takes a delta around the
+ * scenario instead of reading absolutes.
+ */
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/explorer.hpp"
+#include "core/sweep.hpp"
+#include "runtime/telemetry.hpp"
+#include "runtime/wire.hpp"
+#include "service/client.hpp"
+#include "service/protocol.hpp"
+#include "service/queue.hpp"
+#include "service/server.hpp"
+#include "service/version.hpp"
+
+namespace apex::service {
+namespace {
+
+// ---------------------------------------------------------------
+// Protocol payload round-trips
+// ---------------------------------------------------------------
+
+TEST(ServiceProtocol, HelloRoundTrips)
+{
+    HelloRequest req;
+    req.protocol = 7;
+    req.client = "a test client";
+    HelloRequest back;
+    ASSERT_TRUE(decodeHello(encodeHello(req), &back));
+    EXPECT_EQ(back.protocol, 7);
+    EXPECT_EQ(back.client, "a test client");
+
+    HelloReply rep;
+    rep.protocol = 3;
+    rep.server_version = "apex deadbeef (Release) protocol v3";
+    HelloReply rback;
+    ASSERT_TRUE(decodeHelloReply(encodeHelloReply(rep), &rback));
+    EXPECT_EQ(rback.protocol, 3);
+    EXPECT_EQ(rback.server_version, rep.server_version);
+}
+
+TEST(ServiceProtocol, InfoReplyRoundTrips)
+{
+    InfoReply info;
+    info.protocol = kProtocolVersion;
+    info.version = versionString();
+    info.commit = buildCommit();
+    info.flags = buildFlags();
+    InfoReply back;
+    ASSERT_TRUE(decodeInfoReply(encodeInfoReply(info), &back));
+    EXPECT_EQ(back.protocol, info.protocol);
+    EXPECT_EQ(back.version, info.version);
+    EXPECT_EQ(back.commit, info.commit);
+    EXPECT_EQ(back.flags, info.flags);
+}
+
+TEST(ServiceProtocol, SweepRequestRoundTripsEveryKnob)
+{
+    SweepRequest req;
+    req.id = 42;
+    req.priority = -3;
+    req.level = "pnr";
+    req.isolate = "process";
+    req.cell_retries = 5;
+    req.deadline_ms = 1234.5;
+    req.cell_deadline_ms = 0.25;
+    req.want_progress = true;
+    SweepRequest back;
+    ASSERT_TRUE(decodeSweepRequest(encodeSweepRequest(req), &back));
+    EXPECT_EQ(back.id, 42u);
+    EXPECT_EQ(back.priority, -3);
+    EXPECT_EQ(back.level, "pnr");
+    EXPECT_EQ(back.isolate, "process");
+    EXPECT_EQ(back.cell_retries, 5);
+    EXPECT_DOUBLE_EQ(back.deadline_ms, 1234.5);
+    EXPECT_DOUBLE_EQ(back.cell_deadline_ms, 0.25);
+    EXPECT_TRUE(back.want_progress);
+}
+
+TEST(ServiceProtocol, AckRejectProgressRoundTrip)
+{
+    SweepAck ack;
+    ack.id = 9;
+    ack.coalesced = true;
+    SweepAck aback;
+    ASSERT_TRUE(decodeAck(encodeAck(ack), &aback));
+    EXPECT_EQ(aback.id, 9u);
+    EXPECT_TRUE(aback.coalesced);
+
+    SweepReject rej;
+    rej.id = 10;
+    rej.code = ErrorCode::kUnavailable;
+    rej.reason = "admission queue full";
+    SweepReject rback;
+    ASSERT_TRUE(decodeReject(encodeReject(rej), &rback));
+    EXPECT_EQ(rback.id, 10u);
+    EXPECT_EQ(rback.code, ErrorCode::kUnavailable);
+    EXPECT_EQ(rback.reason, "admission queue full");
+
+    SweepProgressFrame p;
+    p.id = 11;
+    p.done = 3;
+    p.total = 27;
+    p.app = "camera";
+    p.variant = "pe_base";
+    SweepProgressFrame pback;
+    ASSERT_TRUE(decodeProgress(encodeProgress(p), &pback));
+    EXPECT_EQ(pback.id, 11u);
+    EXPECT_EQ(pback.done, 3);
+    EXPECT_EQ(pback.total, 27);
+    EXPECT_EQ(pback.app, "camera");
+    EXPECT_EQ(pback.variant, "pe_base");
+}
+
+TEST(ServiceProtocol, SweepReplyRoundTripsEntriesAndFailures)
+{
+    SweepReply rep;
+    rep.id = 77;
+    rep.deadline_bounded = true;
+    rep.deadline_expired = true;
+    rep.cancelled = false;
+    core::SweepEntry e;
+    e.app = "harris";
+    e.variant = "pe_base";
+    e.result.success = true;
+    e.result.pe_count = 42;
+    e.result.pe_area = 1234.5;
+    e.result.pe_energy = 6.789;
+    rep.entries.push_back(e);
+    rep.report.evaluated = 1;
+    rep.report.skipped = 2;
+    rep.report.degraded = 1;
+    StageFailure f;
+    f.app = "stereo";
+    f.variant = "pe_base";
+    f.stage = "mapping";
+    f.status = Status(ErrorCode::kTimeout, "deadline expired");
+    f.attempts = 2;
+    rep.report.failures.push_back(f);
+
+    SweepReply back;
+    ASSERT_TRUE(decodeSweepReply(encodeSweepReply(rep), &back));
+    EXPECT_EQ(back.id, 77u);
+    EXPECT_TRUE(back.deadline_bounded);
+    EXPECT_TRUE(back.deadline_expired);
+    EXPECT_FALSE(back.cancelled);
+    ASSERT_EQ(back.entries.size(), 1u);
+    EXPECT_EQ(back.entries[0].app, "harris");
+    EXPECT_EQ(back.entries[0].result.pe_count, 42);
+    EXPECT_DOUBLE_EQ(back.entries[0].result.pe_area, 1234.5);
+    ASSERT_EQ(back.report.failures.size(), 1u);
+    EXPECT_EQ(back.report.failures[0].stage, "mapping");
+    EXPECT_EQ(back.report.failures[0].status.code(),
+              ErrorCode::kTimeout);
+    // The round-tripped reply renders to the same bytes.
+    EXPECT_EQ(renderSweepText(back.entries, back.report),
+              renderSweepText(rep.entries, rep.report));
+    EXPECT_EQ(sweepExitCode(back), sweepExitCode(rep));
+}
+
+TEST(ServiceProtocol, DecodersRejectGarbage)
+{
+    HelloRequest hello;
+    EXPECT_FALSE(decodeHello("not a payload", &hello));
+    SweepRequest sweep;
+    EXPECT_FALSE(decodeSweepRequest("", &sweep));
+    SweepReply reply;
+    EXPECT_FALSE(decodeSweepReply("3\nabc\n", &reply));
+}
+
+TEST(ServiceProtocol, ExitCodeLadderMatchesBatchRules)
+{
+    SweepReply rep;
+    rep.report.evaluated = 5;
+    EXPECT_EQ(sweepExitCode(rep), 0);
+    rep.cancelled = true;
+    EXPECT_EQ(sweepExitCode(rep), exitCodeFor(ErrorCode::kCancelled));
+    rep.cancelled = false;
+    rep.report.evaluated = 0;
+    rep.deadline_bounded = true;
+    rep.deadline_expired = true;
+    EXPECT_EQ(sweepExitCode(rep), exitCodeFor(ErrorCode::kTimeout));
+    rep.deadline_bounded = false;
+    rep.deadline_expired = false;
+    StageFailure f;
+    f.status = Status(ErrorCode::kMappingFailed, "no mapping");
+    rep.report.failures.push_back(f);
+    EXPECT_EQ(sweepExitCode(rep),
+              exitCodeFor(ErrorCode::kMappingFailed));
+}
+
+// ---------------------------------------------------------------
+// Admission queue
+// ---------------------------------------------------------------
+
+TEST(AdmissionQueue, OrdersByPriorityThenArrival)
+{
+    AdmissionQueue<int> q(8);
+    ASSERT_TRUE(q.push(1, 0));
+    ASSERT_TRUE(q.push(2, 5));
+    ASSERT_TRUE(q.push(3, 5));
+    ASSERT_TRUE(q.push(4, -1));
+    EXPECT_EQ(q.pop().value(), 2); // Highest priority first,
+    EXPECT_EQ(q.pop().value(), 3); // FIFO within a priority.
+    EXPECT_EQ(q.pop().value(), 1);
+    EXPECT_EQ(q.pop().value(), 4);
+}
+
+TEST(AdmissionQueue, BoundedPushRejectsWhenFull)
+{
+    AdmissionQueue<int> q(2);
+    EXPECT_TRUE(q.push(1));
+    EXPECT_TRUE(q.push(2));
+    EXPECT_FALSE(q.push(3));
+    EXPECT_EQ(q.depth(), 2u);
+    (void)q.pop();
+    EXPECT_TRUE(q.push(3)); // Space freed, admission resumes.
+}
+
+TEST(AdmissionQueue, ShutdownAbandonsQueueAndWakesPoppers)
+{
+    AdmissionQueue<int> q(8);
+    ASSERT_TRUE(q.push(1));
+    std::thread popper([&q] {
+        // First pop drains the queued item, second blocks until
+        // shutdown wakes it with nullopt.
+        EXPECT_TRUE(q.pop().has_value());
+        EXPECT_FALSE(q.pop().has_value());
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ASSERT_TRUE(q.push(2));
+    q.shutdown();
+    popper.join();
+    EXPECT_FALSE(q.push(3)); // Closed for good.
+    EXPECT_FALSE(q.pop().has_value());
+    EXPECT_EQ(q.depth(), 0u); // Item 2 was abandoned.
+}
+
+TEST(AdmissionQueue, TracksDepthGauge)
+{
+    telemetry::Gauge &g =
+        telemetry::gauge("test.service.queue_depth");
+    AdmissionQueue<int> q(4, &g);
+    EXPECT_EQ(g.value(), 0.0);
+    (void)q.push(1);
+    (void)q.push(2);
+    EXPECT_EQ(g.value(), 2.0);
+    (void)q.pop();
+    EXPECT_EQ(g.value(), 1.0);
+    q.shutdown();
+    EXPECT_EQ(g.value(), 0.0);
+}
+
+// ---------------------------------------------------------------
+// End-to-end over a real Unix-domain socket
+// ---------------------------------------------------------------
+
+std::string
+scratchSocket(const std::string &tag)
+{
+    // sockaddr_un paths are short; /tmp keeps them under the limit
+    // regardless of where gtest's TempDir points.
+    return "/tmp/apex_service_test_" + tag + "_" +
+           std::to_string(::getpid()) + ".sock";
+}
+
+/** A tiny request every e2e test can afford: the deadline is already
+ * expired at admission, so every cell fails fast as a timeout and
+ * the reply is still a full, deterministic report. */
+SweepRequest
+expiredSweepRequest()
+{
+    SweepRequest req;
+    req.id = 1;
+    req.level = "map";
+    req.deadline_ms = 0.000001;
+    return req;
+}
+
+TEST(ServiceEndToEnd, InfoAndMetricsRequests)
+{
+    ServerOptions options;
+    options.unix_path = scratchSocket("info");
+    Server server(options);
+    ASSERT_TRUE(server.start().ok());
+
+    Client client;
+    ASSERT_TRUE(client.connect(options.unix_path).ok());
+    EXPECT_EQ(client.serverVersion(), versionString());
+
+    InfoReply info;
+    ASSERT_TRUE(client.info(&info).ok());
+    EXPECT_EQ(info.protocol, kProtocolVersion);
+    EXPECT_EQ(info.version, versionString());
+    EXPECT_EQ(info.commit, buildCommit());
+
+    std::string metrics;
+    ASSERT_TRUE(client.metrics(&metrics).ok());
+    EXPECT_NE(metrics.find("apex.service.queue_depth"),
+              std::string::npos);
+    client.goodbye();
+    server.stop();
+}
+
+TEST(ServiceEndToEnd, HelloVersionMismatchIsRefusedByName)
+{
+    ServerOptions options;
+    options.unix_path = scratchSocket("skew");
+    Server server(options);
+    ASSERT_TRUE(server.start().ok());
+
+    // Hand-rolled connection: the Client class always speaks the
+    // right version, and the point is to speak the wrong one.
+    struct sockaddr_un addr;
+    std::memset(&addr, 0, sizeof addr);
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, options.unix_path.c_str(),
+                 sizeof addr.sun_path - 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::connect(fd,
+                        reinterpret_cast<struct sockaddr *>(&addr),
+                        sizeof addr),
+              0);
+    HelloRequest hello;
+    hello.protocol = kProtocolVersion + 1;
+    hello.client = "time traveller";
+    ASSERT_TRUE(runtime::writeFrame(fd, kServiceMagic,
+                                    kServiceWireVersion, kFrameHello,
+                                    encodeHello(hello))
+                    .ok());
+    runtime::FrameDecoder decoder(kServiceMagic, kServiceWireVersion);
+    runtime::FramedRecord rec;
+    runtime::DrainResult drained;
+    do {
+        drained = runtime::drainFd(fd, decoder);
+    } while (decoder.next(&rec) != runtime::DecodeResult::kFrame &&
+             drained == runtime::DrainResult::kOpen);
+    EXPECT_EQ(rec.type, kFrameHelloErr);
+    EXPECT_NE(rec.payload.find("protocol mismatch"),
+              std::string::npos);
+    // Both versions are named, so the skew is diagnosable from
+    // either side of the connection.
+    EXPECT_NE(
+        rec.payload.find("v" + std::to_string(kProtocolVersion + 1)),
+        std::string::npos);
+    EXPECT_NE(
+        rec.payload.find("v" + std::to_string(kProtocolVersion)),
+        std::string::npos);
+    ::close(fd);
+    server.stop();
+}
+
+TEST(ServiceEndToEnd, SweepReplyMatchesInProcessRunSweepBytes)
+{
+    ServerOptions options;
+    options.unix_path = scratchSocket("bytes");
+    options.jobs = 2; // Server-side resources must not leak into
+                      // the reply bytes.
+    Server server(options);
+    ASSERT_TRUE(server.start().ok());
+
+    Client client;
+    ASSERT_TRUE(client.connect(options.unix_path).ok());
+    SweepRequest req = expiredSweepRequest();
+    req.want_progress = true;
+    SweepReply reply;
+    int progress_frames = 0;
+    ASSERT_TRUE(client
+                    .runSweep(req, &reply,
+                              [&progress_frames](
+                                  const SweepProgressFrame &) {
+                                  ++progress_frames;
+                              })
+                    .ok());
+    client.goodbye();
+    server.stop();
+
+    // The oracle: the same sweep run in this process.  An expired
+    // deadline produces no fresh cells, so no progress frames.
+    core::SweepOptions opts;
+    opts.level = core::EvalLevel::kPostMapping;
+    opts.deadline = Deadline::after(0.000001);
+    const core::Explorer explorer(model::defaultTech());
+    const core::SweepOutcome oracle = core::runSweep(
+        apps::allApps(), explorer, model::defaultTech(), opts);
+
+    EXPECT_EQ(renderSweepText(reply.entries, reply.report),
+              renderSweepText(oracle.entries, oracle.report));
+    EXPECT_EQ(progress_frames, 0);
+    EXPECT_TRUE(reply.deadline_bounded);
+    EXPECT_TRUE(reply.deadline_expired);
+    EXPECT_EQ(sweepExitCode(reply), exitCodeFor(ErrorCode::kTimeout));
+}
+
+TEST(ServiceEndToEnd, ConcurrentIdenticalSweepsCoalesce)
+{
+    telemetry::Counter &coalesced =
+        telemetry::counter("apex.service.coalesced");
+    telemetry::Counter &sweeps =
+        telemetry::counter("apex.service.sweeps");
+    telemetry::Counter &accepted =
+        telemetry::counter("apex.service.accepted");
+    const long long coalesced0 = coalesced.value();
+    const long long sweeps0 = sweeps.value();
+    const long long accepted0 = accepted.value();
+
+    ServerOptions options;
+    options.unix_path = scratchSocket("coalesce");
+    // Hold each dequeued job briefly so even instant sweeps leave a
+    // deterministic window for the duplicates to attach in.
+    options.admission_hold_ms = 400.0;
+    Server server(options);
+    ASSERT_TRUE(server.start().ok());
+
+    constexpr int kClients = 4;
+    std::vector<std::string> outputs(kClients);
+    std::vector<int> codes(kClients, -1);
+    std::vector<bool> coalesced_acks(kClients, false);
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kClients; ++i)
+        threads.emplace_back([&, i] {
+            Client client;
+            if (!client.connect(options.unix_path).ok())
+                return;
+            SweepAck ack;
+            SweepReply reply;
+            const Status s = client.runSweep(expiredSweepRequest(),
+                                             &reply, nullptr, &ack);
+            if (!s.ok())
+                return;
+            outputs[i] =
+                renderSweepText(reply.entries, reply.report);
+            codes[i] = sweepExitCode(reply);
+            coalesced_acks[i] = ack.coalesced;
+            client.goodbye();
+        });
+    for (std::thread &t : threads)
+        t.join();
+    server.stop();
+
+    // Every client got the full report, with identical bytes.
+    for (int i = 0; i < kClients; ++i) {
+        ASSERT_FALSE(outputs[i].empty()) << "client " << i;
+        EXPECT_EQ(outputs[i], outputs[0]) << "client " << i;
+        EXPECT_EQ(codes[i], exitCodeFor(ErrorCode::kTimeout));
+    }
+    // All requests were accepted, duplicates attached to the one
+    // execution: sweeps-run + coalesced = accepted.
+    const long long ran = sweeps.value() - sweeps0;
+    const long long attached = coalesced.value() - coalesced0;
+    EXPECT_EQ(accepted.value() - accepted0, kClients);
+    EXPECT_GT(attached, 0);
+    EXPECT_EQ(ran + attached, kClients);
+    int acked_coalesced = 0;
+    for (const bool c : coalesced_acks)
+        acked_coalesced += c ? 1 : 0;
+    EXPECT_EQ(acked_coalesced, attached);
+}
+
+TEST(ServiceEndToEnd, FullQueueRejectsWithUnavailable)
+{
+    telemetry::Counter &rejected =
+        telemetry::counter("apex.service.rejected");
+    const long long rejected0 = rejected.value();
+
+    ServerOptions options;
+    options.unix_path = scratchSocket("reject");
+    options.queue_depth = 1;
+    options.executors = 1;
+    options.admission_hold_ms = 1500.0;
+    Server server(options);
+    ASSERT_TRUE(server.start().ok());
+
+    // Three *distinct* requests (different retry budgets, so they do
+    // not coalesce): the first occupies the executor, the second the
+    // one queue slot, the third must be rejected.
+    Client c1, c2, c3;
+    ASSERT_TRUE(c1.connect(options.unix_path).ok());
+    ASSERT_TRUE(c2.connect(options.unix_path).ok());
+    ASSERT_TRUE(c3.connect(options.unix_path).ok());
+    std::thread t1([&c1] {
+        SweepRequest req = expiredSweepRequest();
+        req.cell_retries = 1;
+        SweepReply reply;
+        EXPECT_TRUE(c1.runSweep(req, &reply).ok());
+    });
+    // Give request 1 time to be admitted and dequeued (the hold
+    // keeps the executor busy while 2 and 3 arrive).
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    std::thread t2([&c2] {
+        SweepRequest req = expiredSweepRequest();
+        req.cell_retries = 2;
+        SweepReply reply;
+        EXPECT_TRUE(c2.runSweep(req, &reply).ok());
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    SweepRequest req3 = expiredSweepRequest();
+    req3.cell_retries = 3;
+    SweepReply reply3;
+    const Status s = c3.runSweep(req3, &reply3);
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), ErrorCode::kUnavailable);
+    EXPECT_NE(s.message().find("admission queue full"),
+              std::string::npos);
+    EXPECT_GE(rejected.value() - rejected0, 1);
+    t1.join();
+    t2.join();
+    c1.goodbye();
+    c2.goodbye();
+    c3.goodbye();
+    server.stop();
+}
+
+TEST(ServiceEndToEnd, MidStreamDisconnectDoesNotHurtOthers)
+{
+    ServerOptions options;
+    options.unix_path = scratchSocket("disconnect");
+    options.admission_hold_ms = 300.0;
+    Server server(options);
+    ASSERT_TRUE(server.start().ok());
+
+    // A hand-rolled client that requests a sweep and slams the
+    // connection before its report exists: handshake, sweep frame,
+    // immediate close.  The daemon must drop the dead subscriber
+    // when delivery fails, not wedge or crash.
+    {
+        struct sockaddr_un addr;
+        std::memset(&addr, 0, sizeof addr);
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, options.unix_path.c_str(),
+                     sizeof addr.sun_path - 1);
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        ASSERT_GE(fd, 0);
+        ASSERT_EQ(
+            ::connect(fd,
+                      reinterpret_cast<struct sockaddr *>(&addr),
+                      sizeof addr),
+            0);
+        HelloRequest hello;
+        hello.protocol = kProtocolVersion;
+        hello.client = "doomed";
+        ASSERT_TRUE(runtime::writeFrame(fd, kServiceMagic,
+                                        kServiceWireVersion,
+                                        kFrameHello,
+                                        encodeHello(hello))
+                        .ok());
+        // Wait for hello.ok so the sweep frame is sent on a fully
+        // established session.
+        runtime::FrameDecoder decoder(kServiceMagic,
+                                      kServiceWireVersion);
+        runtime::FramedRecord rec;
+        runtime::DrainResult drained;
+        do {
+            drained = runtime::drainFd(fd, decoder);
+        } while (decoder.next(&rec) !=
+                     runtime::DecodeResult::kFrame &&
+                 drained == runtime::DrainResult::kOpen);
+        ASSERT_EQ(rec.type, kFrameHelloOk);
+        ASSERT_TRUE(
+            runtime::writeFrame(
+                fd, kServiceMagic, kServiceWireVersion, kFrameSweep,
+                encodeSweepRequest(expiredSweepRequest()))
+                .ok());
+        // Let the daemon admit the sweep, then vanish: the report
+        // will be addressed to a session that no longer exists.
+        std::this_thread::sleep_for(std::chrono::milliseconds(150));
+        ::close(fd); // Gone before the report.
+    }
+
+    // The daemon must still serve a healthy client afterwards (the
+    // hold guarantees the doomed sweep is still in flight when the
+    // healthy request arrives).
+    Client healthy;
+    ASSERT_TRUE(healthy.connect(options.unix_path).ok());
+    InfoReply info;
+    EXPECT_TRUE(healthy.info(&info).ok());
+    SweepReply reply;
+    EXPECT_TRUE(healthy.runSweep(expiredSweepRequest(), &reply).ok());
+    EXPECT_TRUE(reply.deadline_bounded);
+    healthy.goodbye();
+    server.stop();
+}
+
+} // namespace
+} // namespace apex::service

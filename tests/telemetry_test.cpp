@@ -10,6 +10,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -266,6 +268,29 @@ TEST(Metrics, StageTimerObservesOnScopeExit)
         StageTimer timer(h);
     }
     EXPECT_EQ(h.count(), before + 1);
+}
+
+TEST(Metrics, PeriodicWriterFlushesAtomicallyAndOnShutdown)
+{
+    const std::string path =
+        testing::TempDir() + "apex_periodic_metrics.json";
+    Counter &c = counter("test.periodic.flushes");
+    {
+        PeriodicMetricsWriter writer(path, 5.0);
+        c.add(1);
+        ASSERT_TRUE(writer.flushNow());
+        EXPECT_GE(writer.flushCount(), 1);
+        c.add(1); // Mutation after the last explicit flush ...
+    } // ... is captured by the destructor's final flush.
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream ss;
+    ss << in.rdbuf();
+    EXPECT_NE(ss.str().find("test.periodic.flushes"),
+              std::string::npos);
+    // The temp file never survives a completed flush.
+    std::ifstream tmp(path + ".tmp");
+    EXPECT_FALSE(tmp.good());
 }
 
 TEST(Metrics, SpanMacroLeavesRegistryAlone)

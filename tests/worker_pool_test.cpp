@@ -6,6 +6,8 @@
  * contract (byte-identical reports, durable quarantine) is covered in
  * durability_test.cpp, which owns the sweep fixtures.
  */
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <stdexcept>
@@ -88,6 +90,96 @@ TEST(WireDecoder, ChecksumMismatchIsCorrupt)
     decoder.feed(frame.data(), frame.size());
     FramedRecord rec;
     EXPECT_EQ(decoder.next(&rec), DecodeResult::kCorrupt);
+}
+
+TEST(WireDecoder, OversizedLengthFieldIsCorruptNotAllocation)
+{
+    // A length field beyond the bound must poison the stream up
+    // front; honoring it would buffer unbounded memory waiting for a
+    // payload that never arrives.
+    FrameDecoder decoder(kWireMagic, kWireVersion);
+    const std::string header =
+        std::string(kWireMagic) + " 1 resp sum 0000000000000000 len " +
+        std::to_string(decoder.maxPayload() + 1) + "\n";
+    decoder.feed(header.data(), header.size());
+    FramedRecord rec;
+    EXPECT_EQ(decoder.next(&rec), DecodeResult::kCorrupt);
+    EXPECT_NE(decoder.corruptReason().find("exceeds"),
+              std::string::npos)
+        << decoder.corruptReason();
+}
+
+TEST(WireDecoder, CustomPayloadLimitIsEnforced)
+{
+    FrameDecoder decoder(kWireMagic, kWireVersion, 16);
+    EXPECT_EQ(decoder.maxPayload(), 16u);
+    const std::string big(32, 'x');
+    const std::string frame =
+        encodeFrame(kWireMagic, kWireVersion, "resp", big);
+    decoder.feed(frame.data(), frame.size());
+    FramedRecord rec;
+    EXPECT_EQ(decoder.next(&rec), DecodeResult::kCorrupt);
+    EXPECT_NE(decoder.corruptReason().find("exceeds"),
+              std::string::npos);
+    // A payload at the limit still decodes.
+    FrameDecoder ok(kWireMagic, kWireVersion, 16);
+    const std::string fits =
+        encodeFrame(kWireMagic, kWireVersion, "resp",
+                    std::string(16, 'y'));
+    ok.feed(fits.data(), fits.size());
+    EXPECT_EQ(ok.next(&rec), DecodeResult::kFrame);
+}
+
+TEST(WireDecoder, VersionMismatchNamesBothVersions)
+{
+    FrameDecoder decoder(kWireMagic, kWireVersion);
+    const std::string frame =
+        encodeFrame(kWireMagic, kWireVersion + 1, "resp", "x");
+    decoder.feed(frame.data(), frame.size());
+    FramedRecord rec;
+    EXPECT_EQ(decoder.next(&rec), DecodeResult::kCorrupt);
+    EXPECT_NE(decoder.corruptReason().find("version mismatch"),
+              std::string::npos)
+        << decoder.corruptReason();
+}
+
+TEST(WireDecoder, CorruptReasonEmptyWhileHealthy)
+{
+    FrameDecoder decoder(kWireMagic, kWireVersion);
+    EXPECT_TRUE(decoder.corruptReason().empty());
+    const std::string frame =
+        encodeFrame(kWireMagic, kWireVersion, "resp", "fine");
+    decoder.feed(frame.data(), frame.size());
+    FramedRecord rec;
+    EXPECT_EQ(decoder.next(&rec), DecodeResult::kFrame);
+    EXPECT_TRUE(decoder.corruptReason().empty());
+}
+
+TEST(WireDecoder, DrainFdFeedsUntilEof)
+{
+    int fds[2] = {-1, -1};
+    ASSERT_EQ(pipe(fds), 0);
+    const std::string stream =
+        encodeFrame(kWireMagic, kWireVersion, "resp", "one") +
+        encodeFrame(kWireMagic, kWireVersion, "resp", "two");
+    ASSERT_EQ(write(fds[1], stream.data(), stream.size()),
+              static_cast<ssize_t>(stream.size()));
+    close(fds[1]);
+    FrameDecoder decoder(kWireMagic, kWireVersion);
+    // A short read ends the drain early (on a blocking fd, looping
+    // again could block forever); the EOF shows up on the next call.
+    DrainResult drained;
+    do {
+        drained = drainFd(fds[0], decoder);
+    } while (drained == DrainResult::kOpen);
+    EXPECT_EQ(drained, DrainResult::kEof);
+    close(fds[0]);
+    FramedRecord rec;
+    ASSERT_EQ(decoder.next(&rec), DecodeResult::kFrame);
+    EXPECT_EQ(rec.payload, "one");
+    ASSERT_EQ(decoder.next(&rec), DecodeResult::kFrame);
+    EXPECT_EQ(rec.payload, "two");
+    EXPECT_EQ(decoder.next(&rec), DecodeResult::kNeedMore);
 }
 
 TEST(WireDecoder, DeathCauseNamesRoundTrip)
