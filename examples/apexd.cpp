@@ -119,6 +119,14 @@ main(int argc, char **argv)
             metrics_path, std::atof(s));
     }
 
+    // Handlers go in before start(): a SIGTERM racing the startup
+    // work (app-set load, cache open) must still reach the graceful
+    // path below — the loop checks the latch before napping, so a
+    // signal during start() falls straight through to server.stop()
+    // and the metrics flush.
+    std::signal(SIGTERM, onShutdown);
+    std::signal(SIGINT, onShutdown);
+
     service::Server server(options);
     if (const Status s = server.start(); !s.ok()) {
         std::fprintf(stderr, "apexd: %s\n", s.toString().c_str());
@@ -132,8 +140,6 @@ main(int argc, char **argv)
         std::fprintf(stderr, " and 127.0.0.1:%d", server.tcpPort());
     std::fprintf(stderr, "\n");
 
-    std::signal(SIGTERM, onShutdown);
-    std::signal(SIGINT, onShutdown);
     while (g_shutdown == 0)
         ::poll(nullptr, 0, 200); // EINTR on a signal ends the nap.
 

@@ -38,7 +38,13 @@ putStr(std::ostream &os, std::string_view s)
     os << '\n';
 }
 
-/** Read one length-prefixed string; false on malformed input. */
+/** Read one length-prefixed string; false on malformed input.
+ *
+ * The length field comes off the wire, so it is never trusted with
+ * an up-front allocation: the string grows in bounded chunks as the
+ * stream actually delivers bytes, and a forged huge length fails
+ * with `false` (stream exhausted) instead of length_error/bad_alloc
+ * from a blind resize. */
 inline bool
 getStr(std::istream &is, std::string *out)
 {
@@ -47,9 +53,17 @@ getStr(std::istream &is, std::string *out)
         return false;
     if (is.get() != '\n')
         return false;
-    out->resize(n);
-    if (n > 0 && !is.read(out->data(), static_cast<std::streamsize>(n)))
-        return false;
+    out->clear();
+    constexpr std::size_t kChunk = 1u << 16;
+    while (n > 0) {
+        const std::size_t take = n < kChunk ? n : kChunk;
+        const std::size_t old = out->size();
+        out->resize(old + take);
+        if (!is.read(out->data() + old,
+                     static_cast<std::streamsize>(take)))
+            return false;
+        n -= take;
+    }
     return is.get() == '\n';
 }
 

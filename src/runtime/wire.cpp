@@ -98,7 +98,7 @@ FrameDecoder::next(FramedRecord *out)
 }
 
 DrainResult
-drainFd(int fd, FrameDecoder &decoder)
+drainFd(int fd, FrameDecoder &decoder, DrainMode mode)
 {
     char buf[16384];
     for (;;) {
@@ -113,6 +113,8 @@ drainFd(int fd, FrameDecoder &decoder)
         if (n == 0)
             return DrainResult::kEof;
         decoder.feed(buf, static_cast<std::size_t>(n));
+        if (mode == DrainMode::kSingleRead)
+            return DrainResult::kOpen;
         // A short read means the stream is (momentarily) drained; on
         // a blocking fd looping again would wait for bytes that may
         // never come.
@@ -122,7 +124,7 @@ drainFd(int fd, FrameDecoder &decoder)
 }
 
 Status
-writeAll(int fd, std::string_view bytes)
+writeAll(int fd, std::string_view bytes, int stall_timeout_ms)
 {
     std::size_t off = 0;
     while (off < bytes.size()) {
@@ -135,9 +137,16 @@ writeAll(int fd, std::string_view bytes)
                 // Non-blocking fd (a service socket) with a full
                 // kernel buffer: wait until writable, then retry.  A
                 // blocking fd never reports EAGAIN, so the worker
-                // pool's pipes skip this path entirely.
+                // pool's pipes skip this path entirely.  The timeout
+                // only fires on *zero* progress for the whole window;
+                // a slow-but-reading peer keeps resetting it.
                 struct pollfd pfd = {fd, POLLOUT, 0};
-                (void)::poll(&pfd, 1, -1);
+                const int pr = ::poll(&pfd, 1, stall_timeout_ms);
+                if (pr == 0)
+                    return Status(
+                        ErrorCode::kUnavailable,
+                        "write stalled: peer accepted no bytes for " +
+                            std::to_string(stall_timeout_ms) + " ms");
                 continue;
             }
             return Status(ErrorCode::kInternal,
@@ -159,9 +168,11 @@ writeFrame(int fd, std::string_view type, std::string_view payload)
 
 Status
 writeFrame(int fd, std::string_view magic, int version,
-           std::string_view type, std::string_view payload)
+           std::string_view type, std::string_view payload,
+           int stall_timeout_ms)
 {
-    return writeAll(fd, encodeFrame(magic, version, type, payload));
+    return writeAll(fd, encodeFrame(magic, version, type, payload),
+                    stall_timeout_ms);
 }
 
 } // namespace apex::runtime

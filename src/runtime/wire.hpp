@@ -111,19 +111,45 @@ enum class DrainResult {
     kError, ///< read() failed (not EINTR/EAGAIN).
 };
 
-/**
- * Feed @p decoder every byte currently readable from @p fd without
- * blocking past the available data: loops read() until EAGAIN (on a
- * non-blocking fd), EOF or error.  On a *blocking* fd the first read
- * may wait — callers poll()/ppoll() first.  Shared by the worker-pool
- * supervisor and the service daemon's socket sessions.
- */
-DrainResult drainFd(int fd, FrameDecoder &decoder);
+/** How drainFd() decides it has read enough. */
+enum class DrainMode {
+    /** Loop read() until EAGAIN/EOF.  Correct for *non-blocking* fds
+     * only: it guarantees the kernel buffer is empty on return, which
+     * the worker pool needs for the final drain of a dead worker. */
+    kUntilEagain,
+    /** Return after the first successful read() of any size.  The
+     * mode for *blocking* fds: a full-buffer read must not trigger
+     * another read() — if the bytes in hand already complete a frame,
+     * that read would block on a quiet peer forever.  The caller
+     * decodes between calls and comes back for more. */
+    kSingleRead,
+};
 
-/** write() @p bytes to @p fd completely, retrying short writes and
+/**
+ * Feed @p decoder bytes read from @p fd.  With kUntilEagain (the
+ * default) loops read() until EAGAIN, EOF or error — non-blocking
+ * fds only.  With kSingleRead returns after one successful read; on
+ * a blocking fd that read may wait, so callers either poll() first
+ * or intend to block for the next frame.  Shared by the worker-pool
+ * supervisor, the service daemon's sessions and the service client.
+ */
+DrainResult drainFd(int fd, FrameDecoder &decoder,
+                    DrainMode mode = DrainMode::kUntilEagain);
+
+/**
+ * write() @p bytes to @p fd completely, retrying short writes and
  * EINTR.  The caller must ignore SIGPIPE; a closed peer reports a
- * Status instead of killing the process. */
-Status writeAll(int fd, std::string_view bytes);
+ * Status instead of killing the process.
+ *
+ * On a non-blocking fd a full kernel buffer waits for POLLOUT.
+ * @p stall_timeout_ms bounds each such wait: if the peer accepts no
+ * bytes for that long, writeAll gives up with kUnavailable so a
+ * reader that stopped reading costs its own connection, not the
+ * writer's thread.  Negative (the default) waits indefinitely —
+ * fine for blocking fds (worker-pool pipes never report EAGAIN).
+ */
+Status writeAll(int fd, std::string_view bytes,
+                int stall_timeout_ms = -1);
 
 /** Encode one worker-pool wire frame and write it to @p fd
  * completely. */
@@ -131,9 +157,11 @@ Status writeFrame(int fd, std::string_view type,
                   std::string_view payload);
 
 /** Encode one frame of an arbitrary protocol (magic/version chosen by
- * the caller, e.g. the service protocol) and write it to @p fd. */
+ * the caller, e.g. the service protocol) and write it to @p fd,
+ * bounding write stalls by @p stall_timeout_ms (see writeAll). */
 Status writeFrame(int fd, std::string_view magic, int version,
-                  std::string_view type, std::string_view payload);
+                  std::string_view type, std::string_view payload,
+                  int stall_timeout_ms = -1);
 
 } // namespace apex::runtime
 

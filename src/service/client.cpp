@@ -214,9 +214,13 @@ Client::readFrame(runtime::FramedRecord *out)
             return Status(ErrorCode::kInternal,
                           "service stream corrupt: " +
                               decoder_.corruptReason());
-        // kNeedMore: block for bytes.  The fd is blocking, so kOpen
-        // means a short read delivered *something* — loop and decode.
-        const runtime::DrainResult d = runtime::drainFd(fd_, decoder_);
+        // kNeedMore: block for bytes.  The fd is blocking, so the
+        // drain must stop after one read — whatever arrived may
+        // already complete the frame, and a second read() on a quiet
+        // daemon would block forever.  kOpen means *something* was
+        // delivered: loop and decode.
+        const runtime::DrainResult d = runtime::drainFd(
+            fd_, decoder_, runtime::DrainMode::kSingleRead);
         if (d == runtime::DrainResult::kEof)
             return Status(ErrorCode::kUnavailable,
                           "daemon closed the connection");

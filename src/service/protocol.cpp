@@ -248,7 +248,9 @@ decodeSweepReply(const std::string &payload, SweepReply *out)
         return false;
     is.get();
     out->entries.clear();
-    out->entries.reserve(n);
+    // No reserve(n): the count is wire-supplied, so allocation must
+    // track the entries the payload actually delivers, not a forged
+    // header.  A bogus count fails at the first missing entry.
     for (std::size_t i = 0; i < n; ++i) {
         core::SweepEntry e;
         std::string blob;
@@ -271,7 +273,7 @@ decodeSweepReply(const std::string &payload, SweepReply *out)
     if (!(is >> nfail))
         return false;
     is.get();
-    r.failures.reserve(nfail);
+    // Wire-supplied count: no reserve (see entries above).
     for (std::size_t i = 0; i < nfail; ++i) {
         StageFailure f;
         if (!getStr(is, &f.app) || !getStr(is, &f.variant) ||

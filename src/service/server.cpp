@@ -113,6 +113,23 @@ Server::start()
         copt.disk_dir = options_.cache_dir;
     cache_ = std::make_unique<runtime::ArtifactCache>(copt);
 
+    // Any failure below must release everything opened so far:
+    // started_ stays false, so stop() will never clean up after a
+    // failed start.  The socket file is unlinked only once it is
+    // ours — before that, a file at the path belongs to whoever put
+    // it there.
+    bool own_path = false;
+    const auto fail = [&](Status s) {
+        for (int *fd : {&unix_fd_, &tcp_fd_, &wake_rd_, &wake_wr_}) {
+            if (*fd >= 0)
+                ::close(*fd);
+            *fd = -1;
+        }
+        if (own_path)
+            (void)::unlink(options_.unix_path.c_str());
+        return s;
+    };
+
     // Self-pipe: executors wake the io thread for outbound frames.
     int wake[2] = {-1, -1};
     if (::pipe(wake) != 0)
@@ -127,29 +144,27 @@ Server::start()
     std::memset(&addr, 0, sizeof addr);
     addr.sun_family = AF_UNIX;
     if (options_.unix_path.size() >= sizeof addr.sun_path)
-        return Status(ErrorCode::kInvalidArgument,
-                      "socket path too long: " + options_.unix_path);
+        return fail(Status(ErrorCode::kInvalidArgument,
+                           "socket path too long: " +
+                               options_.unix_path));
     std::strncpy(addr.sun_path, options_.unix_path.c_str(),
                  sizeof addr.sun_path - 1);
     unix_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (unix_fd_ < 0)
-        return posixError("socket");
+        return fail(posixError("socket"));
     (void)::unlink(options_.unix_path.c_str());
+    own_path = true;
     if (::bind(unix_fd_, reinterpret_cast<struct sockaddr *>(&addr),
                sizeof addr) != 0 ||
-        ::listen(unix_fd_, 64) != 0) {
-        const Status s = posixError("bind " + options_.unix_path);
-        ::close(unix_fd_);
-        unix_fd_ = -1;
-        return s;
-    }
+        ::listen(unix_fd_, 64) != 0)
+        return fail(posixError("bind " + options_.unix_path));
     setNonBlocking(unix_fd_);
 
     // Optional TCP listener, loopback only.
     if (options_.tcp_port >= 0) {
         tcp_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
         if (tcp_fd_ < 0)
-            return posixError("socket (tcp)");
+            return fail(posixError("socket (tcp)"));
         const int one = 1;
         (void)::setsockopt(tcp_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
                            sizeof one);
@@ -162,12 +177,8 @@ Server::start()
         if (::bind(tcp_fd_,
                    reinterpret_cast<struct sockaddr *>(&tin),
                    sizeof tin) != 0 ||
-            ::listen(tcp_fd_, 64) != 0) {
-            const Status s = posixError("bind 127.0.0.1");
-            ::close(tcp_fd_);
-            tcp_fd_ = -1;
-            return s;
-        }
+            ::listen(tcp_fd_, 64) != 0)
+            return fail(posixError("bind 127.0.0.1"));
         socklen_t len = sizeof tin;
         if (::getsockname(tcp_fd_,
                           reinterpret_cast<struct sockaddr *>(&tin),

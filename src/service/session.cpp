@@ -7,6 +7,17 @@
 
 namespace apex::service {
 
+namespace {
+
+// Session::send runs on the single io thread, so a peer that accepts
+// no bytes at all for this long must cost its session, not the
+// daemon: past the bound the write fails and the server drops the
+// connection.  A slow-but-reading peer resets the window with every
+// byte accepted and is unaffected.
+constexpr int kSendStallTimeoutMs = 5000;
+
+} // namespace
+
 Session::Session(int fd, std::uint64_t id)
     : fd_(fd), id_(id),
       decoder_(kServiceMagic, kServiceWireVersion)
@@ -74,7 +85,8 @@ bool
 Session::send(std::string_view type, std::string_view payload)
 {
     return runtime::writeFrame(fd_, kServiceMagic,
-                               kServiceWireVersion, type, payload)
+                               kServiceWireVersion, type, payload,
+                               kSendStallTimeoutMs)
         .ok();
 }
 

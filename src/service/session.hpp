@@ -22,11 +22,13 @@
  * *ready* and decoded frames are handed to the server for dispatch.
  *
  * Threading: the io thread owns all reads.  send() performs a
- * complete blocking write and may be called from the io thread only
+ * complete write and may be called from the io thread only
  * (executors hand outbound frames to the io thread via the server's
- * outbound queue); frames are small and a stuck peer costs one
- * session, which the kernel buffer and the drop-on-error policy
- * bound.
+ * outbound queue).  A write that makes zero progress for the stall
+ * bound (kernel buffer full, peer not reading) fails instead of
+ * wedging the io thread; the server then drops the session — a
+ * stuck peer costs one session and at most one stall window, never
+ * the daemon.
  */
 
 namespace apex::service {

@@ -16,12 +16,14 @@
 #include <unistd.h>
 
 #include <cstring>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "core/encoding.hpp"
 #include "core/explorer.hpp"
 #include "core/sweep.hpp"
 #include "runtime/telemetry.hpp"
@@ -187,6 +189,36 @@ TEST(ServiceProtocol, DecodersRejectGarbage)
     EXPECT_FALSE(decodeSweepReply("3\nabc\n", &reply));
 }
 
+TEST(ServiceProtocol, ForgedLengthsFailInsteadOfThrowing)
+{
+    // A checksum-valid frame can still carry hostile field values: a
+    // string length of 10^18 or an entry count with nothing behind
+    // it must decode to `false`, never to a huge allocation — a
+    // bad_alloc/length_error escaping the dispatch loop would kill
+    // the daemon for every connected client.
+    HelloRequest hello;
+    EXPECT_FALSE(
+        decodeHello("1\n1000000000000000000\nx\n", &hello));
+    SweepReply reply;
+    // id, flags, then a forged entry count with no entries behind it
+    // (the decoder must not reserve() on the count's say-so).
+    EXPECT_FALSE(decodeSweepReply("7\n0 0 0\n999999999\n", &reply));
+    // Valid prefix, then a forged per-string length inside an entry.
+    EXPECT_FALSE(decodeSweepReply(
+        "7\n0 0 0\n1\n1000000000000000000\nconv\n", &reply));
+}
+
+TEST(ServiceProtocol, GetStrBoundsAllocationToDeliveredBytes)
+{
+    // The wire-level guarantee behind the test above: getStr grows
+    // its output only as the stream delivers bytes, so a forged
+    // length costs at most one chunk of over-allocation.
+    std::istringstream is("1000000000000000000\nabcd\n");
+    std::string out;
+    EXPECT_FALSE(core::enc::getStr(is, &out));
+    EXPECT_LE(out.capacity(), 1u << 20);
+}
+
 TEST(ServiceProtocol, ExitCodeLadderMatchesBatchRules)
 {
     SweepReply rep;
@@ -238,21 +270,31 @@ TEST(AdmissionQueue, BoundedPushRejectsWhenFull)
 
 TEST(AdmissionQueue, ShutdownAbandonsQueueAndWakesPoppers)
 {
+    // Abandonment: an item queued at shutdown is dropped, never
+    // delivered, and the queue stays closed.
+    AdmissionQueue<int> abandoned(8);
+    ASSERT_TRUE(abandoned.push(1));
+    abandoned.shutdown();
+    EXPECT_FALSE(abandoned.pop().has_value());
+    EXPECT_EQ(abandoned.depth(), 0u);
+    EXPECT_FALSE(abandoned.push(2)); // Closed for good.
+
+    // Wakeup: a popper parked on an empty queue is released with
+    // nullopt.  Waiting for depth()==0 guarantees the queued item
+    // went to the popper, not to abandonment; whether the popper is
+    // already blocked in its second pop() when shutdown lands or
+    // only reaches it afterwards, both orders must yield nullopt —
+    // so the test is deterministic under any scheduling.
     AdmissionQueue<int> q(8);
     ASSERT_TRUE(q.push(1));
     std::thread popper([&q] {
-        // First pop drains the queued item, second blocks until
-        // shutdown wakes it with nullopt.
         EXPECT_TRUE(q.pop().has_value());
         EXPECT_FALSE(q.pop().has_value());
     });
-    std::this_thread::sleep_for(std::chrono::milliseconds(50));
-    ASSERT_TRUE(q.push(2));
+    while (q.depth() != 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
     q.shutdown();
     popper.join();
-    EXPECT_FALSE(q.push(3)); // Closed for good.
-    EXPECT_FALSE(q.pop().has_value());
-    EXPECT_EQ(q.depth(), 0u); // Item 2 was abandoned.
 }
 
 TEST(AdmissionQueue, TracksDepthGauge)
@@ -352,7 +394,9 @@ TEST(ServiceEndToEnd, HelloVersionMismatchIsRefusedByName)
     runtime::FramedRecord rec;
     runtime::DrainResult drained;
     do {
-        drained = runtime::drainFd(fd, decoder);
+        // Single-read mode: the fd is blocking.
+        drained = runtime::drainFd(fd, decoder,
+                                   runtime::DrainMode::kSingleRead);
     } while (decoder.next(&rec) != runtime::DecodeResult::kFrame &&
              drained == runtime::DrainResult::kOpen);
     EXPECT_EQ(rec.type, kFrameHelloErr);
@@ -571,7 +615,9 @@ TEST(ServiceEndToEnd, MidStreamDisconnectDoesNotHurtOthers)
         runtime::FramedRecord rec;
         runtime::DrainResult drained;
         do {
-            drained = runtime::drainFd(fd, decoder);
+            // Single-read mode: the fd is blocking.
+            drained = runtime::drainFd(
+                fd, decoder, runtime::DrainMode::kSingleRead);
         } while (decoder.next(&rec) !=
                      runtime::DecodeResult::kFrame &&
                  drained == runtime::DrainResult::kOpen);

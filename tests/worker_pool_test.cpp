@@ -6,6 +6,8 @@
  * contract (byte-identical reports, durable quarantine) is covered in
  * durability_test.cpp, which owns the sweep fixtures.
  */
+#include <fcntl.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -180,6 +182,68 @@ TEST(WireDecoder, DrainFdFeedsUntilEof)
     ASSERT_EQ(decoder.next(&rec), DecodeResult::kFrame);
     EXPECT_EQ(rec.payload, "two");
     EXPECT_EQ(decoder.next(&rec), DecodeResult::kNeedMore);
+}
+
+TEST(WireDecoder, SingleReadModeDecodesAnExactBufferMultiple)
+{
+    // Pending bytes that are an exact multiple of the drain buffer
+    // (16384) and already hold a complete frame: until-EAGAIN on a
+    // blocking fd would read() again after the full read and block
+    // on a quiet peer forever.  kSingleRead hands control back after
+    // each read so the caller decodes what it holds.  A regression
+    // here shows up as this test hanging.
+    int fds[2] = {-1, -1};
+    ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    std::string payload(16000, 'p');
+    std::string frame =
+        encodeFrame(kWireMagic, kWireVersion, "resp", payload);
+    // Pad the payload until the encoded frame is exactly 16384
+    // bytes (two passes: the first may change the len field's digit
+    // count).
+    for (int i = 0; i < 3 && frame.size() != 16384u; ++i) {
+        payload.resize(payload.size() + (16384u - frame.size()));
+        frame = encodeFrame(kWireMagic, kWireVersion, "resp",
+                            payload);
+    }
+    ASSERT_EQ(frame.size(), 16384u);
+    ASSERT_EQ(write(fds[1], frame.data(), frame.size()),
+              static_cast<ssize_t>(frame.size()));
+
+    FrameDecoder decoder(kWireMagic, kWireVersion);
+    FramedRecord rec;
+    DecodeResult dr = decoder.next(&rec);
+    for (int reads = 0;
+         dr == DecodeResult::kNeedMore && reads < 64; ++reads) {
+        ASSERT_EQ(drainFd(fds[0], decoder, DrainMode::kSingleRead),
+                  DrainResult::kOpen);
+        dr = decoder.next(&rec);
+    }
+    EXPECT_EQ(dr, DecodeResult::kFrame);
+    EXPECT_EQ(rec.payload, payload);
+    close(fds[0]);
+    close(fds[1]);
+}
+
+TEST(WireWrite, StallTimeoutFailsInsteadOfBlockingForever)
+{
+    // A non-blocking socket (the service session shape) whose peer
+    // never reads: writeAll must give up after the stall bound with
+    // a Status, not park the writing thread in poll() forever.
+    int fds[2] = {-1, -1};
+    ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    ASSERT_EQ(fcntl(fds[1], F_SETFL,
+                    fcntl(fds[1], F_GETFL, 0) | O_NONBLOCK),
+              0);
+    const int small = 4096;
+    (void)setsockopt(fds[1], SOL_SOCKET, SO_SNDBUF, &small,
+                     sizeof small);
+    const std::string big(1u << 20, 'x');
+    const Status s = writeAll(fds[1], big, /*stall_timeout_ms=*/50);
+    EXPECT_FALSE(s.ok());
+    EXPECT_NE(s.message().find("stalled"), std::string::npos)
+        << s.toString();
+    close(fds[0]);
+    close(fds[1]);
 }
 
 TEST(WireDecoder, DeathCauseNamesRoundTrip)
