@@ -80,7 +80,8 @@
  * Exit codes: 0 on success, otherwise the stage-specific code from
  * exitCodeFor() (2 usage, 3 parse, 4 invalid IR, 7 mapping, 8
  * placement, 9 routing, 10 capacity, 12 timeout, 14 cancelled,
- * 15 worker crashed, ...).
+ * 15 worker crashed, 16 service unavailable, 17 resource
+ * exhausted — disk full while journaling, see DESIGN.md Sec. 7h).
  * Pass --diagnostics to explore/sweep to dump the structured
  * per-stage diagnostic trail.
  *
@@ -576,6 +577,14 @@ cmdSweep(int argc, char **argv)
     // the documented cancellation code.
     if (g_interrupted.load())
         return exitCodeFor(ErrorCode::kCancelled);
+    // A journal that could not keep its durability promise (disk
+    // full mid-run) makes the printed report valid but the on-disk
+    // checkpoint a lie; fail loudly so nobody --resumes against it.
+    if (!outcome.durability.ok()) {
+        std::fprintf(stderr, "apexc: %s\n",
+                     outcome.durability.toString().c_str());
+        return exitCodeFor(outcome.durability.code());
+    }
     // A bounded sweep that evaluated nothing because its deadline
     // (possibly already expired at launch, e.g. --deadline 0) beat
     // every cell exits with the timeout code — not with whichever
@@ -619,6 +628,16 @@ connectDaemon(int argc, char **argv, service::Client *client)
  * daemon owns the execution resources (--jobs here would be
  * meaningless), and stdout carries exactly the bytes batch mode
  * would print.
+ *
+ * --retries N opts the sweep path into the self-healing client
+ * (service::runSweepResilient): connect failures, load-shedding
+ * rejects and a daemon dying mid-sweep are absorbed by up to N
+ * reconnect + resubmit rounds with exponential backoff
+ * (--retry-base-ms, doubled per round, jittered, stretched to the
+ * daemon's retry_after hint).  Resubmission is idempotent — the
+ * daemon coalesces on the sweep fingerprint and journals per
+ * fingerprint — so the report is byte-identical however many
+ * attempts it took.
  */
 int
 cmdClient(int argc, char **argv)
@@ -626,13 +645,22 @@ cmdClient(int argc, char **argv)
     if (argc < 3) {
         std::fprintf(stderr,
                      "usage: apexc client <sweep|info|metrics> "
-                     "--socket PATH [--port N]\n");
+                     "--socket PATH [--port N] "
+                     "[--retries N [--retry-base-ms MS]]\n");
         return 2;
     }
     const std::string what = argv[2];
+    // The resilient sweep path dials (and redials) for itself — a
+    // daemon that is still restarting must not fail the command at
+    // the first connect.
+    const bool resilient =
+        what == "sweep" &&
+        flagValue(argc, argv, "--retries") != nullptr;
     service::Client client;
-    if (Status s = connectDaemon(argc, argv, &client); !s.ok())
-        return serviceFailure(s);
+    if (!resilient) {
+        if (Status s = connectDaemon(argc, argv, &client); !s.ok())
+            return serviceFailure(s);
+    }
 
     if (what == "info") {
         service::InfoReply info;
@@ -681,15 +709,47 @@ cmdClient(int argc, char **argv)
 
     // Progress and the coalescing verdict go to stderr: stdout is
     // reserved for the byte-identity contract with batch mode.
-    service::SweepAck ack;
+    const auto on_progress = [](const service::SweepProgressFrame &p) {
+        std::fprintf(stderr, "progress %d/%d %s/%s\n", p.done,
+                     p.total, p.app.c_str(), p.variant.c_str());
+    };
     service::SweepReply reply;
-    const Status s = client.runSweep(
-        request, &reply,
-        [](const service::SweepProgressFrame &p) {
-            std::fprintf(stderr, "progress %d/%d %s/%s\n", p.done,
-                         p.total, p.app.c_str(), p.variant.c_str());
-        },
-        &ack);
+
+    if (resilient) {
+        service::RetryPolicy policy;
+        policy.max_attempts =
+            std::atoi(flagValue(argc, argv, "--retries")) + 1;
+        if (const char *s = flagValue(argc, argv, "--retry-base-ms"))
+            policy.base_ms = std::atof(s);
+        const char *path = flagValue(argc, argv, "--socket");
+        const char *port = flagValue(argc, argv, "--port");
+        if (path == nullptr && port == nullptr)
+            return serviceFailure(Status(
+                ErrorCode::kInvalidArgument,
+                "client requires --socket PATH or --port N"));
+        service::RetryStats stats;
+        const Status s = service::runSweepResilient(
+            path != nullptr ? path : "",
+            port != nullptr ? std::atoi(port) : 0, request, policy,
+            &reply, on_progress, &stats);
+        if (!s.ok())
+            return serviceFailure(s);
+        if (stats.attempts > 1)
+            std::fprintf(stderr,
+                         "apexc: sweep landed after %d attempts "
+                         "(%d rejects, %d disconnects)\n",
+                         stats.attempts, stats.rejects,
+                         stats.disconnects);
+        std::fputs(service::renderSweepText(reply.entries,
+                                            reply.report)
+                       .c_str(),
+                   stdout);
+        return service::sweepExitCode(reply);
+    }
+
+    service::SweepAck ack;
+    const Status s =
+        client.runSweep(request, &reply, on_progress, &ack);
     if (!s.ok())
         return serviceFailure(s);
     if (ack.coalesced)

@@ -4,6 +4,8 @@
  * Usage:
  *   apexd --socket PATH [--tcp-port N] [--executors N] [--jobs N]
  *         [--queue-depth N] [--cache-dir DIR]
+ *         [--mem-budget BYTES] [--session-cap N]
+ *         [--retry-after-ms MS]
  *         [--metrics-out FILE [--metrics-interval MS]]
  *         [--admission-hold-ms MS]
  *   apexd --version
@@ -20,6 +22,13 @@
  * requests are abandoned, running sweeps cancel cooperatively (their
  * subscribers receive a cancelled report), and every thread is
  * joined before exit.
+ *
+ * Resource exhaustion (DESIGN.md Sec. 7h): --mem-budget BYTES sheds
+ * new sweeps while undelivered reply bytes exceed the budget,
+ * --session-cap N bounds sweeps in flight per client session, and
+ * every shedding reject carries a --retry-after-ms readmission hint
+ * that a self-healing client honors.  EMFILE/ENFILE on accept pauses
+ * the listeners with exponential backoff instead of spinning.
  *
  * --metrics-out FILE dumps the telemetry registry on exit;
  * --metrics-interval MS also rewrites it periodically (atomic
@@ -103,6 +112,13 @@ main(int argc, char **argv)
             static_cast<std::size_t>(std::atoi(s));
     if (const char *s = flagValue(argc, argv, "--cache-dir"))
         options.cache_dir = s;
+    if (const char *s = flagValue(argc, argv, "--mem-budget"))
+        options.mem_budget_bytes =
+            static_cast<std::size_t>(std::atoll(s));
+    if (const char *s = flagValue(argc, argv, "--session-cap"))
+        options.session_cap = std::atoi(s);
+    if (const char *s = flagValue(argc, argv, "--retry-after-ms"))
+        options.retry_after_ms = std::atof(s);
     if (const char *s = flagValue(argc, argv, "--admission-hold-ms"))
         options.admission_hold_ms = std::atof(s);
 

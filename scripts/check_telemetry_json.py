@@ -75,6 +75,29 @@ def check_trace(doc):
     require(spans > 0, "trace contains no span events")
 
 
+# Resource-exhaustion metrics (DESIGN.md Sec. 7h).  The apex.resource
+# namespace is a closed set: a new counter there must be registered
+# here (and documented) or the metrics artifact fails validation.
+RESOURCE_COUNTERS = {
+    "apex.resource.accept_exhausted",
+    "apex.resource.metrics_flush_failures",
+    "apex.resource.sweep_durability_failures",
+}
+
+
+def check_resource_metrics(doc):
+    for c in doc["counters"]:
+        name = c.get("name", "")
+        if name.startswith("apex.resource."):
+            require(name in RESOURCE_COUNTERS,
+                    f"counter {name}: unknown apex.resource.* metric "
+                    "(register it in RESOURCE_COUNTERS)")
+    for g in doc["gauges"]:
+        if g.get("name") == "apex.cache.disk_disabled":
+            require(g.get("value") in (0, 1, 0.0, 1.0),
+                    "gauge apex.cache.disk_disabled: must be 0 or 1")
+
+
 def check_metrics(doc):
     require(isinstance(doc, dict), "top level must be an object")
     require(doc.get("apex_metrics") == 1,
@@ -110,6 +133,7 @@ def check_metrics(doc):
                 f"histogram {name}: sum must be a number")
         require(h.get("count") == sum(counts),
                 f"histogram {name}: count != sum of buckets")
+    check_resource_metrics(doc)
 
 
 def main(argv):

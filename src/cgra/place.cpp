@@ -148,7 +148,7 @@ placeHetero(const Fabric &fabric, const MappedGraph &mapped,
                << nodes_of_class[c].size() << " tiles, has "
                << slots_of_class[c].size();
             result.status =
-                Status(ErrorCode::kResourceExhausted, os.str());
+                Status(ErrorCode::kBudgetExhausted, os.str());
             result.error = os.str();
             return result;
         }

@@ -43,7 +43,7 @@ struct PlacerOptions {
 struct PlacementResult {
     bool success = false;
     std::string error; ///< Legacy mirror of status (when failed).
-    /** Typed outcome: kResourceExhausted when the fabric is too
+    /** Typed outcome: kBudgetExhausted when the fabric is too
      * small (retrying another seed cannot help), kPlaceFailed
      * otherwise. */
     Status status;

@@ -523,7 +523,7 @@ evaluate(const apps::AppInfo &app, const PeVariant &variant,
                                     r.pnr_attempts);
                 // No seed conjures missing tiles: grow instead.
                 if (last_failure.code() ==
-                    ErrorCode::kResourceExhausted)
+                    ErrorCode::kBudgetExhausted)
                     break;
                 continue;
             }

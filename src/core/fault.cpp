@@ -17,7 +17,7 @@ constexpr std::array<std::string_view, kNumFaultStages> kStageNames = {
     "deserialize", "validate",    "mine",        "merge",
     "map",         "place",       "route",       "evaluate",
     "crash",       "clock",       "worker_kill", "worker_hang",
-    "worker_garbage",
+    "worker_garbage", "disk_full", "accept_emfile",
 };
 
 } // namespace
@@ -57,6 +57,10 @@ faultErrorCode(FaultStage stage)
       case FaultStage::kWorkerHang:
       case FaultStage::kWorkerGarbage:
           return ErrorCode::kWorkerCrashed;
+      case FaultStage::kDiskFull:
+          return ErrorCode::kResourceExhausted;
+      case FaultStage::kAcceptEmfile:
+          return ErrorCode::kUnavailable;
       default:                       return ErrorCode::kInternal;
     }
 }

@@ -63,6 +63,17 @@ enum class FaultStage {
     kWorkerKill,
     kWorkerHang,
     kWorkerGarbage,
+    /** Durability writes ("disk_full"): the armed call fails the Nth
+     * write that would otherwise reach disk — record-log appends,
+     * cache disk-tier entries, metrics-file flushes — as ENOSPC
+     * would (kResourceExhausted), so the degradation ladder of
+     * DESIGN.md Sec. 7h is rehearsable without filling a disk. */
+    kDiskFull,
+    /** Listener accepts ("accept_emfile"): the armed accept(2) in the
+     * service io loop observes EMFILE instead of a connection, so
+     * fd-exhaustion backoff is testable without exhausting the
+     * process's descriptor table. */
+    kAcceptEmfile,
     kNumStages,
 };
 

@@ -230,6 +230,12 @@ SweepJournal::active() const
     return log_ != nullptr && log_->active();
 }
 
+Status
+SweepJournal::lastError() const
+{
+    return log_ != nullptr ? log_->lastError() : Status::okStatus();
+}
+
 const SweepJournal::AppRecord *
 SweepJournal::appRecord(std::size_t app) const
 {
@@ -254,8 +260,11 @@ SweepJournal::appendApp(const AppRecord &rec)
     if (!active())
         return;
     APEX_SPAN("journal.append", {{"kind", "app"}});
-    (void)log_->append("app", encodeApp(rec));
-    telemetry::counter("apex.journal.appends").add(1);
+    // A failed append latches in the record log (lastError()) and
+    // deactivates it; later appends no-op and the sweep reports the
+    // failure loudly after assembly.
+    if (log_->append("app", encodeApp(rec)).ok())
+        telemetry::counter("apex.journal.appends").add(1);
     crashPoint();
 }
 
@@ -265,8 +274,8 @@ SweepJournal::appendCell(const CellRecord &rec)
     if (!active())
         return;
     APEX_SPAN("journal.append", {{"kind", "cell"}});
-    (void)log_->append("cell", encodeCell(rec));
-    telemetry::counter("apex.journal.appends").add(1);
+    if (log_->append("cell", encodeCell(rec)).ok())
+        telemetry::counter("apex.journal.appends").add(1);
     crashPoint();
 }
 

@@ -47,8 +47,13 @@ namespace apex::core {
 inline constexpr int kJournalCellsPerApp = 3;
 
 /** Journal for one sweep; all methods are safe to call when open()
- * failed (appends become no-ops) — durability must never take down
- * the sweep it protects. */
+ * failed (appends become no-ops).  A *write* failure mid-run is a
+ * different story: the log on disk is now missing outcomes, so a
+ * later --resume would silently re-run (or worse, mis-assemble) work
+ * the user believes is checkpointed.  The record log latches the
+ * failure (lastError()); runSweep checks it after assembly and fails
+ * the sweep loudly with kResourceExhausted (exit 17) instead of
+ * finishing with an unreplayable log — see DESIGN.md Sec. 7h. */
 class SweepJournal {
   public:
     /** Outcome of one app's variant-construction task. */
@@ -92,6 +97,12 @@ class SweepJournal {
 
     /** True when appends will reach disk. */
     bool active() const;
+
+    /** The write failure that stopped journaling (ok while healthy).
+     * Latched by the underlying record log on the first failed
+     * append; once set, the log is closed and truncated back to its
+     * last good frame. */
+    Status lastError() const;
 
     /** Cells replayed from a prior run (0 unless resume matched). */
     int replayedCells() const { return replayed_cells_; }

@@ -19,13 +19,14 @@ errorCodeName(ErrorCode code)
       case ErrorCode::kMappingFailed:     return "MappingFailed";
       case ErrorCode::kPlaceFailed:       return "PlaceFailed";
       case ErrorCode::kRouteFailed:       return "RouteFailed";
-      case ErrorCode::kResourceExhausted: return "ResourceExhausted";
+      case ErrorCode::kBudgetExhausted:   return "BudgetExhausted";
       case ErrorCode::kEvaluationFailed:  return "EvaluationFailed";
       case ErrorCode::kTimeout:           return "Timeout";
       case ErrorCode::kCancelled:         return "Cancelled";
       case ErrorCode::kInternal:          return "Internal";
       case ErrorCode::kWorkerCrashed:     return "WorkerCrashed";
       case ErrorCode::kUnavailable:       return "Unavailable";
+      case ErrorCode::kResourceExhausted: return "ResourceExhausted";
     }
     return "Unknown";
 }
@@ -43,13 +44,14 @@ exitCodeFor(ErrorCode code)
       case ErrorCode::kMappingFailed:     return 7;
       case ErrorCode::kPlaceFailed:       return 8;
       case ErrorCode::kRouteFailed:       return 9;
-      case ErrorCode::kResourceExhausted: return 10;
+      case ErrorCode::kBudgetExhausted:   return 10;
       case ErrorCode::kEvaluationFailed:  return 11;
       case ErrorCode::kTimeout:           return 12;
       case ErrorCode::kInternal:          return 13;
       case ErrorCode::kCancelled:         return 14;
       case ErrorCode::kWorkerCrashed:     return 15;
       case ErrorCode::kUnavailable:       return 16;
+      case ErrorCode::kResourceExhausted: return 17;
     }
     return 1;
 }
@@ -64,13 +66,14 @@ stageForCode(ErrorCode code)
       case ErrorCode::kMergeInfeasible:   return "merge";
       case ErrorCode::kMappingFailed:     return "map";
       case ErrorCode::kPlaceFailed:       return "place";
-      case ErrorCode::kResourceExhausted: return "place";
+      case ErrorCode::kBudgetExhausted:   return "place";
       case ErrorCode::kRouteFailed:       return "route";
       case ErrorCode::kEvaluationFailed:  return "evaluate";
       case ErrorCode::kTimeout:           return "deadline";
       case ErrorCode::kCancelled:         return "runtime";
       case ErrorCode::kWorkerCrashed:     return "worker";
       case ErrorCode::kUnavailable:       return "service";
+      case ErrorCode::kResourceExhausted: return "durability";
       default:                            return "unknown";
     }
 }

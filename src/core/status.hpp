@@ -44,13 +44,19 @@ enum class ErrorCode {
     kMappingFailed,     ///< Instruction selection could not cover.
     kPlaceFailed,       ///< Placement failed (non-capacity).
     kRouteFailed,       ///< Routing failed (congestion/unroutable).
-    kResourceExhausted, ///< Fabric too small / budget exhausted.
+    kBudgetExhausted,   ///< Fabric too small / search budget spent.
     kEvaluationFailed,  ///< Evaluation-level failure.
     kTimeout,           ///< Stage exceeded its budget.
     kCancelled,         ///< Cooperatively cancelled before running.
     kInternal,          ///< Unexpected exception / logic error.
     kWorkerCrashed,     ///< Worker process died evaluating a cell.
     kUnavailable,       ///< Service unreachable / refusing work.
+    /** The machine ran out of a system resource the run depends on:
+     * disk space for a durable write (ENOSPC/EIO on the journal,
+     * cache tier or metrics file), file descriptors, memory.  Kept
+     * distinct from kBudgetExhausted (a *search* budget) because the
+     * recovery is different: free the resource and rerun/resume. */
+    kResourceExhausted,
 };
 
 /** Stable identifier, e.g. "RouteFailed". */

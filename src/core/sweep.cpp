@@ -409,14 +409,22 @@ runSweep(const std::vector<apps::AppInfo> &apps,
     const long long eval_us_before = counters.eval_us.value();
 
     // --- Durability: open (and maybe replay) the sweep journal ------
-    // An open failure leaves the journal inactive: the sweep still
-    // runs, just without checkpoints.
+    // An open failure leaves the journal inactive; the sweep still
+    // runs (completed work is worth reporting), but the broken
+    // durability promise is surfaced in out.durability so the CLI
+    // can fail loudly instead of letting the user believe the run
+    // was checkpointed.
     SweepJournal journal;
-    if (!options.journal_dir.empty())
-        (void)journal.open(
-            options.journal_dir,
-            sweepFingerprint(apps, explorer, tech, options),
-            apps.size(), options.resume);
+    Status durability;
+    if (!options.journal_dir.empty()) {
+        durability =
+            journal
+                .open(options.journal_dir,
+                      sweepFingerprint(apps, explorer, tech, options),
+                      apps.size(), options.resume)
+                .withContext("opening sweep journal in '" +
+                             options.journal_dir + "'");
+    }
 
     // Restore journaled outcomes sequentially, before any task runs.
     // A fully-journaled app skips variant construction entirely; a
@@ -753,7 +761,7 @@ runSweep(const std::vector<apps::AppInfo> &apps,
                 w.stage = "merge";
                 w.code = cell.merge_timeouts > 0
                              ? ErrorCode::kTimeout
-                             : ErrorCode::kResourceExhausted;
+                             : ErrorCode::kBudgetExhausted;
                 w.message =
                     std::to_string(cell.non_optimal_merges) +
                     " datapath merge(s) used a non-optimal clique "
@@ -846,6 +854,21 @@ runSweep(const std::vector<apps::AppInfo> &apps,
         static_cast<double>(elapsedUs(wall_start)) / 1e3;
     if (telemetry::tracingEnabled())
         aggregateStageTimes(first_event, &out.report);
+
+    // --- Durability verdict ----------------------------------------
+    // A journal that died mid-run (disk full during an append) left
+    // an on-disk log missing outcomes; surface it after assembly so
+    // the report above still carries everything that ran.
+    if (durability.ok())
+        durability = journal.lastError().withContext(
+            "journaling sweep outcomes in '" + options.journal_dir +
+            "'");
+    if (!durability.ok()) {
+        telemetry::counter("apex.resource.sweep_durability_failures")
+            .add(1);
+        out.report.diagnostics.error("durability", durability);
+        out.durability = std::move(durability);
+    }
     return out;
 }
 

@@ -175,6 +175,16 @@ struct SweepOutcome {
     std::vector<SweepEntry> entries; ///< Successful evaluations.
     ExplorationReport report;        ///< Roll-up incl. failures.
     SweepRuntimeStats stats;         ///< Parallel-runtime counters.
+    /**
+     * Non-ok when journaling was requested but could not keep its
+     * durability promise (open failure, or a failed append — disk
+     * full, I/O error — that left the on-disk log incomplete).  The
+     * evaluations above are still valid; the CLI turns this into a
+     * loud exit 17 because a later --resume against that journal
+     * would silently redo (or mis-trust) work.  Always ok when
+     * journal_dir was empty.
+     */
+    Status durability;
 };
 
 /**

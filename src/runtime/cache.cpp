@@ -1,11 +1,13 @@
 #include "runtime/cache.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <thread>
 
+#include "core/fault.hpp"
 #include "runtime/record.hpp"
 #include "runtime/telemetry.hpp"
 
@@ -96,6 +98,10 @@ hex64(std::uint64_t v)
 ArtifactCache::ArtifactCache(CacheOptions options)
     : options_(std::move(options)), baseline_(globalCacheStats())
 {
+    // Surface the degradation latch in every metrics dump from the
+    // start, so observers can alert on 0 -> 1 instead of on absence.
+    if (!options_.disk_dir.empty())
+        telemetry::gauge("apex.cache.disk_disabled").set(0.0);
 }
 
 std::string
@@ -140,7 +146,7 @@ ArtifactCache::get(const std::string &key)
             return it->second->second;
         }
     }
-    if (!options_.disk_dir.empty()) {
+    if (diskUsable()) {
         if (auto value = getFromDisk(key)) {
             std::lock_guard<std::mutex> lock(mutex_);
             insertMemory(key, *value);
@@ -162,7 +168,7 @@ ArtifactCache::put(const std::string &key, const std::string &value)
         cacheCounters().insertions.add(1);
         insertMemory(key, value);
     }
-    if (!options_.disk_dir.empty())
+    if (diskUsable())
         putToDisk(key, value);
 }
 
@@ -217,15 +223,24 @@ void
 ArtifactCache::putToDisk(const std::string &key,
                          const std::string &value)
 {
+    if (const Status f = checkFault(FaultStage::kDiskFull); !f.ok()) {
+        disableDisk(f.message());
+        return;
+    }
+    bool dir_ready;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (!disk_dir_ready_) {
             std::error_code ec;
             fs::create_directories(options_.disk_dir, ec);
-            if (ec)
-                return; // disk tier degrades silently to memory-only
-            disk_dir_ready_ = true;
+            disk_dir_ready_ = !ec;
         }
+        dir_ready = disk_dir_ready_;
+    }
+    if (!dir_ready) {
+        disableDisk("cannot create cache directory '" +
+                    options_.disk_dir + "'");
+        return;
     }
     const std::string path = diskPathFor(key);
     // Write-then-rename so readers never observe a partial entry; the
@@ -233,24 +248,115 @@ ArtifactCache::putToDisk(const std::string &key,
     std::ostringstream tid;
     tid << std::this_thread::get_id();
     const std::string tmp = path + ".tmp." + tid.str();
+    bool wrote = false;
     {
         std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-        if (!os)
-            return;
-        std::ostringstream payload;
-        payload << "key " << key.size() << '\n' << key << value;
-        os << encodeFrame(kCacheMagic, kCacheVersion, "entry",
-                          payload.str());
-        if (!os)
-            return;
+        if (os) {
+            std::ostringstream payload;
+            payload << "key " << key.size() << '\n' << key << value;
+            os << encodeFrame(kCacheMagic, kCacheVersion, "entry",
+                              payload.str());
+            os.flush();
+            wrote = static_cast<bool>(os);
+        }
     }
     std::error_code ec;
+    if (!wrote) {
+        fs::remove(tmp, ec);
+        disableDisk("cannot write cache entry '" + tmp +
+                    "' (disk full?)");
+        return;
+    }
     fs::rename(tmp, path, ec);
     if (ec) {
-        fs::remove(tmp, ec);
+        std::error_code rm_ec;
+        fs::remove(tmp, rm_ec);
+        disableDisk("cannot publish cache entry '" + path +
+                    "': " + ec.message());
         return;
     }
     cacheCounters().disk_writes.add(1);
+}
+
+void
+ArtifactCache::disableDisk(const std::string &why)
+{
+    telemetry::counter("apex.cache.disk_write_failures").add(1);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (disk_disabled_)
+            return; // Already latched: one log line per episode.
+        disk_disabled_ = true;
+        const double ms = options_.disk_reprobe_ms;
+        next_probe_ =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<
+                std::chrono::steady_clock::duration>(
+                std::chrono::duration<double, std::milli>(
+                    ms > 0 ? ms : 0.0));
+    }
+    telemetry::gauge("apex.cache.disk_disabled").set(1.0);
+    std::fprintf(stderr,
+                 "apex: cache disk tier disabled (%s); continuing "
+                 "memory-only\n",
+                 why.c_str());
+}
+
+bool
+ArtifactCache::diskUsable()
+{
+    if (options_.disk_dir.empty())
+        return false;
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!disk_disabled_)
+        return true;
+    if (options_.disk_reprobe_ms < 0)
+        return false; // Re-probing turned off: memory-only for good.
+    const auto now = std::chrono::steady_clock::now();
+    if (now < next_probe_)
+        return false;
+    // Claim this probe window before dropping the lock, so a burst of
+    // concurrent accesses performs one probe, not a stampede.
+    next_probe_ =
+        now + std::chrono::duration_cast<
+                  std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double, std::milli>(
+                      options_.disk_reprobe_ms));
+    lock.unlock();
+
+    // A tiny real write is the only trustworthy "space is back"
+    // signal; a statvfs free-block count can be stale under quota.
+    const std::string probe =
+        (fs::path(options_.disk_dir) / ".apexprobe").string();
+    bool ok = false;
+    {
+        std::ofstream os(probe, std::ios::binary | std::ios::trunc);
+        if (os) {
+            os << "apexprobe\n";
+            os.flush();
+            ok = static_cast<bool>(os);
+        }
+    }
+    std::error_code ec;
+    fs::remove(probe, ec);
+    if (!ok)
+        return false;
+
+    lock.lock();
+    disk_disabled_ = false;
+    telemetry::gauge("apex.cache.disk_disabled").set(0.0);
+    telemetry::counter("apex.cache.disk_reenabled").add(1);
+    std::fprintf(stderr,
+                 "apex: cache disk tier re-enabled (probe write "
+                 "succeeded)\n");
+    return true;
+}
+
+bool
+ArtifactCache::diskDisabled() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return disk_disabled_;
 }
 
 CacheStats

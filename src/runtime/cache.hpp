@@ -1,6 +1,7 @@
 #ifndef APEX_RUNTIME_CACHE_H_
 #define APEX_RUNTIME_CACHE_H_
 
+#include <chrono>
 #include <cstdint>
 #include <list>
 #include <map>
@@ -29,6 +30,11 @@
  *    deletes the file and counts as a miss, and an entry written by
  *    another schema version is dropped as a version mismatch — a
  *    stale or corrupt cache can cost time, never correctness.
+ *    A *write* failure (disk full, I/O error) latches the tier off:
+ *    the cache continues memory-only with the
+ *    `apex.cache.disk_disabled` gauge raised, and a periodic probe
+ *    write re-enables the tier when space returns (see
+ *    CacheOptions::disk_reprobe_ms and DESIGN.md Sec. 7h).
  *
  * Values are opaque byte strings; serialization of the artifact is
  * the caller's contract (see core/evaluate.cpp).
@@ -43,6 +49,15 @@ struct CacheOptions {
     /** On-disk tier directory; empty disables the tier.  Created on
      * first use. */
     std::string disk_dir;
+    /**
+     * After a disk-tier write failure (disk full, I/O error) the
+     * tier drops to memory-only; every this-many milliseconds the
+     * next access re-probes the directory with a tiny write and
+     * re-enables the tier when it succeeds — so a sweep survives a
+     * transient full disk and recovers when space returns.  0 probes
+     * on every access (tests); < 0 never re-probes.
+     */
+    double disk_reprobe_ms = 2000.0;
 };
 
 /**
@@ -90,12 +105,21 @@ class ArtifactCache {
     /** Path the disk tier uses for @p key (exposed for tests). */
     std::string diskPathFor(const std::string &key) const;
 
+    /** True while the disk tier is latched off after a write failure
+     * (the `apex.cache.disk_disabled` gauge mirrors this). */
+    bool diskDisabled() const;
+
     const CacheOptions &options() const { return options_; }
 
   private:
     std::optional<std::string> getFromDisk(const std::string &key);
     void putToDisk(const std::string &key, const std::string &value);
     void insertMemory(const std::string &key, std::string value);
+    /** Latch the disk tier off after a failed write. */
+    void disableDisk(const std::string &why);
+    /** True when the disk tier may be used for this access: enabled,
+     * or disabled-but-due for a re-probe that just succeeded. */
+    bool diskUsable();
 
     CacheOptions options_;
     mutable std::mutex mutex_;
@@ -107,6 +131,10 @@ class ArtifactCache {
     /** Registry values at construction; stats() = registry - this. */
     CacheStats baseline_;
     bool disk_dir_ready_ = false;
+    /** Disk-tier degradation latch (guarded by mutex_). */
+    bool disk_disabled_ = false;
+    /** Monotonic deadline for the next recovery probe. */
+    std::chrono::steady_clock::time_point next_probe_{};
 };
 
 /** FNV-1a 64-bit hash (shared by cache file naming and checksums). */

@@ -8,6 +8,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include "core/fault.hpp"
 #include "runtime/cache.hpp"
 #include "runtime/telemetry.hpp"
 
@@ -124,6 +125,8 @@ RecordLog::open(const std::string &path, std::string_view magic,
     version_ = version;
     records_.clear();
     recovery_ = LogRecovery::kFresh;
+    committed_bytes_ = 0;
+    last_error_ = Status::okStatus();
 
     {
         std::error_code ec;
@@ -181,16 +184,20 @@ RecordLog::open(const std::string &path, std::string_view magic,
             std::ofstream os(tmp,
                              std::ios::binary | std::ios::trunc);
             if (!os)
-                return Status(ErrorCode::kInternal,
+                return Status(ErrorCode::kResourceExhausted,
                               "cannot write record log at '" + tmp +
                                   "'");
-            for (const FramedRecord &r : records_)
+            for (const FramedRecord &r : records_) {
                 os << encodeFrame(magic_, version_, r.type,
                                   r.payload);
+                if (!os)
+                    break; // One failing frame fails the compaction.
+            }
+            os.flush();
             if (!os)
-                return Status(ErrorCode::kInternal,
+                return Status(ErrorCode::kResourceExhausted,
                               "short write compacting record log '" +
-                                  tmp + "'");
+                                  tmp + "' (disk full?)");
         }
         // Write-then-rename alone is not crash-safe: the tmp's bytes
         // must be on disk before the rename points the log name at
@@ -201,9 +208,9 @@ RecordLog::open(const std::string &path, std::string_view magic,
         fs::rename(tmp, path_, ec);
         if (ec) {
             fs::remove(tmp, ec);
-            return Status(ErrorCode::kInternal,
+            return Status(ErrorCode::kResourceExhausted,
                           "cannot replace record log '" + path_ +
-                              "'");
+                              "': " + ec.message());
         }
         const fs::path parent = fs::path(path_).parent_path();
         if (!parent.empty())
@@ -215,7 +222,27 @@ RecordLog::open(const std::string &path, std::string_view magic,
         return Status(ErrorCode::kInternal,
                       "cannot open record log '" + path_ +
                           "' for append");
+    {
+        std::error_code ec;
+        const std::uintmax_t size = fs::file_size(path_, ec);
+        committed_bytes_ = ec ? 0 : size;
+    }
     return Status::okStatus();
+}
+
+Status
+RecordLog::failAppend(Status error)
+{
+    telemetry::counter("apex.record.append_failures").add(1);
+    last_error_ = error;
+    out_.close();
+    // Cut the file back to the last fully-flushed frame.  Shrinking
+    // needs no free space, so this works on the full disk that broke
+    // the append; the next open() then replays a clean log instead
+    // of dropping a corrupt tail.
+    (void)::truncate(path_.c_str(),
+                     static_cast<off_t>(committed_bytes_));
+    return error;
 }
 
 Status
@@ -223,13 +250,42 @@ RecordLog::append(std::string_view type, std::string_view payload)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     if (!out_.is_open())
-        return Status(ErrorCode::kInternal, "record log is not open");
-    out_ << encodeFrame(magic_, version_, type, payload);
-    out_.flush();
+        return last_error_.ok()
+                   ? Status(ErrorCode::kInternal,
+                            "record log is not open")
+                   : last_error_;
+    const std::string frame =
+        encodeFrame(magic_, version_, type, payload);
+    if (const Status f = checkFault(FaultStage::kDiskFull); !f.ok()) {
+        // Rehearse ENOSPC mid-frame: half the frame reaches the file
+        // before the write dies, exactly the torn tail a real full
+        // disk leaves behind.
+        out_.write(frame.data(),
+                   static_cast<std::streamsize>(frame.size() / 2));
+        out_.flush();
+        return failAppend(
+            Status(f.code(), "append to record log '" + path_ +
+                                 "' failed: " + f.message()));
+    }
+    out_.write(frame.data(),
+               static_cast<std::streamsize>(frame.size()));
+    if (out_)
+        out_.flush();
     if (!out_)
-        return Status(ErrorCode::kInternal,
-                      "short append to record log '" + path_ + "'");
+        return failAppend(Status(
+            ErrorCode::kResourceExhausted,
+            "append to record log '" + path_ +
+                "' failed (disk full or I/O error); log closed at "
+                "last good frame"));
+    committed_bytes_ += frame.size();
     return Status::okStatus();
+}
+
+Status
+RecordLog::lastError() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return last_error_;
 }
 
 } // namespace apex::runtime

@@ -1,6 +1,7 @@
 #ifndef APEX_RUNTIME_RECORD_H_
 #define APEX_RUNTIME_RECORD_H_
 
+#include <cstdint>
 #include <fstream>
 #include <istream>
 #include <mutex>
@@ -75,9 +76,12 @@ enum class LogRecovery {
 
 /**
  * Append-only, crash-safe record log.  Thread-safe appends; loading
- * happens once in open().  All I/O failures degrade to an inactive
- * log (appends become no-ops) — durability must never take down the
- * computation it protects.
+ * happens once in open().  A write failure (disk full, I/O error)
+ * deactivates the log — the file is truncated back to its last good
+ * frame and the failure is latched in lastError() — and the *caller*
+ * picks the policy: the cache disk tier degrades to memory-only, the
+ * sweep journal fails the sweep loudly rather than silently running
+ * undurable (DESIGN.md Sec. 7h).
  */
 class RecordLog {
   public:
@@ -106,19 +110,40 @@ class RecordLog {
         return records_;
     }
 
-    /** Append one frame and flush it to the OS. Thread-safe. */
+    /**
+     * Append one frame and flush it to the OS.  Thread-safe.  Every
+     * write and flush is checked: a failure (ENOSPC, EIO) truncates
+     * the file back to the last fully-flushed frame, closes the log
+     * (active() turns false, later appends return the latched error)
+     * and reports kResourceExhausted — a torn frame is never left on
+     * disk ahead of further appends, where it would make the whole
+     * suffix unreadable on the next open.
+     */
     Status append(std::string_view type, std::string_view payload);
+
+    /** The error that deactivated the log (ok while healthy).  The
+     * caller decides the policy: the sweep journal fails the sweep
+     * loudly, the cache disk tier degrades to memory-only. */
+    Status lastError() const;
 
     const std::string &path() const { return path_; }
 
   private:
+    /** Latch @p error, truncate the torn tail, close the stream.
+     * Caller holds mutex_. */
+    Status failAppend(Status error);
+
     std::string path_;
     std::string magic_;
     int version_ = 0;
     LogRecovery recovery_ = LogRecovery::kFresh;
     std::vector<FramedRecord> records_;
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
     std::ofstream out_;
+    /** Bytes of fully-flushed frames — the truncation point that
+     * repairs the file after a failed append. */
+    std::uintmax_t committed_bytes_ = 0;
+    Status last_error_;
 };
 
 } // namespace apex::runtime

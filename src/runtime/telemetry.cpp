@@ -2,6 +2,8 @@
 
 #include <pthread.h>
 
+#include "core/fault.hpp"
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -713,18 +715,29 @@ bool
 PeriodicMetricsWriter::flushNow()
 {
     // Write-to-temp + rename keeps every observed state of the file a
-    // complete dump; rename(2) is atomic within a filesystem.
+    // complete dump; rename(2) is atomic within a filesystem.  Any
+    // failure leaves the previous good file untouched, counts
+    // apex.resource.metrics_flush_failures, and the periodic thread
+    // simply tries again next interval — metrics are an observability
+    // aid, never worth crashing the process over.
     const std::string dump = Registry::instance().jsonDump();
     const std::string tmp = path_ + ".tmp";
-    std::FILE *f = std::fopen(tmp.c_str(), "w");
-    if (f == nullptr)
-        return false;
-    const bool wrote =
-        std::fwrite(dump.data(), 1, dump.size(), f) == dump.size();
-    const bool closed = std::fclose(f) == 0;
-    if (!wrote || !closed ||
-        std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    bool failed = !checkFault(FaultStage::kDiskFull).ok();
+    if (!failed) {
+        std::FILE *f = std::fopen(tmp.c_str(), "w");
+        if (f == nullptr) {
+            counter("apex.resource.metrics_flush_failures").add(1);
+            return false;
+        }
+        const bool wrote =
+            std::fwrite(dump.data(), 1, dump.size(), f) ==
+            dump.size();
+        failed = !wrote || std::fclose(f) != 0 ||
+                 std::rename(tmp.c_str(), path_.c_str()) != 0;
+    }
+    if (failed) {
         std::remove(tmp.c_str());
+        counter("apex.resource.metrics_flush_failures").add(1);
         return false;
     }
     flushes_.fetch_add(1, std::memory_order_relaxed);

@@ -5,10 +5,16 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
+#include <cstdio>
 #include <cstring>
+#include <thread>
 
+#include "runtime/cache.hpp"
+#include "runtime/telemetry.hpp"
 #include "service/version.hpp"
 
 namespace apex::service {
@@ -139,7 +145,7 @@ Status
 Client::runSweep(
     const SweepRequest &request, SweepReply *reply,
     const std::function<void(const SweepProgressFrame &)> &on_progress,
-    SweepAck *ack_out)
+    SweepAck *ack_out, SweepReject *reject_out)
 {
     Status s = sendFrame(kFrameSweep, encodeSweepRequest(request));
     if (!s.ok())
@@ -160,6 +166,8 @@ Client::runSweep(
                 if (!decodeReject(rec.payload, &rej))
                     return Status(ErrorCode::kInternal,
                                   "malformed reject frame");
+                if (reject_out != nullptr)
+                    *reject_out = rej;
                 return Status(rej.code, rej.reason);
             }
             SweepAck ack;
@@ -240,6 +248,103 @@ Client::sendFrame(std::string_view type, std::string_view payload)
         return Status(ErrorCode::kUnavailable,
                       "daemon write failed: " + s.message());
     return Status::okStatus();
+}
+
+namespace {
+
+/** Backoff before retry @p attempt: base * 2^(attempt-1) capped at
+ * max_ms, scaled by a deterministic jitter in [0.5, 1.0) so a fleet
+ * of shed clients doesn't resubmit in lockstep, then stretched to at
+ * least the daemon's retry_after hint. */
+double
+backoffDelayMs(const RetryPolicy &policy, int attempt,
+               double hint_ms)
+{
+    double delay = policy.base_ms > 0 ? policy.base_ms : 1.0;
+    for (int i = 1; i < attempt && delay < policy.max_ms; ++i)
+        delay *= 2.0;
+    delay = std::min(delay, policy.max_ms);
+    const std::uint64_t seed =
+        policy.jitter_seed != 0
+            ? policy.jitter_seed
+            : static_cast<std::uint64_t>(::getpid());
+    char key[48];
+    std::snprintf(key, sizeof key, "%llu:%d",
+                  static_cast<unsigned long long>(seed), attempt);
+    const double frac =
+        0.5 + static_cast<double>(runtime::fnv1a64(key) % 1000) /
+                  2000.0;
+    return std::max(delay * frac, hint_ms);
+}
+
+/** Only daemon-absent / shedding failures are worth a retry; a
+ * kInvalidArgument or protocol violation will fail identically
+ * forever. */
+bool
+transientCode(ErrorCode code)
+{
+    return code == ErrorCode::kUnavailable;
+}
+
+} // namespace
+
+Status
+runSweepResilient(
+    const std::string &unix_path, int tcp_port,
+    const SweepRequest &request, const RetryPolicy &policy,
+    SweepReply *reply,
+    const std::function<void(const SweepProgressFrame &)> &on_progress,
+    RetryStats *stats)
+{
+    RetryStats local;
+    RetryStats &st = stats != nullptr ? *stats : local;
+    st = RetryStats{};
+    const int max_attempts = std::max(policy.max_attempts, 1);
+
+    Status last;
+    for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+        ++st.attempts;
+        double hint_ms = 0.0;
+        // A fresh Client per attempt: the decoder and the handshake
+        // state must never straddle two connections.
+        Client client;
+        last = unix_path.empty() ? client.connectTcp(tcp_port)
+                                 : client.connect(unix_path);
+        if (last.ok()) {
+            SweepReject rej;
+            last = client.runSweep(request, reply, on_progress,
+                                   nullptr, &rej);
+            if (last.ok()) {
+                client.goodbye();
+                return last;
+            }
+            if (rej.reason.empty()) {
+                ++st.disconnects; // Connection died mid-sweep.
+            } else {
+                ++st.rejects; // Explicit shedding frame.
+                hint_ms = rej.retry_after_ms;
+            }
+        } else {
+            ++st.disconnects; // Never connected.
+        }
+        if (!transientCode(last.code()) || attempt == max_attempts)
+            break;
+        const double delay =
+            backoffDelayMs(policy, attempt, hint_ms);
+        st.slept_ms += delay;
+        telemetry::counter("apex.client.retries").add(1);
+        if (policy.sleep_fn) {
+            policy.sleep_fn(delay);
+        } else {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(delay));
+        }
+    }
+    if (st.attempts > 1)
+        last = last.withContext("after " +
+                                std::to_string(st.attempts) +
+                                " attempts");
+    return last;
 }
 
 } // namespace apex::service

@@ -1,6 +1,7 @@
 #ifndef APEX_SERVICE_CLIENT_H_
 #define APEX_SERVICE_CLIENT_H_
 
+#include <cstdint>
 #include <functional>
 #include <string>
 
@@ -55,11 +56,14 @@ class Client {
      * decode the final report into @p reply.  A reject becomes a
      * Status carrying the daemon's code and reason.  @p ack_out (may
      * be null) receives the ack — tests read `coalesced` from it.
+     * @p reject_out (may be null) receives the full reject frame —
+     * the resilient path reads the retry_after_ms hint from it.
      */
     Status runSweep(const SweepRequest &request, SweepReply *reply,
                     const std::function<void(const SweepProgressFrame &)>
                         &on_progress = nullptr,
-                    SweepAck *ack_out = nullptr);
+                    SweepAck *ack_out = nullptr,
+                    SweepReject *reject_out = nullptr);
 
     /** Polite goodbye (bye -> bye.ok); the connection closes. */
     void goodbye();
@@ -77,6 +81,59 @@ class Client {
     runtime::FrameDecoder decoder_{kServiceMagic, kServiceWireVersion};
     std::string server_version_;
 };
+
+/** Reconnect/retry knobs of runSweepResilient(). */
+struct RetryPolicy {
+    /** Total submission attempts (connect + sweep counts as one);
+     * <= 1 means a single try, no retries. */
+    int max_attempts = 5;
+    /** First backoff delay; each further retry doubles it. */
+    double base_ms = 200.0;
+    /** Backoff ceiling. */
+    double max_ms = 5000.0;
+    /** Seed of the deterministic jitter (0 = derive from the pid).
+     * Tests pin it so sleep sequences are reproducible. */
+    std::uint64_t jitter_seed = 0;
+    /** Test hook: invoked with each delay instead of sleeping.
+     * Null = really sleep. */
+    std::function<void(double ms)> sleep_fn;
+};
+
+/** What the resilient path did to land the sweep (telemetry for
+ * tests and the --progress footer). */
+struct RetryStats {
+    int attempts = 0;     ///< Submissions tried (>= 1).
+    int rejects = 0;      ///< Load-shedding rejects absorbed.
+    int disconnects = 0;  ///< Connections lost (or never made).
+    double slept_ms = 0;  ///< Total backoff budget consumed.
+};
+
+/**
+ * Self-healing sweep submission: dial the daemon (@p unix_path, or
+ * 127.0.0.1:@p tcp_port when the path is empty), submit @p request
+ * and collect the report, absorbing every *transient* failure —
+ * connect refused while the daemon restarts, a load-shedding reject,
+ * the connection dying mid-sweep (daemon SIGKILLed) — by
+ * reconnecting with exponential backoff + deterministic jitter and
+ * resubmitting the same request.  Rejects carrying a retry_after_ms
+ * hint stretch the backoff to at least the hint, so a shedding
+ * daemon shapes its own readmission traffic.
+ *
+ * Resubmission is idempotent by construction: requests coalesce on
+ * the sweep fingerprint, and a daemon with a cache dir journals each
+ * sweep under that fingerprint, so a restarted daemon replays the
+ * completed cells and the eventual report is byte-identical to an
+ * undisturbed run.  Permanent failures (kInvalidArgument, protocol
+ * violations) return immediately; exhausting max_attempts returns
+ * the last transient Status (kUnavailable -> exit 16), never a hang.
+ */
+Status runSweepResilient(
+    const std::string &unix_path, int tcp_port,
+    const SweepRequest &request, const RetryPolicy &policy,
+    SweepReply *reply,
+    const std::function<void(const SweepProgressFrame &)>
+        &on_progress = nullptr,
+    RetryStats *stats = nullptr);
 
 } // namespace apex::service
 

@@ -158,6 +158,7 @@ encodeReject(const SweepReject &rej)
     std::ostringstream os;
     os << rej.id << ' ' << static_cast<int>(rej.code) << '\n';
     putStr(os, rej.reason);
+    putDouble(os, rej.retry_after_ms);
     return os.str();
 }
 
@@ -170,7 +171,8 @@ decodeReject(const std::string &payload, SweepReject *out)
         return false;
     is.get();
     out->code = static_cast<ErrorCode>(code);
-    return getStr(is, &out->reason);
+    return getStr(is, &out->reason) &&
+           getDouble(is, &out->retry_after_ms);
 }
 
 // --- progress --------------------------------------------------------

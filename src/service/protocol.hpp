@@ -137,6 +137,15 @@ struct SweepReject {
     std::uint64_t id = 0;
     ErrorCode code = ErrorCode::kUnavailable;
     std::string reason;
+    /**
+     * Load-shedding hint: how long the daemon suggests the client
+     * wait before resubmitting (0 = no hint — e.g. the reject is a
+     * permanent kInvalidArgument, retrying is pointless).  A
+     * self-healing client (runSweepResilient) sleeps max(hint, its
+     * own backoff) so a shedding daemon shapes its readmission
+     * traffic instead of being hammered.
+     */
+    double retry_after_ms = 0.0;
 };
 
 std::string encodeReject(const SweepReject &rej);

@@ -7,13 +7,17 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 
 #include "core/deadline.hpp"
 #include "core/explorer.hpp"
+#include "core/fault.hpp"
 #include "runtime/telemetry.hpp"
 #include "service/version.hpp"
 
@@ -78,6 +82,21 @@ sweepOptionsFor(const SweepRequest &request)
     opts.cell_retries = request.cell_retries;
     opts.cell_deadline_ms = request.cell_deadline_ms;
     return opts;
+}
+
+/** Accept-pause knobs: first exhaustion pauses the listeners briefly,
+ * repeats double the pause up to the cap — long enough for fds to be
+ * returned, short enough that recovery is prompt. */
+constexpr double kAcceptBackoffMinMs = 50.0;
+constexpr double kAcceptBackoffMaxMs = 2000.0;
+
+std::string
+hexKey(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
 }
 
 } // namespace
@@ -221,7 +240,12 @@ Server::stop()
     {
         std::lock_guard<std::mutex> lock(inflight_mu_);
         inflight_.clear();
+        session_inflight_.clear();
     }
+    outbound_bytes_.store(0);
+    accept_backoff_ms_ = 0.0;
+    accept_pause_until_ = {};
+    queue_saturated_.store(false);
     for (int *fd : {&unix_fd_, &tcp_fd_, &wake_rd_, &wake_wr_}) {
         if (*fd >= 0)
             ::close(*fd);
@@ -231,16 +255,88 @@ Server::stop()
     started_ = false;
 }
 
+bool
+Server::acceptPaused() const
+{
+    return Clock::now() < accept_pause_until_;
+}
+
+void
+Server::logEpisode(const std::string &stage, const Status &status)
+{
+    std::fprintf(stderr, "apexd: %s\n", status.toString().c_str());
+    std::lock_guard<std::mutex> lock(diag_mu_);
+    diag_.error(stage, status);
+}
+
+Diagnostics
+Server::diagnostics() const
+{
+    std::lock_guard<std::mutex> lock(diag_mu_);
+    return diag_;
+}
+
 void
 Server::acceptPending(int listen_fd)
 {
     for (;;) {
-        const int fd = ::accept(listen_fd, nullptr, nullptr);
-        if (fd < 0)
-            return; // EAGAIN (or a raced-away connection).
-        setNonBlocking(fd);
-        const std::uint64_t id = next_session_id_++;
-        sessions_.emplace(id, std::make_unique<Session>(fd, id));
+        int fd = -1;
+        int err = 0;
+        // Fault hook: rehearse running out of file descriptors
+        // without actually exhausting the process's fd table.
+        if (!checkFault(FaultStage::kAcceptEmfile).ok()) {
+            err = EMFILE;
+        } else {
+            fd = ::accept(listen_fd, nullptr, nullptr);
+            err = fd < 0 ? errno : 0;
+        }
+        if (fd >= 0) {
+            // A successful accept ends any exhaustion episode.
+            accept_backoff_ms_ = 0.0;
+            setNonBlocking(fd);
+            const std::uint64_t id = next_session_id_++;
+            sessions_.emplace(id, std::make_unique<Session>(fd, id));
+            continue;
+        }
+        switch (err) {
+        case EINTR:
+        case ECONNABORTED: // Peer gone between listen and accept.
+            continue;
+        case EMFILE:  // Process fd table full.
+        case ENFILE:  // System fd table full.
+        case ENOBUFS: // Kernel socket memory exhausted.
+        case ENOMEM: {
+            // Pause the listener with exponential backoff: accepting
+            // again before an fd is returned would spin on the same
+            // errno.  Pending connections wait in the kernel backlog;
+            // the episode is logged once, on its first pause.
+            const bool new_episode = accept_backoff_ms_ == 0.0;
+            accept_backoff_ms_ =
+                new_episode ? kAcceptBackoffMinMs
+                            : std::min(accept_backoff_ms_ * 2.0,
+                                       kAcceptBackoffMaxMs);
+            accept_pause_until_ =
+                Clock::now() +
+                std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double, std::milli>(
+                        accept_backoff_ms_));
+            telemetry::counter("apex.resource.accept_exhausted")
+                .add(1);
+            if (new_episode)
+                logEpisode(
+                    "accept",
+                    Status(ErrorCode::kResourceExhausted,
+                           std::string("accept failed: ") +
+                               std::strerror(err) +
+                               "; pausing listeners"));
+            return;
+        }
+        default:
+            // EAGAIN/EWOULDBLOCK (backlog drained) or a transient
+            // per-connection failure; either way, nothing to accept
+            // right now.
+            return;
+        }
     }
 }
 
@@ -253,9 +349,20 @@ Server::ioLoop()
         fds.clear();
         fd_sessions.clear();
         fds.push_back({wake_rd_, POLLIN, 0});
-        fds.push_back({unix_fd_, POLLIN, 0});
-        if (tcp_fd_ >= 0)
-            fds.push_back({tcp_fd_, POLLIN, 0});
+        // While an exhaustion pause is active the listeners stay out
+        // of the poll set entirely — a readable listener we refuse to
+        // accept from would turn every poll into a busy spin.  The
+        // 100ms poll timeout re-evaluates the pause.
+        std::size_t unix_idx = 0;
+        std::size_t tcp_idx = 0;
+        if (!acceptPaused()) {
+            unix_idx = fds.size();
+            fds.push_back({unix_fd_, POLLIN, 0});
+            if (tcp_fd_ >= 0) {
+                tcp_idx = fds.size();
+                fds.push_back({tcp_fd_, POLLIN, 0});
+            }
+        }
         const std::size_t first_session = fds.size();
         for (const auto &[id, session] : sessions_) {
             fds.push_back({session->fd(), POLLIN, 0});
@@ -283,6 +390,10 @@ Server::ioLoop()
             pending.swap(outbound_);
         }
         for (Outbound &out : pending) {
+            // Delivered or dropped, the frame leaves the handoff —
+            // release its budget either way.
+            outbound_bytes_.fetch_sub(out.payload.size(),
+                                      std::memory_order_relaxed);
             auto it = sessions_.find(out.session_id);
             if (it == sessions_.end())
                 continue; // Subscriber disconnected mid-sweep.
@@ -290,9 +401,9 @@ Server::ioLoop()
                 dropSession(out.session_id);
         }
 
-        if (fds[1].revents != 0)
+        if (unix_idx != 0 && fds[unix_idx].revents != 0)
             acceptPending(unix_fd_);
-        if (tcp_fd_ >= 0 && fds[2].revents != 0)
+        if (tcp_idx != 0 && fds[tcp_idx].revents != 0)
             acceptPending(tcp_fd_);
 
         for (std::size_t i = first_session; i < fds.size(); ++i) {
@@ -383,6 +494,34 @@ Server::admitSweep(Session &session, const SweepRequest &request)
         return;
     }
 
+    // Load shedding happens before any state is created, and every
+    // shedding reject carries the retry_after hint so a well-behaved
+    // client backs off instead of hammering a daemon under pressure.
+    const auto shed = [&](const char *counter_name,
+                          std::string reason) {
+        telemetry::counter(counter_name).add(1);
+        telemetry::counter("apex.service.rejected").add(1);
+        SweepReject rej;
+        rej.id = request.id;
+        rej.code = ErrorCode::kUnavailable;
+        rej.reason = std::move(reason);
+        rej.retry_after_ms = options_.retry_after_ms;
+        (void)session.send(kFrameReject, encodeReject(rej));
+    };
+
+    // Soft memory budget over undelivered frames: a slow reader (or
+    // many fat reports at once) pushes back on admission instead of
+    // growing the handoff without bound.
+    if (options_.mem_budget_bytes > 0 &&
+        outbound_bytes_.load(std::memory_order_relaxed) >
+            options_.mem_budget_bytes) {
+        shed("apex.service.shed_memory",
+             "daemon over its memory budget (" +
+                 std::to_string(options_.mem_budget_bytes) +
+                 " bytes of undelivered frames); retry later");
+        return;
+    }
+
     const std::uint64_t key = coalescingKey(request);
     SweepJob::Subscriber sub;
     sub.session_id = session.id();
@@ -390,12 +529,25 @@ Server::admitSweep(Session &session, const SweepRequest &request)
     sub.want_progress = request.want_progress;
 
     std::lock_guard<std::mutex> lock(inflight_mu_);
+
+    // Per-session cap: one greedy client gets per-client pushback
+    // while everyone else's requests keep flowing.
+    if (options_.session_cap > 0 &&
+        session_inflight_[session.id()] >= options_.session_cap) {
+        shed("apex.service.shed_session",
+             "session already has " +
+                 std::to_string(options_.session_cap) +
+                 " sweeps in flight; retry later");
+        return;
+    }
+
     auto it = inflight_.find(key);
     if (it != inflight_.end()) {
         {
             std::lock_guard<std::mutex> job_lock(it->second->mu);
             it->second->subscribers.push_back(sub);
         }
+        ++session_inflight_[session.id()];
         telemetry::counter("apex.service.accepted").add(1);
         telemetry::counter("apex.service.coalesced").add(1);
         SweepAck ack;
@@ -412,16 +564,27 @@ Server::admitSweep(Session &session, const SweepRequest &request)
     inflight_.emplace(key, job);
     if (!queue_.push(job, request.priority)) {
         inflight_.erase(key);
-        telemetry::counter("apex.service.rejected").add(1);
-        SweepReject rej;
-        rej.id = request.id;
-        rej.code = ErrorCode::kUnavailable;
-        rej.reason =
-            "admission queue full (depth " +
-            std::to_string(options_.queue_depth) + "); retry later";
-        (void)session.send(kFrameReject, encodeReject(rej));
+        // Bounded logging: a saturated queue rejects every arrival
+        // for as long as the burst lasts — log the *episode* once,
+        // not one line per rejected request.
+        if (!queue_saturated_.exchange(true)) {
+            telemetry::counter("apex.service.saturation_episodes")
+                .add(1);
+            logEpisode("admission",
+                       Status(ErrorCode::kUnavailable,
+                              "admission queue saturated (depth " +
+                                  std::to_string(
+                                      options_.queue_depth) +
+                                  "); shedding load"));
+        }
+        shed("apex.service.shed_queue",
+             "admission queue full (depth " +
+                 std::to_string(options_.queue_depth) +
+                 "); retry later");
         return;
     }
+    queue_saturated_.store(false);
+    ++session_inflight_[session.id()];
     telemetry::counter("apex.service.accepted").add(1);
     SweepAck ack;
     ack.id = request.id;
@@ -452,6 +615,21 @@ Server::runJob(const std::shared_ptr<SweepJob> &job)
     opts.jobs = options_.jobs;
     opts.cache = cache_.get();
     opts.cancel = &stop_;
+    // With a cache dir the daemon journals every sweep under a
+    // per-coalescing-key directory and always resumes: a daemon
+    // killed mid-sweep replays the completed cells when the same
+    // request is resubmitted after restart, so a self-healing client
+    // pays only for the missing cells the second time.
+    if (!options_.cache_dir.empty()) {
+        const std::string dir =
+            options_.cache_dir + "/sweep-" + hexKey(job->key);
+        std::error_code ec;
+        std::filesystem::create_directories(dir, ec);
+        if (!ec) {
+            opts.journal_dir = dir;
+            opts.resume = true;
+        }
+    }
     // The budget starts when execution starts: queue wait is the
     // price of admission, not of the sweep (matching the batch CLI,
     // where the deadline clock starts after flag parsing).
@@ -500,6 +678,17 @@ Server::runJob(const std::shared_ptr<SweepJob> &job)
         enqueueOutbound(sub.session_id, kFrameReport,
                         encodeSweepReply(reply));
     }
+
+    // The report is on its way: release each subscriber's slot in
+    // its session's in-flight cap.
+    {
+        std::lock_guard<std::mutex> lock(inflight_mu_);
+        for (const SweepJob::Subscriber &sub : subscribers) {
+            auto sit = session_inflight_.find(sub.session_id);
+            if (sit != session_inflight_.end() && --sit->second <= 0)
+                session_inflight_.erase(sit);
+        }
+    }
 }
 
 void
@@ -532,6 +721,8 @@ Server::enqueueOutbound(std::uint64_t session_id,
 {
     if (stop_.load())
         return; // The io thread is winding down; nobody to deliver.
+    outbound_bytes_.fetch_add(payload.size(),
+                              std::memory_order_relaxed);
     {
         std::lock_guard<std::mutex> lock(outbound_mu_);
         outbound_.push_back(
@@ -545,6 +736,10 @@ void
 Server::dropSession(std::uint64_t session_id)
 {
     sessions_.erase(session_id);
+    // A dead session's in-flight slots would otherwise leak into the
+    // cap bookkeeping forever (its reports are discarded above).
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    session_inflight_.erase(session_id);
 }
 
 } // namespace apex::service

@@ -2,6 +2,7 @@
 #define APEX_SERVICE_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -80,6 +81,23 @@ struct ServerOptions {
      * coalesces deterministically.  0 in production.
      */
     double admission_hold_ms = 0.0;
+
+    /**
+     * Soft memory budget in bytes over the frames sitting in the
+     * executor->io handoff (undelivered reports and progress).  When
+     * exceeded, new sweeps are shed with kUnavailable + retry_after
+     * until the io thread drains — slow readers cost admission, not
+     * the daemon's address space.  0 = unlimited.
+     */
+    std::size_t mem_budget_bytes = 0;
+    /** Per-session cap on sweeps in flight (admitted, report not yet
+     * handed to the io thread); one greedy client saturating the
+     * admission queue is shed instead of starving everyone else.
+     * 0 = unlimited. */
+    int session_cap = 0;
+    /** Readmission hint carried by load-shedding rejects (queue
+     * full, memory budget, session cap). */
+    double retry_after_ms = 250.0;
 };
 
 /** One admitted sweep: the request plus every session subscribed to
@@ -117,6 +135,11 @@ class Server {
     /** Bound TCP port (0 when no TCP listener). */
     int tcpPort() const { return tcp_port_; }
 
+    /** Structured log of resource-exhaustion episodes (accept
+     * failures, shedding): one record per episode, not per event.
+     * Snapshot; safe from any thread. */
+    Diagnostics diagnostics() const;
+
   private:
     struct Outbound {
         std::uint64_t session_id = 0;
@@ -127,6 +150,10 @@ class Server {
     void ioLoop();
     void executorLoop();
     void acceptPending(int listen_fd);
+    /** True while accepts are paused after fd/memory exhaustion. */
+    bool acceptPaused() const;
+    /** Record one exhaustion/shedding episode (bounded logging). */
+    void logEpisode(const std::string &stage, const Status &status);
     /** Dispatch one post-handshake frame; false drops the session. */
     bool dispatch(Session &session, const runtime::FramedRecord &rec);
     void admitSweep(Session &session, const SweepRequest &request);
@@ -157,14 +184,30 @@ class Server {
     std::map<std::uint64_t, std::unique_ptr<Session>> sessions_;
     std::uint64_t next_session_id_ = 1;
 
+    // Accept-exhaustion backoff (io thread only): while paused the
+    // listeners stay out of the poll set so an EMFILE'd daemon idles
+    // instead of spinning on a permanently readable listener.
+    std::chrono::steady_clock::time_point accept_pause_until_{};
+    double accept_backoff_ms_ = 0.0;
+
     // Admission + coalescing.
     AdmissionQueue<std::shared_ptr<SweepJob>> queue_;
     std::mutex inflight_mu_;
     std::map<std::uint64_t, std::shared_ptr<SweepJob>> inflight_;
+    /** Sweeps in flight per session (guarded by inflight_mu_). */
+    std::map<std::uint64_t, int> session_inflight_;
+    /** One diagnostics line per saturation episode, not per reject. */
+    std::atomic<bool> queue_saturated_{false};
 
     // Executor -> io thread handoff.
     std::mutex outbound_mu_;
     std::vector<Outbound> outbound_;
+    /** Bytes sitting in outbound_ + being flushed (mem budget). */
+    std::atomic<std::size_t> outbound_bytes_{0};
+
+    /** Exhaustion-episode log (guarded by diag_mu_). */
+    mutable std::mutex diag_mu_;
+    Diagnostics diag_;
 
     std::thread io_thread_;
     std::vector<std::thread> executors_;

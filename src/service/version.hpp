@@ -19,8 +19,9 @@
 namespace apex::service {
 
 /** Request/reply schema version spoken by this build (hello frames
- * carry it; a mismatch is refused at the handshake). */
-inline constexpr int kProtocolVersion = 1;
+ * carry it; a mismatch is refused at the handshake).
+ * v2: reject frames carry a retry_after_ms load-shedding hint. */
+inline constexpr int kProtocolVersion = 2;
 
 /** Short git commit this binary was built from ("unknown" when the
  * build ran outside a checkout). */

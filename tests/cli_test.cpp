@@ -184,6 +184,36 @@ TEST(Cli, CrashedSweepResumesByteIdentical)
     EXPECT_EQ(slurp(ref_out), slurp(resume_out));
 }
 
+TEST(Cli, DiskFullJournalExitsResourceExhausted)
+{
+    // A journaled sweep whose very first durability write hits a
+    // full disk must fail loudly with the resource-exhaustion exit
+    // code (DESIGN.md Sec. 7h) — running on silently would leave an
+    // unreplayable journal behind for the next --resume.
+    ScratchDir dir("disk_full");
+    const std::string out = dir.str() + "/report.out";
+    EXPECT_EQ(run("APEX_FAULT=disk_full:1 " + apexc +
+                  " sweep --level map --cache-dir " + dir.str() +
+                  "/cache > " + out + " 2> " + dir.str() + "/err"),
+              17);
+    EXPECT_NE(slurp(dir.str() + "/err").find("ResourceExhausted"),
+              std::string::npos);
+
+    // Without --cache-dir there is no durability promise to break:
+    // the same fault must not perturb the sweep, and the report is
+    // byte-identical to an undisturbed run.  (The cache's
+    // degrade-to-memory-only ladder is covered in-process by
+    // durability_test.)
+    const std::string ref_out = dir.str() + "/reference.out";
+    ASSERT_EQ(run(apexc + " sweep --level map > " + ref_out), 0);
+    const std::string degraded_out = dir.str() + "/degraded.out";
+    EXPECT_EQ(run("APEX_FAULT=disk_full:1 " + apexc +
+                  " sweep --level map > " + degraded_out +
+                  " 2> /dev/null"),
+              0);
+    EXPECT_EQ(slurp(ref_out), slurp(degraded_out));
+}
+
 TEST(Cli, VersionReportsBuildIdentityAndProtocol)
 {
     ScratchDir dir("version");

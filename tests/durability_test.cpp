@@ -26,6 +26,7 @@
 #include "ir/builder.hpp"
 #include "ir/signature.hpp"
 #include "merging/clique.hpp"
+#include "runtime/cache.hpp"
 #include "runtime/record.hpp"
 #include "runtime/task_graph.hpp"
 #include "runtime/telemetry.hpp"
@@ -814,6 +815,159 @@ TEST(Degradation, ExpiredSweepDeadlineIsTimeoutNotHang)
         EXPECT_EQ(f.status.code(), ErrorCode::kTimeout);
         EXPECT_EQ(f.stage, "deadline");
     }
+}
+
+// --- Resource exhaustion (disk full / I/O error) -----------------------
+
+TEST(ResourceExhaustion, RecordLogLatchesAndTruncatesOnFailedAppend)
+{
+    ScratchDir dir("disk_full_log");
+    const std::string path = dir.str() + "/log";
+    {
+        runtime::RecordLog log;
+        ASSERT_TRUE(log.open(path, "apextest", 1, true).ok());
+        ASSERT_TRUE(log.append("a", "durable").ok());
+
+        FaultScope fault(FaultStage::kDiskFull, 1);
+        const Status s = log.append("b", "torn away");
+        ASSERT_FALSE(s.ok());
+        EXPECT_EQ(s.code(), ErrorCode::kResourceExhausted);
+
+        // The failure latches: the log deactivates, keeps the error,
+        // and every later append reports it without touching disk.
+        EXPECT_FALSE(log.active());
+        EXPECT_EQ(log.lastError().code(),
+                  ErrorCode::kResourceExhausted);
+        EXPECT_EQ(log.append("c", "too late").code(),
+                  ErrorCode::kResourceExhausted);
+    }
+    // The half-written frame was truncated back out (shrinking a
+    // file needs no free space, so this works on a full disk): the
+    // reopened log is *clean* — committed frames only, no corrupt
+    // tail to drop.
+    runtime::RecordLog log;
+    ASSERT_TRUE(log.open(path, "apextest", 1, true).ok());
+    EXPECT_EQ(log.recovery(), runtime::LogRecovery::kClean);
+    ASSERT_EQ(log.records().size(), 1u);
+    EXPECT_EQ(log.records()[0].payload, "durable");
+    // And the repaired log accepts appends again.
+    EXPECT_TRUE(log.append("d", "after recovery").ok());
+    EXPECT_TRUE(log.lastError().ok());
+}
+
+TEST(ResourceExhaustion, CacheDiskTierDegradesAndRecovers)
+{
+    ScratchDir dir("disk_full_cache");
+    runtime::CacheOptions copt;
+    copt.disk_dir = dir.str() + "/cache";
+    copt.disk_reprobe_ms = 0.0; // Re-probe on the next access.
+    runtime::ArtifactCache cache(copt);
+    telemetry::Gauge &disabled =
+        telemetry::gauge("apex.cache.disk_disabled");
+
+    cache.put("k1", "v1");
+    EXPECT_FALSE(cache.diskDisabled());
+    EXPECT_TRUE(fs::exists(cache.diskPathFor("k1")));
+
+    {
+        FaultScope fault(FaultStage::kDiskFull, 1);
+        cache.put("k2", "v2"); // Disk write fails.
+    }
+    EXPECT_TRUE(cache.diskDisabled());
+    EXPECT_EQ(disabled.value(), 1.0);
+    EXPECT_FALSE(fs::exists(cache.diskPathFor("k2")));
+    // Memory tier is untouched: the sweep continues, just undurably.
+    EXPECT_EQ(cache.get("k2").value_or(""), "v2");
+
+    // The fault cleared ("space returned"): the next put re-probes
+    // the directory and re-enables the tier.
+    cache.put("k3", "v3");
+    EXPECT_FALSE(cache.diskDisabled());
+    EXPECT_EQ(disabled.value(), 0.0);
+    EXPECT_TRUE(fs::exists(cache.diskPathFor("k3")));
+}
+
+TEST(ResourceExhaustion, CacheStaysMemoryOnlyWhenReprobingIsOff)
+{
+    ScratchDir dir("disk_full_noreprobe");
+    runtime::CacheOptions copt;
+    copt.disk_dir = dir.str() + "/cache";
+    copt.disk_reprobe_ms = -1.0; // Never re-probe.
+    runtime::ArtifactCache cache(copt);
+
+    {
+        FaultScope fault(FaultStage::kDiskFull, 1);
+        cache.put("k1", "v1");
+    }
+    EXPECT_TRUE(cache.diskDisabled());
+    cache.put("k2", "v2"); // Would succeed — but the latch holds.
+    EXPECT_TRUE(cache.diskDisabled());
+    EXPECT_FALSE(fs::exists(cache.diskPathFor("k2")));
+    EXPECT_EQ(cache.get("k2").value_or(""), "v2");
+}
+
+TEST(ResourceExhaustion, JournalWriteFailureFailsSweepLoudly)
+{
+    ScratchDir dir("disk_full_journal");
+    const auto apps_list = smallApps();
+    const Explorer ex(tech);
+    SweepOptions options;
+    options.journal_dir = dir.str();
+
+    // Append #1 is the journal header; #2 the first completed unit
+    // of work.  Failing #2 breaks the durability promise mid-run.
+    SweepOutcome broken;
+    {
+        FaultScope fault(FaultStage::kDiskFull, 2);
+        broken = runSweep(apps_list, ex, tech, options);
+    }
+    ASSERT_FALSE(broken.durability.ok());
+    EXPECT_EQ(broken.durability.code(),
+              ErrorCode::kResourceExhausted);
+    EXPECT_EQ(exitCodeFor(broken.durability.code()), 17);
+    // The failure is loud in the report too, not only in the code.
+    bool durability_diag = false;
+    for (const DiagnosticRecord &r :
+         broken.report.diagnostics.records())
+        if (r.severity == Severity::kError &&
+            r.stage == "durability")
+            durability_diag = true;
+    EXPECT_TRUE(durability_diag);
+    // The sweep itself still completed — the work is reported, only
+    // the checkpoint promise broke.
+    EXPECT_GT(broken.report.evaluated, 0);
+
+    // The truncated journal replays cleanly: resuming completes the
+    // sweep durably and byte-identically to an undisturbed run.
+    options.resume = true;
+    const SweepOutcome resumed =
+        runSweep(apps_list, ex, tech, options);
+    EXPECT_TRUE(resumed.durability.ok());
+    const SweepOutcome reference =
+        runSweep(apps_list, ex, tech, SweepOptions{});
+    EXPECT_EQ(outcomeBytes(resumed), outcomeBytes(reference));
+}
+
+TEST(ResourceExhaustion, JournalOpenFailureIsAlsoLoud)
+{
+    ScratchDir dir("disk_full_open");
+    const auto apps_list = smallApps();
+    const Explorer ex(tech);
+    SweepOptions options;
+    options.journal_dir = dir.str();
+    options.deadline = Deadline::after(0.000001); // Cheap cells.
+
+    // Append #1 — the header written by open() — fails: journaling
+    // never starts, and the sweep must say so.
+    FaultScope fault(FaultStage::kDiskFull, 1);
+    const SweepOutcome outcome =
+        runSweep(apps_list, ex, tech, options);
+    ASSERT_FALSE(outcome.durability.ok());
+    EXPECT_EQ(outcome.durability.code(),
+              ErrorCode::kResourceExhausted);
+    EXPECT_NE(outcome.durability.toString().find("opening sweep "
+                                                 "journal"),
+              std::string::npos);
 }
 
 TEST(Degradation, NonOptimalCliqueIsSurfacedAsWarning)

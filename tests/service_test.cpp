@@ -25,6 +25,7 @@
 
 #include "core/encoding.hpp"
 #include "core/explorer.hpp"
+#include "core/fault.hpp"
 #include "core/sweep.hpp"
 #include "runtime/telemetry.hpp"
 #include "runtime/wire.hpp"
@@ -112,11 +113,13 @@ TEST(ServiceProtocol, AckRejectProgressRoundTrip)
     rej.id = 10;
     rej.code = ErrorCode::kUnavailable;
     rej.reason = "admission queue full";
+    rej.retry_after_ms = 333.25;
     SweepReject rback;
     ASSERT_TRUE(decodeReject(encodeReject(rej), &rback));
     EXPECT_EQ(rback.id, 10u);
     EXPECT_EQ(rback.code, ErrorCode::kUnavailable);
     EXPECT_EQ(rback.reason, "admission queue full");
+    EXPECT_DOUBLE_EQ(rback.retry_after_ms, 333.25);
 
     SweepProgressFrame p;
     p.id = 11;
@@ -645,6 +648,356 @@ TEST(ServiceEndToEnd, MidStreamDisconnectDoesNotHurtOthers)
     EXPECT_TRUE(reply.deadline_bounded);
     healthy.goodbye();
     server.stop();
+}
+
+// ---------------------------------------------------------------
+// Resource exhaustion: shedding, accept backoff, resilient client
+// ---------------------------------------------------------------
+
+TEST(ServiceEndToEnd, QueueShedCarriesRetryAfterHintAndBoundsLog)
+{
+    telemetry::Counter &shed_queue =
+        telemetry::counter("apex.service.shed_queue");
+    telemetry::Counter &episodes =
+        telemetry::counter("apex.service.saturation_episodes");
+    const long long shed0 = shed_queue.value();
+    const long long episodes0 = episodes.value();
+
+    ServerOptions options;
+    options.unix_path = scratchSocket("retry_after");
+    options.queue_depth = 1;
+    options.executors = 1;
+    options.admission_hold_ms = 1500.0;
+    options.retry_after_ms = 333.25;
+    Server server(options);
+    ASSERT_TRUE(server.start().ok());
+
+    Client c1, c2, c3, c4;
+    ASSERT_TRUE(c1.connect(options.unix_path).ok());
+    ASSERT_TRUE(c2.connect(options.unix_path).ok());
+    ASSERT_TRUE(c3.connect(options.unix_path).ok());
+    ASSERT_TRUE(c4.connect(options.unix_path).ok());
+    std::thread t1([&c1] {
+        SweepRequest req = expiredSweepRequest();
+        req.cell_retries = 1;
+        SweepReply reply;
+        EXPECT_TRUE(c1.runSweep(req, &reply).ok());
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    std::thread t2([&c2] {
+        SweepRequest req = expiredSweepRequest();
+        req.cell_retries = 2;
+        SweepReply reply;
+        EXPECT_TRUE(c2.runSweep(req, &reply).ok());
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+    // Two distinct rejected requests inside one saturation episode:
+    // both frames carry the readmission hint, but the daemon logs
+    // the episode once, not once per reject.
+    SweepRequest req3 = expiredSweepRequest();
+    req3.cell_retries = 3;
+    SweepReply reply3;
+    SweepReject rej3;
+    const Status s3 =
+        c3.runSweep(req3, &reply3, nullptr, nullptr, &rej3);
+    ASSERT_FALSE(s3.ok());
+    EXPECT_EQ(s3.code(), ErrorCode::kUnavailable);
+    EXPECT_DOUBLE_EQ(rej3.retry_after_ms, 333.25);
+
+    SweepRequest req4 = expiredSweepRequest();
+    req4.cell_retries = 4;
+    SweepReply reply4;
+    SweepReject rej4;
+    ASSERT_FALSE(
+        c4.runSweep(req4, &reply4, nullptr, nullptr, &rej4).ok());
+    EXPECT_DOUBLE_EQ(rej4.retry_after_ms, 333.25);
+
+    EXPECT_GE(shed_queue.value() - shed0, 2);
+    EXPECT_EQ(episodes.value() - episodes0, 1);
+    const Diagnostics diag = server.diagnostics();
+    int admission_records = 0;
+    for (const DiagnosticRecord &r : diag.records())
+        if (r.stage == "admission")
+            ++admission_records;
+    EXPECT_EQ(admission_records, 1);
+
+    t1.join();
+    t2.join();
+    c1.goodbye();
+    c2.goodbye();
+    c3.goodbye();
+    c4.goodbye();
+    server.stop();
+}
+
+TEST(ServiceEndToEnd, SessionCapShedsParallelSweepsFromOneSession)
+{
+    telemetry::Counter &shed_session =
+        telemetry::counter("apex.service.shed_session");
+    const long long shed0 = shed_session.value();
+
+    ServerOptions options;
+    options.unix_path = scratchSocket("sessioncap");
+    options.session_cap = 1;
+    options.admission_hold_ms = 800.0;
+    options.retry_after_ms = 125.0;
+    Server server(options);
+    ASSERT_TRUE(server.start().ok());
+
+    // One hand-rolled session fires two *distinct* sweeps
+    // back-to-back without waiting: the first is admitted, the
+    // second trips the per-session cap and is shed — a greedy client
+    // pays for its own burst instead of starving other sessions.
+    struct sockaddr_un addr;
+    std::memset(&addr, 0, sizeof addr);
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, options.unix_path.c_str(),
+                 sizeof addr.sun_path - 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::connect(fd,
+                        reinterpret_cast<struct sockaddr *>(&addr),
+                        sizeof addr),
+              0);
+    HelloRequest hello;
+    hello.protocol = kProtocolVersion;
+    hello.client = "greedy";
+    ASSERT_TRUE(runtime::writeFrame(fd, kServiceMagic,
+                                    kServiceWireVersion, kFrameHello,
+                                    encodeHello(hello))
+                    .ok());
+    runtime::FrameDecoder decoder(kServiceMagic, kServiceWireVersion);
+    runtime::FramedRecord rec;
+    auto read_frame = [&fd, &decoder, &rec] {
+        runtime::DrainResult drained = runtime::DrainResult::kOpen;
+        while (decoder.next(&rec) != runtime::DecodeResult::kFrame &&
+               drained == runtime::DrainResult::kOpen)
+            drained = runtime::drainFd(
+                fd, decoder, runtime::DrainMode::kSingleRead);
+    };
+    read_frame();
+    ASSERT_EQ(rec.type, kFrameHelloOk);
+
+    SweepRequest first = expiredSweepRequest();
+    first.id = 1;
+    first.cell_retries = 1;
+    SweepRequest second = expiredSweepRequest();
+    second.id = 2;
+    second.cell_retries = 2;
+    ASSERT_TRUE(runtime::writeFrame(fd, kServiceMagic,
+                                    kServiceWireVersion, kFrameSweep,
+                                    encodeSweepRequest(first))
+                    .ok());
+    ASSERT_TRUE(runtime::writeFrame(fd, kServiceMagic,
+                                    kServiceWireVersion, kFrameSweep,
+                                    encodeSweepRequest(second))
+                    .ok());
+
+    read_frame();
+    ASSERT_EQ(rec.type, kFrameAck);
+    SweepAck ack;
+    ASSERT_TRUE(decodeAck(rec.payload, &ack));
+    EXPECT_EQ(ack.id, 1u);
+
+    read_frame();
+    ASSERT_EQ(rec.type, kFrameReject);
+    SweepReject rej;
+    ASSERT_TRUE(decodeReject(rec.payload, &rej));
+    EXPECT_EQ(rej.id, 2u);
+    EXPECT_EQ(rej.code, ErrorCode::kUnavailable);
+    EXPECT_NE(rej.reason.find("in flight"), std::string::npos);
+    EXPECT_DOUBLE_EQ(rej.retry_after_ms, 125.0);
+    EXPECT_GE(shed_session.value() - shed0, 1);
+
+    ::close(fd);
+    server.stop();
+}
+
+TEST(ServiceEndToEnd, AcceptExhaustionPausesListenerAndRecovers)
+{
+    telemetry::Counter &exhausted =
+        telemetry::counter("apex.resource.accept_exhausted");
+    const long long exhausted0 = exhausted.value();
+
+    ServerOptions options;
+    options.unix_path = scratchSocket("emfile");
+    Server server(options);
+    ASSERT_TRUE(server.start().ok());
+
+    // The first two accept() calls fail as if the fd table were
+    // full.  The daemon must pause the listener with backoff (no
+    // spin on the permanently readable fd) and pick the pending
+    // connection up when "fds free up" — the client just sees a
+    // slightly slower connect, never an error.
+    Status connected;
+    {
+        FaultScope fault(FaultStage::kAcceptEmfile, 1, 2);
+        Client client;
+        connected = client.connect(options.unix_path);
+        EXPECT_TRUE(connected.ok()) << connected.toString();
+        if (connected.ok()) {
+            InfoReply info;
+            EXPECT_TRUE(client.info(&info).ok());
+            client.goodbye();
+        }
+    }
+    EXPECT_EQ(exhausted.value() - exhausted0, 2);
+    const Diagnostics diag = server.diagnostics();
+    int accept_records = 0;
+    for (const DiagnosticRecord &r : diag.records())
+        if (r.stage == "accept")
+            ++accept_records;
+    EXPECT_EQ(accept_records, 1); // One episode, one record.
+    server.stop();
+}
+
+TEST(ServiceEndToEnd, ResilientClientAbsorbsShedAndHonorsHint)
+{
+    ServerOptions options;
+    options.unix_path = scratchSocket("resilient_shed");
+    options.queue_depth = 1;
+    options.executors = 1;
+    options.admission_hold_ms = 600.0;
+    options.retry_after_ms = 222.0;
+    Server server(options);
+    ASSERT_TRUE(server.start().ok());
+
+    Client c1, c2;
+    ASSERT_TRUE(c1.connect(options.unix_path).ok());
+    ASSERT_TRUE(c2.connect(options.unix_path).ok());
+    std::thread t1([&c1] {
+        SweepRequest req = expiredSweepRequest();
+        req.cell_retries = 1;
+        SweepReply reply;
+        EXPECT_TRUE(c1.runSweep(req, &reply).ok());
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    std::thread t2([&c2] {
+        SweepRequest req = expiredSweepRequest();
+        req.cell_retries = 2;
+        SweepReply reply;
+        EXPECT_TRUE(c2.runSweep(req, &reply).ok());
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    // The resilient path lands the sweep despite being shed: it
+    // sleeps at least the daemon's hint between attempts (the
+    // daemon shapes its own readmission traffic) and resubmits
+    // until the queue drains.
+    SweepRequest req = expiredSweepRequest();
+    req.cell_retries = 3;
+    RetryPolicy policy;
+    policy.max_attempts = 10;
+    policy.base_ms = 1.0;
+    policy.max_ms = 10.0;
+    policy.jitter_seed = 42;
+    std::vector<double> delays;
+    policy.sleep_fn = [&delays](double ms) {
+        delays.push_back(ms);
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(ms));
+    };
+    SweepReply reply;
+    RetryStats stats;
+    const Status s = runSweepResilient(options.unix_path, 0, req,
+                                       policy, &reply, nullptr,
+                                       &stats);
+    ASSERT_TRUE(s.ok()) << s.toString();
+    EXPECT_GE(stats.attempts, 2);
+    EXPECT_GE(stats.rejects, 1);
+    ASSERT_FALSE(delays.empty());
+    for (const double d : delays)
+        EXPECT_GE(d, 222.0); // Every backoff honors the hint.
+    EXPECT_TRUE(reply.deadline_bounded);
+
+    t1.join();
+    t2.join();
+    c1.goodbye();
+    c2.goodbye();
+    server.stop();
+}
+
+TEST(ServiceEndToEnd, ResilientClientFailsFastOnPermanentReject)
+{
+    ServerOptions options;
+    options.unix_path = scratchSocket("resilient_perm");
+    Server server(options);
+    ASSERT_TRUE(server.start().ok());
+
+    // A request that can never succeed: retrying it would fail
+    // identically forever, so the resilient path must not burn its
+    // attempt budget on it.
+    SweepRequest req = expiredSweepRequest();
+    req.level = "bogus";
+    RetryPolicy policy;
+    policy.max_attempts = 5;
+    int sleeps = 0;
+    policy.sleep_fn = [&sleeps](double) { ++sleeps; };
+    SweepReply reply;
+    RetryStats stats;
+    const Status s = runSweepResilient(options.unix_path, 0, req,
+                                       policy, &reply, nullptr,
+                                       &stats);
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), ErrorCode::kInvalidArgument);
+    EXPECT_EQ(stats.attempts, 1);
+    EXPECT_EQ(stats.rejects, 1);
+    EXPECT_EQ(sleeps, 0);
+    server.stop();
+}
+
+TEST(ServiceEndToEnd, ResilientClientSurvivesLateStartingDaemon)
+{
+    ServerOptions options;
+    options.unix_path = scratchSocket("resilient_late");
+
+    // The client starts first — the daemon is "restarting".  Every
+    // refused connect is a transient failure worth a retry; once the
+    // daemon comes up, the sweep lands.
+    SweepReply reply;
+    RetryStats stats;
+    Status result;
+    std::thread client([&options, &reply, &stats, &result] {
+        RetryPolicy policy;
+        policy.max_attempts = 20;
+        policy.base_ms = 100.0;
+        policy.max_ms = 400.0;
+        policy.jitter_seed = 7; // Real sleeps, deterministic jitter.
+        result = runSweepResilient(options.unix_path, 0,
+                                   expiredSweepRequest(), policy,
+                                   &reply, nullptr, &stats);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    Server server(options);
+    ASSERT_TRUE(server.start().ok());
+    client.join();
+    ASSERT_TRUE(result.ok()) << result.toString();
+    EXPECT_GE(stats.attempts, 2);
+    EXPECT_GE(stats.disconnects, 1);
+    EXPECT_TRUE(reply.deadline_bounded);
+    server.stop();
+}
+
+TEST(ServiceEndToEnd, ResilientClientExhaustsRetriesWithHonestStatus)
+{
+    // No daemon will ever appear: the resilient path must exhaust
+    // its budget and return the last transient Status with the
+    // attempt count in the message — never hang, never throw.
+    RetryPolicy policy;
+    policy.max_attempts = 3;
+    policy.sleep_fn = [](double) {}; // No real sleeping.
+    SweepReply reply;
+    RetryStats stats;
+    const Status s = runSweepResilient(
+        scratchSocket("resilient_nobody"), 0, expiredSweepRequest(),
+        policy, &reply, nullptr, &stats);
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), ErrorCode::kUnavailable);
+    EXPECT_EQ(stats.attempts, 3);
+    EXPECT_EQ(stats.disconnects, 3);
+    EXPECT_NE(s.toString().find("after 3 attempts"),
+              std::string::npos);
 }
 
 } // namespace

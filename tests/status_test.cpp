@@ -50,9 +50,9 @@ TEST(StatusTest, ExitCodesAreDistinctPerStage) {
         ErrorCode::kParseError,   ErrorCode::kInvalidIr,
         ErrorCode::kMiningFailed, ErrorCode::kMergeInfeasible,
         ErrorCode::kMappingFailed, ErrorCode::kPlaceFailed,
-        ErrorCode::kRouteFailed,  ErrorCode::kResourceExhausted,
+        ErrorCode::kRouteFailed,  ErrorCode::kBudgetExhausted,
         ErrorCode::kEvaluationFailed, ErrorCode::kTimeout,
-        ErrorCode::kInternal,
+        ErrorCode::kInternal,     ErrorCode::kResourceExhausted,
     };
     std::set<int> seen;
     for (ErrorCode code : codes)
@@ -68,9 +68,23 @@ TEST(StatusTest, StageForCodeMapsThePipeline) {
     EXPECT_EQ(stageForCode(ErrorCode::kMergeInfeasible), "merge");
     EXPECT_EQ(stageForCode(ErrorCode::kMappingFailed), "map");
     EXPECT_EQ(stageForCode(ErrorCode::kPlaceFailed), "place");
-    EXPECT_EQ(stageForCode(ErrorCode::kResourceExhausted), "place");
+    EXPECT_EQ(stageForCode(ErrorCode::kBudgetExhausted), "place");
     EXPECT_EQ(stageForCode(ErrorCode::kRouteFailed), "route");
     EXPECT_EQ(stageForCode(ErrorCode::kEvaluationFailed), "evaluate");
+    EXPECT_EQ(stageForCode(ErrorCode::kResourceExhausted),
+              "durability");
+}
+
+TEST(StatusTest, ResourceExhaustionHasItsOwnExitCode) {
+    // Exit 17 is the documented "machine ran out of disk/fds" code
+    // (DESIGN.md Sec. 7h); it must stay distinct from the search-
+    // budget code the placer uses (exit 10).
+    EXPECT_EQ(exitCodeFor(ErrorCode::kResourceExhausted), 17);
+    EXPECT_EQ(exitCodeFor(ErrorCode::kBudgetExhausted), 10);
+    EXPECT_EQ(errorCodeName(ErrorCode::kResourceExhausted),
+              "ResourceExhausted");
+    EXPECT_EQ(errorCodeName(ErrorCode::kBudgetExhausted),
+              "BudgetExhausted");
 }
 
 TEST(ResultTest, HoldsValue) {
