@@ -20,7 +20,7 @@
  *       Fault-tolerant evaluation of every built-in application
  *       across the variant recipe; failing pairs are reported and
  *       skipped rather than aborting the sweep.
- *   apexc client <sweep|info|metrics> --socket PATH [--port N]
+ *   apexc client <sweep|info|metrics|top> --socket PATH [--port N]
  *       Run the request against a running apexd instead of in
  *       process.  `client sweep` accepts the sweep pressure and
  *       isolation flags (--level, --isolate, --cell-retries,
@@ -28,7 +28,16 @@
  *       --progress) and prints byte-identical stdout to the batch
  *       `apexc sweep` with the same flags — the daemon's resources
  *       are invisible in the bytes.  Progress frames and the
- *       coalescing verdict go to stderr.
+ *       coalescing verdict go to stderr.  With --trace FILE the
+ *       request is traced end to end: the client mints a trace id,
+ *       the daemon stamps it on every span the sweep records, and
+ *       the written file merges the client's spans with the daemon's
+ *       slice for *this* request (fetched via the v3 `trace`
+ *       conversation) into one Chrome-trace file with client /
+ *       apexd / worker process lanes.  `client top` renders the
+ *       daemon's statusz vitals ring (sampled snapshots of sessions,
+ *       queue depth, latency quantiles); --interval MS refreshes it
+ *       live, --json prints the raw ring once for scripts.
  *   apexc --version
  *       Print the build commit, build type and protocol version.
  *
@@ -89,6 +98,7 @@
  * mobilenet laplacian stereo fast.
  */
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -97,6 +107,7 @@
 #include <memory>
 #include <optional>
 #include <sstream>
+#include <thread>
 
 #include "core/deadline.hpp"
 #include "core/evaluate.hpp"
@@ -609,6 +620,102 @@ serviceFailure(const Status &status)
     return exitCodeFor(status.code());
 }
 
+/** Set once `client sweep` has written its *merged* trace file, so
+ * the end-of-main artifact writer does not overwrite it with the
+ * client-local-only view. */
+bool g_merged_trace_written = false;
+
+bool writeArtifact(const char *path, const std::string &json);
+
+/**
+ * Write the end-to-end trace of one client request: the client's own
+ * spans plus the daemon's slice for @p trace_id (null @p client, or a
+ * v2 daemon, degrades to the client lane alone).  Daemon spans split
+ * into an "apexd" lane (io + executor threads) and an "apexd workers"
+ * lane (pool worker lanes), so the merged file shows the request
+ * crossing all three processes under one trace id.
+ */
+bool
+writeMergedTrace(const char *path, service::Client *client,
+                 std::uint64_t trace_id)
+{
+    std::vector<telemetry::TraceProcessSlice> slices;
+    telemetry::TraceProcessSlice local;
+    local.pid = 1;
+    local.process_name = "client";
+    local.events = telemetry::eventsForTrace(trace_id);
+    local.dropped = telemetry::droppedEvents();
+    slices.push_back(std::move(local));
+
+    if (client != nullptr) {
+        service::TraceReply remote;
+        if (const Status s = client->trace(trace_id, &remote);
+            s.ok()) {
+            telemetry::TraceProcessSlice daemon;
+            daemon.pid = 2;
+            daemon.process_name = "apexd";
+            daemon.dropped = remote.dropped;
+            telemetry::TraceProcessSlice workers;
+            workers.pid = 3;
+            workers.process_name = "apexd workers";
+            for (telemetry::SpanEvent &ev : remote.events)
+                (ev.lane >= 0 ? workers : daemon)
+                    .events.push_back(std::move(ev));
+            slices.push_back(std::move(daemon));
+            slices.push_back(std::move(workers));
+        } else {
+            std::fprintf(stderr,
+                         "apexc: %s; writing a client-only trace\n",
+                         s.toString().c_str());
+        }
+    }
+    g_merged_trace_written = true;
+    return writeArtifact(path,
+                         telemetry::chromeTraceJsonMerged(slices));
+}
+
+/** `apexc client top`: render the daemon's statusz ring, once or as
+ * a live refreshing view (--interval MS); --json emits the raw ring
+ * for scripts. */
+int
+cmdClientTop(int argc, char **argv, service::Client &client)
+{
+    int max_samples = 0;
+    if (const char *s = flagValue(argc, argv, "--samples"))
+        max_samples = std::atoi(s);
+    const char *interval = flagValue(argc, argv, "--interval");
+    const double interval_ms =
+        interval != nullptr ? std::atof(interval) : 0.0;
+    const bool json = hasFlag(argc, argv, "--json");
+
+    std::signal(SIGINT, onInterrupt);
+    std::signal(SIGTERM, onInterrupt);
+    for (;;) {
+        service::StatuszReply reply;
+        if (Status s = client.statusz(max_samples, &reply); !s.ok())
+            return serviceFailure(s);
+        if (json) {
+            std::fputs(service::statuszJson(reply).c_str(), stdout);
+        } else {
+            if (interval_ms > 0) // Clear + home between refreshes.
+                std::fputs("\033[2J\033[H", stdout);
+            std::fputs(service::renderStatuszText(reply).c_str(),
+                       stdout);
+        }
+        std::fflush(stdout);
+        if (interval_ms <= 0 || g_interrupted.load())
+            break;
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(interval_ms));
+        if (g_interrupted.load())
+            break;
+    }
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+    client.goodbye();
+    return 0;
+}
+
 /** Dial the daemon named by --socket PATH (or --port N, loopback
  * TCP).  A connection or handshake failure exits kUnavailable. */
 Status
@@ -644,9 +751,10 @@ cmdClient(int argc, char **argv)
 {
     if (argc < 3) {
         std::fprintf(stderr,
-                     "usage: apexc client <sweep|info|metrics> "
+                     "usage: apexc client <sweep|info|metrics|top> "
                      "--socket PATH [--port N] "
-                     "[--retries N [--retry-base-ms MS]]\n");
+                     "[--retries N [--retry-base-ms MS]] "
+                     "[--trace FILE] [--interval MS] [--json]\n");
         return 2;
     }
     const std::string what = argv[2];
@@ -681,16 +789,22 @@ cmdClient(int argc, char **argv)
         client.goodbye();
         return 0;
     }
+    if (what == "top")
+        return cmdClientTop(argc, argv, client);
     if (what != "sweep") {
         std::fprintf(stderr,
                      "apexc client: unknown request '%s' (expected "
-                     "sweep, info or metrics)\n",
+                     "sweep, info, metrics or top)\n",
                      what.c_str());
         return 2;
     }
 
     service::SweepRequest request;
     request.id = 1;
+    // Every client request gets a trace id, whether or not --trace
+    // was given: the daemon stamps it on the request's spans either
+    // way, so a trace can still be fetched after the fact.
+    request.trace_id = service::mintTraceId();
     if (const char *s = flagValue(argc, argv, "--level"))
         request.level = s;
     if (const auto level = parseLevel(request.level); !level)
@@ -715,6 +829,12 @@ cmdClient(int argc, char **argv)
     };
     service::SweepReply reply;
 
+    // Client-local spans carry the same trace id as the daemon's, so
+    // the merged trace file reads as one request across processes.
+    const char *trace_path = flagValue(argc, argv, "--trace");
+    telemetry::ScopedTraceId trace_scope;
+    trace_scope.set(request.trace_id);
+
     if (resilient) {
         service::RetryPolicy policy;
         policy.max_attempts =
@@ -728,10 +848,14 @@ cmdClient(int argc, char **argv)
                 ErrorCode::kInvalidArgument,
                 "client requires --socket PATH or --port N"));
         service::RetryStats stats;
-        const Status s = service::runSweepResilient(
-            path != nullptr ? path : "",
-            port != nullptr ? std::atoi(port) : 0, request, policy,
-            &reply, on_progress, &stats);
+        Status s;
+        {
+            APEX_SPAN("client.sweep");
+            s = service::runSweepResilient(
+                path != nullptr ? path : "",
+                port != nullptr ? std::atoi(port) : 0, request,
+                policy, &reply, on_progress, &stats);
+        }
         if (!s.ok())
             return serviceFailure(s);
         if (stats.attempts > 1)
@@ -744,12 +868,28 @@ cmdClient(int argc, char **argv)
                                             reply.report)
                        .c_str(),
                    stdout);
+        if (trace_path != nullptr) {
+            // The resilient path owns (and may have cycled) its
+            // connection; dial a fresh one for the trace slice and
+            // degrade to client-only if the daemon is gone again.
+            service::Client trace_client;
+            const bool connected =
+                connectDaemon(argc, argv, &trace_client).ok();
+            (void)writeMergedTrace(
+                trace_path, connected ? &trace_client : nullptr,
+                request.trace_id);
+            if (connected)
+                trace_client.goodbye();
+        }
         return service::sweepExitCode(reply);
     }
 
     service::SweepAck ack;
-    const Status s =
-        client.runSweep(request, &reply, on_progress, &ack);
+    Status s;
+    {
+        APEX_SPAN("client.sweep");
+        s = client.runSweep(request, &reply, on_progress, &ack);
+    }
     if (!s.ok())
         return serviceFailure(s);
     if (ack.coalesced)
@@ -759,6 +899,9 @@ cmdClient(int argc, char **argv)
     std::fputs(
         service::renderSweepText(reply.entries, reply.report).c_str(),
         stdout);
+    if (trace_path != nullptr)
+        (void)writeMergedTrace(trace_path, &client,
+                               request.trace_id);
     client.goodbye();
     return service::sweepExitCode(reply);
 }
@@ -827,7 +970,9 @@ writeTelemetryArtifacts(const char *trace_path,
                         const char *metrics_path)
 {
     bool ok = true;
-    if (trace_path != nullptr)
+    // `client sweep --trace` writes a *merged* multi-process trace
+    // itself; overwriting it here would lose the daemon lanes.
+    if (trace_path != nullptr && !g_merged_trace_written)
         ok &= writeArtifact(trace_path,
                             telemetry::chromeTraceJson());
     if (metrics_path != nullptr)

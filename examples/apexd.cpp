@@ -7,6 +7,8 @@
  *         [--mem-budget BYTES] [--session-cap N]
  *         [--retry-after-ms MS]
  *         [--metrics-out FILE [--metrics-interval MS]]
+ *         [--log-out FILE] [--log-level debug|info|warn|error]
+ *         [--statusz-interval-ms MS]
  *         [--admission-hold-ms MS]
  *   apexd --version
  *
@@ -35,6 +37,15 @@
  * rename), so `apex.service.*` counters are observable while the
  * daemon runs.  --admission-hold-ms is a test knob that widens the
  * coalescing window deterministically; leave it 0 in production.
+ *
+ * Observability (DESIGN.md Sec. 7i): tracing is always on in the
+ * daemon — every span carries its request's trace id, and `apexc
+ * client sweep --trace` fetches the slice for its own request.
+ * --log-out FILE appends structured JSONL events (level, component,
+ * message, trace_id); --log-level sets the threshold (default info).
+ * Without --log-out, events still reach stderr.  `apexc client top`
+ * reads the statusz vitals ring, sampled every
+ * --statusz-interval-ms (default 1000).
  */
 #include <csignal>
 #include <cstdio>
@@ -45,6 +56,7 @@
 
 #include <poll.h>
 
+#include "runtime/eventlog.hpp"
 #include "runtime/telemetry.hpp"
 #include "service/server.hpp"
 #include "service/version.hpp"
@@ -121,6 +133,33 @@ main(int argc, char **argv)
         options.retry_after_ms = std::atof(s);
     if (const char *s = flagValue(argc, argv, "--admission-hold-ms"))
         options.admission_hold_ms = std::atof(s);
+    if (const char *s =
+            flagValue(argc, argv, "--statusz-interval-ms"))
+        options.statusz_interval_ms = std::atof(s);
+
+    // Structured event log: episodes (admission saturation, accept
+    // exhaustion, cache tier flips) as JSONL, correlated by trace id.
+    eventlog::Options log_options;
+    if (const char *s = flagValue(argc, argv, "--log-out"))
+        log_options.path = s;
+    if (const char *s = flagValue(argc, argv, "--log-level")) {
+        if (!eventlog::parseLevel(s, &log_options.level)) {
+            std::fprintf(stderr,
+                         "apexd: unknown --log-level '%s' (expected "
+                         "debug, info, warn or error)\n",
+                         s);
+            return 2;
+        }
+    }
+    if (!eventlog::configure(log_options))
+        return 2;
+
+    // Tracing stays on for the daemon's lifetime: requests arrive at
+    // any moment, and the per-request `trace` slice only exists if
+    // spans were recorded when the request ran.  The collected-event
+    // store is capped (oldest evicted), so this is bounded memory,
+    // not a leak.
+    telemetry::setTracingEnabled(true);
 
     const char *metrics_path = flagValue(argc, argv, "--metrics-out");
     std::unique_ptr<telemetry::PeriodicMetricsWriter> periodic;
@@ -167,5 +206,6 @@ main(int argc, char **argv)
         std::ofstream os(metrics_path, std::ios::binary);
         os << telemetry::Registry::instance().jsonDump();
     }
+    eventlog::shutdown(); // Flush + close the log file.
     return 0;
 }

@@ -1,0 +1,222 @@
+#!/usr/bin/env python3
+"""Validate request-scoped observability artifacts (DESIGN.md Sec. 7i).
+
+Usage:
+    check_trace_json.py merged   out.json
+    check_trace_json.py statusz  statusz.json
+    check_trace_json.py eventlog daemon-events.jsonl
+
+`merged` checks the multi-process Chrome-trace file written by
+`apexc client sweep --trace`: one process_name metadata lane per
+process, the client / apexd / apexd workers lanes all present and
+populated, every span carrying the same 16-hex trace_id, and the
+per-process dropped-span counts in otherData.
+
+`statusz` checks the JSON printed by `apexc client top --json`: the
+schema marker, the sampling interval, and per-sample field types plus
+monotonicity of timestamps and cumulative counters.
+
+`eventlog` checks a structured log file (`apexd --log-out`): every
+line is one JSON object with ts_ms / level / component / message, and
+trace_id (when present) is a 16-hex request id.
+
+Exit code 0 when the file validates, 1 with a reason on stderr when
+it does not.  Stdlib only.
+"""
+
+import json
+import re
+import sys
+
+
+class SchemaError(Exception):
+    pass
+
+
+def require(cond, message):
+    if not cond:
+        raise SchemaError(message)
+
+
+TRACE_ID_RE = re.compile(r"^[0-9a-f]{16}$")
+
+# The lanes `apexc client sweep --trace` emits.  The workers lane is
+# always present; it only holds spans when the daemon ran the sweep
+# with a worker pool (--jobs > 1), which is how CI runs it.
+REQUIRED_LANES = {"client", "apexd", "apexd workers"}
+
+
+def check_merged(doc):
+    require(isinstance(doc, dict), "top level must be an object")
+    require(doc.get("displayTimeUnit") == "ms",
+            "displayTimeUnit must be 'ms'")
+    events = doc.get("traceEvents")
+    require(isinstance(events, list), "traceEvents must be a list")
+
+    lanes = {}  # pid -> process name
+    spans_per_pid = {}
+    trace_ids = set()
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        require(isinstance(ev, dict), f"{where}: not an object")
+        ph = ev.get("ph")
+        require(ph in ("X", "M"), f"{where}: ph must be X or M")
+        require(isinstance(ev.get("pid"), int), f"{where}: bad pid")
+        require(isinstance(ev.get("tid"), int), f"{where}: bad tid")
+        args = ev.get("args")
+        require(isinstance(args, dict), f"{where}: bad args")
+        if ph == "M":
+            name = ev.get("name")
+            require(name in ("process_name", "thread_name"),
+                    f"{where}: metadata must be process_name or "
+                    "thread_name")
+            require(isinstance(args.get("name"), str) and args["name"],
+                    f"{where}: {name} needs args.name")
+            if name == "process_name":
+                require(ev["pid"] not in lanes,
+                        f"{where}: duplicate process_name for pid "
+                        f"{ev['pid']}")
+                lanes[ev["pid"]] = args["name"]
+            continue
+        require(isinstance(ev.get("name"), str) and ev["name"],
+                f"{where}: span needs a name")
+        require(ev.get("cat") == "apex", f"{where}: cat must be apex")
+        for field in ("ts", "dur"):
+            v = ev.get(field)
+            require(isinstance(v, (int, float)) and v >= 0,
+                    f"{where}: {field} must be a non-negative number")
+        tid = args.get("trace_id")
+        require(isinstance(tid, str) and TRACE_ID_RE.match(tid),
+                f"{where}: span needs a 16-hex args.trace_id")
+        trace_ids.add(tid)
+        spans_per_pid[ev["pid"]] = spans_per_pid.get(ev["pid"], 0) + 1
+
+    names = set(lanes.values())
+    require(REQUIRED_LANES <= names,
+            f"missing process lanes: {sorted(REQUIRED_LANES - names)}")
+    require(len(lanes) == len(names), "duplicate process lane names")
+    for pid in spans_per_pid:
+        require(pid in lanes,
+                f"spans under pid {pid} with no process_name lane")
+    for pid, name in lanes.items():
+        require(spans_per_pid.get(pid, 0) > 0,
+                f"lane '{name}' (pid {pid}) contains no spans")
+    # One file = one request: every span shares its trace id.
+    require(len(trace_ids) == 1,
+            f"expected exactly one trace_id, saw {len(trace_ids)}")
+
+    dropped = doc.get("otherData", {}).get("dropped")
+    require(isinstance(dropped, dict),
+            "otherData.dropped must map process names to span loss")
+    require(set(dropped) == names,
+            "otherData.dropped keys must match the process lanes")
+    for name, count in dropped.items():
+        require(isinstance(count, int) and count >= 0,
+                f"otherData.dropped['{name}'] must be a "
+                "non-negative int")
+
+
+# Cumulative counters in a status snapshot: totals since daemon
+# start, so they may never decrease across the ring.
+MONOTONIC_FIELDS = (
+    "accepted", "rejected", "coalesced", "sweeps",
+    "cache_hits", "cache_misses", "worker_restarts", "trace_dropped",
+)
+GAUGE_FIELDS = (
+    "sessions", "queue_depth", "active_sweeps", "inflight_bytes",
+)
+LATENCY_FIELDS = ("request_p50_ms", "request_p99_ms")
+
+
+def check_statusz(doc):
+    require(isinstance(doc, dict), "top level must be an object")
+    require(doc.get("apex_statusz") == 1,
+            "apex_statusz schema marker missing")
+    interval = doc.get("interval_ms")
+    require(isinstance(interval, (int, float)) and interval > 0,
+            "interval_ms must be a positive number")
+    samples = doc.get("samples")
+    require(isinstance(samples, list) and samples,
+            "samples must be a non-empty list")
+    prev = None
+    for i, s in enumerate(samples):
+        where = f"samples[{i}]"
+        require(isinstance(s, dict), f"{where}: not an object")
+        require(isinstance(s.get("ts_ms"), (int, float)),
+                f"{where}: ts_ms must be a number")
+        for field in MONOTONIC_FIELDS + GAUGE_FIELDS:
+            v = s.get(field)
+            require(isinstance(v, int) and v >= 0,
+                    f"{where}: {field} must be a non-negative int")
+        for field in LATENCY_FIELDS:
+            v = s.get(field)
+            require(isinstance(v, (int, float)) and v >= 0,
+                    f"{where}: {field} must be a non-negative number")
+        if prev is not None:
+            require(s["ts_ms"] >= prev["ts_ms"],
+                    f"{where}: ts_ms went backwards")
+            for field in MONOTONIC_FIELDS:
+                require(s[field] >= prev[field],
+                        f"{where}: cumulative {field} decreased")
+        prev = s
+
+
+LOG_LEVELS = {"debug", "info", "warn", "error"}
+
+
+def check_eventlog(path):
+    lines = 0
+    with open(path, "r", encoding="utf-8") as f:
+        for n, raw in enumerate(f, start=1):
+            raw = raw.strip()
+            if not raw:
+                continue
+            where = f"line {n}"
+            try:
+                ev = json.loads(raw)
+            except json.JSONDecodeError as e:
+                raise SchemaError(f"{where}: not JSON: {e}")
+            require(isinstance(ev, dict), f"{where}: not an object")
+            require(isinstance(ev.get("ts_ms"), int),
+                    f"{where}: ts_ms must be an int")
+            require(ev.get("level") in LOG_LEVELS,
+                    f"{where}: bad level {ev.get('level')!r}")
+            require(isinstance(ev.get("component"), str) and
+                    ev["component"],
+                    f"{where}: component must be a non-empty string")
+            require(isinstance(ev.get("message"), str),
+                    f"{where}: message must be a string")
+            if "trace_id" in ev:
+                require(isinstance(ev["trace_id"], str) and
+                        TRACE_ID_RE.match(ev["trace_id"]),
+                        f"{where}: trace_id must be 16 hex digits")
+            lines += 1
+    return lines
+
+
+def main(argv):
+    if len(argv) != 3 or argv[1] not in ("merged", "statusz",
+                                         "eventlog"):
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+    kind, path = argv[1], argv[2]
+    try:
+        if kind == "eventlog":
+            lines = check_eventlog(path)
+            print(f"{path}: valid event log ({lines} line(s))")
+            return 0
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+        (check_merged if kind == "merged" else check_statusz)(doc)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"{path}: {e}", file=sys.stderr)
+        return 1
+    except SchemaError as e:
+        print(f"{path}: schema violation: {e}", file=sys.stderr)
+        return 1
+    print(f"{path}: valid {kind} artifact")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

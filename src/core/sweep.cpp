@@ -346,6 +346,11 @@ runSweep(const std::vector<apps::AppInfo> &apps,
 {
     const Clock::time_point wall_start = Clock::now();
     SweepOutcome out;
+    // Declared before the span so the span closes (and records the
+    // id) before the previous scope is restored.
+    telemetry::ScopedTraceId sweep_trace;
+    if (options.trace_id != 0)
+        sweep_trace.set(options.trace_id);
     APEX_SPAN("sweep", {{"apps", static_cast<long long>(apps.size())}});
 
     // Event-store position when this sweep starts: only spans emitted
@@ -473,6 +478,7 @@ runSweep(const std::vector<apps::AppInfo> &apps,
     // Every task writes only its own slot; all ordering-sensitive
     // work (report assembly) happens sequentially afterwards.
     runtime::TaskGraph graph(pool);
+    graph.setTraceId(options.trace_id);
     for (std::size_t i = 0; i < apps.size(); ++i) {
         const apps::AppInfo &app = apps[i];
         AppSlot &slot = slots[i];
@@ -495,6 +501,11 @@ runSweep(const std::vector<apps::AppInfo> &apps,
                 telemetry::ScopedCell cell_scope;
                 if (telemetry::tracingEnabled())
                     cell_scope.set(app.name);
+                // Pool lanes do not inherit the caller's trace id;
+                // each task re-installs it for its own spans.
+                telemetry::ScopedTraceId trace_scope;
+                if (options.trace_id != 0)
+                    trace_scope.set(options.trace_id);
                 APEX_SPAN("build", {{"app", app.name}});
                 telemetry::StageTimer timer(
                     telemetry::histogram("apex.build.ms"));
@@ -563,6 +574,9 @@ runSweep(const std::vector<apps::AppInfo> &apps,
                         cell.deadline_skipped = true;
                         return Status::okStatus();
                     }
+                    telemetry::ScopedTraceId trace_scope;
+                    if (options.trace_id != 0)
+                        trace_scope.set(options.trace_id);
                     const Clock::time_point t0 = Clock::now();
                     counters.tasks.add(1);
                     cell.ran = true;
@@ -655,6 +669,7 @@ runSweep(const std::vector<apps::AppInfo> &apps,
             wopts.liveness_timeout_ms =
                 options.worker_liveness_timeout_ms;
             wopts.cancel = cancel;
+            wopts.trace_id = options.trace_id;
             runtime::WorkerPool workers(handler, wopts);
             const std::vector<runtime::WorkerTaskOutcome> outcomes =
                 workers.run(payloads);

@@ -140,6 +140,15 @@ struct SweepOptions {
     /** kProcess only: silence budget before a busy worker is
      * declared hung and SIGKILLed. */
     double worker_liveness_timeout_ms = 2000.0;
+
+    /**
+     * Request trace id stamped on every span this sweep records —
+     * build/eval tasks on pool lanes and (kProcess) dispatched cells
+     * in forked workers — so a multi-request daemon can slice one
+     * request's spans back out (service `trace`).  0 = unscoped.
+     * Purely observational: never affects the outcome.
+     */
+    std::uint64_t trace_id = 0;
 };
 
 /** One completed (application, variant) evaluation. */

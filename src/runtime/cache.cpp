@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "core/fault.hpp"
+#include "runtime/eventlog.hpp"
 #include "runtime/record.hpp"
 #include "runtime/telemetry.hpp"
 
@@ -296,10 +297,10 @@ ArtifactCache::disableDisk(const std::string &why)
                     ms > 0 ? ms : 0.0));
     }
     telemetry::gauge("apex.cache.disk_disabled").set(1.0);
-    std::fprintf(stderr,
-                 "apex: cache disk tier disabled (%s); continuing "
-                 "memory-only\n",
-                 why.c_str());
+    eventlog::emit(eventlog::Level::kWarn, "cache",
+                   "disk tier disabled (" + why +
+                       "); continuing memory-only",
+                   telemetry::currentTraceId());
 }
 
 bool
@@ -346,9 +347,8 @@ ArtifactCache::diskUsable()
     disk_disabled_ = false;
     telemetry::gauge("apex.cache.disk_disabled").set(0.0);
     telemetry::counter("apex.cache.disk_reenabled").add(1);
-    std::fprintf(stderr,
-                 "apex: cache disk tier re-enabled (probe write "
-                 "succeeded)\n");
+    eventlog::emit(eventlog::Level::kInfo, "cache",
+                   "disk tier re-enabled (probe write succeeded)");
     return true;
 }
 

@@ -66,6 +66,11 @@ TaskGraph::runTask(TaskId id)
                    "dependency '" + failed_dep + "' failed");
     } else {
         try {
+            // Before the span: its destructor stamps the thread's
+            // trace id, which must still be installed then.
+            telemetry::ScopedTraceId trace_scope;
+            if (trace_id_ != 0)
+                trace_scope.set(trace_id_);
             APEX_SPAN("task", {{"label", t.label}});
             s = t.fn();
         } catch (const ApexError &e) {

@@ -2,6 +2,7 @@
 #define APEX_RUNTIME_TASK_GRAPH_H_
 
 #include <atomic>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <string>
@@ -80,6 +81,17 @@ class TaskGraph {
     }
 
     /**
+     * Attribute every task to request @p trace_id: the thread trace
+     * id is installed around each task body, so the graph's own
+     * "task" spans — and any span the body opens without re-scoping —
+     * carry the id under both the inline and the pooled schedule.
+     * Without this, pool workers would record trace 0 while the
+     * inline schedule inherited the caller's id, making the span set
+     * depend on the job count.  Must be set before run().
+     */
+    void setTraceId(std::uint64_t trace_id) { trace_id_ = trace_id; }
+
+    /**
      * Execute the graph to completion (including cancelled tasks,
      * which complete as kCancelled).  @return ok when every task
      * succeeded, else the first failure in task-id order — a
@@ -112,6 +124,7 @@ class TaskGraph {
     ThreadPool *pool_ = nullptr;
     std::vector<Task> tasks_;
     Deadline deadline_;
+    std::uint64_t trace_id_ = 0;
     std::atomic<bool> cancelled_{false};
     bool started_ = false;
 

@@ -117,7 +117,11 @@ struct TracingGlobal {
     std::uint64_t next_thread_ord = 0;
     std::atomic<long long> recorded{0};
     std::atomic<long long> dropped{0};
+    std::atomic<long long> evicted{0};
     std::atomic<std::size_t> ring_capacity{16384};
+    // Oldest-first eviction bound on `collected`: a daemon that keeps
+    // tracing on across requests must not grow without limit.
+    std::atomic<std::size_t> collected_cap{131072};
 };
 
 TracingGlobal &
@@ -138,6 +142,7 @@ struct ThreadState {
     int lane = -1;
     int depth = 0;
     std::string cell;
+    std::uint64_t trace_id = 0;
 };
 
 ThreadState &
@@ -275,6 +280,35 @@ ScopedCell::set(std::string cell)
     state.cell = std::move(cell);
 }
 
+ScopedTraceId::~ScopedTraceId()
+{
+    if (active_)
+        threadState().trace_id = prev_;
+}
+
+void
+ScopedTraceId::set(std::uint64_t trace_id)
+{
+    ThreadState &state = threadState();
+    if (!active_) {
+        active_ = true;
+        prev_ = state.trace_id;
+    }
+    state.trace_id = trace_id;
+}
+
+void
+setThreadTraceId(std::uint64_t trace_id)
+{
+    threadState().trace_id = trace_id;
+}
+
+std::uint64_t
+currentTraceId()
+{
+    return threadState().trace_id;
+}
+
 // --------------------------------------------------------------------
 // Spans
 // --------------------------------------------------------------------
@@ -354,14 +388,20 @@ Span::end()
     ev.dur_us = static_cast<double>(t1_ns - t0_ns_) / 1e3;
     ev.lane = state.lane;
     ev.depth = depth_;
+    ev.trace_id = state.trace_id;
 
     TracingGlobal &g = tracingGlobal();
     Ring &ring = threadRing(state);
     ev.thread_ord = state.ord;
-    if (ring.push(std::move(ev)))
+    if (ring.push(std::move(ev))) {
         g.recorded.fetch_add(1, std::memory_order_relaxed);
-    else
+    } else {
         g.dropped.fetch_add(1, std::memory_order_relaxed);
+        // Mirror ring drops into the always-on registry so a metrics
+        // dump reveals truncated traces without draining the rings.
+        static Counter &dropped = counter("apex.trace.dropped");
+        dropped.add(1);
+    }
 }
 
 // --------------------------------------------------------------------
@@ -375,6 +415,19 @@ collect()
     SpinGuard guard(g.lock);
     for (const std::shared_ptr<Ring> &ring : g.rings)
         ring->drain(&g.collected);
+    // Bound the retained store: a daemon traces indefinitely, and an
+    // unbounded `collected` would be a slow leak.  Evict oldest-first
+    // and count it, so served trace slices can report the loss.
+    const std::size_t cap =
+        g.collected_cap.load(std::memory_order_relaxed);
+    if (g.collected.size() > cap) {
+        const std::size_t excess = g.collected.size() - cap;
+        g.collected.erase(g.collected.begin(),
+                          g.collected.begin() +
+                              static_cast<std::ptrdiff_t>(excess));
+        g.evicted.fetch_add(static_cast<long long>(excess),
+                            std::memory_order_relaxed);
+    }
 }
 
 const std::vector<SpanEvent> &
@@ -395,6 +448,32 @@ droppedEvents()
     return tracingGlobal().dropped.load(std::memory_order_relaxed);
 }
 
+long long
+evictedEvents()
+{
+    return tracingGlobal().evicted.load(std::memory_order_relaxed);
+}
+
+std::vector<SpanEvent>
+eventsForTrace(std::uint64_t trace_id)
+{
+    collect();
+    TracingGlobal &g = tracingGlobal();
+    SpinGuard guard(g.lock);
+    std::vector<SpanEvent> out;
+    for (const SpanEvent &ev : g.collected)
+        if (ev.trace_id == trace_id)
+            out.push_back(ev);
+    return out;
+}
+
+void
+setCollectedCap(std::size_t cap)
+{
+    tracingGlobal().collected_cap.store(cap == 0 ? 1 : cap,
+                                        std::memory_order_relaxed);
+}
+
 void
 resetTracingForTesting()
 {
@@ -404,6 +483,7 @@ resetTracingForTesting()
     g.collected.clear();
     g.recorded.store(0, std::memory_order_relaxed);
     g.dropped.store(0, std::memory_order_relaxed);
+    g.evicted.store(0, std::memory_order_relaxed);
 }
 
 void
@@ -412,6 +492,108 @@ setRingCapacityForTesting(std::size_t capacity)
     tracingGlobal().ring_capacity.store(
         capacity == 0 ? 1 : capacity, std::memory_order_relaxed);
 }
+
+namespace {
+
+// One Chrome tid per emitting context: worker lanes are their lane
+// id; non-pool threads get 1000 + thread ordinal so they sort after
+// the lanes in the viewer.
+long long
+tidFor(const SpanEvent &ev)
+{
+    if (ev.lane >= 0)
+        return ev.lane;
+    return 1000 + static_cast<long long>(ev.thread_ord);
+}
+
+std::string
+tidName(const SpanEvent &ev)
+{
+    return ev.lane >= 0 ? "lane " + std::to_string(ev.lane)
+                        : "thread " + std::to_string(ev.thread_ord);
+}
+
+/** Render one complete ("X") span event.  @p ts_base_us is
+ * subtracted from the timestamp (0 for single-process traces). */
+void
+appendSpanJson(std::string *out, int pid, const SpanEvent &ev,
+               double ts_base_us)
+{
+    *out += "{\"ph\":\"X\",\"pid\":" + std::to_string(pid) +
+            ",\"tid\":" + std::to_string(tidFor(ev)) + ",\"name\":" +
+            jsonString(ev.name) + ",\"cat\":\"apex\",\"ts\":" +
+            jsonMicros(ev.ts_us - ts_base_us) + ",\"dur\":" +
+            jsonMicros(ev.dur_us) + ",\"args\":{";
+    bool first_arg = true;
+    if (!ev.scope.empty()) {
+        *out += "\"cell\":" + jsonString(ev.scope);
+        first_arg = false;
+    }
+    if (!ev.args.empty()) {
+        if (!first_arg)
+            *out += ',';
+        *out += ev.args;
+        first_arg = false;
+    }
+    if (ev.trace_id != 0) {
+        if (!first_arg)
+            *out += ',';
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%016llx",
+                      static_cast<unsigned long long>(ev.trace_id));
+        *out += "\"trace_id\":\"";
+        *out += buf;
+        *out += '"';
+        first_arg = false;
+    }
+    if (!first_arg)
+        *out += ',';
+    *out += "\"depth\":" + std::to_string(ev.depth) + "}}";
+}
+
+/** thread_name metadata events for every tid present in @p sorted. */
+void
+appendThreadNames(std::string *out, bool *first, int pid,
+                  const std::vector<const SpanEvent *> &sorted,
+                  const char *lane_label)
+{
+    std::map<long long, std::string> tid_names;
+    for (const SpanEvent *ev : sorted) {
+        const long long tid = tidFor(*ev);
+        if (tid_names.count(tid))
+            continue;
+        tid_names[tid] =
+            ev->lane >= 0
+                ? std::string(lane_label) + " " +
+                      std::to_string(ev->lane)
+                : tidName(*ev);
+    }
+    for (const auto &[tid, name] : tid_names) {
+        if (!*first)
+            *out += ',';
+        *first = false;
+        *out += "{\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+                ",\"tid\":" + std::to_string(tid) +
+                ",\"name\":\"thread_name\",\"args\":{\"name\":" +
+                jsonString(name) + "}}";
+    }
+}
+
+std::vector<const SpanEvent *>
+sortedByTs(const std::vector<SpanEvent> &events)
+{
+    std::vector<const SpanEvent *> sorted;
+    sorted.reserve(events.size());
+    for (const SpanEvent &ev : events)
+        sorted.push_back(&ev);
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const SpanEvent *a, const SpanEvent *b) {
+                         return a->ts_us < b->ts_us;
+                     });
+    return sorted;
+}
+
+} // namespace
 
 std::string
 chromeTraceJson()
@@ -431,64 +613,71 @@ chromeTraceJson()
                          return a->ts_us < b->ts_us;
                      });
 
-    // One Chrome tid per emitting context: worker lanes are their
-    // lane id; non-pool threads get 1000 + thread ordinal so they
-    // sort after the lanes in the viewer.
-    auto tidFor = [](const SpanEvent &ev) -> long long {
-        if (ev.lane >= 0)
-            return ev.lane;
-        return 1000 + static_cast<long long>(ev.thread_ord);
-    };
-
-    std::map<long long, std::string> tid_names;
-    for (const SpanEvent *ev : sorted) {
-        long long tid = tidFor(*ev);
-        if (tid_names.count(tid))
-            continue;
-        tid_names[tid] = ev->lane >= 0
-                             ? "lane " + std::to_string(ev->lane)
-                             : "thread " +
-                                   std::to_string(ev->thread_ord);
-    }
-
     std::string out;
     out.reserve(256 + sorted.size() * 160);
     out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
     bool first = true;
-    for (const auto &[tid, name] : tid_names) {
-        if (!first)
-            out += ',';
-        first = false;
-        out += "{\"ph\":\"M\",\"pid\":1,\"tid\":" +
-               std::to_string(tid) +
-               ",\"name\":\"thread_name\",\"args\":{\"name\":" +
-               jsonString(name) + "}}";
-    }
+    appendThreadNames(&out, &first, 1, sorted, "lane");
     for (const SpanEvent *ev : sorted) {
         if (!first)
             out += ',';
         first = false;
-        out += "{\"ph\":\"X\",\"pid\":1,\"tid\":" +
-               std::to_string(tidFor(*ev)) + ",\"name\":" +
-               jsonString(ev->name) + ",\"cat\":\"apex\",\"ts\":" +
-               jsonMicros(ev->ts_us) + ",\"dur\":" +
-               jsonMicros(ev->dur_us) + ",\"args\":{";
-        bool first_arg = true;
-        if (!ev->scope.empty()) {
-            out += "\"cell\":" + jsonString(ev->scope);
-            first_arg = false;
-        }
-        if (!ev->args.empty()) {
-            if (!first_arg)
-                out += ',';
-            out += ev->args;
-            first_arg = false;
-        }
-        if (!first_arg)
-            out += ',';
-        out += "\"depth\":" + std::to_string(ev->depth) + "}}";
+        appendSpanJson(&out, 1, *ev, 0.0);
     }
-    out += "]}";
+    // Loss accounting: a reader can tell a complete trace from one
+    // truncated by ring overflow or collector eviction.
+    out += "],\"otherData\":{\"recorded\":" +
+           std::to_string(spansRecorded()) + ",\"dropped\":" +
+           std::to_string(droppedEvents()) + ",\"evicted\":" +
+           std::to_string(evictedEvents()) + "}}";
+    return out;
+}
+
+std::string
+chromeTraceJsonMerged(const std::vector<TraceProcessSlice> &slices)
+{
+    std::string out;
+    std::size_t total = 0;
+    for (const TraceProcessSlice &slice : slices)
+        total += slice.events.size();
+    out.reserve(512 + total * 160);
+    out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    for (const TraceProcessSlice &slice : slices) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += "{\"ph\":\"M\",\"pid\":" +
+               std::to_string(slice.pid) +
+               ",\"tid\":0,\"name\":\"process_name\",\"args\":"
+               "{\"name\":" +
+               jsonString(slice.process_name) + "}}";
+    }
+    for (const TraceProcessSlice &slice : slices) {
+        const std::vector<const SpanEvent *> sorted =
+            sortedByTs(slice.events);
+        // Rebase each process to its own first event: the slices'
+        // steady clocks share no epoch, so only intra-process offsets
+        // are meaningful; rebasing at least starts the lanes together.
+        const double base = sorted.empty() ? 0.0 : sorted[0]->ts_us;
+        appendThreadNames(&out, &first, slice.pid, sorted, "worker");
+        for (const SpanEvent *ev : sorted) {
+            if (!first)
+                out += ',';
+            first = false;
+            appendSpanJson(&out, slice.pid, *ev, base);
+        }
+    }
+    out += "],\"otherData\":{\"dropped\":{";
+    bool first_drop = true;
+    for (const TraceProcessSlice &slice : slices) {
+        if (!first_drop)
+            out += ',';
+        first_drop = false;
+        out += jsonString(slice.process_name) + ":" +
+               std::to_string(slice.dropped);
+    }
+    out += "}}}";
     return out;
 }
 

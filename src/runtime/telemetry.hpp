@@ -104,6 +104,44 @@ class ScopedCell {
 };
 
 // --------------------------------------------------------------------
+// Request trace context
+// --------------------------------------------------------------------
+
+/**
+ * Scoped request attribution: while alive, every span the calling
+ * thread opens carries this trace id, which is what ties one client
+ * request's spans together across the client, the daemon's executor
+ * threads, and forked worker processes (DESIGN.md Sec. 7i).  Mirrors
+ * ScopedCell: default-constructed it does nothing; set() arms it and
+ * the destructor restores the previous id, so nested requests (or a
+ * request running inside an instrumented caller) unwind correctly.
+ */
+class ScopedTraceId {
+  public:
+    ScopedTraceId() = default;
+    ~ScopedTraceId();
+
+    ScopedTraceId(const ScopedTraceId &) = delete;
+    ScopedTraceId &operator=(const ScopedTraceId &) = delete;
+
+    /** Install @p trace_id as the thread's trace id until destruction. */
+    void set(std::uint64_t trace_id);
+
+  private:
+    bool active_ = false;
+    std::uint64_t prev_ = 0;
+};
+
+/** Unconditionally set the calling thread's trace id (no restore).
+ * For contexts that never unwind — a forked worker child installs the
+ * dispatched task's trace id before running the handler and exits via
+ * _Exit(), so RAII restoration would never run anyway. */
+void setThreadTraceId(std::uint64_t trace_id);
+
+/** Trace id spans opened by the calling thread will carry (0 = none). */
+std::uint64_t currentTraceId();
+
+// --------------------------------------------------------------------
 // Spans
 // --------------------------------------------------------------------
 
@@ -172,6 +210,7 @@ struct SpanEvent {
     int lane = -1;
     std::uint64_t thread_ord = 0; ///< Stable per-thread ordinal.
     int depth = 0;                ///< Span nesting depth at begin().
+    std::uint64_t trace_id = 0;   ///< Owning request (0 = unscoped).
 };
 
 /** Drain every thread's ring into the process event store. */
@@ -186,9 +225,47 @@ long long spansRecorded();
 /** Spans dropped because a ring was full (never blocks producers). */
 long long droppedEvents();
 
+/** Collected events evicted because the process event store hit its
+ * cap (long-running daemons bound memory; see setCollectedCap). */
+long long evictedEvents();
+
+/** collect() + copy of every collected event carrying @p trace_id.
+ * Same single-collector contract as collect(): in the daemon only the
+ * io thread calls this, when serving a `trace` request. */
+std::vector<SpanEvent> eventsForTrace(std::uint64_t trace_id);
+
+/** Cap on events retained by collect() (oldest evicted beyond it);
+ * bounds daemon memory when tracing stays on across many requests. */
+void setCollectedCap(std::size_t cap);
+
 /** collect() + render Chrome trace-event JSON (chrome://tracing,
- * Perfetto).  Worker lanes appear as tids with thread_name metadata. */
+ * Perfetto).  Worker lanes appear as tids with thread_name metadata.
+ * otherData carries recorded/dropped/evicted so a truncated trace is
+ * detectable instead of silently incomplete. */
 std::string chromeTraceJson();
+
+/**
+ * One process's slice of a merged multi-process trace: the events it
+ * contributed, the Chrome pid lane to render them under, and how many
+ * spans that process dropped (ring-full) while recording them.
+ */
+struct TraceProcessSlice {
+    int pid = 1;
+    std::string process_name;
+    std::vector<SpanEvent> events;
+    long long dropped = 0;
+};
+
+/**
+ * Render several processes' span slices as one Chrome-trace file with
+ * a `process_name` metadata lane per slice (client / apexd / apexd
+ * workers).  Each slice's timestamps are rebased so it starts at 0 —
+ * the processes' steady clocks share no epoch, so absolute alignment
+ * across lanes is not meaningful and is not implied.  Pure function
+ * of its input: does not touch the calling process's rings.
+ */
+std::string
+chromeTraceJsonMerged(const std::vector<TraceProcessSlice> &slices);
 
 /** Clear collected events and the recorded/dropped counters. */
 void resetTracingForTesting();

@@ -325,6 +325,12 @@ WorkerPool::workerMain(int req_fd, int resp_fd)
         std::string id, directive;
         if (!(head >> id >> directive))
             std::_Exit(2);
+        // Optional third header token (absent from old supervisors):
+        // the request trace id, installed before the handler so the
+        // child's spans and currentTraceId() match the dispatcher's.
+        unsigned long long trace = 0;
+        if (head >> trace)
+            telemetry::setThreadTraceId(trace);
         const std::string task = frame.payload.substr(nl + 1);
 
         if (directive == kDirectiveKill) {
@@ -537,7 +543,8 @@ WorkerPool::run(const std::vector<std::string> &tasks)
                 directive = kDirectiveGarbage;
 
             std::ostringstream payload;
-            payload << next_task_id_++ << ' ' << directive << '\n'
+            payload << next_task_id_++ << ' ' << directive << ' '
+                    << options_.trace_id << '\n'
                     << tasks[t];
             w.dispatched_at = Clock::now();
             w.last_frame = w.dispatched_at;

@@ -120,6 +120,11 @@ struct WorkerPoolOptions {
     double shutdown_grace_ms = 2000.0;
     /** Cooperative cancel; polled by the supervisor loop. */
     const std::atomic<bool> *cancel = nullptr;
+    /** Request trace id carried to each child in the task frame and
+     * installed as its thread trace id before the handler runs, so
+     * spans (and the handler itself, via currentTraceId()) stay
+     * correlated to the request across the fork.  0 = unscoped. */
+    std::uint64_t trace_id = 0;
 };
 
 /**

@@ -105,6 +105,7 @@ Client::handshake()
         return Status(ErrorCode::kInternal,
                       "unexpected handshake reply '" + rec.type + "'");
     server_version_ = reply.server_version;
+    negotiated_protocol_ = reply.protocol;
     return Status::okStatus();
 }
 
@@ -138,6 +139,54 @@ Client::metrics(std::string *out)
         return Status(ErrorCode::kInternal,
                       "unexpected metrics reply '" + rec.type + "'");
     *out = std::move(rec.payload);
+    return Status::okStatus();
+}
+
+Status
+Client::trace(std::uint64_t trace_id, TraceReply *out)
+{
+    if (negotiated_protocol_ < 3)
+        return Status(ErrorCode::kInvalidArgument,
+                      "daemon negotiated protocol v" +
+                          std::to_string(negotiated_protocol_) +
+                          "; trace slices need v3");
+    TraceRequest req;
+    req.trace_id = trace_id;
+    Status s = sendFrame(kFrameTrace, encodeTraceRequest(req));
+    if (!s.ok())
+        return s;
+    runtime::FramedRecord rec;
+    s = readFrame(&rec);
+    if (!s.ok())
+        return s;
+    if (rec.type != kFrameTraceOk ||
+        !decodeTraceReply(rec.payload, out))
+        return Status(ErrorCode::kInternal,
+                      "unexpected trace reply '" + rec.type + "'");
+    return Status::okStatus();
+}
+
+Status
+Client::statusz(int max_samples, StatuszReply *out)
+{
+    if (negotiated_protocol_ < 3)
+        return Status(ErrorCode::kInvalidArgument,
+                      "daemon negotiated protocol v" +
+                          std::to_string(negotiated_protocol_) +
+                          "; statusz needs v3");
+    StatuszRequest req;
+    req.max_samples = max_samples;
+    Status s = sendFrame(kFrameStatusz, encodeStatuszRequest(req));
+    if (!s.ok())
+        return s;
+    runtime::FramedRecord rec;
+    s = readFrame(&rec);
+    if (!s.ok())
+        return s;
+    if (rec.type != kFrameStatuszOk ||
+        !decodeStatuszReply(rec.payload, out))
+        return Status(ErrorCode::kInternal,
+                      "unexpected statusz reply '" + rec.type + "'");
     return Status::okStatus();
 }
 

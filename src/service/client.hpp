@@ -50,6 +50,16 @@ class Client {
      * request): the JSON document, verbatim. */
     Status metrics(std::string *out);
 
+    /** Daemon-side span slice of one request (`trace`, v3).  Fails
+     * fast with kInvalidArgument when the session negotiated v2 —
+     * the caller then merges an empty slice instead of stalling. */
+    Status trace(std::uint64_t trace_id, TraceReply *out);
+
+    /** Snapshot ring of the daemon's vitals (`statusz`, v3;
+     * @p max_samples 0 = everything).  v2 sessions fail fast, as
+     * with trace(). */
+    Status statusz(int max_samples, StatuszReply *out);
+
     /**
      * Run one sweep: send the request, wait through ack | reject,
      * stream progress frames into @p on_progress (may be null) and
@@ -71,6 +81,10 @@ class Client {
     /** Server version string captured at the handshake. */
     const std::string &serverVersion() const { return server_version_; }
 
+    /** Protocol version the handshake negotiated (0 before
+     * connect()).  Callers gate v3-only features on this. */
+    int serverProtocol() const { return negotiated_protocol_; }
+
   private:
     Status handshake();
     /** Block until one frame arrives (kUnavailable on EOF). */
@@ -80,6 +94,7 @@ class Client {
     int fd_ = -1;
     runtime::FrameDecoder decoder_{kServiceMagic, kServiceWireVersion};
     std::string server_version_;
+    int negotiated_protocol_ = 0;
 };
 
 /** Reconnect/retry knobs of runSweepResilient(). */

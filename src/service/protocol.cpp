@@ -1,8 +1,12 @@
 #include "service/protocol.hpp"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
+
+#include <unistd.h>
 
 #include "core/encoding.hpp"
 #include "core/evaluate.hpp"
@@ -113,6 +117,10 @@ encodeSweepRequest(const SweepRequest &req)
     putStr(os, req.isolate);
     putDouble(os, req.deadline_ms);
     putDouble(os, req.cell_deadline_ms);
+    // v3 trailer; a v2 decoder stops before it (istream decoders
+    // ignore trailing bytes), so emitting it unconditionally is safe
+    // against old servers.
+    os << req.trace_id << '\n';
     return os.str();
 }
 
@@ -126,9 +134,17 @@ decodeSweepRequest(const std::string &payload, SweepRequest *out)
         return false;
     is.get();
     out->want_progress = want_progress != 0;
-    return getStr(is, &out->level) && getStr(is, &out->isolate) &&
-           getDouble(is, &out->deadline_ms) &&
-           getDouble(is, &out->cell_deadline_ms);
+    if (!getStr(is, &out->level) || !getStr(is, &out->isolate) ||
+        !getDouble(is, &out->deadline_ms) ||
+        !getDouble(is, &out->cell_deadline_ms))
+        return false;
+    // Permissive trailer: absent on v2 payloads, so EOF here means
+    // "no trace context", never a malformed frame.
+    out->trace_id = 0;
+    unsigned long long trace = 0;
+    if (is >> trace)
+        out->trace_id = trace;
+    return true;
 }
 
 // --- ack / reject ----------------------------------------------------
@@ -184,6 +200,7 @@ encodeProgress(const SweepProgressFrame &p)
     os << p.id << ' ' << p.done << ' ' << p.total << '\n';
     putStr(os, p.app);
     putStr(os, p.variant);
+    os << p.trace_id << '\n'; // v3 trailer (see encodeSweepRequest).
     return os.str();
 }
 
@@ -194,7 +211,13 @@ decodeProgress(const std::string &payload, SweepProgressFrame *out)
     if (!(is >> out->id >> out->done >> out->total))
         return false;
     is.get();
-    return getStr(is, &out->app) && getStr(is, &out->variant);
+    if (!getStr(is, &out->app) || !getStr(is, &out->variant))
+        return false;
+    out->trace_id = 0;
+    unsigned long long trace = 0;
+    if (is >> trace) // Absent on v2 payloads: default, don't fail.
+        out->trace_id = trace;
+    return true;
 }
 
 // --- report ----------------------------------------------------------
@@ -287,6 +310,280 @@ decodeSweepReply(const std::string &payload, SweepReply *out)
         r.failures.push_back(std::move(f));
     }
     return getDiagnostics(is, &r.diagnostics);
+}
+
+// --- trace (v3) ------------------------------------------------------
+
+std::uint64_t
+mintTraceId()
+{
+    static std::atomic<std::uint64_t> sequence{0};
+    std::uint64_t h = 1469598103934665603ull; // fnv1a64 offset basis.
+    auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (i * 8)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    };
+    mix(static_cast<std::uint64_t>(::getpid()));
+    mix(static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count()));
+    mix(sequence.fetch_add(1, std::memory_order_relaxed));
+    return h == 0 ? 1 : h; // 0 means "no trace context" everywhere.
+}
+
+std::string
+encodeTraceRequest(const TraceRequest &req)
+{
+    std::ostringstream os;
+    os << req.trace_id << '\n';
+    return os.str();
+}
+
+bool
+decodeTraceRequest(const std::string &payload, TraceRequest *out)
+{
+    std::istringstream is(payload);
+    unsigned long long trace = 0;
+    if (!(is >> trace))
+        return false;
+    out->trace_id = trace;
+    return true;
+}
+
+std::string
+encodeTraceReply(const TraceReply &rep)
+{
+    std::ostringstream os;
+    os << rep.trace_id << ' ' << rep.dropped << ' ' << rep.evicted
+       << '\n';
+    os << rep.events.size() << '\n';
+    for (const telemetry::SpanEvent &ev : rep.events) {
+        putStr(os, ev.name);
+        putStr(os, ev.scope);
+        putStr(os, ev.args);
+        putDouble(os, ev.ts_us);
+        putDouble(os, ev.dur_us);
+        os << ev.lane << ' ' << ev.thread_ord << ' ' << ev.depth
+           << ' ' << ev.trace_id << '\n';
+    }
+    return os.str();
+}
+
+bool
+decodeTraceReply(const std::string &payload, TraceReply *out)
+{
+    std::istringstream is(payload);
+    unsigned long long trace = 0;
+    if (!(is >> trace >> out->dropped >> out->evicted))
+        return false;
+    is.get();
+    out->trace_id = trace;
+    std::size_t n = 0;
+    if (!(is >> n))
+        return false;
+    is.get();
+    out->events.clear();
+    // No reserve(n): wire-supplied count (see decodeSweepReply).
+    for (std::size_t i = 0; i < n; ++i) {
+        telemetry::SpanEvent ev;
+        if (!getStr(is, &ev.name) || !getStr(is, &ev.scope) ||
+            !getStr(is, &ev.args) || !getDouble(is, &ev.ts_us) ||
+            !getDouble(is, &ev.dur_us))
+            return false;
+        unsigned long long ev_trace = 0;
+        if (!(is >> ev.lane >> ev.thread_ord >> ev.depth >> ev_trace))
+            return false;
+        is.get();
+        ev.trace_id = ev_trace;
+        out->events.push_back(std::move(ev));
+    }
+    return true;
+}
+
+// --- statusz (v3) ----------------------------------------------------
+
+std::string
+encodeStatuszRequest(const StatuszRequest &req)
+{
+    std::ostringstream os;
+    os << req.max_samples << '\n';
+    return os.str();
+}
+
+bool
+decodeStatuszRequest(const std::string &payload, StatuszRequest *out)
+{
+    std::istringstream is(payload);
+    return static_cast<bool>(is >> out->max_samples);
+}
+
+namespace {
+
+void
+putSnapshot(std::ostream &os, const StatusSnapshot &s)
+{
+    os << s.sessions << ' ' << s.queue_depth << ' '
+       << s.active_sweeps << ' ' << s.inflight_bytes << '\n';
+    os << s.accepted << ' ' << s.rejected << ' ' << s.coalesced
+       << ' ' << s.sweeps << '\n';
+    os << s.cache_hits << ' ' << s.cache_misses << ' '
+       << s.worker_restarts << ' ' << s.trace_dropped << '\n';
+    putDouble(os, s.ts_ms);
+    putDouble(os, s.request_p50_ms);
+    putDouble(os, s.request_p99_ms);
+}
+
+bool
+getSnapshot(std::istream &is, StatusSnapshot *out)
+{
+    if (!(is >> out->sessions >> out->queue_depth >>
+          out->active_sweeps >> out->inflight_bytes))
+        return false;
+    is.get();
+    if (!(is >> out->accepted >> out->rejected >> out->coalesced >>
+          out->sweeps))
+        return false;
+    is.get();
+    if (!(is >> out->cache_hits >> out->cache_misses >>
+          out->worker_restarts >> out->trace_dropped))
+        return false;
+    is.get();
+    return getDouble(is, &out->ts_ms) &&
+           getDouble(is, &out->request_p50_ms) &&
+           getDouble(is, &out->request_p99_ms);
+}
+
+std::string
+jsonNumber(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+encodeStatuszReply(const StatuszReply &rep)
+{
+    std::ostringstream os;
+    putDouble(os, rep.interval_ms);
+    os << rep.samples.size() << '\n';
+    for (const StatusSnapshot &s : rep.samples)
+        putSnapshot(os, s);
+    return os.str();
+}
+
+bool
+decodeStatuszReply(const std::string &payload, StatuszReply *out)
+{
+    std::istringstream is(payload);
+    if (!getDouble(is, &out->interval_ms))
+        return false;
+    std::size_t n = 0;
+    if (!(is >> n))
+        return false;
+    is.get();
+    out->samples.clear();
+    // No reserve(n): wire-supplied count (see decodeSweepReply).
+    for (std::size_t i = 0; i < n; ++i) {
+        StatusSnapshot s;
+        if (!getSnapshot(is, &s))
+            return false;
+        out->samples.push_back(s);
+    }
+    return true;
+}
+
+std::string
+statuszJson(const StatuszReply &rep)
+{
+    std::string out = "{\"apex_statusz\":1,\"interval_ms\":" +
+                      jsonNumber(rep.interval_ms) + ",\"samples\":[";
+    bool first = true;
+    for (const StatusSnapshot &s : rep.samples) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += "{\"ts_ms\":" + jsonNumber(s.ts_ms) +
+               ",\"sessions\":" + std::to_string(s.sessions) +
+               ",\"queue_depth\":" + std::to_string(s.queue_depth) +
+               ",\"active_sweeps\":" +
+               std::to_string(s.active_sweeps) +
+               ",\"inflight_bytes\":" +
+               std::to_string(s.inflight_bytes) +
+               ",\"accepted\":" + std::to_string(s.accepted) +
+               ",\"rejected\":" + std::to_string(s.rejected) +
+               ",\"coalesced\":" + std::to_string(s.coalesced) +
+               ",\"sweeps\":" + std::to_string(s.sweeps) +
+               ",\"cache_hits\":" + std::to_string(s.cache_hits) +
+               ",\"cache_misses\":" + std::to_string(s.cache_misses) +
+               ",\"worker_restarts\":" +
+               std::to_string(s.worker_restarts) +
+               ",\"trace_dropped\":" +
+               std::to_string(s.trace_dropped) +
+               ",\"request_p50_ms\":" + jsonNumber(s.request_p50_ms) +
+               ",\"request_p99_ms\":" + jsonNumber(s.request_p99_ms) +
+               "}";
+    }
+    out += "]}";
+    return out;
+}
+
+std::string
+renderStatuszText(const StatuszReply &rep)
+{
+    char buf[256];
+    std::string out;
+    if (rep.samples.empty())
+        return "apexd statusz: no samples yet\n";
+    const StatusSnapshot &now = rep.samples.back();
+    const StatusSnapshot *prev = rep.samples.size() >= 2
+                                     ? &rep.samples[rep.samples.size() - 2]
+                                     : nullptr;
+    std::snprintf(buf, sizeof buf,
+                  "apexd statusz  %zu sample(s), interval %.0f ms\n",
+                  rep.samples.size(), rep.interval_ms);
+    out += buf;
+    std::snprintf(buf, sizeof buf,
+                  "  sessions %d  queue %d  active %d  "
+                  "inflight_bytes %lld\n",
+                  now.sessions, now.queue_depth, now.active_sweeps,
+                  now.inflight_bytes);
+    out += buf;
+    const long long lookups = now.cache_hits + now.cache_misses;
+    std::snprintf(buf, sizeof buf,
+                  "  cache hit rate %.1f%% (%lld/%lld)  "
+                  "worker restarts %lld  trace drops %lld\n",
+                  lookups > 0 ? 100.0 *
+                                    static_cast<double>(now.cache_hits) /
+                                    static_cast<double>(lookups)
+                              : 0.0,
+                  now.cache_hits, lookups, now.worker_restarts,
+                  now.trace_dropped);
+    out += buf;
+    std::snprintf(buf, sizeof buf,
+                  "  request p50/p99 %.1f/%.1f ms\n",
+                  now.request_p50_ms, now.request_p99_ms);
+    out += buf;
+    if (prev != nullptr) {
+        std::snprintf(buf, sizeof buf,
+                      "  last interval: accepted +%lld  rejected "
+                      "+%lld  coalesced +%lld  sweeps +%lld\n",
+                      now.accepted - prev->accepted,
+                      now.rejected - prev->rejected,
+                      now.coalesced - prev->coalesced,
+                      now.sweeps - prev->sweeps);
+        out += buf;
+    }
+    std::snprintf(buf, sizeof buf,
+                  "  totals: accepted %lld  rejected %lld  "
+                  "coalesced %lld  sweeps %lld\n",
+                  now.accepted, now.rejected, now.coalesced,
+                  now.sweeps);
+    out += buf;
+    return out;
 }
 
 // --- rendering -------------------------------------------------------

@@ -8,6 +8,7 @@
 
 #include "core/status.hpp"
 #include "core/sweep.hpp"
+#include "runtime/telemetry.hpp"
 
 /**
  * @file
@@ -24,12 +25,22 @@
  *
  * Conversation shape (client drives):
  *
- *   hello           -> hello.ok | hello.err        (version check)
+ *   hello           -> hello.ok | hello.err        (negotiation)
  *   info            -> info.ok                     (build identity)
  *   metrics         -> metrics.ok                  (registry JSON)
  *   sweep           -> ack | reject,
  *                      then progress* (opt-in), then report
+ *   trace           -> trace.ok                    (v3: span slice)
+ *   statusz         -> statusz.ok                  (v3: live ring)
  *   bye             -> bye.ok, connection closes
+ *
+ * The hello handshake negotiates the protocol version: the server
+ * accepts any client version in [kMinProtocolVersion,
+ * kProtocolVersion] and the session speaks the client's version.
+ * trace/statusz exist only on negotiated-v3 sessions; sweep and
+ * progress frames grew a trailing trace_id that v2 decoders ignore
+ * and v3 decoders default to 0 when absent, so both directions of a
+ * one-version skew keep working.
  *
  * The correctness contract of the sweep path: renderSweepText() over
  * a decoded SweepReply produces byte-identical stdout to the batch
@@ -60,6 +71,11 @@ inline constexpr std::string_view kFrameProgress = "progress";
 inline constexpr std::string_view kFrameReport = "report";
 inline constexpr std::string_view kFrameBye = "bye";
 inline constexpr std::string_view kFrameByeOk = "bye.ok";
+// v3 conversations (sent only on negotiated-v3 sessions).
+inline constexpr std::string_view kFrameTrace = "trace";
+inline constexpr std::string_view kFrameTraceOk = "trace.ok";
+inline constexpr std::string_view kFrameStatusz = "statusz";
+inline constexpr std::string_view kFrameStatuszOk = "statusz.ok";
 
 // --------------------------------------------------------------------
 // Handshake
@@ -117,6 +133,11 @@ struct SweepRequest {
     double deadline_ms = 0.0;      ///< <= 0: unbounded.
     double cell_deadline_ms = 0.0; ///< <= 0: none.
     bool want_progress = false;    ///< Stream per-cell progress.
+    /** Request trace context (v3; 0 = none).  Encoded as a trailing
+     * field: a v2 decoder ignores it, a v3 decoder reading a v2
+     * payload defaults it to 0, so the field never breaks a
+     * one-version skew in either direction. */
+    std::uint64_t trace_id = 0;
 };
 
 std::string encodeSweepRequest(const SweepRequest &req);
@@ -159,6 +180,10 @@ struct SweepProgressFrame {
     int total = 0;
     std::string app;
     std::string variant;
+    /** The *subscriber's* trace context (v3; trailing, like
+     * SweepRequest::trace_id): coalesced subscribers of one shared
+     * sweep each receive their own trace_id back, not the primary's. */
+    std::uint64_t trace_id = 0;
 };
 
 std::string encodeProgress(const SweepProgressFrame &p);
@@ -179,6 +204,93 @@ struct SweepReply {
 
 std::string encodeSweepReply(const SweepReply &rep);
 bool decodeSweepReply(const std::string &payload, SweepReply *out);
+
+// --------------------------------------------------------------------
+// Request trace slices (v3)
+// --------------------------------------------------------------------
+
+/** Mint a process-unique request trace id (never 0): pid, a steady
+ * clock read and a process-wide counter mixed through fnv1a.  Not a
+ * secret — just unique enough that concurrent clients of one daemon
+ * cannot collide in practice. */
+std::uint64_t mintTraceId();
+
+/** trace payload: fetch the daemon-side spans of one request. */
+struct TraceRequest {
+    std::uint64_t trace_id = 0;
+};
+
+std::string encodeTraceRequest(const TraceRequest &req);
+bool decodeTraceRequest(const std::string &payload, TraceRequest *out);
+
+/** trace.ok payload: every daemon span stamped with the request's
+ * trace id, plus the daemon's span-loss counters so a truncated
+ * slice is detectable (events may have been dropped at a full ring
+ * or evicted from the bounded collector store). */
+struct TraceReply {
+    std::uint64_t trace_id = 0;
+    long long dropped = 0;
+    long long evicted = 0;
+    std::vector<telemetry::SpanEvent> events;
+};
+
+std::string encodeTraceReply(const TraceReply &rep);
+bool decodeTraceReply(const std::string &payload, TraceReply *out);
+
+// --------------------------------------------------------------------
+// Live introspection (v3: the statusz ring)
+// --------------------------------------------------------------------
+
+/** One periodic sample of the daemon's vitals: instantaneous gauges
+ * plus cumulative counters (clients difference consecutive samples
+ * for rates).  p50/p99 are computed daemon-side from the
+ * apex.service.request_ms histogram's bucket deltas over the
+ * sampling interval (NaN-free: 0 when the interval saw no requests). */
+struct StatusSnapshot {
+    double ts_ms = 0.0;       ///< monotonicNanos()-based sample time.
+    int sessions = 0;         ///< Connected sessions.
+    int queue_depth = 0;      ///< Admission queue depth.
+    int active_sweeps = 0;    ///< Jobs admitted and not yet reported.
+    long long inflight_bytes = 0; ///< Undelivered reply bytes.
+    long long accepted = 0;   ///< Cumulative apex.service.accepted.
+    long long rejected = 0;   ///< Cumulative apex.service.rejected.
+    long long coalesced = 0;  ///< Cumulative apex.service.coalesced.
+    long long sweeps = 0;     ///< Cumulative apex.service.sweeps.
+    long long cache_hits = 0;   ///< Cumulative apex.cache.hits.
+    long long cache_misses = 0; ///< Cumulative apex.cache.misses.
+    long long worker_restarts = 0; ///< Cumulative apex.worker.restarts.
+    long long trace_dropped = 0;   ///< Cumulative apex.trace.dropped.
+    double request_p50_ms = 0.0; ///< Interval p50 (bucket estimate).
+    double request_p99_ms = 0.0; ///< Interval p99 (bucket estimate).
+};
+
+/** statusz payload: cap on returned samples (0 = everything the
+ * ring holds, newest last). */
+struct StatuszRequest {
+    int max_samples = 0;
+};
+
+std::string encodeStatuszRequest(const StatuszRequest &req);
+bool decodeStatuszRequest(const std::string &payload,
+                          StatuszRequest *out);
+
+/** statusz.ok payload: the snapshot ring, oldest first. */
+struct StatuszReply {
+    double interval_ms = 0.0; ///< Daemon's sampling interval.
+    std::vector<StatusSnapshot> samples;
+};
+
+std::string encodeStatuszReply(const StatuszReply &rep);
+bool decodeStatuszReply(const std::string &payload, StatuszReply *out);
+
+/** Stable JSON rendering of a statusz reply (`apexc client top
+ * --json`): `{"apex_statusz":1,"interval_ms":...,"samples":[...]}`.
+ * CI schema-validates this shape. */
+std::string statuszJson(const StatuszReply &rep);
+
+/** Human-readable `apexc client top` screen: the latest sample's
+ * vitals plus rates differenced from the previous sample. */
+std::string renderStatuszText(const StatuszReply &rep);
 
 // --------------------------------------------------------------------
 // Rendering (the byte-identity contract)

@@ -18,6 +18,7 @@
 #include "core/deadline.hpp"
 #include "core/explorer.hpp"
 #include "core/fault.hpp"
+#include "runtime/eventlog.hpp"
 #include "runtime/telemetry.hpp"
 #include "service/version.hpp"
 
@@ -97,6 +98,33 @@ hexKey(std::uint64_t v)
     std::snprintf(buf, sizeof buf, "%016llx",
                   static_cast<unsigned long long>(v));
     return buf;
+}
+
+/** Coalesced-trace aliases retained; past this the oldest is evicted
+ * — an alias outliving two minutes of ring history is already a cold
+ * trace nobody can usefully fetch. */
+constexpr std::size_t kTraceAliasCap = 1024;
+
+/** Quantile over one interval's histogram bucket deltas: the upper
+ * bound of the bucket where the cumulative count crosses q*total
+ * (the overflow bucket reports the last finite bound). */
+double
+quantileFromDeltas(const std::vector<double> &bounds,
+                   const std::vector<long long> &deltas, double q)
+{
+    long long total = 0;
+    for (long long d : deltas)
+        total += d;
+    if (total <= 0)
+        return 0.0;
+    const double target = q * static_cast<double>(total);
+    long long cumulative = 0;
+    for (std::size_t i = 0; i < deltas.size(); ++i) {
+        cumulative += deltas[i];
+        if (static_cast<double>(cumulative) >= target)
+            return i < bounds.size() ? bounds[i] : bounds.back();
+    }
+    return bounds.empty() ? 0.0 : bounds.back();
 }
 
 } // namespace
@@ -208,6 +236,9 @@ Server::start()
 
     stop_.store(false);
     started_ = true;
+    statusz_ring_.clear();
+    prev_request_buckets_.clear();
+    next_statusz_sample_ = Clock::now();
     const int executors = options_.executors > 0 ? options_.executors
                                                  : 1;
     executors_.reserve(executors);
@@ -241,6 +272,8 @@ Server::stop()
         std::lock_guard<std::mutex> lock(inflight_mu_);
         inflight_.clear();
         session_inflight_.clear();
+        trace_alias_.clear();
+        trace_alias_order_.clear();
     }
     outbound_bytes_.store(0);
     accept_backoff_ms_ = 0.0;
@@ -264,7 +297,11 @@ Server::acceptPaused() const
 void
 Server::logEpisode(const std::string &stage, const Status &status)
 {
-    std::fprintf(stderr, "apexd: %s\n", status.toString().c_str());
+    // One structured line per episode (the callers latch), correlated
+    // to the request being served when one is in scope.  Falls back to
+    // stderr when apexd ran without --log-out.
+    eventlog::emit(eventlog::Level::kError, "service." + stage,
+                   status.toString(), telemetry::currentTraceId());
     std::lock_guard<std::mutex> lock(diag_mu_);
     diag_.error(stage, status);
 }
@@ -377,6 +414,18 @@ Server::ioLoop()
         if (stop_.load())
             break;
 
+        // Vitals sampling rides the poll cadence: the 100ms timeout
+        // bounds how late a sample can land even on an idle daemon.
+        if (options_.statusz_interval_ms > 0 &&
+            Clock::now() >= next_statusz_sample_) {
+            sampleStatusz();
+            next_statusz_sample_ =
+                Clock::now() +
+                std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double, std::milli>(
+                        options_.statusz_interval_ms));
+        }
+
         if (fds[0].revents != 0) {
             char buf[256];
             while (::read(wake_rd_, buf, sizeof buf) > 0) {
@@ -450,6 +499,50 @@ Server::dispatch(Session &session, const runtime::FramedRecord &rec)
             kFrameMetricsOk,
             telemetry::Registry::instance().jsonDump());
     }
+    // v3 conversations: a v2 session sending these is a protocol
+    // violation (it never negotiated them) and is dropped like any
+    // other unknown frame.
+    if (rec.type == kFrameTrace && session.protocolVersion() >= 3) {
+        TraceRequest req;
+        if (!decodeTraceRequest(rec.payload, &req))
+            return false;
+        // A coalesced joiner asks for *its* trace id; the alias map
+        // redirects to the id the shared job executed under and the
+        // slice is rewritten so the caller sees its own request.
+        std::uint64_t executed_as = req.trace_id;
+        {
+            std::lock_guard<std::mutex> lock(inflight_mu_);
+            auto it = trace_alias_.find(req.trace_id);
+            if (it != trace_alias_.end())
+                executed_as = it->second;
+        }
+        TraceReply reply;
+        reply.trace_id = req.trace_id;
+        reply.events = telemetry::eventsForTrace(executed_as);
+        if (executed_as != req.trace_id)
+            for (telemetry::SpanEvent &ev : reply.events)
+                ev.trace_id = req.trace_id;
+        reply.dropped = telemetry::droppedEvents();
+        reply.evicted = telemetry::evictedEvents();
+        return session.send(kFrameTraceOk, encodeTraceReply(reply));
+    }
+    if (rec.type == kFrameStatusz && session.protocolVersion() >= 3) {
+        StatuszRequest req;
+        if (!decodeStatuszRequest(rec.payload, &req))
+            return false;
+        StatuszReply reply;
+        reply.interval_ms = options_.statusz_interval_ms;
+        std::size_t first = 0;
+        if (req.max_samples > 0 &&
+            statusz_ring_.size() >
+                static_cast<std::size_t>(req.max_samples))
+            first = statusz_ring_.size() -
+                    static_cast<std::size_t>(req.max_samples);
+        reply.samples.assign(statusz_ring_.begin() + first,
+                             statusz_ring_.end());
+        return session.send(kFrameStatuszOk,
+                            encodeStatuszReply(reply));
+    }
     if (rec.type == kFrameBye) {
         (void)session.send(kFrameByeOk, "");
         return false; // Graceful close.
@@ -481,6 +574,14 @@ Server::coalescingKey(const SweepRequest &request) const
 void
 Server::admitSweep(Session &session, const SweepRequest &request)
 {
+    // Stamp the requester's trace id over admission: the io-thread
+    // span below and any shedding episode logged here correlate to
+    // the request that triggered them.
+    telemetry::ScopedTraceId trace_scope;
+    if (request.trace_id != 0)
+        trace_scope.set(request.trace_id);
+    APEX_SPAN("service.admit");
+
     core::EvalLevel level;
     core::IsolateMode isolate;
     if (!parseLevelName(request.level, &level) ||
@@ -527,6 +628,7 @@ Server::admitSweep(Session &session, const SweepRequest &request)
     sub.session_id = session.id();
     sub.request_id = request.id;
     sub.want_progress = request.want_progress;
+    sub.trace_id = request.trace_id;
 
     std::lock_guard<std::mutex> lock(inflight_mu_);
 
@@ -546,6 +648,20 @@ Server::admitSweep(Session &session, const SweepRequest &request)
         {
             std::lock_guard<std::mutex> job_lock(it->second->mu);
             it->second->subscribers.push_back(sub);
+        }
+        // The joiner's sweep executes under the first requester's
+        // trace id; remember the alias so a later `trace` request for
+        // the joiner's id finds the shared slice.
+        if (sub.trace_id != 0 &&
+            it->second->request.trace_id != sub.trace_id &&
+            trace_alias_.emplace(sub.trace_id,
+                                 it->second->request.trace_id)
+                .second) {
+            trace_alias_order_.push_back(sub.trace_id);
+            if (trace_alias_order_.size() > kTraceAliasCap) {
+                trace_alias_.erase(trace_alias_order_.front());
+                trace_alias_order_.pop_front();
+            }
         }
         ++session_inflight_[session.id()];
         telemetry::counter("apex.service.accepted").add(1);
@@ -611,7 +727,15 @@ Server::runJob(const std::shared_ptr<SweepJob> &job)
     telemetry::counter("apex.service.sweeps").add(1);
 
     const SweepRequest &request = job->request;
+    // Every span the sweep emits on this executor (and, via
+    // SweepOptions::trace_id, on the worker lanes) carries the
+    // request's trace id, so `trace` can slice it back out.
+    telemetry::ScopedTraceId trace_scope;
+    if (request.trace_id != 0)
+        trace_scope.set(request.trace_id);
+    APEX_SPAN("service.execute");
     core::SweepOptions opts = sweepOptionsFor(request);
+    opts.trace_id = request.trace_id;
     opts.jobs = options_.jobs;
     opts.cache = cache_.get();
     opts.cancel = &stop_;
@@ -710,6 +834,9 @@ Server::broadcastProgress(const std::shared_ptr<SweepJob> &job,
         if (!sub.want_progress)
             continue;
         frame.id = sub.request_id;
+        // Each subscriber sees its own trace id, even on a coalesced
+        // job executing under the first requester's.
+        frame.trace_id = sub.trace_id;
         enqueueOutbound(sub.session_id, kFrameProgress,
                         encodeProgress(frame));
     }
@@ -730,6 +857,58 @@ Server::enqueueOutbound(std::uint64_t session_id,
     }
     const char byte = 1;
     (void)!::write(wake_wr_, &byte, 1);
+}
+
+void
+Server::sampleStatusz()
+{
+    StatusSnapshot snap;
+    snap.ts_ms = telemetry::monotonicNanos() / 1e6;
+    snap.sessions = static_cast<int>(sessions_.size());
+    snap.queue_depth = static_cast<int>(
+        telemetry::gauge("apex.service.queue_depth").value());
+    {
+        std::lock_guard<std::mutex> lock(inflight_mu_);
+        snap.active_sweeps = static_cast<int>(inflight_.size());
+    }
+    snap.inflight_bytes = static_cast<long long>(
+        outbound_bytes_.load(std::memory_order_relaxed));
+    snap.accepted =
+        telemetry::counter("apex.service.accepted").value();
+    snap.rejected =
+        telemetry::counter("apex.service.rejected").value();
+    snap.coalesced =
+        telemetry::counter("apex.service.coalesced").value();
+    snap.sweeps = telemetry::counter("apex.service.sweeps").value();
+    snap.cache_hits = telemetry::counter("apex.cache.hits").value();
+    snap.cache_misses =
+        telemetry::counter("apex.cache.misses").value();
+    snap.worker_restarts =
+        telemetry::counter("apex.worker.restarts").value();
+    snap.trace_dropped = telemetry::droppedEvents();
+
+    // Per-interval latency quantiles from the request_ms histogram:
+    // the delta against the previous sample isolates this interval's
+    // completions from the daemon's lifetime distribution.
+    telemetry::Histogram &hist =
+        telemetry::histogram("apex.service.request_ms");
+    const std::vector<double> &bounds = hist.bounds();
+    std::vector<long long> counts(bounds.size() + 1, 0);
+    for (std::size_t i = 0; i < counts.size(); ++i)
+        counts[i] = hist.bucketCount(i);
+    if (prev_request_buckets_.size() != counts.size())
+        prev_request_buckets_.assign(counts.size(), 0);
+    std::vector<long long> deltas(counts.size(), 0);
+    for (std::size_t i = 0; i < counts.size(); ++i)
+        deltas[i] = counts[i] - prev_request_buckets_[i];
+    prev_request_buckets_ = counts;
+    snap.request_p50_ms = quantileFromDeltas(bounds, deltas, 0.50);
+    snap.request_p99_ms = quantileFromDeltas(bounds, deltas, 0.99);
+
+    statusz_ring_.push_back(snap);
+    while (statusz_ring_.size() > options_.statusz_capacity &&
+           !statusz_ring_.empty())
+        statusz_ring_.pop_front();
 }
 
 void

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -98,6 +99,13 @@ struct ServerOptions {
     /** Readmission hint carried by load-shedding rejects (queue
      * full, memory budget, session cap). */
     double retry_after_ms = 250.0;
+
+    /** Cadence of the statusz vitals sampler (io thread); <= 0
+     * disables sampling and `statusz` replies stay empty. */
+    double statusz_interval_ms = 1000.0;
+    /** Snapshots retained in the statusz ring (oldest evicted
+     * first): 120 @ 1 s = the last two minutes. */
+    std::size_t statusz_capacity = 120;
 };
 
 /** One admitted sweep: the request plus every session subscribed to
@@ -107,6 +115,10 @@ struct SweepJob {
         std::uint64_t session_id = 0;
         std::uint64_t request_id = 0;
         bool want_progress = false;
+        /** Requester's own trace id: progress frames echo it even
+         * when the request coalesced onto a job executing under a
+         * different (the first requester's) trace id. */
+        std::uint64_t trace_id = 0;
     };
 
     std::uint64_t key = 0;    ///< Coalescing fingerprint.
@@ -165,6 +177,8 @@ class Server {
                          std::string_view type, std::string payload);
     void dropSession(std::uint64_t session_id);
     std::uint64_t coalescingKey(const SweepRequest &request) const;
+    /** Append one vitals snapshot to the statusz ring (io thread). */
+    void sampleStatusz();
 
     ServerOptions options_;
     std::atomic<bool> stop_{false};
@@ -198,6 +212,25 @@ class Server {
     std::map<std::uint64_t, int> session_inflight_;
     /** One diagnostics line per saturation episode, not per reject. */
     std::atomic<bool> queue_saturated_{false};
+
+    /**
+     * Coalesced-trace aliases (guarded by inflight_mu_): joiner's
+     * trace id -> the trace id the shared job executes under.  A
+     * `trace` request for a joiner id serves the primary's span slice
+     * rewritten to the joiner's id, so every subscriber can fetch
+     * "its" request.  Bounded FIFO — an alias outliving the window is
+     * a cold trace, not a leak.
+     */
+    std::map<std::uint64_t, std::uint64_t> trace_alias_;
+    std::deque<std::uint64_t> trace_alias_order_;
+
+    // Live introspection (io thread only): periodic vitals snapshots
+    // served verbatim by `statusz`.
+    std::deque<StatusSnapshot> statusz_ring_;
+    std::chrono::steady_clock::time_point next_statusz_sample_{};
+    /** request_ms histogram state at the previous sample — the delta
+     * yields per-interval p50/p99. */
+    std::vector<long long> prev_request_buckets_;
 
     // Executor -> io thread handoff.
     std::mutex outbound_mu_;

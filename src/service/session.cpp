@@ -56,11 +56,16 @@ Session::dispatchDecoded(std::vector<runtime::FramedRecord> *out)
             return false; // No resync on a byte stream: drop.
         if (!ready_) {
             // Handshake: the first frame must be a compatible hello.
+            // The session then speaks the *client's* version — an
+            // old client gets a v2 session (no trace ids, no
+            // trace/statusz); anything outside the supported window
+            // is refused naming both sides.
             HelloRequest hello;
             if (rec.type != kFrameHello ||
                 !decodeHello(rec.payload, &hello))
                 return false;
-            if (hello.protocol != kProtocolVersion) {
+            if (hello.protocol < kMinProtocolVersion ||
+                hello.protocol > kProtocolVersion) {
                 (void)send(kFrameHelloErr,
                            "protocol mismatch: client speaks v" +
                                std::to_string(hello.protocol) +
@@ -69,8 +74,9 @@ Session::dispatchDecoded(std::vector<runtime::FramedRecord> *out)
                                " (" + versionString() + ")");
                 return false;
             }
+            negotiated_protocol_ = hello.protocol;
             HelloReply reply;
-            reply.protocol = kProtocolVersion;
+            reply.protocol = negotiated_protocol_;
             reply.server_version = versionString();
             if (!send(kFrameHelloOk, encodeHelloReply(reply)))
                 return false;

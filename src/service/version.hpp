@@ -19,9 +19,19 @@
 namespace apex::service {
 
 /** Request/reply schema version spoken by this build (hello frames
- * carry it; a mismatch is refused at the handshake).
- * v2: reject frames carry a retry_after_ms load-shedding hint. */
-inline constexpr int kProtocolVersion = 2;
+ * carry it; the handshake negotiates down to the client's version
+ * when it falls in [kMinProtocolVersion, kProtocolVersion], and
+ * refuses anything else by name).
+ * v2: reject frames carry a retry_after_ms load-shedding hint.
+ * v3: hello negotiates {2,3}; sweep/progress frames carry a request
+ *     trace_id; `trace` and `statusz` conversations added (both
+ *     degrade gracefully against a negotiated-v2 peer). */
+inline constexpr int kProtocolVersion = 3;
+
+/** Oldest protocol version the server still accepts at hello.  A v2
+ * client negotiates a v2 session: no trace ids on its frames, and no
+ * trace/statusz requests (the server drops them as unknown). */
+inline constexpr int kMinProtocolVersion = 2;
 
 /** Short git commit this binary was built from ("unknown" when the
  * build ran outside a checkout). */

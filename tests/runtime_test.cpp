@@ -457,4 +457,68 @@ TEST(ParallelSweep, TraceSpansPerLaneDoNotOverlap)
     telemetry::resetTracingForTesting();
 }
 
+TEST(ParallelSweep, SpanSetIsJobCountInvariantAndTraceScoped)
+{
+    // The schedule may interleave differently under more jobs, but
+    // the *set* of spans a request produces — names, cell scopes,
+    // args — is a pure function of the request.  Timestamps, lanes
+    // and nesting depth are schedule, so they are excluded.
+    const auto suite = smallSuite();
+    const model::TechModel tech = model::defaultTech();
+    const core::Explorer explorer(tech);
+
+    const auto spanSetFor = [&](int jobs, std::uint64_t trace_id) {
+        telemetry::resetTracingForTesting();
+        telemetry::setTracingEnabled(true);
+        core::SweepOptions options;
+        options.jobs = jobs;
+        options.trace_id = trace_id;
+        const auto out = core::runSweep(suite, explorer, tech, options);
+        EXPECT_FALSE(out.entries.empty());
+        telemetry::setTracingEnabled(false);
+        std::vector<std::string> set;
+        for (const telemetry::SpanEvent &ev :
+             telemetry::eventsForTrace(trace_id))
+            set.push_back(ev.name + "|" + ev.scope + "|" + ev.args);
+        telemetry::resetTracingForTesting();
+        std::sort(set.begin(), set.end());
+        return set;
+    };
+
+    const auto sequential = spanSetFor(1, 0x51);
+    const auto parallel = spanSetFor(4, 0x52);
+    EXPECT_FALSE(sequential.empty());
+    EXPECT_EQ(sequential, parallel);
+}
+
+TEST(ParallelSweep, SweepSpansCarryTheRequestTraceId)
+{
+    telemetry::resetTracingForTesting();
+    telemetry::setTracingEnabled(true);
+
+    const auto suite = smallSuite();
+    const model::TechModel tech = model::defaultTech();
+    const core::Explorer explorer(tech);
+    core::SweepOptions options;
+    options.jobs = 4; // Pool lanes must inherit the id too.
+    options.trace_id = 0xabc;
+    const auto out = core::runSweep(suite, explorer, tech, options);
+    ASSERT_FALSE(out.entries.empty());
+
+    telemetry::setTracingEnabled(false);
+    telemetry::collect();
+    std::size_t scoped = 0;
+    bool saw_lane_span = false;
+    for (const telemetry::SpanEvent &ev : telemetry::events()) {
+        EXPECT_EQ(ev.trace_id, 0xabcu) << ev.name;
+        ++scoped;
+        saw_lane_span |= ev.lane >= 0;
+    }
+    EXPECT_GT(scoped, 0u);
+    EXPECT_TRUE(saw_lane_span);
+    // The request context did not leak past runSweep's unwind.
+    EXPECT_EQ(telemetry::currentTraceId(), 0u);
+    telemetry::resetTracingForTesting();
+}
+
 } // namespace

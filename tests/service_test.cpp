@@ -15,6 +15,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
 #include <sstream>
 #include <string>
@@ -998,6 +999,392 @@ TEST(ServiceEndToEnd, ResilientClientExhaustsRetriesWithHonestStatus)
     EXPECT_EQ(stats.disconnects, 3);
     EXPECT_NE(s.toString().find("after 3 attempts"),
               std::string::npos);
+}
+
+// ---------------------------------------------------------------
+// Request-scoped observability (protocol v3)
+// ---------------------------------------------------------------
+
+TEST(ServiceProtocol, MintTraceIdIsNonZeroAndDistinct)
+{
+    const std::uint64_t a = mintTraceId();
+    const std::uint64_t b = mintTraceId();
+    EXPECT_NE(a, 0u);
+    EXPECT_NE(b, 0u);
+    EXPECT_NE(a, b);
+}
+
+TEST(ServiceProtocol, SweepRequestTraceIdRoundTripsAndToleratesV2)
+{
+    SweepRequest req = expiredSweepRequest();
+    req.trace_id = 0xdeadbeefcafef00dull;
+    SweepRequest back;
+    ASSERT_TRUE(decodeSweepRequest(encodeSweepRequest(req), &back));
+    EXPECT_EQ(back.trace_id, 0xdeadbeefcafef00dull);
+
+    // A v2 encoder never wrote the trailer; the v3 decoder must read
+    // such a payload with trace_id falling back to 0 (unscoped).
+    SweepRequest v2 = expiredSweepRequest();
+    std::string payload = encodeSweepRequest(v2);
+    ASSERT_TRUE(payload.size() >= 2 &&
+                payload.compare(payload.size() - 2, 2, "0\n") == 0);
+    payload.erase(payload.size() - 2);
+    SweepRequest old_back;
+    old_back.trace_id = 77; // Must be overwritten, not inherited.
+    ASSERT_TRUE(decodeSweepRequest(payload, &old_back));
+    EXPECT_EQ(old_back.trace_id, 0u);
+    EXPECT_DOUBLE_EQ(old_back.deadline_ms, v2.deadline_ms);
+}
+
+TEST(ServiceProtocol, ProgressFrameTraceIdRoundTripsAndToleratesV2)
+{
+    SweepProgressFrame p;
+    p.id = 11;
+    p.done = 3;
+    p.total = 27;
+    p.app = "camera";
+    p.variant = "pe_base";
+    p.trace_id = 12345;
+    SweepProgressFrame back;
+    ASSERT_TRUE(decodeProgress(encodeProgress(p), &back));
+    EXPECT_EQ(back.trace_id, 12345u);
+
+    p.trace_id = 0;
+    std::string payload = encodeProgress(p);
+    ASSERT_TRUE(payload.size() >= 2 &&
+                payload.compare(payload.size() - 2, 2, "0\n") == 0);
+    payload.erase(payload.size() - 2);
+    SweepProgressFrame old_back;
+    old_back.trace_id = 9;
+    ASSERT_TRUE(decodeProgress(payload, &old_back));
+    EXPECT_EQ(old_back.trace_id, 0u);
+    EXPECT_EQ(old_back.variant, "pe_base");
+}
+
+TEST(ServiceProtocol, TraceConversationRoundTrips)
+{
+    TraceRequest req;
+    req.trace_id = 0x1234;
+    TraceRequest rback;
+    ASSERT_TRUE(
+        decodeTraceRequest(encodeTraceRequest(req), &rback));
+    EXPECT_EQ(rback.trace_id, 0x1234u);
+
+    TraceReply reply;
+    reply.trace_id = 0x1234;
+    reply.dropped = 2;
+    reply.evicted = 5;
+    telemetry::SpanEvent ev;
+    ev.name = "service.execute";
+    ev.scope = "camera";
+    ev.args = "\"app\":\"camera\"";
+    ev.ts_us = 12.5;
+    ev.dur_us = 3.25;
+    ev.lane = 1;
+    ev.thread_ord = 4;
+    ev.depth = 2;
+    ev.trace_id = 0x1234;
+    reply.events.push_back(ev);
+    ev.name = "sweep";
+    ev.lane = -1;
+    reply.events.push_back(ev);
+
+    TraceReply back;
+    ASSERT_TRUE(decodeTraceReply(encodeTraceReply(reply), &back));
+    EXPECT_EQ(back.trace_id, 0x1234u);
+    EXPECT_EQ(back.dropped, 2);
+    EXPECT_EQ(back.evicted, 5);
+    ASSERT_EQ(back.events.size(), 2u);
+    EXPECT_EQ(back.events[0].name, "service.execute");
+    EXPECT_EQ(back.events[0].scope, "camera");
+    EXPECT_EQ(back.events[0].args, "\"app\":\"camera\"");
+    EXPECT_DOUBLE_EQ(back.events[0].ts_us, 12.5);
+    EXPECT_DOUBLE_EQ(back.events[0].dur_us, 3.25);
+    EXPECT_EQ(back.events[0].lane, 1);
+    EXPECT_EQ(back.events[0].thread_ord, 4);
+    EXPECT_EQ(back.events[0].depth, 2);
+    EXPECT_EQ(back.events[0].trace_id, 0x1234u);
+    EXPECT_EQ(back.events[1].lane, -1);
+}
+
+TEST(ServiceProtocol, StatuszConversationRoundTripsAndRenders)
+{
+    StatuszRequest req;
+    req.max_samples = 7;
+    StatuszRequest rback;
+    ASSERT_TRUE(
+        decodeStatuszRequest(encodeStatuszRequest(req), &rback));
+    EXPECT_EQ(rback.max_samples, 7);
+
+    StatuszReply reply;
+    reply.interval_ms = 250.0;
+    StatusSnapshot snap;
+    snap.ts_ms = 1000.5;
+    snap.sessions = 3;
+    snap.queue_depth = 2;
+    snap.active_sweeps = 1;
+    snap.inflight_bytes = 4096;
+    snap.accepted = 10;
+    snap.rejected = 1;
+    snap.coalesced = 4;
+    snap.sweeps = 6;
+    snap.cache_hits = 100;
+    snap.cache_misses = 20;
+    snap.worker_restarts = 2;
+    snap.trace_dropped = 9;
+    snap.request_p50_ms = 5.0;
+    snap.request_p99_ms = 50.0;
+    reply.samples.push_back(snap);
+    snap.accepted = 12;
+    reply.samples.push_back(snap);
+
+    StatuszReply back;
+    ASSERT_TRUE(
+        decodeStatuszReply(encodeStatuszReply(reply), &back));
+    EXPECT_DOUBLE_EQ(back.interval_ms, 250.0);
+    ASSERT_EQ(back.samples.size(), 2u);
+    EXPECT_DOUBLE_EQ(back.samples[0].ts_ms, 1000.5);
+    EXPECT_EQ(back.samples[0].sessions, 3);
+    EXPECT_EQ(back.samples[0].queue_depth, 2);
+    EXPECT_EQ(back.samples[0].active_sweeps, 1);
+    EXPECT_EQ(back.samples[0].inflight_bytes, 4096);
+    EXPECT_EQ(back.samples[0].accepted, 10);
+    EXPECT_EQ(back.samples[0].rejected, 1);
+    EXPECT_EQ(back.samples[0].coalesced, 4);
+    EXPECT_EQ(back.samples[0].sweeps, 6);
+    EXPECT_EQ(back.samples[0].cache_hits, 100);
+    EXPECT_EQ(back.samples[0].cache_misses, 20);
+    EXPECT_EQ(back.samples[0].worker_restarts, 2);
+    EXPECT_EQ(back.samples[0].trace_dropped, 9);
+    EXPECT_DOUBLE_EQ(back.samples[0].request_p50_ms, 5.0);
+    EXPECT_DOUBLE_EQ(back.samples[0].request_p99_ms, 50.0);
+    EXPECT_EQ(back.samples[1].accepted, 12);
+
+    const std::string json = statuszJson(back);
+    EXPECT_EQ(json.find("{\"apex_statusz\":1"), 0u);
+    EXPECT_NE(json.find("\"accepted\":"), std::string::npos);
+    EXPECT_NE(json.find("\"request_p99_ms\":"), std::string::npos);
+
+    const std::string text = renderStatuszText(back);
+    EXPECT_NE(text.find("apexd statusz"), std::string::npos);
+    EXPECT_NE(text.find("queue"), std::string::npos);
+
+    StatuszReply empty;
+    EXPECT_NE(renderStatuszText(empty).find("no samples"),
+              std::string::npos);
+}
+
+TEST(ServiceEndToEnd, V2ClientNegotiatesAndSweepsWithoutTraceIds)
+{
+    ServerOptions options;
+    options.unix_path = scratchSocket("v2compat");
+    Server server(options);
+    ASSERT_TRUE(server.start().ok());
+
+    // Hand-rolled v2 peer: the Client class always speaks v3, and
+    // the point of this regression test is version skew — an old
+    // client must still negotiate, sweep and get its report.
+    struct sockaddr_un addr;
+    std::memset(&addr, 0, sizeof addr);
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, options.unix_path.c_str(),
+                 sizeof addr.sun_path - 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::connect(fd,
+                        reinterpret_cast<struct sockaddr *>(&addr),
+                        sizeof addr),
+              0);
+    runtime::FrameDecoder decoder(kServiceMagic,
+                                  kServiceWireVersion);
+    const auto readFrame = [&](runtime::FramedRecord *rec) {
+        runtime::DrainResult drained = runtime::DrainResult::kOpen;
+        while (decoder.next(rec) != runtime::DecodeResult::kFrame) {
+            if (drained != runtime::DrainResult::kOpen)
+                return false;
+            drained = runtime::drainFd(
+                fd, decoder, runtime::DrainMode::kSingleRead);
+        }
+        return true;
+    };
+
+    HelloRequest hello;
+    hello.protocol = kMinProtocolVersion; // v2.
+    hello.client = "legacy client";
+    ASSERT_TRUE(runtime::writeFrame(fd, kServiceMagic,
+                                    kServiceWireVersion, kFrameHello,
+                                    encodeHello(hello))
+                    .ok());
+    runtime::FramedRecord rec;
+    ASSERT_TRUE(readFrame(&rec));
+    ASSERT_EQ(rec.type, kFrameHelloOk);
+    HelloReply hello_reply;
+    ASSERT_TRUE(decodeHelloReply(rec.payload, &hello_reply));
+    // The session speaks the *client's* version, not the server's.
+    EXPECT_EQ(hello_reply.protocol, kMinProtocolVersion);
+
+    // A genuine v2 sweep payload: no trace-id trailer.
+    std::string payload = encodeSweepRequest(expiredSweepRequest());
+    ASSERT_TRUE(payload.compare(payload.size() - 2, 2, "0\n") == 0);
+    payload.erase(payload.size() - 2);
+    ASSERT_TRUE(runtime::writeFrame(fd, kServiceMagic,
+                                    kServiceWireVersion, kFrameSweep,
+                                    payload)
+                    .ok());
+    ASSERT_TRUE(readFrame(&rec));
+    ASSERT_EQ(rec.type, kFrameAck);
+    ASSERT_TRUE(readFrame(&rec));
+    ASSERT_EQ(rec.type, kFrameReport);
+    SweepReply reply;
+    ASSERT_TRUE(decodeSweepReply(rec.payload, &reply));
+    EXPECT_TRUE(reply.deadline_expired);
+    ::close(fd);
+    server.stop();
+}
+
+TEST(ServiceEndToEnd, TraceSliceCarriesTheRequestsSpans)
+{
+    telemetry::resetTracingForTesting();
+    telemetry::setTracingEnabled(true);
+
+    ServerOptions options;
+    options.unix_path = scratchSocket("trace");
+    Server server(options);
+    ASSERT_TRUE(server.start().ok());
+
+    Client client;
+    ASSERT_TRUE(client.connect(options.unix_path).ok());
+    EXPECT_EQ(client.serverProtocol(), kProtocolVersion);
+    SweepRequest req = expiredSweepRequest();
+    req.trace_id = mintTraceId();
+    SweepReply reply;
+    ASSERT_TRUE(client.runSweep(req, &reply).ok());
+
+    TraceReply slice;
+    ASSERT_TRUE(client.trace(req.trace_id, &slice).ok());
+    EXPECT_EQ(slice.trace_id, req.trace_id);
+    ASSERT_FALSE(slice.events.empty());
+    bool saw_admit = false;
+    bool saw_execute = false;
+    bool saw_sweep = false;
+    for (const telemetry::SpanEvent &ev : slice.events) {
+        EXPECT_EQ(ev.trace_id, req.trace_id) << ev.name;
+        saw_admit |= ev.name == "service.admit";
+        saw_execute |= ev.name == "service.execute";
+        saw_sweep |= ev.name == "sweep";
+    }
+    EXPECT_TRUE(saw_admit);
+    EXPECT_TRUE(saw_execute);
+    EXPECT_TRUE(saw_sweep);
+
+    // A trace id nobody used yields an empty (but well-formed) slice.
+    TraceReply none;
+    ASSERT_TRUE(client.trace(0x1, &none).ok());
+    EXPECT_TRUE(none.events.empty());
+
+    client.goodbye();
+    server.stop();
+    telemetry::setTracingEnabled(false);
+    telemetry::resetTracingForTesting();
+}
+
+TEST(ServiceEndToEnd, CoalescedJoinersFetchTheirOwnTraceSlices)
+{
+    telemetry::resetTracingForTesting();
+    telemetry::setTracingEnabled(true);
+    telemetry::Counter &coalesced =
+        telemetry::counter("apex.service.coalesced");
+    const long long coalesced0 = coalesced.value();
+
+    ServerOptions options;
+    options.unix_path = scratchSocket("trace_coalesce");
+    options.admission_hold_ms = 400.0;
+    Server server(options);
+    ASSERT_TRUE(server.start().ok());
+
+    constexpr int kClients = 3;
+    std::vector<std::uint64_t> ids(kClients, 0);
+    std::vector<bool> slice_ok(kClients, false);
+    std::vector<bool> ids_match(kClients, false);
+    std::vector<bool> nonempty(kClients, false);
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kClients; ++i)
+        threads.emplace_back([&, i] {
+            Client client;
+            if (!client.connect(options.unix_path).ok())
+                return;
+            SweepRequest req = expiredSweepRequest();
+            req.trace_id = mintTraceId();
+            ids[i] = req.trace_id;
+            SweepReply reply;
+            if (!client.runSweep(req, &reply).ok())
+                return;
+            TraceReply slice;
+            if (!client.trace(req.trace_id, &slice).ok())
+                return;
+            slice_ok[i] = true;
+            nonempty[i] = !slice.events.empty();
+            bool all = slice.trace_id == req.trace_id;
+            for (const telemetry::SpanEvent &ev : slice.events)
+                all = all && ev.trace_id == req.trace_id;
+            ids_match[i] = all;
+            client.goodbye();
+        });
+    for (std::thread &t : threads)
+        t.join();
+    server.stop();
+
+    // At least one request coalesced, and *every* requester — the
+    // primary and each joiner — got a slice under its own trace id.
+    EXPECT_GT(coalesced.value() - coalesced0, 0);
+    for (int i = 0; i < kClients; ++i) {
+        EXPECT_TRUE(slice_ok[i]) << "client " << i;
+        EXPECT_TRUE(nonempty[i]) << "client " << i;
+        EXPECT_TRUE(ids_match[i]) << "client " << i;
+    }
+    telemetry::setTracingEnabled(false);
+    telemetry::resetTracingForTesting();
+}
+
+TEST(ServiceEndToEnd, StatuszRingSamplesDaemonVitals)
+{
+    ServerOptions options;
+    options.unix_path = scratchSocket("statusz");
+    options.statusz_interval_ms = 20.0;
+    options.statusz_capacity = 4;
+    Server server(options);
+    ASSERT_TRUE(server.start().ok());
+
+    Client client;
+    ASSERT_TRUE(client.connect(options.unix_path).ok());
+    SweepReply reply;
+    ASSERT_TRUE(client.runSweep(expiredSweepRequest(), &reply).ok());
+
+    // Let a few sampling ticks land, then read the ring.
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    StatuszReply statusz;
+    ASSERT_TRUE(client.statusz(0, &statusz).ok());
+    EXPECT_DOUBLE_EQ(statusz.interval_ms, 20.0);
+    ASSERT_GE(statusz.samples.size(), 2u);
+    // The ring is bounded by statusz_capacity, not by uptime.
+    EXPECT_LE(statusz.samples.size(), 4u);
+    const StatusSnapshot &last = statusz.samples.back();
+    EXPECT_GE(last.accepted, 1);
+    EXPECT_GE(last.sweeps, 1);
+    EXPECT_GE(last.sessions, 1);
+    // Timestamps are monotone across the ring.
+    for (std::size_t i = 1; i < statusz.samples.size(); ++i)
+        EXPECT_GE(statusz.samples[i].ts_ms,
+                  statusz.samples[i - 1].ts_ms);
+
+    // max_samples trims from the oldest end.
+    StatuszReply trimmed;
+    ASSERT_TRUE(client.statusz(1, &trimmed).ok());
+    ASSERT_EQ(trimmed.samples.size(), 1u);
+    EXPECT_GE(trimmed.samples[0].ts_ms, statusz.samples[0].ts_ms);
+
+    client.goodbye();
+    server.stop();
 }
 
 } // namespace

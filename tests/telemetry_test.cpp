@@ -10,6 +10,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -18,7 +19,10 @@
 #include <vector>
 
 #include "core/fault.hpp"
+#include "runtime/eventlog.hpp"
 #include "runtime/telemetry.hpp"
+
+namespace eventlog = apex::eventlog;
 
 namespace {
 
@@ -394,6 +398,289 @@ TEST(Metrics, SpanMacroLeavesRegistryAlone)
     }
     collect();
     EXPECT_EQ(Registry::instance().jsonDump(), before);
+}
+
+// --------------------------------------------------------------------
+// Request trace context
+// --------------------------------------------------------------------
+
+TEST(TraceId, ScopedSetRestoresOnUnwindAndNests)
+{
+    EXPECT_EQ(currentTraceId(), 0u);
+    {
+        ScopedTraceId outer;
+        outer.set(7);
+        EXPECT_EQ(currentTraceId(), 7u);
+        {
+            ScopedTraceId inner;
+            inner.set(9);
+            EXPECT_EQ(currentTraceId(), 9u);
+            inner.set(11); // Re-arming keeps the original restore.
+            EXPECT_EQ(currentTraceId(), 11u);
+        }
+        EXPECT_EQ(currentTraceId(), 7u);
+    }
+    EXPECT_EQ(currentTraceId(), 0u);
+}
+
+TEST(TraceId, SpansCarryTheThreadTraceIdAndFilter)
+{
+    TracingScope tracing;
+    {
+        ScopedTraceId trace;
+        trace.set(0xfe);
+        APEX_SPAN("t.traced_req");
+    }
+    {
+        ScopedTraceId trace;
+        trace.set(0xff);
+        APEX_SPAN("t.other_req");
+    }
+    {
+        APEX_SPAN("t.unscoped");
+    }
+    EXPECT_EQ(eventsNamed("t.traced_req").at(0).trace_id, 0xfeu);
+    EXPECT_EQ(eventsNamed("t.unscoped").at(0).trace_id, 0u);
+
+    const auto slice = eventsForTrace(0xfe);
+    ASSERT_EQ(slice.size(), 1u);
+    EXPECT_EQ(slice[0].name, "t.traced_req");
+    EXPECT_TRUE(eventsForTrace(0xdead).empty());
+}
+
+TEST(TraceId, SetThreadTraceIdTagsAForeignThread)
+{
+    TracingScope tracing;
+    // The forked-worker path: a thread that never unwinds installs
+    // the id without RAII restoration.
+    std::thread worker([] {
+        setThreadTraceId(0x42);
+        APEX_SPAN("t.worker_req");
+    });
+    worker.join();
+    EXPECT_EQ(eventsNamed("t.worker_req").at(0).trace_id, 0x42u);
+    EXPECT_EQ(currentTraceId(), 0u); // Only that thread was tagged.
+}
+
+TEST(TraceId, RingDropsBumpTheTraceDroppedCounter)
+{
+    TracingScope tracing;
+    setRingCapacityForTesting(4);
+    Counter &dropped = counter("apex.trace.dropped");
+    const long long counter_before = dropped.value();
+    const long long dropped_before = droppedEvents();
+    std::thread producer([] {
+        for (int i = 0; i < 10; ++i) {
+            APEX_SPAN("t.drop_count", {{"i", i}});
+        }
+    });
+    producer.join();
+    setRingCapacityForTesting(16384); // restore the default
+    // Span loss is surfaced as a metric, not only via the tracing
+    // API, so a metrics dump alone reveals a truncated trace.
+    EXPECT_EQ(droppedEvents() - dropped_before, 6);
+    EXPECT_EQ(dropped.value() - counter_before, 6);
+}
+
+TEST(TraceId, CollectedCapEvictsOldestAndCounts)
+{
+    TracingScope tracing;
+    setCollectedCap(10);
+    const long long evicted_before = evictedEvents();
+    for (int i = 0; i < 25; ++i) {
+        APEX_SPAN("t.evict", {{"i", i}});
+        collect(); // Drain each span so the ring never drops.
+    }
+    collect();
+    EXPECT_LE(events().size(), 10u);
+    EXPECT_GE(evictedEvents() - evicted_before, 15);
+    // The survivors are the newest events, not the oldest.
+    bool saw_last = false;
+    for (const SpanEvent &ev : events())
+        saw_last |= ev.args.find("\"i\":24") != std::string::npos;
+    EXPECT_TRUE(saw_last);
+    setCollectedCap(131072); // restore the default
+}
+
+TEST(ChromeTrace, MergedSlicesRenderOneLanePerProcess)
+{
+    // Pure-function check: hand-built slices, no ring involvement.
+    SpanEvent client_ev;
+    client_ev.name = "client.sweep";
+    client_ev.ts_us = 1000.0;
+    client_ev.dur_us = 50.0;
+    client_ev.trace_id = 0xfe;
+
+    SpanEvent daemon_ev = client_ev;
+    daemon_ev.name = "service.execute";
+    daemon_ev.ts_us = 2000.0;
+
+    SpanEvent worker_ev = client_ev;
+    worker_ev.name = "pe.evaluate";
+    worker_ev.ts_us = 3000.0;
+    worker_ev.lane = 1;
+
+    std::vector<TraceProcessSlice> slices(3);
+    slices[0].pid = 1;
+    slices[0].process_name = "client";
+    slices[0].events.push_back(client_ev);
+    slices[1].pid = 2;
+    slices[1].process_name = "apexd";
+    slices[1].events.push_back(daemon_ev);
+    slices[1].dropped = 3;
+    slices[2].pid = 3;
+    slices[2].process_name = "apexd workers";
+    slices[2].events.push_back(worker_ev);
+
+    const std::string json = chromeTraceJsonMerged(slices);
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+    // One process_name metadata lane per slice.
+    EXPECT_NE(json.find("\"name\":\"process_name\",\"args\":"
+                        "{\"name\":\"client\"}"),
+              std::string::npos);
+    EXPECT_NE(json.find("{\"name\":\"apexd\"}"), std::string::npos);
+    EXPECT_NE(json.find("{\"name\":\"apexd workers\"}"),
+              std::string::npos);
+    // Events land under their slice's pid; the worker event under a
+    // "worker 1" thread-name lane.
+    EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"pid\":2"), std::string::npos);
+    EXPECT_NE(json.find("\"pid\":3"), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"worker 1\""), std::string::npos);
+    // Trace-id correlation is visible in the event args.
+    EXPECT_NE(json.find("\"trace_id\":\"00000000000000fe\""),
+              std::string::npos);
+    // Each slice is rebased to its own first event (ts 0).
+    EXPECT_NE(json.find("\"ts\":0.000"), std::string::npos);
+    // Span loss is per-process metadata, not silence.
+    EXPECT_NE(json.find("\"otherData\":{\"dropped\":{\"client\":0,"
+                        "\"apexd\":3,\"apexd workers\":0}}"),
+              std::string::npos);
+}
+
+TEST(ChromeTrace, SingleProcessJsonReportsLossCounters)
+{
+    TracingScope tracing;
+    {
+        APEX_SPAN("t.loss_meta");
+    }
+    const std::string json = chromeTraceJson();
+    EXPECT_NE(json.find("\"otherData\":{\"recorded\":"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"dropped\":"), std::string::npos);
+    EXPECT_NE(json.find("\"evicted\":"), std::string::npos);
+}
+
+// --------------------------------------------------------------------
+// Structured event log
+// --------------------------------------------------------------------
+
+/** Read @p path as whole lines. */
+std::vector<std::string>
+readLines(const std::string &path)
+{
+    std::ifstream is(path);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(is, line))
+        lines.push_back(line);
+    return lines;
+}
+
+TEST(EventLog, ParseLevelAcceptsTheDocumentedNames)
+{
+    eventlog::Level level;
+    ASSERT_TRUE(eventlog::parseLevel("debug", &level));
+    EXPECT_EQ(level, eventlog::Level::kDebug);
+    ASSERT_TRUE(eventlog::parseLevel("info", &level));
+    EXPECT_EQ(level, eventlog::Level::kInfo);
+    ASSERT_TRUE(eventlog::parseLevel("warn", &level));
+    EXPECT_EQ(level, eventlog::Level::kWarn);
+    ASSERT_TRUE(eventlog::parseLevel("warning", &level));
+    EXPECT_EQ(level, eventlog::Level::kWarn);
+    ASSERT_TRUE(eventlog::parseLevel("error", &level));
+    EXPECT_EQ(level, eventlog::Level::kError);
+    EXPECT_FALSE(eventlog::parseLevel("chatty", &level));
+    EXPECT_STREQ(eventlog::levelName(eventlog::Level::kWarn),
+                 "warn");
+}
+
+TEST(EventLog, WritesLeveledJsonlWithTraceCorrelation)
+{
+    const std::string path =
+        ::testing::TempDir() + "apex_eventlog_test.jsonl";
+    std::filesystem::remove(path);
+
+    eventlog::Options options;
+    options.path = path;
+    options.level = eventlog::Level::kWarn;
+    ASSERT_TRUE(eventlog::configure(options));
+    EXPECT_TRUE(eventlog::configured());
+
+    eventlog::emit(eventlog::Level::kInfo, "cache",
+                   "below threshold; dropped at the call site");
+    eventlog::emit(eventlog::Level::kWarn, "service.admission",
+                   "queue saturated (depth 8)", 0xfe);
+    eventlog::emit(eventlog::Level::kError, "service.accept",
+                   "a \"quoted\" reason\nwith a newline");
+    eventlog::shutdown();
+    EXPECT_FALSE(eventlog::configured());
+
+    const auto lines = readLines(path);
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_EQ(lines[0].find("{\"ts_ms\":"), 0u);
+    EXPECT_NE(lines[0].find("\"level\":\"warn\""),
+              std::string::npos);
+    EXPECT_NE(lines[0].find("\"component\":\"service.admission\""),
+              std::string::npos);
+    EXPECT_NE(lines[0].find("\"trace_id\":\"00000000000000fe\""),
+              std::string::npos);
+    // trace_id 0 means "no request context" and is omitted.
+    EXPECT_EQ(lines[1].find("trace_id"), std::string::npos);
+    // JSON stays one parseable line per event under hostile content.
+    EXPECT_NE(lines[1].find("a \\\"quoted\\\" reason\\nwith"),
+              std::string::npos);
+    std::filesystem::remove(path);
+}
+
+TEST(EventLog, RateBoundSuppressesCountsAndSummarizes)
+{
+    const std::string path =
+        ::testing::TempDir() + "apex_eventlog_rate_test.jsonl";
+    std::filesystem::remove(path);
+
+    eventlog::Options options;
+    options.path = path;
+    options.rate_window_ms = 50;
+    options.rate_max_per_window = 2;
+    ASSERT_TRUE(eventlog::configure(options));
+
+    const long long suppressed_before = eventlog::suppressedLines();
+    Counter &metric = counter("apex.log.suppressed");
+    const long long metric_before = metric.value();
+    for (int i = 0; i < 5; ++i)
+        eventlog::emit(eventlog::Level::kInfo, "test",
+                       "line " + std::to_string(i));
+    EXPECT_EQ(eventlog::suppressedLines() - suppressed_before, 3);
+    EXPECT_EQ(metric.value() - metric_before, 3);
+
+    // Rolling the window emits one summary naming the loss, then
+    // admits new lines again.
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    eventlog::emit(eventlog::Level::kInfo, "test", "after the roll");
+    eventlog::shutdown();
+
+    const auto lines = readLines(path);
+    ASSERT_EQ(lines.size(), 4u); // 2 admitted + summary + 1 admitted.
+    EXPECT_NE(lines[0].find("line 0"), std::string::npos);
+    EXPECT_NE(lines[1].find("line 1"), std::string::npos);
+    EXPECT_NE(lines[2].find("\"component\":\"eventlog\""),
+              std::string::npos);
+    EXPECT_NE(lines[2].find("suppressed 3 line(s)"),
+              std::string::npos);
+    EXPECT_NE(lines[3].find("after the roll"), std::string::npos);
+    std::filesystem::remove(path);
 }
 
 } // namespace

@@ -21,6 +21,7 @@
 
 #include "core/fault.hpp"
 #include "runtime/record.hpp"
+#include "runtime/telemetry.hpp"
 #include "runtime/wire.hpp"
 #include "runtime/worker_pool.hpp"
 
@@ -436,6 +437,39 @@ TEST(WorkerPool, CancelStopsDispatchAndReturnsPromptly)
     // have come anywhere near finishing it.
     EXPECT_LT(wall_ms, 1200.0);
     EXPECT_EQ(done + cancelled, 50);
+}
+
+TEST(WorkerPool, TraceIdCrossesTheForkBoundary)
+{
+    // The handler runs in a forked child; the trace id must survive
+    // the pipe protocol so daemon-side worker spans can be tied back
+    // to the request that dispatched them (DESIGN.md Sec. 7i).
+    WorkerPoolOptions opts = fastOptions(2);
+    opts.trace_id = 42;
+    WorkerPool pool(
+        [](const std::string &task) {
+            return task + ":" +
+                   std::to_string(telemetry::currentTraceId());
+        },
+        opts);
+    const auto outcomes = pool.run({"a", "b", "c"});
+    ASSERT_EQ(outcomes.size(), 3u);
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        EXPECT_EQ(outcomes[i].fate, TaskFate::kDone) << i;
+        EXPECT_EQ(outcomes[i].response.substr(2), "42") << i;
+    }
+}
+
+TEST(WorkerPool, UnsetTraceIdReachesChildrenAsZero)
+{
+    WorkerPool pool(
+        [](const std::string &) {
+            return std::to_string(telemetry::currentTraceId());
+        },
+        fastOptions(1));
+    const auto outcomes = pool.run({"x"});
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_EQ(outcomes[0].response, "0");
 }
 
 } // namespace
