@@ -18,6 +18,7 @@
 #include "cgra/route.hpp"
 #include "core/evaluate.hpp"
 #include "ir/builder.hpp"
+#include "ir/serialize.hpp"
 #include "mapper/rewrite.hpp"
 #include "mapper/select.hpp"
 #include "merging/clique.hpp"
@@ -317,6 +318,66 @@ runKernelRows()
     return 0;
 }
 
+// ---------------------------------------------------------------------
+// `--miner`: the DFS-code engine vs the reference growth miner over
+// every paper app, one JSON row per app.  Every counter field is
+// deterministic for the (app, options) pair — candidate enumeration
+// order is fixed and the engines are byte-identical by contract — so
+// CI diffs the rows against BENCH_miner.json and gates both
+// `match:true` (pattern lists identical) and the >= 3x reduction in
+// full isomorphism-matcher invocations (`iso_calls` vs
+// `iso_calls_ref`), the headline claim of the incremental-embedding
+// rework.  Only `ms` / `ms_ref` vary across machines.
+
+bool
+minedListsIdentical(const std::vector<mining::MinedPattern> &a,
+                    const std::vector<mining::MinedPattern> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].code != b[i].code ||
+            a[i].frequency != b[i].frequency ||
+            a[i].mni_support != b[i].mni_support ||
+            a[i].occurrences != b[i].occurrences ||
+            ir::serialize(a[i].pattern) != ir::serialize(b[i].pattern))
+            return false;
+    }
+    return true;
+}
+
+int
+runMinerRows()
+{
+    mining::MinerOptions opt;
+    opt.min_support = 3;
+    opt.max_pattern_nodes = 4;
+    for (const auto &info : apps::allApps()) {
+        mining::MineStats st, st_ref;
+        opt.engine = mining::MinerEngine::kDfsCode;
+        const mining::FrequentSubgraphMiner miner(opt);
+        auto t0 = std::chrono::steady_clock::now();
+        const auto got = miner.mine(info.graph, &st);
+        const double ms = wallMs(t0);
+        t0 = std::chrono::steady_clock::now();
+        const auto ref =
+            mining::minePatternsReference(info.graph, opt, &st_ref);
+        const double ms_ref = wallMs(t0);
+        std::printf(
+            "{\"kernel\":\"miner\",\"app\":\"%s\",\"n\":%zu,"
+            "\"patterns\":%lld,\"candidates\":%lld,"
+            "\"embeddings\":%lld,\"iso_calls\":%lld,"
+            "\"iso_calls_ref\":%lld,\"match\":%s,"
+            "\"ms\":%.2f,\"ms_ref\":%.2f}\n",
+            info.name.c_str(), info.graph.size(), st.patterns,
+            st.candidates, st.embeddings, st.matcher_calls,
+            st_ref.matcher_calls,
+            minedListsIdentical(got, ref) ? "true" : "false", ms,
+            ms_ref);
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -325,6 +386,9 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i)
         if (std::strcmp(argv[i], "--kernels") == 0)
             return runKernelRows();
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--miner") == 0)
+            return runMinerRows();
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;

@@ -17,9 +17,14 @@
  *               [--jobs N] [--cache-dir DIR] [--resume]
  *               [--deadline MS] [--cell-deadline MS]
  *               [--isolate thread|process] [--cell-retries N]
+ *               [--miner-engine dfs|reference]
  *       Fault-tolerant evaluation of every built-in application
  *       across the variant recipe; failing pairs are reported and
- *       skipped rather than aborting the sweep.
+ *       skipped rather than aborting the sweep.  --miner-engine
+ *       (also accepted by analyze) selects the frequent-subgraph
+ *       engine: the DFS-code/embedding-list miner (default) or the
+ *       historic reference miner — outputs are byte-identical, so
+ *       the flag exists for differential smoke and perf comparison.
  *   apexc client <sweep|info|metrics|top> --socket PATH [--port N]
  *       Run the request against a running apexd instead of in
  *       process.  `client sweep` accepts the sweep pressure and
@@ -257,6 +262,26 @@ makePool(int jobs)
     return std::make_unique<runtime::ThreadPool>(n);
 }
 
+/** --miner-engine dfs|reference (default dfs).  The engines are
+ * byte-identical (see tests/mining_differential_test.cpp); the flag
+ * exists for differential smoke runs and perf comparisons. */
+Status
+parseMinerEngine(int argc, char **argv, mining::MinerOptions *miner)
+{
+    const char *s = flagValue(argc, argv, "--miner-engine");
+    if (s == nullptr)
+        return Status::okStatus();
+    if (std::strcmp(s, "dfs") == 0)
+        miner->engine = mining::MinerEngine::kDfsCode;
+    else if (std::strcmp(s, "reference") == 0)
+        miner->engine = mining::MinerEngine::kReference;
+    else
+        return Status(ErrorCode::kInvalidArgument,
+                      std::string("unknown --miner-engine '") + s +
+                          "' (expected dfs or reference)");
+    return Status::okStatus();
+}
+
 /** --cache-dir DIR => a disk-backed artifact cache; else null. */
 std::unique_ptr<runtime::ArtifactCache>
 makeCache(int argc, char **argv)
@@ -314,6 +339,9 @@ cmdAnalyze(int argc, char **argv, const std::string &source)
         options.miner.min_support = std::atoi(s);
     if (const char *s = flagValue(argc, argv, "--max-nodes"))
         options.miner.max_pattern_nodes = std::atoi(s);
+    if (Status s = parseMinerEngine(argc, argv, &options.miner);
+        !s.ok())
+        return loadFailure(std::move(s));
     const auto pool = makePool(requestedJobs(argc, argv));
     options.pool = pool.get();
     core::Explorer ex(model::defaultTech(), options);
@@ -554,6 +582,9 @@ cmdSweep(int argc, char **argv)
     // deadline too — a sweep bound means the whole command.
     ex_options.miner.deadline = options.deadline;
     ex_options.merge.deadline = options.deadline;
+    if (Status s = parseMinerEngine(argc, argv, &ex_options.miner);
+        !s.ok())
+        return loadFailure(std::move(s));
     core::Explorer ex(model::defaultTech(), ex_options);
     const auto apps_list = apps::allApps();
     const auto outcome = core::runSweep(apps_list, ex,

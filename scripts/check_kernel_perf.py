@@ -7,11 +7,20 @@ the branch-and-bound is deterministic, so `apex.clique.nodes` (the
 `nodes` field) is byte-stable across machines: a change in node count
 means the search itself changed, not the hardware.
 
+Also gates `bench_micro_algorithms --miner` rows (one per paper app,
+diffed against BENCH_miner.json): the DFS-code engine must produce the
+byte-identical pattern list (`match`), the same pattern count as the
+baseline, and at least MIN_MINER_ISO_FACTOR fewer full
+isomorphism-matcher invocations than the reference growth miner — the
+headline claim of the incremental-embedding rework.
+
 Failure conditions:
   * any clique row expands more than 2x the baseline's node count
     (the pruning bound regressed);
   * the largest clique row's weak-bound/coloring-bound node ratio
     falls below 5x (the headline reduction claim);
+  * any miner row whose pattern count drifts from the baseline or
+    whose matcher-call reduction falls below MIN_MINER_ISO_FACTOR;
   * any row reports match:false (optimized and reference kernels
     disagreed — a determinism-contract break).
 
@@ -23,6 +32,7 @@ import sys
 
 NODE_REGRESSION_FACTOR = 2.0
 MIN_CLIQUE_RATIO = 5.0
+MIN_MINER_ISO_FACTOR = 3.0
 
 
 def load_rows(path):
@@ -44,14 +54,36 @@ def main():
 
     for row in current:
         if not row.get("match", True):
+            tag = row.get("app", row.get("n"))
             failures.append(
-                f"{row['kernel']} n={row['n']}: optimized and "
+                f"{row['kernel']} {tag}: optimized and "
                 "reference kernels disagree (match:false)")
+
+    # Miner rows (from --miner runs).  Counters are deterministic per
+    # (app, options), so pattern-count drift means the search changed;
+    # the iso-call factor is the incremental-embedding headline.
+    base_miner = {r["app"]: r for r in baseline
+                  if r["kernel"] == "miner"}
+    cur_miner = [r for r in current if r["kernel"] == "miner"]
+    if base_miner and not cur_miner:
+        failures.append("no miner rows in current output")
+    for row in cur_miner:
+        base = base_miner.get(row["app"])
+        if base is not None and row["patterns"] != base["patterns"]:
+            failures.append(
+                f"miner {row['app']}: {row['patterns']} patterns vs "
+                f"baseline {base['patterns']} (search changed)")
+        if row["iso_calls"] * MIN_MINER_ISO_FACTOR > \
+                row["iso_calls_ref"]:
+            failures.append(
+                f"miner {row['app']}: {row['iso_calls']} matcher "
+                f"calls vs reference {row['iso_calls_ref']} "
+                f"(< {MIN_MINER_ISO_FACTOR}x reduction)")
 
     base_clique = {r["n"]: r for r in baseline
                    if r["kernel"] == "clique"}
     cur_clique = [r for r in current if r["kernel"] == "clique"]
-    if not cur_clique:
+    if base_clique and not cur_clique:
         failures.append("no clique rows in current output")
     for row in cur_clique:
         base = base_clique.get(row["n"])

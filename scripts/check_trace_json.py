@@ -121,6 +121,7 @@ def check_merged(doc):
 MONOTONIC_FIELDS = (
     "accepted", "rejected", "coalesced", "sweeps",
     "cache_hits", "cache_misses", "worker_restarts", "trace_dropped",
+    "mined_patterns", "mine_embeddings", "mine_pruned",
 )
 GAUGE_FIELDS = (
     "sessions", "queue_depth", "active_sweeps", "inflight_bytes",

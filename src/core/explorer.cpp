@@ -50,13 +50,16 @@ Explorer::Explorer(const model::TechModel &tech,
 }
 
 Result<std::vector<mining::MinedPattern>>
-Explorer::tryAnalyze(const Graph &app) const
+Explorer::tryAnalyze(const Graph &app,
+                     mining::MineStats *stats) const
 {
+    if (stats != nullptr)
+        *stats = mining::MineStats{};
     if (Status fault = checkFault(FaultStage::kMine); !fault.ok())
         return std::move(fault).withContext("mining subgraphs");
     try {
         mining::FrequentSubgraphMiner miner(options_.miner);
-        auto patterns = miner.mine(app);
+        auto patterns = miner.mine(app, stats);
         mining::rankPatterns(patterns);
         std::erase_if(patterns, [&](const mining::MinedPattern &p) {
             return !mergeable(p) || p.mis_size < options_.min_mis;
@@ -77,9 +80,10 @@ Explorer::analyze(const Graph &app) const
 }
 
 Result<std::vector<Graph>>
-Explorer::tryTopPatterns(const Graph &app, int k) const
+Explorer::tryTopPatterns(const Graph &app, int k,
+                         mining::MineStats *stats) const
 {
-    auto mined = tryAnalyze(app);
+    auto mined = tryAnalyze(app, stats);
     if (!mined.ok())
         return mined.status();
     std::vector<Graph> result;
@@ -123,11 +127,14 @@ Explorer::trySpecializedVariant(const apps::AppInfo &app,
     v.name = "pe" + std::to_string(k + 1) + "_" + app.name;
     const pe::PeSpec seed =
         pe::baselineSubsetPe(pe::opsUsedBy(app.graph), v.name);
-    auto patterns = tryTopPatterns(app.graph, k);
+    mining::MineStats mine_stats;
+    auto patterns = tryTopPatterns(app.graph, k, &mine_stats);
     if (!patterns.ok())
         return patterns.status().withContext("building variant '" +
                                              v.name + "'");
     v.patterns = std::move(patterns).value();
+    v.mine_capped_levels =
+        static_cast<int>(mine_stats.capped_levels.size());
     const auto mm = merging::mergeIntoDatapath(
         seed.dp, v.patterns, tech_, nullptr, options_.merge);
     if (!mm.status.ok())
@@ -196,6 +203,7 @@ Explorer::tryDomainVariant(const std::vector<apps::AppInfo>
     // most valuable pattern before any contributes a second one.
     std::vector<std::vector<Graph>> per_app_patterns(
         domain_apps.size());
+    std::vector<mining::MineStats> per_app_stats(domain_apps.size());
     const bool parallel = options_.pool != nullptr &&
                           options_.pool->parallelism() > 1;
     if (parallel) {
@@ -207,7 +215,8 @@ Explorer::tryDomainVariant(const std::vector<apps::AppInfo>
             options_.pool, static_cast<int>(domain_apps.size()),
             [&](int i) {
                 auto patterns =
-                    tryTopPatterns(domain_apps[i].graph, per_app);
+                    tryTopPatterns(domain_apps[i].graph, per_app,
+                                   &per_app_stats[i]);
                 if (patterns.ok())
                     per_app_patterns[i] =
                         std::move(patterns).value();
@@ -224,7 +233,8 @@ Explorer::tryDomainVariant(const std::vector<apps::AppInfo>
     } else {
         for (std::size_t i = 0; i < domain_apps.size(); ++i) {
             auto patterns =
-                tryTopPatterns(domain_apps[i].graph, per_app);
+                tryTopPatterns(domain_apps[i].graph, per_app,
+                               &per_app_stats[i]);
             if (!patterns.ok())
                 return patterns.status().withContext(
                     "building domain variant '" + name + "' (app '" +
@@ -232,6 +242,9 @@ Explorer::tryDomainVariant(const std::vector<apps::AppInfo>
             per_app_patterns[i] = std::move(patterns).value();
         }
     }
+    for (const mining::MineStats &s : per_app_stats)
+        v.mine_capped_levels +=
+            static_cast<int>(s.capped_levels.size());
 
     std::set<std::string> seen;
     for (int round = 0; round < per_app; ++round) {

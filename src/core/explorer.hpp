@@ -43,6 +43,13 @@ struct PeVariant {
     int non_optimal_merges = 0;
     /** Of those, searches cut short by the merge deadline. */
     int merge_timeouts = 0;
+    /** Mining levels whose pattern frontier hit the miner's
+     * max_patterns_per_level safety valve while this variant was
+     * built (summed over apps for domain variants).  Non-zero means
+     * candidate patterns were silently dropped — the variant is
+     * valid but may have missed a better subgraph, so sweeps surface
+     * it as a warning (same policy as non_optimal_merges). */
+    int mine_capped_levels = 0;
 };
 
 /** Exploration knobs. */
@@ -88,9 +95,14 @@ class Explorer {
      * faults and unexpected exceptions) come back as kMiningFailed
      * instead of propagating.  analyze() is the legacy wrapper that
      * degrades to an empty pattern list.
+     *
+     * @param stats Optional miner counters for the run (levels,
+     * candidates, capped levels, ...); left zeroed on failure paths
+     * that never reach the miner.
      */
     Result<std::vector<mining::MinedPattern>>
-    tryAnalyze(const ir::Graph &app) const;
+    tryAnalyze(const ir::Graph &app,
+               mining::MineStats *stats = nullptr) const;
 
     /** PE Base. */
     PeVariant baselineVariant() const;
@@ -139,7 +151,8 @@ class Explorer {
     std::vector<ir::Graph> topPatterns(const ir::Graph &app,
                                        int k) const;
     Result<std::vector<ir::Graph>>
-    tryTopPatterns(const ir::Graph &app, int k) const;
+    tryTopPatterns(const ir::Graph &app, int k,
+                   mining::MineStats *stats = nullptr) const;
 
     const model::TechModel &tech_;
     ExplorerOptions options_;

@@ -17,7 +17,10 @@ namespace {
 using namespace enc;
 
 constexpr std::string_view kJournalMagic = "apexsweep";
-constexpr int kJournalVersion = 1;
+// Version 2: AppRecord cells carry mine_capped_levels.  A version
+// mismatch is a fingerprint mismatch: the old journal is ignored and
+// the sweep restarts from scratch (never mis-decoded).
+constexpr int kJournalVersion = 2;
 
 std::string
 hex64(std::uint64_t v)
@@ -58,7 +61,8 @@ encodeApp(const SweepJournal::AppRecord &rec)
     putStatus(os, rec.spec_status);
     for (const SweepJournal::CellInfo &c : rec.cells) {
         os << (c.has_variant ? 1 : 0) << ' ' << c.non_optimal_merges
-           << ' ' << c.merge_timeouts << '\n';
+           << ' ' << c.merge_timeouts << ' ' << c.mine_capped_levels
+           << '\n';
         putStr(os, c.variant);
     }
     return os.str();
@@ -84,7 +88,8 @@ decodeApp(const std::string &payload, SweepJournal::AppRecord *out)
         return false;
     for (SweepJournal::CellInfo &c : out->cells) {
         int has = 0;
-        if (!(is >> has >> c.non_optimal_merges >> c.merge_timeouts))
+        if (!(is >> has >> c.non_optimal_merges >> c.merge_timeouts >>
+              c.mine_capped_levels))
             return false;
         is.get();
         c.has_variant = has != 0;

@@ -62,6 +62,8 @@ class SweepJournal {
         std::string variant;      ///< Variant name.
         int non_optimal_merges = 0;
         int merge_timeouts = 0;
+        int mine_capped_levels = 0; ///< Mining levels truncated at
+                                    ///< max_patterns_per_level.
     };
     struct AppRecord {
         int app = -1;

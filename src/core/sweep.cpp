@@ -64,6 +64,7 @@ struct Cell {
     std::string name;     ///< Variant name (valid when present).
     int non_optimal_merges = 0; ///< Clique searches cut short.
     int merge_timeouts = 0;     ///< ... of which by deadline.
+    int mine_capped_levels = 0; ///< Mining levels truncated at cap.
     bool ran = false;           ///< Evaluation outcome available.
     bool replayed = false;      ///< ... restored from the journal.
     bool deadline_skipped = false; ///< Sweep deadline beat the task.
@@ -103,6 +104,7 @@ setVariant(Cell &cell, PeVariant v)
     cell.name = v.name;
     cell.non_optimal_merges = v.non_optimal_merges;
     cell.merge_timeouts = v.merge_timeouts;
+    cell.mine_capped_levels = v.mine_capped_levels;
     cell.variant = std::move(v);
 }
 
@@ -138,6 +140,12 @@ sweepFingerprint(const std::vector<apps::AppInfo> &apps,
     f.mix(static_cast<std::uint64_t>(x.miner.mine_constants));
     f.mix(static_cast<std::uint64_t>(x.miner.max_patterns_per_level));
     f.mix(static_cast<std::uint64_t>(x.miner.metric));
+    // max_embeddings shapes results (truncated support lists), so it
+    // is part of the identity; miner.engine deliberately is NOT — the
+    // engines are byte-identical (enforced by the differential tests),
+    // so journals, caches and coalesced requests are shareable across
+    // them.
+    f.mix(static_cast<std::uint64_t>(x.miner.max_embeddings));
     f.mix(static_cast<std::uint64_t>(x.min_mis));
     f.mix(static_cast<std::uint64_t>(x.max_merged_subgraphs));
     f.mix(static_cast<std::uint64_t>(x.merge.clique_budget));
@@ -258,6 +266,8 @@ struct SweepCounters {
         telemetry::counter("apex.sweep.cells_degraded");
     telemetry::Counter &non_optimal_cliques =
         telemetry::counter("apex.sweep.non_optimal_cliques");
+    telemetry::Counter &mine_capped_levels =
+        telemetry::counter("apex.sweep.mine_capped_levels");
 };
 
 SweepCounters &
@@ -316,6 +326,7 @@ journalApp(SweepJournal &journal, int index, AppSlot &slot)
         rec.cells[j].variant = cell.name;
         rec.cells[j].non_optimal_merges = cell.non_optimal_merges;
         rec.cells[j].merge_timeouts = cell.merge_timeouts;
+        rec.cells[j].mine_capped_levels = cell.mine_capped_levels;
     }
     journal.appendApp(rec);
 }
@@ -329,11 +340,13 @@ SweepRuntimeStats::toString() const
     std::snprintf(buf, sizeof buf,
                   "jobs=%d tasks=%ld stolen=%ld cache=%ld/%ld "
                   "replayed=%ld degraded=%ld nonopt_cliques=%ld "
+                  "mine_capped=%ld "
                   "restarts=%ld retries=%ld quarantined=%ld "
                   "build=%.2fms eval=%.2fms wall=%.2fms",
                   jobs, tasks_run, tasks_stolen, cache_hits,
                   cache_hits + cache_misses, cells_replayed,
                   cells_degraded, non_optimal_cliques,
+                  mine_capped_levels,
                   worker_restarts, worker_retries,
                   worker_quarantined, build_ms, eval_ms, wall_ms);
     return buf;
@@ -454,6 +467,7 @@ runSweep(const std::vector<apps::AppInfo> &apps,
             cell.name = info.variant;
             cell.non_optimal_merges = info.non_optimal_merges;
             cell.merge_timeouts = info.merge_timeouts;
+            cell.mine_capped_levels = info.mine_capped_levels;
             if (!info.has_variant)
                 continue;
             const SweepJournal::CellRecord *done =
@@ -799,6 +813,36 @@ runSweep(const std::vector<apps::AppInfo> &apps,
                         cell.non_optimal_merges;
                     counters.non_optimal_cliques.add(
                         cell.non_optimal_merges);
+                }
+            }
+            if (cell.mine_capped_levels > 0) {
+                // Surface mining frontiers truncated at the
+                // max_patterns_per_level safety valve — previously a
+                // silent drop that could change which PE variants
+                // exist downstream without any trace.
+                DiagnosticRecord w;
+                w.severity = Severity::kWarning;
+                w.stage = "mine";
+                w.code = ErrorCode::kBudgetExhausted;
+                w.message =
+                    "mining truncated " +
+                    std::to_string(cell.mine_capped_levels) +
+                    " level(s) at max_patterns_per_level (" +
+                    std::to_string(explorer.options()
+                                       .miner.max_patterns_per_level) +
+                    "); candidate patterns were dropped and a better "
+                    "subgraph may have been missed — raise the cap "
+                    "or min_support to mine exhaustively";
+                w.scope = app.name + "/" + vname;
+                out.report.diagnostics.report(std::move(w));
+                // Same replay policy as non_optimal_cliques: the
+                // diagnostic is part of the byte-identical report,
+                // the runtime stat counts truncations *this run*.
+                if (!slot.skip_build) {
+                    out.stats.mine_capped_levels +=
+                        cell.mine_capped_levels;
+                    counters.mine_capped_levels.add(
+                        cell.mine_capped_levels);
                 }
             }
             if (!cell.ran) {

@@ -168,6 +168,8 @@ struct SweepRuntimeStats {
     long cells_replayed = 0;       ///< Restored from the journal.
     long cells_degraded = 0;       ///< Completed on the cheap path.
     long non_optimal_cliques = 0;  ///< Clique searches cut short.
+    long mine_capped_levels = 0;   ///< Mining levels truncated at the
+                                   ///< max_patterns_per_level cap.
     long worker_restarts = 0;      ///< Workers re-forked (kProcess).
     long worker_retries = 0;       ///< Cells re-dispatched (kProcess).
     long worker_quarantined = 0;   ///< Cells given up on (kProcess).

@@ -179,11 +179,13 @@ ThreadPool::stats() const
 }
 
 void
-parallelFor(ThreadPool *pool, int n, std::function<void(int)> fn)
+parallelForChunked(ThreadPool *pool, int n, int chunk,
+                   std::function<void(int)> fn)
 {
     if (n <= 0)
         return;
-    if (!pool || pool->parallelism() <= 1 || n == 1) {
+    chunk = std::max(1, chunk);
+    if (!pool || pool->parallelism() <= 1 || n <= chunk) {
         for (int i = 0; i < n; ++i)
             fn(i);
         return;
@@ -192,6 +194,7 @@ parallelFor(ThreadPool *pool, int n, std::function<void(int)> fn)
     struct State {
         std::function<void(int)> fn;
         int n = 0;
+        int chunk = 1;
         std::atomic<int> next{0};
         std::atomic<int> done{0};
         std::mutex error_mutex;
@@ -201,27 +204,33 @@ parallelFor(ThreadPool *pool, int n, std::function<void(int)> fn)
     auto state = std::make_shared<State>();
     state->fn = std::move(fn);
     state->n = n;
+    state->chunk = chunk;
 
     auto drain = [state] {
         for (;;) {
-            const int i =
-                state->next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= state->n)
+            const int base = state->next.fetch_add(
+                state->chunk, std::memory_order_relaxed);
+            if (base >= state->n)
                 break;
-            try {
-                state->fn(i);
-            } catch (...) {
-                std::lock_guard<std::mutex> lock(state->error_mutex);
-                if (i < state->error_index) {
-                    state->error_index = i;
-                    state->error = std::current_exception();
+            const int end = std::min(state->n, base + state->chunk);
+            for (int i = base; i < end; ++i) {
+                try {
+                    state->fn(i);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(
+                        state->error_mutex);
+                    if (i < state->error_index) {
+                        state->error_index = i;
+                        state->error = std::current_exception();
+                    }
                 }
+                state->done.fetch_add(1, std::memory_order_release);
             }
-            state->done.fetch_add(1, std::memory_order_release);
         }
     };
 
-    const int helpers = std::min(pool->parallelism() - 1, n - 1);
+    const int blocks = (n + chunk - 1) / chunk;
+    const int helpers = std::min(pool->parallelism() - 1, blocks - 1);
     for (int h = 0; h < helpers; ++h)
         pool->submit(drain);
     drain(); // the caller is a full lane
@@ -234,6 +243,12 @@ parallelFor(ThreadPool *pool, int n, std::function<void(int)> fn)
     }
     if (state->error)
         std::rethrow_exception(state->error);
+}
+
+void
+parallelFor(ThreadPool *pool, int n, std::function<void(int)> fn)
+{
+    parallelForChunked(pool, n, 1, std::move(fn));
 }
 
 } // namespace apex::runtime

@@ -111,6 +111,19 @@ class ThreadPool {
 void parallelFor(ThreadPool *pool, int n,
                  std::function<void(int)> fn);
 
+/**
+ * parallelFor with indices claimed in contiguous blocks of @p chunk:
+ * one fetch_add claims [base, base + chunk), amortizing the shared
+ * counter and keeping adjacent slots on one lane when fn(i) is
+ * fine-grained (e.g. the miner's per-candidate growth).  Semantics
+ * are otherwise identical to parallelFor — every index runs exactly
+ * once, the lowest-index exception is rethrown after all iterations
+ * finish, and a null pool / parallelism <= 1 / chunk >= n degrades to
+ * the plain sequential loop.
+ */
+void parallelForChunked(ThreadPool *pool, int n, int chunk,
+                        std::function<void(int)> fn);
+
 } // namespace apex::runtime
 
 #endif // APEX_RUNTIME_THREAD_POOL_H_

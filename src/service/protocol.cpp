@@ -429,6 +429,8 @@ putSnapshot(std::ostream &os, const StatusSnapshot &s)
        << ' ' << s.sweeps << '\n';
     os << s.cache_hits << ' ' << s.cache_misses << ' '
        << s.worker_restarts << ' ' << s.trace_dropped << '\n';
+    os << s.mined_patterns << ' ' << s.mine_embeddings << ' '
+       << s.mine_pruned << '\n';
     putDouble(os, s.ts_ms);
     putDouble(os, s.request_p50_ms);
     putDouble(os, s.request_p99_ms);
@@ -447,6 +449,10 @@ getSnapshot(std::istream &is, StatusSnapshot *out)
     is.get();
     if (!(is >> out->cache_hits >> out->cache_misses >>
           out->worker_restarts >> out->trace_dropped))
+        return false;
+    is.get();
+    if (!(is >> out->mined_patterns >> out->mine_embeddings >>
+          out->mine_pruned))
         return false;
     is.get();
     return getDouble(is, &out->ts_ms) &&
@@ -523,6 +529,11 @@ statuszJson(const StatuszReply &rep)
                std::to_string(s.worker_restarts) +
                ",\"trace_dropped\":" +
                std::to_string(s.trace_dropped) +
+               ",\"mined_patterns\":" +
+               std::to_string(s.mined_patterns) +
+               ",\"mine_embeddings\":" +
+               std::to_string(s.mine_embeddings) +
+               ",\"mine_pruned\":" + std::to_string(s.mine_pruned) +
                ",\"request_p50_ms\":" + jsonNumber(s.request_p50_ms) +
                ",\"request_p99_ms\":" + jsonNumber(s.request_p99_ms) +
                "}";
@@ -562,6 +573,12 @@ renderStatuszText(const StatuszReply &rep)
                               : 0.0,
                   now.cache_hits, lookups, now.worker_restarts,
                   now.trace_dropped);
+    out += buf;
+    std::snprintf(buf, sizeof buf,
+                  "  mining: patterns %lld  embeddings %lld  "
+                  "pruned %lld\n",
+                  now.mined_patterns, now.mine_embeddings,
+                  now.mine_pruned);
     out += buf;
     std::snprintf(buf, sizeof buf,
                   "  request p50/p99 %.1f/%.1f ms\n",

@@ -260,6 +260,11 @@ struct StatusSnapshot {
     long long cache_misses = 0; ///< Cumulative apex.cache.misses.
     long long worker_restarts = 0; ///< Cumulative apex.worker.restarts.
     long long trace_dropped = 0;   ///< Cumulative apex.trace.dropped.
+    long long mined_patterns = 0;  ///< Cumulative apex.mine.patterns.
+    long long mine_embeddings = 0; ///< Cumulative apex.mine.embeddings.
+    /** Cumulative apex.mine.pruned_noncanonical: candidate growth
+     * branches killed by the DFS-code canonicality check. */
+    long long mine_pruned = 0;
     double request_p50_ms = 0.0; ///< Interval p50 (bucket estimate).
     double request_p99_ms = 0.0; ///< Interval p99 (bucket estimate).
 };

@@ -886,6 +886,12 @@ Server::sampleStatusz()
     snap.worker_restarts =
         telemetry::counter("apex.worker.restarts").value();
     snap.trace_dropped = telemetry::droppedEvents();
+    snap.mined_patterns =
+        telemetry::counter("apex.mine.patterns").value();
+    snap.mine_embeddings =
+        telemetry::counter("apex.mine.embeddings").value();
+    snap.mine_pruned =
+        telemetry::counter("apex.mine.pruned_noncanonical").value();
 
     // Per-interval latency quantiles from the request_ms histogram:
     // the delta against the previous sample isolates this interval's

@@ -715,7 +715,7 @@ TEST(Durability, MidJournalCorruptionReEvaluatesOnlyLostCells)
                         std::istreambuf_iterator<char>());
         std::size_t at = 0;
         for (int i = 0; i < 3; ++i) {
-            at = all.find("apexsweep 1 cell sum", at + 1);
+            at = all.find("apexsweep 2 cell sum", at + 1);
             ASSERT_NE(at, std::string::npos) << "cell frame " << i;
         }
         const std::size_t header_end = all.find('\n', at);
